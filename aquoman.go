@@ -1,0 +1,284 @@
+// Package aquoman is a full-system reproduction of "AQUOMAN: An
+// Analytic-Query Offloading Machine" (MICRO 2020): an in-SSD analytic
+// query accelerator that executes Table Tasks — static dataflow graphs of
+// SQL operators — against a column store at flash line rate, offloading
+// selection, transformation, aggregation and multi-way joins from the
+// host DBMS.
+//
+// The top-level package is the user-facing façade:
+//
+//	db := aquoman.Open()
+//	db.LoadTPCH(0.01, 42)
+//	res, err := db.RunTPCH(6)          // on AQUOMAN-augmented storage
+//	fmt.Print(res.Render(10))
+//	fmt.Printf("offloaded %.0f%% of flash traffic\n", res.Report.OffloadFraction*100)
+//
+// Everything underneath is real: the flash device simulator accounts
+// every page, the Row Transformer executes compiled PE programs with the
+// paper's instruction set, the SQL Swissknife runs the 1024-bucket
+// Aggregate-GroupBy with host spill-over, and the streaming sorter merges
+// through the paper's 256-to-1 cascade. Results are bit-identical to the
+// host engine's.
+package aquoman
+
+import (
+	"fmt"
+
+	"aquoman/internal/col"
+	"aquoman/internal/compiler"
+	"aquoman/internal/core"
+	"aquoman/internal/engine"
+	"aquoman/internal/flash"
+	"aquoman/internal/mem"
+	"aquoman/internal/perf"
+	"aquoman/internal/plan"
+	"aquoman/internal/sql"
+	"aquoman/internal/tpch"
+)
+
+// Re-exported building blocks for custom schemas and queries.
+type (
+	// Store is the column-oriented storage catalog.
+	Store = col.Store
+	// Schema describes a table.
+	Schema = col.Schema
+	// ColDef describes a column.
+	ColDef = col.ColDef
+	// Plan is a logical query operator tree.
+	Plan = plan.Node
+	// Batch is a materialized query result.
+	Batch = engine.Batch
+	// Report describes where a query's work happened.
+	Report = core.Report
+	// Device is one AQUOMAN-augmented SSD plus host runtime.
+	Device = core.Device
+)
+
+// Column type constants.
+const (
+	Int64   = col.Int64
+	Int32   = col.Int32
+	Date    = col.Date
+	Decimal = col.Decimal
+	Dict    = col.Dict
+	Text    = col.Text
+	Bool    = col.Bool
+)
+
+// DRAM capacity presets (Table VI).
+const (
+	DRAM40GB = mem.DefaultCapacity
+	DRAM16GB = mem.SmallCapacity
+)
+
+// DB couples a flash device, its column store, and an AQUOMAN runtime.
+type DB struct {
+	Flash *flash.Device
+	Store *col.Store
+
+	// DRAMBytes sizes the accelerator DRAM for offloaded runs.
+	DRAMBytes int64
+	// HeapScale scales string-heap sizes for offload decisions to the
+	// modeled deployment scale (see internal/compiler).
+	HeapScale float64
+}
+
+// Open creates an empty in-memory AQUOMAN-augmented SSD.
+func Open() *DB {
+	dev := flash.NewDevice()
+	return &DB{
+		Flash:     dev,
+		Store:     col.NewStore(dev),
+		DRAMBytes: mem.DefaultCapacity,
+		HeapScale: 1,
+	}
+}
+
+// LoadTPCH generates the TPC-H data set at the given scale factor into
+// the store (all eight tables plus the MonetDB-style materialized FK
+// RowID columns AQUOMAN exploits).
+func (db *DB) LoadTPCH(sf float64, seed int64) error {
+	return tpch.Gen(db.Store, tpch.Config{SF: sf, Seed: seed})
+}
+
+// Result is a finished query: its rows plus the execution report.
+type Result struct {
+	Batch  *engine.Batch
+	Report *core.Report
+}
+
+// Render formats up to maxRows of the result for display.
+func (r *Result) Render(maxRows int) string { return r.Batch.Render(maxRows) }
+
+// NumRows returns the result cardinality.
+func (r *Result) NumRows() int { return r.Batch.NumRows() }
+
+// Run executes a plan on the AQUOMAN-augmented system: the offload
+// compiler extracts Table-Task units, the in-storage pipeline streams
+// them, and the host engine finishes the residual plan.
+func (db *DB) Run(p Plan) (*Result, error) {
+	return db.run(p, core.Config{
+		DRAMBytes: db.DRAMBytes,
+		Compiler:  compiler.Config{HeapScale: db.HeapScale},
+	})
+}
+
+// RunHostOnly executes a plan entirely on the host engine (the baseline
+// systems of the evaluation).
+func (db *DB) RunHostOnly(p Plan) (*Result, error) {
+	return db.run(p, core.Config{DisableOffload: true})
+}
+
+func (db *DB) run(p Plan, cfg core.Config) (*Result, error) {
+	if err := plan.Bind(p, db.Store); err != nil {
+		return nil, err
+	}
+	dev := core.New(db.Store, cfg)
+	b, rep, err := dev.RunQuery(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Batch: b, Report: rep}, nil
+}
+
+// Query compiles a SQL statement (see internal/sql for the dialect) and
+// executes it on the AQUOMAN system.
+func (db *DB) Query(src string) (*Result, error) {
+	p, err := sql.Plan(src, db.Store)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(p)
+}
+
+// QueryHostOnly compiles a SQL statement and executes it on the host
+// baseline.
+func (db *DB) QueryHostOnly(src string) (*Result, error) {
+	p, err := sql.Plan(src, db.Store)
+	if err != nil {
+		return nil, err
+	}
+	return db.RunHostOnly(p)
+}
+
+// Explain compiles a plan without executing it and renders the Table-Task
+// program AQUOMAN would run (the Fig. 5 listing), plus suspension notes.
+func (db *DB) Explain(p Plan) (string, error) {
+	if err := plan.Bind(p, db.Store); err != nil {
+		return "", err
+	}
+	res, err := compiler.Compile(p, db.Store, compiler.Config{HeapScale: db.HeapScale})
+	if err != nil {
+		return "", err
+	}
+	return res.Explain(), nil
+}
+
+// TPCHQuery returns a fresh plan for TPC-H query q (1..22) with the
+// specification's validation parameters.
+func TPCHQuery(q int) (Plan, error) {
+	def, err := tpch.Get(q)
+	if err != nil {
+		return nil, err
+	}
+	return def.Build(), nil
+}
+
+// RunTPCH runs TPC-H query q on the AQUOMAN system.
+func (db *DB) RunTPCH(q int) (*Result, error) {
+	p, err := TPCHQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(p)
+}
+
+// RunTPCHHostOnly runs TPC-H query q on the host baseline.
+func (db *DB) RunTPCHHostOnly(q int) (*Result, error) {
+	p, err := TPCHQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return db.RunHostOnly(p)
+}
+
+// Evaluator builds the Fig. 16 experiment driver over this store,
+// modeling the paper's SF-1000 deployment. halfDB may be nil; providing a
+// half-scale data set lets the model measure how group counts grow with
+// scale (more accurate spill-over extrapolation).
+func (db *DB) Evaluator(halfDB *DB, targetSF float64) *perf.Evaluator {
+	ev := &perf.Evaluator{Store: db.Store, TargetSF: targetSF, Rates: perf.DefaultRates()}
+	if halfDB != nil {
+		ev.HalfStore = halfDB.Store
+	}
+	return ev
+}
+
+// FlashStats returns the device's cumulative traffic counters.
+func (db *DB) FlashStats() flash.Stats { return db.Flash.Stats() }
+
+// ResetFlashStats zeroes the traffic counters.
+func (db *DB) ResetFlashStats() { db.Flash.ResetStats() }
+
+// Save persists the store (catalog plus all column and heap files) to a
+// directory; OpenDir loads it back.
+func (db *DB) Save(dir string) error { return col.SaveStore(db.Store, dir) }
+
+// OpenDir opens a store previously written by Save.
+func OpenDir(dir string) (*DB, error) {
+	dev := flash.NewDevice()
+	store, err := col.LoadStore(dir, dev)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{Flash: dev, Store: store, DRAMBytes: mem.DefaultCapacity, HeapScale: 1}, nil
+}
+
+// NewTable starts building a custom table; see col.TableBuilder.
+func (db *DB) NewTable(schema Schema) *col.TableBuilder { return db.Store.NewTable(schema) }
+
+// MaterializeFK builds the MonetDB-style RowID join index for
+// fact.fkCol referencing dim.pkCol — required before AQUOMAN can offload
+// joins over the pair.
+func (db *DB) MaterializeFK(fact, fkCol, dim, pkCol string) error {
+	f, err := db.Store.Table(fact)
+	if err != nil {
+		return err
+	}
+	d, err := db.Store.Table(dim)
+	if err != nil {
+		return err
+	}
+	return col.MaterializeFK(f, fkCol, d, pkCol)
+}
+
+// Version identifies the reproduction.
+const Version = "aquoman-repro 1.0 (MICRO 2020, Xu et al.)"
+
+// SanityCheck runs a quick self-test: generates a tiny TPC-H instance and
+// verifies host and offloaded execution agree on q6.
+func SanityCheck() error {
+	db := Open()
+	if err := db.LoadTPCH(0.001, 1); err != nil {
+		return err
+	}
+	host, err := db.RunTPCHHostOnly(6)
+	if err != nil {
+		return err
+	}
+	off, err := db.RunTPCH(6)
+	if err != nil {
+		return err
+	}
+	if host.NumRows() != off.NumRows() {
+		return fmt.Errorf("aquoman: self-test row mismatch: %d vs %d", host.NumRows(), off.NumRows())
+	}
+	for c := range host.Batch.Cols {
+		for r := range host.Batch.Cols[c] {
+			if host.Batch.Cols[c][r] != off.Batch.Cols[c][r] {
+				return fmt.Errorf("aquoman: self-test value mismatch at col %d row %d", c, r)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package aquoman
+
+import (
+	"strings"
+	"testing"
+
+	"aquoman/internal/plan"
+)
+
+func TestSanityCheck(t *testing.T) {
+	if err := SanityCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db := Open()
+	b := db.NewTable(Schema{Name: "t", Cols: []ColDef{
+		{Name: "k", Typ: Int64},
+		{Name: "v", Typ: Decimal},
+		{Name: "tag", Typ: Dict},
+	}})
+	for i := 0; i < 1000; i++ {
+		tag := "even"
+		if i%2 == 1 {
+			tag = "odd"
+		}
+		b.Append(int64(i), int64(i*10), tag)
+	}
+	if _, err := b.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	p := &plan.GroupBy{
+		Input: &plan.Filter{
+			Input: &plan.Scan{Table: "t", Cols: []string{"k", "v", "tag"}},
+			Pred:  plan.GE(plan.C("k"), plan.I(500)),
+		},
+		Keys: []string{"tag"},
+		Aggs: []plan.AggSpec{{Func: plan.AggSum, Name: "total", E: plan.C("v")}},
+	}
+	res, err := db.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	if len(res.Report.Units) == 0 {
+		t.Fatal("custom query did not offload")
+	}
+	out := res.Render(10)
+	if !strings.Contains(out, "total") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestHostVsOffloadPublic(t *testing.T) {
+	db := Open()
+	if err := db.LoadTPCH(0.002, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []int{1, 3, 6} {
+		host, err := db.RunTPCHHostOnly(q)
+		if err != nil {
+			t.Fatalf("q%d host: %v", q, err)
+		}
+		off, err := db.RunTPCH(q)
+		if err != nil {
+			t.Fatalf("q%d off: %v", q, err)
+		}
+		if host.NumRows() != off.NumRows() {
+			t.Fatalf("q%d rows: %d vs %d", q, host.NumRows(), off.NumRows())
+		}
+	}
+}
+
+func TestEvaluatorConstruction(t *testing.T) {
+	db := Open()
+	if err := db.LoadTPCH(0.002, 5); err != nil {
+		t.Fatal(err)
+	}
+	ev := db.Evaluator(nil, 1000)
+	e, err := ev.EvalQuery(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.RunSeconds["L"] <= 0 {
+		t.Fatal("no modeled runtime")
+	}
+}
+
+func TestMaterializeFKPublic(t *testing.T) {
+	db := Open()
+	d := db.NewTable(Schema{Name: "dim", Cols: []ColDef{{Name: "id", Typ: Int64}}})
+	d.Append(int64(7))
+	if _, err := d.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	f := db.NewTable(Schema{Name: "fact", Cols: []ColDef{{Name: "fk", Typ: Int64}}})
+	f.Append(int64(7))
+	if _, err := f.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MaterializeFK("fact", "fk", "dim", "id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MaterializeFK("missing", "fk", "dim", "id"); err == nil {
+		t.Fatal("missing table accepted")
+	}
+}

@@ -1,0 +1,443 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (Sec. VIII). Each benchmark performs the full experiment per
+// iteration and prints the report once; headline numbers are attached as
+// benchmark metrics. See EXPERIMENTS.md for paper-vs-measured shape.
+//
+// Scale: benchmarks generate TPC-H at a small scale factor (default 0.01;
+// override with -tpch-sf) and the timing model extrapolates traces to
+// SF-1000 exactly like the paper's trace-based simulator.
+package aquoman
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"aquoman/internal/col"
+	"aquoman/internal/compiler"
+	"aquoman/internal/core"
+	"aquoman/internal/flash"
+	"aquoman/internal/mem"
+	"aquoman/internal/perf"
+	"aquoman/internal/plan"
+	"aquoman/internal/rowsel"
+	"aquoman/internal/sorter"
+	"aquoman/internal/swissknife"
+	"aquoman/internal/systolic"
+	"aquoman/internal/tpch"
+)
+
+var benchSF = flag.Float64("tpch-sf", 0.01, "TPC-H scale factor for benchmarks")
+
+var (
+	benchOnce sync.Once
+	benchEval *perf.Evaluator
+	benchErr  error
+)
+
+func benchEvaluator(b *testing.B) *perf.Evaluator {
+	b.Helper()
+	benchOnce.Do(func() {
+		s := col.NewStore(flash.NewDevice())
+		if benchErr = tpch.Gen(s, tpch.Config{SF: *benchSF, Seed: 42}); benchErr != nil {
+			return
+		}
+		h := col.NewStore(flash.NewDevice())
+		if benchErr = tpch.Gen(h, tpch.Config{SF: *benchSF / 2, Seed: 43}); benchErr != nil {
+			return
+		}
+		benchEval = &perf.Evaluator{Store: s, HalfStore: h, TargetSF: 1000,
+			Rates: perf.DefaultRates()}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEval
+}
+
+// BenchmarkFig16aRunTime regenerates Fig. 16(a): per-query run time for
+// S, L, S-AQUOMAN, L-AQUOMAN and S-AQUOMAN16 at the modeled SF-1000.
+func BenchmarkFig16aRunTime(b *testing.B) {
+	ev := benchEvaluator(b)
+	for i := 0; i < b.N; i++ {
+		evals, err := ev.EvalAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + perf.Fig16a(evals))
+			var totL, totS16 float64
+			for _, e := range evals {
+				totL += e.RunSeconds["L"]
+				totS16 += e.RunSeconds["S-AQUOMAN16"]
+			}
+			b.ReportMetric(totL/totS16, "L/S-AQ16_speed_ratio")
+		}
+	}
+}
+
+// BenchmarkFig16bMemory regenerates Fig. 16(b): max/avg x86 memory and
+// AQUOMAN DRAM footprint per query.
+func BenchmarkFig16bMemory(b *testing.B) {
+	ev := benchEvaluator(b)
+	for i := 0; i < b.N; i++ {
+		evals, err := ev.EvalAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + perf.Fig16b(evals))
+			var base, aq float64
+			for _, e := range evals {
+				base += float64(e.AvgHostMem["L"])
+				aq += float64(e.AvgHostMem["L-AQUOMAN"])
+			}
+			b.ReportMetric((1-aq/base)*100, "avg_dram_saving_%")
+		}
+	}
+}
+
+// BenchmarkFig16cSavings regenerates Fig. 16(c): per-query AQUOMAN
+// runtime share and x86 CPU-cycle savings on system L.
+func BenchmarkFig16cSavings(b *testing.B) {
+	ev := benchEvaluator(b)
+	for i := 0; i < b.N; i++ {
+		evals, err := ev.EvalAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + perf.Fig16c(evals))
+			var base, aq float64
+			for _, e := range evals {
+				base += e.HostCPUSeconds["L"]
+				aq += e.HostCPUSeconds["L-AQUOMAN"]
+			}
+			b.ReportMetric((1-aq/base)*100, "cpu_saving_%")
+		}
+	}
+}
+
+// BenchmarkTableVSorter regenerates Table V: streaming-sorter throughput
+// across input lengths and sortedness.
+func BenchmarkTableVSorter(b *testing.B) {
+	sizes := []int{1 << 14, 1 << 16, 1 << 18, 1 << 20}
+	for i := 0; i < b.N; i++ {
+		rows := perf.TableV(sizes)
+		if i == 0 {
+			b.Log("\n" + perf.FormatTableV(rows))
+			b.ReportMetric(rows[len(rows)-1].MBps, "random_MBps")
+		}
+	}
+}
+
+// BenchmarkFig17Validation regenerates Fig. 17: the analytic trace model
+// against the bandwidth-only bound for q1, q6, q3, q10 plus AQUOMAN
+// memory usage.
+func BenchmarkFig17Validation(b *testing.B) {
+	ev := benchEvaluator(b)
+	for i := 0; i < b.N; i++ {
+		out, err := perf.Fig17(ev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + out)
+		}
+	}
+}
+
+// BenchmarkOffloadClassification regenerates the Sec. VIII-B offload
+// census (14/22 fully offloaded in the paper) and the Tables III/IV
+// substitution (component inventory).
+func BenchmarkOffloadClassification(b *testing.B) {
+	ev := benchEvaluator(b)
+	for i := 0; i < b.N; i++ {
+		evals, err := ev.EvalAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + perf.OffloadReport(evals))
+			b.Log("\n" + perf.ResourceReport(evals))
+			fully := 0
+			for _, e := range evals {
+				if e.FullyOffloaded {
+					fully++
+				}
+			}
+			b.ReportMetric(float64(fully), "fully_offloaded_queries")
+		}
+	}
+}
+
+// --- Ablations (design choices DESIGN.md calls out) ---
+
+// BenchmarkAblationPageSkip measures the Row Selector's page-skipping
+// benefit for a clustered predicate (a range on the sorted l_orderkey,
+// where whole pages mask out) against a scattered one of similar
+// selectivity (a date range, where every page keeps a live row) — the
+// reason maskSrc chaining pays off only when selections cluster.
+func BenchmarkAblationPageSkip(b *testing.B) {
+	ev := benchEvaluator(b)
+	li := ev.Store.MustTable("lineitem")
+	okCol := li.MustColumn("l_orderkey")
+	keys := okCol.ReadAll(flash.Host)
+	cutKey := keys[len(keys)*95/100] // top 5% of the clustered key
+	cutDate := col.MustParseDate("1998-06-01")
+	cases := []struct {
+		name string
+		prog *rowsel.Program
+	}{
+		{"clustered", &rowsel.Program{Preds: []rowsel.ColPred{{
+			Column: "l_orderkey",
+			Expr:   systolic.GT(systolic.In(0), systolic.C(cutKey)), CPs: 1}}}},
+		{"scattered", &rowsel.Program{Preds: []rowsel.ColPred{{
+			Column: "l_shipdate",
+			Expr:   systolic.GT(systolic.In(0), systolic.C(cutDate)), CPs: 1}}}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mask, st, err := tc.prog.Run(li, nil, flash.Aquoman)
+				if err != nil {
+					b.Fatal(err)
+				}
+				price := li.MustColumn("l_extendedprice")
+				r := col.NewPagedReader(price, flash.Aquoman)
+				var buf [32]int64
+				for vec := 0; vec < mask.NumVecs(); vec++ {
+					if mask.VecAllZero(vec) {
+						r.SkipVec(vec)
+						continue
+					}
+					r.ReadVec(vec, buf[:])
+				}
+				if i == 0 {
+					total := r.PagesRead + r.PagesSkipped
+					b.Logf("%s: %d/%d rows selected; downstream pages read %d of %d",
+						tc.name, st.RowsSelected, st.RowsIn, r.PagesRead, total)
+					b.ReportMetric(float64(r.PagesSkipped)/float64(total)*100, "pages_skipped_%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGroupBuckets sweeps the Aggregate-GroupBy bucket count
+// against a per-order grouping (q18's shape: far more groups than
+// buckets), reporting the spill-over fraction the host must absorb —
+// Sec. VI-E condition 3 quantified.
+func BenchmarkAblationGroupBuckets(b *testing.B) {
+	for _, buckets := range []int{256, 1024, 4096, 65536} {
+		b.Run(fmt.Sprintf("buckets=%d", buckets), func(b *testing.B) {
+			ev := benchEvaluator(b)
+			for i := 0; i < b.N; i++ {
+				n := &plan.GroupBy{
+					Input: &plan.Scan{Table: "lineitem",
+						Cols: []string{"l_orderkey", "l_quantity"}},
+					Keys: []string{"l_orderkey"},
+					Aggs: []plan.AggSpec{{Func: plan.AggSum, Name: "q",
+						E: plan.C("l_quantity")}},
+				}
+				if err := plan.Bind(n, ev.Store); err != nil {
+					b.Fatal(err)
+				}
+				dev := core.New(ev.Store, core.Config{
+					DRAMBytes: mem.DefaultCapacity,
+					Compiler: compiler.Config{HeapScale: 1000 / *benchSF,
+						GroupCfg: swissknife.GroupByConfig{Buckets: buckets}},
+				})
+				_, rep, err := dev.RunQuery(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					var rows, spilled int64
+					for _, tt := range rep.AquomanTrace.Tasks {
+						rows += tt.RowsToSwissknife
+						spilled += tt.SpilledRows
+					}
+					if rows > 0 {
+						b.ReportMetric(float64(spilled)/float64(rows)*100, "spilled_rows_%")
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSorterFanIn sweeps the merger fan-in, trading tree
+// depth (comparators) against merge passes.
+func BenchmarkAblationSorterFanIn(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]sorter.KV, 1<<18)
+	for i := range data {
+		data[i] = sorter.KV{Key: rng.Int63(), Val: int64(i)}
+	}
+	for _, fan := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("fanin=%d", fan), func(b *testing.B) {
+			b.SetBytes(int64(len(data) * 8))
+			for i := 0; i < b.N; i++ {
+				s := sorter.NewStreaming(sorter.Config{VecElems: 8, FanIn: fan,
+					Layers: 3, ElemBytes: 8})
+				in := append([]sorter.KV(nil), data...)
+				s.Sort(in)
+				if i == 0 {
+					st := s.Stats()
+					b.ReportMetric(float64(st.DRAMBytes)/float64(len(data)*8), "dram_passes")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDRAMSize compares the 40 GB and 16 GB AQUOMAN
+// configurations: with 16 GB some multi-way joins suspend (the paper: 4
+// queries affected, 12 of 22 still offloaded profitably).
+func BenchmarkAblationDRAMSize(b *testing.B) {
+	ev := benchEvaluator(b)
+	scale := 1000 / *benchSF
+	for _, dram := range []int64{mem.DefaultCapacity, mem.SmallCapacity, 4 << 30} {
+		b.Run(fmt.Sprintf("dram=%dGB", dram>>30), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				suspended := 0
+				for _, def := range tpch.Queries() {
+					n := def.Build()
+					if err := plan.Bind(n, ev.Store); err != nil {
+						b.Fatal(err)
+					}
+					dev := core.New(ev.Store, core.Config{
+						DRAMBytes: int64(float64(dram) / scale),
+						Compiler:  compiler.Config{HeapScale: scale},
+					})
+					_, rep, err := dev.RunQuery(n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Suspended {
+						suspended++
+					}
+				}
+				if i == 0 {
+					b.ReportMetric(float64(suspended), "suspended_queries")
+				}
+			}
+		})
+	}
+}
+
+// --- Component micro-benchmarks (line-rate claims of Sec. VII) ---
+
+// BenchmarkRowTransformer measures the PE-chain interpreter on the Fig. 9
+// transformation.
+func BenchmarkRowTransformer(b *testing.B) {
+	qty, price, disc, tax := systolic.In(0), systolic.In(1), systolic.In(2), systolic.In(3)
+	discPrice := systolic.Div(systolic.Mul(price, systolic.Sub(systolic.C(100), disc)), systolic.C(100))
+	charge := systolic.Div(systolic.Mul(discPrice, systolic.Add(systolic.C(100), tax)), systolic.C(100))
+	m, err := systolic.Compile([]systolic.Expr{qty, price, discPrice, charge}, 4, systolic.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := systolic.NewMachine(m)
+	const rows = 1 << 14
+	cols := make([][]int64, 4)
+	rng := rand.New(rand.NewSource(3))
+	for c := range cols {
+		cols[c] = make([]int64, rows)
+		for r := range cols[c] {
+			cols[c][r] = int64(rng.Intn(10000) + 1)
+		}
+	}
+	b.SetBytes(rows * 4 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := machine.Transform(cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRowSelector measures the selector over lineitem.
+func BenchmarkRowSelector(b *testing.B) {
+	ev := benchEvaluator(b)
+	li := ev.Store.MustTable("lineitem")
+	prog := &rowsel.Program{Preds: []rowsel.ColPred{{
+		Column: "l_quantity",
+		Expr:   systolic.LT(systolic.In(0), systolic.C(2400)),
+		CPs:    1,
+	}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := prog.Run(li, nil, flash.Aquoman); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupByAccel measures the 1024-bucket Aggregate-GroupBy.
+func BenchmarkGroupByAccel(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const rows = 1 << 16
+	keys := make([]int64, rows)
+	vals := make([]int64, rows)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(512))
+		vals[i] = int64(rng.Intn(1000))
+	}
+	b.SetBytes(rows * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := swissknife.NewGroupBy(swissknife.GroupByConfig{}, 1, 0,
+			[]swissknife.AggKind{swissknife.AggSum})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var k, v [1]int64
+		for r := 0; r < rows; r++ {
+			k[0], v[0] = keys[r], vals[r]
+			if err := g.Consume(k[:], nil, v[:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTopKAccel measures the VCAS-chain TopK.
+func BenchmarkTopKAccel(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	const rows = 1 << 16
+	data := make([]sorter.KV, rows)
+	for i := range data {
+		data[i] = sorter.KV{Key: rng.Int63(), Val: int64(i)}
+	}
+	b.SetBytes(rows * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk := swissknife.NewTopK(100, 8)
+		for _, kv := range data {
+			tk.Push(kv)
+		}
+		if got := tk.Results(); len(got) != 100 {
+			b.Fatal("bad topk")
+		}
+	}
+}
+
+// BenchmarkEndToEndQ6 measures one fully offloaded query end to end.
+func BenchmarkEndToEndQ6(b *testing.B) {
+	ev := benchEvaluator(b)
+	for i := 0; i < b.N; i++ {
+		def, _ := tpch.Get(6)
+		n := def.Build()
+		if err := plan.Bind(n, ev.Store); err != nil {
+			b.Fatal(err)
+		}
+		dev := core.New(ev.Store, core.Config{DRAMBytes: mem.DefaultCapacity})
+		if _, _, err := dev.RunQuery(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

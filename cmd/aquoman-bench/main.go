@@ -1,0 +1,91 @@
+// Command aquoman-bench regenerates the paper's evaluation artifacts:
+//
+//	aquoman-bench -report fig16a     # Fig 16(a): run time per query/system
+//	aquoman-bench -report fig16b     # Fig 16(b): memory footprints
+//	aquoman-bench -report fig16c     # Fig 16(c): CPU-cycle savings
+//	aquoman-bench -report tablev     # Table V: streaming sorter throughput
+//	aquoman-bench -report fig17      # Fig 17: trace-model validation
+//	aquoman-bench -report offload    # Sec VIII-B offload census
+//	aquoman-bench -report resources  # Tables III/IV substitution
+//	aquoman-bench -report all
+//
+// Data is generated at -sf (default 0.01) and traces are extrapolated to
+// -target (default 1000, the paper's 1 TB deployment).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"aquoman/internal/col"
+	"aquoman/internal/flash"
+	"aquoman/internal/perf"
+	"aquoman/internal/tpch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aquoman-bench: ")
+	var (
+		report = flag.String("report", "all", "fig16a|fig16b|fig16c|tablev|fig17|offload|resources|all")
+		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor to generate")
+		target = flag.Float64("target", 1000, "modeled deployment scale factor")
+		seed   = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+
+	need := func(r string) bool { return *report == r || *report == "all" }
+
+	if need("tablev") {
+		fmt.Println(perf.FormatTableV(perf.TableV([]int{1 << 14, 1 << 16, 1 << 18, 1 << 20})))
+	}
+	if !need("fig16a") && !need("fig16b") && !need("fig16c") &&
+		!need("fig17") && !need("offload") && !need("resources") {
+		return
+	}
+
+	log.Printf("generating TPC-H SF %g (plus half-scale calibration set)...", *sf)
+	store := col.NewStore(flash.NewDevice())
+	if err := tpch.Gen(store, tpch.Config{SF: *sf, Seed: *seed}); err != nil {
+		log.Fatal(err)
+	}
+	half := col.NewStore(flash.NewDevice())
+	if err := tpch.Gen(half, tpch.Config{SF: *sf / 2, Seed: *seed + 1}); err != nil {
+		log.Fatal(err)
+	}
+	ev := &perf.Evaluator{Store: store, HalfStore: half, TargetSF: *target,
+		Rates: perf.DefaultRates()}
+
+	if need("fig17") {
+		out, err := perf.Fig17(ev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if need("fig16a") || need("fig16b") || need("fig16c") || need("offload") || need("resources") {
+		log.Printf("evaluating all 22 queries on 5 systems...")
+		evals, err := ev.EvalAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if need("fig16a") {
+			fmt.Println(perf.Fig16a(evals))
+		}
+		if need("fig16b") {
+			fmt.Println(perf.Fig16b(evals))
+		}
+		if need("fig16c") {
+			fmt.Println(perf.Fig16c(evals))
+		}
+		if need("offload") {
+			fmt.Println(perf.OffloadReport(evals))
+		}
+		if need("resources") {
+			fmt.Println(perf.ResourceReport(evals))
+		}
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,91 @@
+// Command aquoman-run executes one TPC-H query end to end on the
+// AQUOMAN-augmented system and prints the result plus the offload report:
+//
+//	aquoman-run -q 6 -sf 0.01
+//	aquoman-run -q 3 -sf 0.01 -host   # baseline (no offload)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"aquoman"
+	"aquoman/internal/flash"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		q       = flag.Int("q", 6, "TPC-H query number (1..22)")
+		sf      = flag.Float64("sf", 0.01, "scale factor")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		host    = flag.Bool("host", false, "run on the host baseline instead of AQUOMAN")
+		rows    = flag.Int("rows", 20, "result rows to print")
+		data    = flag.String("data", "", "load a persisted store instead of generating")
+		explain = flag.Bool("explain", false, "print the compiled Table-Task program and exit")
+	)
+	flag.Parse()
+
+	var db *aquoman.DB
+	if *data != "" {
+		log.Printf("loading store from %s...", *data)
+		var err error
+		db, err = aquoman.OpenDir(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.HeapScale = 1000 / *sf
+	} else {
+		db = aquoman.Open()
+		db.HeapScale = 1000 / *sf // offload decisions modeled at SF-1000
+		log.Printf("generating TPC-H SF %g...", *sf)
+		if err := db.LoadTPCH(*sf, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.ResetFlashStats()
+
+	if *explain {
+		p, err := aquoman.TPCHQuery(*q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := db.Explain(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== TPC-H q%d compiled Table-Task program ===\n%s", *q, out)
+		return
+	}
+
+	var res *aquoman.Result
+	var err error
+	if *host {
+		res, err = db.RunTPCHHostOnly(*q)
+	} else {
+		res, err = db.RunTPCH(*q)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("=== TPC-H q%d (%d rows) ===\n", *q, res.NumRows())
+	fmt.Print(res.Render(*rows))
+	rep := res.Report
+	fmt.Printf("\n=== execution report ===\n")
+	fmt.Printf("offloaded units    : %v\n", rep.Units)
+	fmt.Printf("fully offloaded    : %v\n", rep.FullyOffloaded)
+	fmt.Printf("suspended          : %v %s\n", rep.Suspended, rep.SuspendReason)
+	fmt.Printf("flash read (host)  : %.2f MB\n", float64(rep.Flash.BytesRead(flash.Host))/1e6)
+	fmt.Printf("flash read (aq)    : %.2f MB (%.0f%% of traffic)\n",
+		float64(rep.Flash.BytesRead(flash.Aquoman))/1e6, rep.OffloadFraction*100)
+	fmt.Printf("AQUOMAN DRAM peak  : %.2f MB\n", float64(rep.DRAMPeak)/1e6)
+	for _, note := range rep.Notes {
+		fmt.Printf("note: %s\n", note)
+	}
+	for _, tt := range rep.AquomanTrace.Tasks {
+		fmt.Printf("task %-40s %-12s rows %8d -> %8d, pages %d (+%d skipped)\n",
+			tt.Name, tt.Op, tt.RowsIn, tt.RowsToSwissknife, tt.PagesRead, tt.PagesSkipped)
+	}
+}

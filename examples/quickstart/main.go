@@ -1,0 +1,57 @@
+// Quickstart: build a table on the AQUOMAN-augmented SSD, run an
+// aggregation query, and see how much of it executed in storage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aquoman"
+	"aquoman/internal/plan"
+)
+
+func main() {
+	db := aquoman.Open()
+
+	// A tiny measurements table: sensor id, day, reading (×100 fixed point).
+	b := db.NewTable(aquoman.Schema{Name: "readings", Cols: []aquoman.ColDef{
+		{Name: "sensor", Typ: aquoman.Int32},
+		{Name: "day", Typ: aquoman.Date},
+		{Name: "value", Typ: aquoman.Decimal},
+		{Name: "site", Typ: aquoman.Dict},
+	}})
+	sites := []string{"north", "south", "east"}
+	for i := 0; i < 10_000; i++ {
+		b.Append(i%100, int64(19000+i%365), int64(1000+i%500), sites[i%3])
+	}
+	if _, err := b.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+
+	// SELECT site, sum(value), count(*) FROM readings
+	// WHERE value > 12.00 GROUP BY site ORDER BY site.
+	query := &plan.OrderBy{
+		Keys: []plan.OrderKey{{Name: "site"}},
+		Input: &plan.GroupBy{
+			Input: &plan.Filter{
+				Input: &plan.Scan{Table: "readings", Cols: []string{"site", "value"}},
+				Pred:  plan.GT(plan.C("value"), plan.Dec("12.00")),
+			},
+			Keys: []string{"site"},
+			Aggs: []plan.AggSpec{
+				{Func: plan.AggSum, Name: "total", E: plan.C("value"), Typ: aquoman.Decimal},
+				{Func: plan.AggCount, Name: "n"},
+			},
+		},
+	}
+
+	res, err := db.Run(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render(10))
+	fmt.Printf("\noffloaded units: %v (fully offloaded: %v)\n",
+		res.Report.Units, res.Report.FullyOffloaded)
+	fmt.Printf("in-storage share of flash traffic: %.0f%%\n",
+		res.Report.OffloadFraction*100)
+}

@@ -1,0 +1,122 @@
+// Retail: the paper's Sec. III walk-through. It builds the
+// sales_transactions and inventory tables, then runs the two motivating
+// queries — the single-table aggregate of Fig. 1 and the join of Fig. 4 —
+// showing the Table Tasks AQUOMAN executes (the paper's Fig. 5 program).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"aquoman"
+	"aquoman/internal/col"
+	"aquoman/internal/plan"
+)
+
+func main() {
+	db := aquoman.Open()
+	rng := rand.New(rand.NewSource(2018))
+
+	// Inventory: the dimension table of Fig. 4.
+	ib := db.NewTable(aquoman.Schema{Name: "inventory", Cols: []aquoman.ColDef{
+		{Name: "invtID", Typ: aquoman.Int32},
+		{Name: "category", Typ: aquoman.Dict},
+		{Name: "productname", Typ: aquoman.Text},
+		{Name: "quantity", Typ: aquoman.Int32},
+	}})
+	cats := []string{"Shoes", "Books", "Toys", "Games", "Music"}
+	const nItems = 5000
+	for i := 0; i < nItems; i++ {
+		c := cats[rng.Intn(len(cats))]
+		ib.Append(100+i, c, fmt.Sprintf("%s-item-%04d", c, i), rng.Intn(1000))
+	}
+	if _, err := ib.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sales transactions: the fact table of Fig. 1.
+	sb := db.NewTable(aquoman.Schema{Name: "sales_transactions", Cols: []aquoman.ColDef{
+		{Name: "transactionID", Typ: aquoman.Int64},
+		{Name: "invtID", Typ: aquoman.Int32},
+		{Name: "department", Typ: aquoman.Dict},
+		{Name: "saledate", Typ: aquoman.Date},
+		{Name: "price", Typ: aquoman.Decimal},
+		{Name: "discount", Typ: aquoman.Decimal},
+		{Name: "tax", Typ: aquoman.Decimal},
+	}})
+	depts := []string{"online", "downtown", "mall", "outlet"}
+	start := col.MustParseDate("2018-01-01")
+	for i := 0; i < 200_000; i++ {
+		sb.Append(int64(i), 100+rng.Intn(nItems), depts[rng.Intn(len(depts))],
+			start+int64(rng.Intn(365)),
+			int64(rng.Intn(100_000)+100), int64(rng.Intn(30)), int64(rng.Intn(10)))
+	}
+	if _, err := sb.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+	// The MonetDB-style join index AQUOMAN exploits (Sec. VI-D).
+	if err := db.MaterializeFK("sales_transactions", "invtID", "inventory", "invtID"); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Fig. 1: net sale and revenue per department before a date. ---
+	netsale := plan.DecMul(plan.C("price"), plan.Sub(plan.I(100), plan.C("discount")))
+	revenue := plan.DecMul(netsale, plan.Add(plan.I(100), plan.C("tax")))
+	fig1 := &plan.OrderBy{
+		Keys: []plan.OrderKey{{Name: "department"}},
+		Input: &plan.GroupBy{
+			Input: &plan.Filter{
+				Input: &plan.Scan{Table: "sales_transactions",
+					Cols: []string{"department", "saledate", "price", "discount", "tax"}},
+				Pred: plan.LE(plan.C("saledate"), plan.Date("2018-12-01")),
+			},
+			Keys: []string{"department"},
+			Aggs: []plan.AggSpec{
+				{Func: plan.AggSum, Name: "netsale", E: netsale, Typ: aquoman.Decimal},
+				{Func: plan.AggSum, Name: "revenue", E: revenue, Typ: aquoman.Decimal},
+			},
+		},
+	}
+	res, err := db.Run(fig1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Fig. 1: aggregate query ===")
+	fmt.Print(res.Render(10))
+	fmt.Printf("offload: %v, fully=%v\n\n", res.Report.Units, res.Report.FullyOffloaded)
+
+	// --- Fig. 4: total shoe sales after 2018-03-15 (the join query). ---
+	inv := &plan.Filter{
+		Input: &plan.Scan{Table: "inventory", Cols: []string{"invtID", "category"}},
+		Pred:  plan.EQ(plan.C("category"), plan.S("Shoes")),
+	}
+	sales := &plan.Project{
+		Input: &plan.Filter{
+			Input: &plan.Scan{Table: "sales_transactions",
+				Cols: []string{"invtID", "saledate", "price"}},
+			Pred: plan.GT(plan.C("saledate"), plan.Date("2018-03-15")),
+		},
+		Exprs: []plan.NamedExpr{
+			{Name: "s_invtID", E: plan.C("invtID")},
+			{Name: "price", E: plan.C("price")},
+		},
+	}
+	fig4 := &plan.GroupBy{
+		Input: &plan.Join{Kind: plan.InnerJoin, L: sales, R: inv,
+			LKeys: []string{"s_invtID"}, RKeys: []string{"invtID"}},
+		Aggs: []plan.AggSpec{{Func: plan.AggSum, Name: "shoe_sales",
+			E: plan.C("price"), Typ: aquoman.Decimal}},
+	}
+	res, err = db.Run(fig4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Fig. 4: join query ===")
+	fmt.Print(res.Render(5))
+	fmt.Println("\nTable Tasks executed (the Fig. 5 program):")
+	for _, tt := range res.Report.AquomanTrace.Tasks {
+		fmt.Printf("  %-40s table=%-20s op=%-12s rows %d -> %d\n",
+			tt.Name, tt.Table, tt.Op, tt.RowsIn, tt.RowsToSwissknife)
+	}
+}

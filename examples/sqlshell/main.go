@@ -1,0 +1,64 @@
+// SQL shell: an interactive (or scripted) SQL console over an
+// AQUOMAN-augmented TPC-H data set. Each statement is planned, offloaded
+// where the compiler finds streamable subtrees, and executed; the console
+// prints the rows plus where the work happened.
+//
+//	go run ./examples/sqlshell                 # interactive
+//	echo "SELECT ... ;" | go run ./examples/sqlshell
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"aquoman"
+)
+
+func main() {
+	log.SetFlags(0)
+	sf := flag.Float64("sf", 0.005, "TPC-H scale factor")
+	flag.Parse()
+
+	db := aquoman.Open()
+	db.HeapScale = 1000 / *sf
+	log.Printf("generating TPC-H SF %g...", *sf)
+	if err := db.LoadTPCH(*sf, 42); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("ready. Enter SQL terminated by ';' (tables: lineitem orders customer part partsupp supplier nation region)")
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("aquoman> ")
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("     ... ")
+			continue
+		}
+		src := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if src == ";" || src == "" {
+			fmt.Print("aquoman> ")
+			continue
+		}
+		res, err := db.Query(src)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			fmt.Print("aquoman> ")
+			continue
+		}
+		fmt.Print(res.Render(40))
+		rep := res.Report
+		fmt.Printf("-- %d rows; offloaded %.0f%% of flash traffic (units %v, fully=%v)\n",
+			res.NumRows(), rep.OffloadFraction*100, rep.Units, rep.FullyOffloaded)
+		fmt.Print("aquoman> ")
+	}
+}

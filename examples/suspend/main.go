@@ -1,0 +1,93 @@
+// Suspend: demonstrates the four conditions under which AQUOMAN cannot
+// completely process a query and hands off to the host (Sec. VI-E):
+//
+//  1. an Aggregate Group-By in the middle of the plan (q17),
+//  2. regular-expression filtering over a large string heap (q9),
+//  3. more groups than the accelerator's hash buckets (q15 — spill-over),
+//  4. multi-way join intermediates exceeding AQUOMAN DRAM (q3 with a
+//     deliberately tiny DRAM).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aquoman"
+	"aquoman/internal/compiler"
+	"aquoman/internal/core"
+	"aquoman/internal/plan"
+)
+
+func main() {
+	const sf = 0.005
+	db := aquoman.Open()
+	db.HeapScale = 1000 / sf
+	log.Printf("generating TPC-H SF %g...", sf)
+	if err := db.LoadTPCH(sf, 42); err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(title string, res *aquoman.Result) {
+		rep := res.Report
+		fmt.Printf("=== %s ===\n", title)
+		fmt.Printf("  offloaded units : %v\n", rep.Units)
+		fmt.Printf("  fully offloaded : %v, suspended: %v\n", rep.FullyOffloaded, rep.Suspended)
+		if rep.SuspendReason != "" {
+			fmt.Printf("  suspend reason  : %s\n", rep.SuspendReason)
+		}
+		for _, n := range rep.Notes {
+			fmt.Printf("  note            : %s\n", n)
+		}
+		var spilled int64
+		for _, tt := range rep.AquomanTrace.Tasks {
+			spilled += tt.SpilledRows
+		}
+		if spilled > 0 {
+			fmt.Printf("  spill-over rows : %d (accumulated by the host)\n", spilled)
+		}
+		fmt.Println()
+	}
+
+	// Condition 1: mid-plan group-by (q17's per-part average subquery).
+	res, err := db.RunTPCH(17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("condition 1 — mid-plan Aggregate Group-By (q17): inner unit offloads, outer join resumes on host", res)
+
+	// Condition 2: regex on a large string heap (q9's p_name LIKE '%green%').
+	res, err = db.RunTPCH(9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("condition 2 — string heap exceeds the 1MB regex cache (q9): whole query on host", res)
+
+	// Condition 3: group count exceeds the 1024 buckets (q15's per-supplier
+	// revenue view): still offloaded, with spill-over rows to the host.
+	res, err = db.RunTPCH(15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("condition 3 — spill-over groups (q15): offloaded with host-side accumulation", res)
+
+	// Condition 4: DRAM capacity. Run q3 against an AQUOMAN with 2 KB of
+	// DRAM: the dimension table overflows, the unit suspends, and the host
+	// resumes from the original subtree — the answer is still correct.
+	p, err := aquoman.TPCHQuery(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := plan.Bind(p, db.Store); err != nil {
+		log.Fatal(err)
+	}
+	dev := core.New(db.Store, core.Config{
+		DRAMBytes: 2048,
+		Compiler:  compiler.Config{HeapScale: db.HeapScale},
+	})
+	b, rep, err := dev.RunQuery(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("condition 4 — AQUOMAN DRAM exhausted (q3 with 2KB DRAM)", &aquoman.Result{Batch: b, Report: rep})
+	fmt.Printf("q3 still returns the correct %d rows after the host resume\n", b.NumRows())
+}

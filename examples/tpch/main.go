@@ -1,0 +1,51 @@
+// TPC-H: generate a small data set and compare host-only execution (the
+// paper's baseline) against AQUOMAN offload on several queries — the same
+// data, bit-identical answers, but most flash traffic moved into storage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aquoman"
+	"aquoman/internal/flash"
+)
+
+func main() {
+	const sf = 0.005
+	db := aquoman.Open()
+	db.HeapScale = 1000 / sf // model offload decisions at the paper's SF-1000
+	log.Printf("generating TPC-H SF %g...", sf)
+	if err := db.LoadTPCH(sf, 42); err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []int{1, 3, 6, 12, 14, 17}
+	fmt.Printf("%-4s %8s %12s %12s %10s %8s\n",
+		"q", "rows", "host MB", "aquoman MB", "offload%", "fully")
+	for _, q := range queries {
+		host, err := db.RunTPCHHostOnly(q)
+		if err != nil {
+			log.Fatalf("q%d host: %v", q, err)
+		}
+		off, err := db.RunTPCH(q)
+		if err != nil {
+			log.Fatalf("q%d aquoman: %v", q, err)
+		}
+		if host.NumRows() != off.NumRows() {
+			log.Fatalf("q%d: host %d rows vs aquoman %d rows", q, host.NumRows(), off.NumRows())
+		}
+		rep := off.Report
+		fmt.Printf("q%-3d %8d %12.2f %12.2f %10.0f %8v\n", q, off.NumRows(),
+			float64(rep.Flash.BytesRead(flash.Host))/1e6,
+			float64(rep.Flash.BytesRead(flash.Aquoman))/1e6,
+			rep.OffloadFraction*100, rep.FullyOffloaded)
+	}
+
+	fmt.Println("\nq1 result (pricing summary report):")
+	res, err := db.RunTPCH(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render(5))
+}

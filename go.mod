@@ -1,0 +1,3 @@
+module aquoman
+
+go 1.22

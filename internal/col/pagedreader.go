@@ -1,0 +1,78 @@
+package col
+
+import (
+	"aquoman/internal/bitvec"
+	"aquoman/internal/flash"
+)
+
+// PagedReader streams a column through a one-page buffer, the way
+// AQUOMAN's Column Reader and Table Reader consume flash (the prototype's
+// 1 MB Flash Page Buffer): each flash page is read at most once per
+// sequential pass, and pages whose Row Vectors are all masked out are
+// skipped entirely.
+type PagedReader struct {
+	ci  *ColumnInfo
+	who flash.Requester
+
+	curPage int64 // -1 = empty
+	buf     []byte
+
+	// PagesRead / PagesSkipped count this pass's page traffic.
+	PagesRead    int64
+	PagesSkipped int64
+	lastSkipped  int64
+}
+
+// NewPagedReader starts a sequential pass over the column.
+func NewPagedReader(ci *ColumnInfo, who flash.Requester) *PagedReader {
+	return &PagedReader{ci: ci, who: who, curPage: -1, lastSkipped: -1}
+}
+
+// RowsPerPage returns how many rows one flash page of this column holds.
+func (r *PagedReader) RowsPerPage() int {
+	return flash.PageSize / r.ci.Def.Typ.Width()
+}
+
+// VecsPerPage returns how many 32-row vectors one page holds.
+func (r *PagedReader) VecsPerPage() int { return r.RowsPerPage() / bitvec.VecSize }
+
+// ReadVec fills out with Row Vector vec and returns the number of valid
+// rows (0 past the end). Page loads are accounted once per page.
+func (r *PagedReader) ReadVec(vec int, out []Value) int {
+	w := r.ci.Def.Typ.Width()
+	start := vec * bitvec.VecSize
+	if start >= r.ci.numRows {
+		return 0
+	}
+	page := int64(start) * int64(w) / flash.PageSize
+	if page != r.curPage {
+		if page == r.lastSkipped {
+			// An earlier vector of this page was masked; the page is
+			// being read after all.
+			r.PagesSkipped--
+			r.lastSkipped = -1
+		}
+		r.buf = r.ci.File.ReadPage(page, r.who)
+		r.curPage = page
+		r.PagesRead++
+	}
+	count := bitvec.VecSize
+	if start+count > r.ci.numRows {
+		count = r.ci.numRows - start
+	}
+	off := start*w - int(page)*flash.PageSize
+	decode(r.ci.Def.Typ, r.buf[off:off+count*w], out[:count])
+	return count
+}
+
+// SkipVec notes that Row Vector vec was masked out. When every vector of
+// a page is skipped the whole page read is avoided (the Table Reader's
+// {RowVecID, MaskAllZero} path).
+func (r *PagedReader) SkipVec(vec int) {
+	w := r.ci.Def.Typ.Width()
+	page := int64(vec*bitvec.VecSize) * int64(w) / flash.PageSize
+	if page != r.curPage && page != r.lastSkipped {
+		r.PagesSkipped++
+		r.lastSkipped = page
+	}
+}

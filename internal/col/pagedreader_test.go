@@ -1,0 +1,184 @@
+package col
+
+import (
+	"testing"
+
+	"aquoman/internal/bitvec"
+	"aquoman/internal/flash"
+)
+
+func buildWide(t *testing.T, n int) (*Store, *ColumnInfo) {
+	t.Helper()
+	s := testStore()
+	b := s.NewTable(Schema{Name: "w", Cols: []ColDef{{Name: "v", Typ: Int32}}})
+	vals := make([]Value, n)
+	for i := range vals {
+		vals[i] = Value(i)
+	}
+	b.AppendColumnValues("v", vals)
+	b.SetNumRows(n)
+	tab, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tab.MustColumn("v")
+}
+
+func TestPagedReaderSequential(t *testing.T) {
+	s, ci := buildWide(t, 1<<13) // 4 pages of int32
+	s.Dev.ResetStats()
+	r := NewPagedReader(ci, flash.Aquoman)
+	if r.RowsPerPage() != flash.PageSize/4 {
+		t.Fatalf("RowsPerPage = %d", r.RowsPerPage())
+	}
+	var out [bitvec.VecSize]Value
+	total := 0
+	for vec := 0; ; vec++ {
+		n := r.ReadVec(vec, out[:])
+		if n == 0 {
+			break
+		}
+		if out[0] != Value(vec*bitvec.VecSize) {
+			t.Fatalf("vec %d starts with %d", vec, out[0])
+		}
+		total += n
+	}
+	if total != 1<<13 {
+		t.Fatalf("rows = %d", total)
+	}
+	if r.PagesRead != 4 {
+		t.Fatalf("PagesRead = %d, want 4 (one per page, buffered)", r.PagesRead)
+	}
+	if s.Dev.Stats().PagesRead[flash.Aquoman] != 4 {
+		t.Fatalf("device pages = %d", s.Dev.Stats().PagesRead[flash.Aquoman])
+	}
+}
+
+func TestPagedReaderSkipWholePages(t *testing.T) {
+	_, ci := buildWide(t, 1<<13)
+	r := NewPagedReader(ci, flash.Aquoman)
+	vecsPerPage := r.VecsPerPage()
+	var out [bitvec.VecSize]Value
+	// Read the first page, skip the second entirely, read the third.
+	for vec := 0; vec < vecsPerPage; vec++ {
+		r.ReadVec(vec, out[:])
+	}
+	for vec := vecsPerPage; vec < 2*vecsPerPage; vec++ {
+		r.SkipVec(vec)
+	}
+	for vec := 2 * vecsPerPage; vec < 3*vecsPerPage; vec++ {
+		r.ReadVec(vec, out[:])
+	}
+	if r.PagesRead != 2 || r.PagesSkipped != 1 {
+		t.Fatalf("read %d skipped %d, want 2/1", r.PagesRead, r.PagesSkipped)
+	}
+}
+
+func TestPagedReaderSkipThenReadSamePage(t *testing.T) {
+	_, ci := buildWide(t, 1<<13)
+	r := NewPagedReader(ci, flash.Aquoman)
+	var out [bitvec.VecSize]Value
+	// Skip an early vector of page 0, then read a later vector of page 0:
+	// the page must count as read, not skipped.
+	r.SkipVec(0)
+	r.ReadVec(1, out[:])
+	if r.PagesRead != 1 || r.PagesSkipped != 0 {
+		t.Fatalf("read %d skipped %d, want 1/0", r.PagesRead, r.PagesSkipped)
+	}
+}
+
+func TestPagedReaderPastEnd(t *testing.T) {
+	_, ci := buildWide(t, 100)
+	r := NewPagedReader(ci, flash.Aquoman)
+	var out [bitvec.VecSize]Value
+	if n := r.ReadVec(3, out[:]); n != 4 { // rows 96..99
+		t.Fatalf("tail vec rows = %d, want 4", n)
+	}
+	if n := r.ReadVec(4, out[:]); n != 0 {
+		t.Fatalf("past-end rows = %d", n)
+	}
+}
+
+func TestGatherPageBuffered(t *testing.T) {
+	s, ci := buildWide(t, 1<<13)
+	s.Dev.ResetStats()
+	// Clustered rowids spanning two pages: page reads must equal the
+	// pages touched, not the element count.
+	rowids := make([]Value, 3000)
+	for i := range rowids {
+		rowids[i] = Value(i)
+	}
+	got := ci.Gather(rowids, flash.Aquoman)
+	for i := range rowids {
+		if got[i] != rowids[i] {
+			t.Fatalf("gather[%d] = %d", i, got[i])
+		}
+	}
+	if pages := s.Dev.Stats().PagesRead[flash.Aquoman]; pages != 2 {
+		t.Fatalf("pages = %d, want 2 (clustered gather is sequential)", pages)
+	}
+	// Strided rowids hit a new page each time.
+	s.Dev.ResetStats()
+	stride := Value(flash.PageSize / 4)
+	ci.Gather([]Value{0, stride, 2 * stride, 3 * stride}, flash.Aquoman)
+	if pages := s.Dev.Stats().PagesRead[flash.Aquoman]; pages != 4 {
+		t.Fatalf("strided pages = %d, want 4", pages)
+	}
+}
+
+func TestOrderFlags(t *testing.T) {
+	s := testStore()
+	b := s.NewTable(Schema{Name: "o", Cols: []ColDef{
+		{Name: "asc", Typ: Int64},
+		{Name: "dup", Typ: Int64},
+		{Name: "rnd", Typ: Int64},
+	}})
+	b.Append(int64(1), int64(1), int64(5))
+	b.Append(int64(2), int64(1), int64(3))
+	b.Append(int64(5), int64(2), int64(9))
+	tab, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tab.MustColumn("asc")
+	if !a.Sorted || !a.Unique {
+		t.Fatalf("asc flags = %v/%v", a.Sorted, a.Unique)
+	}
+	d := tab.MustColumn("dup")
+	if !d.Sorted || d.Unique {
+		t.Fatalf("dup flags = %v/%v", d.Sorted, d.Unique)
+	}
+	r := tab.MustColumn("rnd")
+	if r.Sorted || r.Unique {
+		t.Fatalf("rnd flags = %v/%v", r.Sorted, r.Unique)
+	}
+}
+
+func TestHeapReader(t *testing.T) {
+	s := testStore()
+	b := s.NewTable(Schema{Name: "h", Cols: []ColDef{{Name: "t", Typ: Text}}})
+	words := []string{"alpha", "", "gamma gamma", "d"}
+	for _, w := range words {
+		b.Append(w)
+	}
+	tab, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := tab.MustColumn("t")
+	offs := ci.ReadAll(flash.Host)
+	s.Dev.ResetStats()
+	hr := ci.NewHeapReader(flash.Host)
+	for i, w := range words {
+		if got := hr.Str(offs[i]); got != w {
+			t.Fatalf("Str(%d) = %q, want %q", offs[i], got, w)
+		}
+	}
+	// One sequential pass, regardless of lookups.
+	if pages := s.Dev.Stats().PagesRead[flash.Host]; pages != 1 {
+		t.Fatalf("heap pages = %d, want 1", pages)
+	}
+	if hr.Str(-1) != "" || hr.Str(1<<20) != "" {
+		t.Fatal("out-of-range offsets must return empty")
+	}
+}

@@ -1,0 +1,176 @@
+package col
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aquoman/internal/flash"
+)
+
+// manifest is the on-disk catalog.
+type manifest struct {
+	Version int             `json:"version"`
+	Tables  []manifestTable `json:"tables"`
+}
+
+type manifestTable struct {
+	Name    string        `json:"name"`
+	NumRows int           `json:"num_rows"`
+	Cols    []manifestCol `json:"cols"`
+}
+
+type manifestCol struct {
+	Name    string `json:"name"`
+	Typ     uint8  `json:"typ"`
+	HasHeap bool   `json:"has_heap"`
+	Sorted  bool   `json:"sorted"`
+	Unique  bool   `json:"unique"`
+}
+
+const manifestName = "catalog.json"
+
+// SaveStore persists the catalog and every column/heap file under dir,
+// creating it if needed. The layout mirrors the flash namespace:
+// dir/<table>/<column>.dat and .heap, plus dir/catalog.json.
+func SaveStore(s *Store, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var m manifest
+	m.Version = 1
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	s.mu.Unlock()
+	sortStringsInPlace(names)
+	for _, name := range names {
+		t, err := s.Table(name)
+		if err != nil {
+			return err
+		}
+		mt := manifestTable{Name: t.Name, NumRows: t.NumRows}
+		for _, def := range t.Cols {
+			ci := t.cols[def.Name]
+			mc := manifestCol{Name: def.Name, Typ: uint8(def.Typ),
+				HasHeap: ci.Heap != nil, Sorted: ci.Sorted, Unique: ci.Unique}
+			mt.Cols = append(mt.Cols, mc)
+			if err := dumpFile(ci.File, filepath.Join(dir, t.Name, def.Name+".dat")); err != nil {
+				return err
+			}
+			if ci.Heap != nil {
+				if err := dumpFile(ci.Heap, filepath.Join(dir, t.Name, def.Name+".heap")); err != nil {
+					return err
+				}
+			}
+		}
+		m.Tables = append(m.Tables, mt)
+	}
+	buf, err := json.MarshalIndent(&m, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), buf, 0o644)
+}
+
+func dumpFile(f *flash.File, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	buf := make([]byte, f.Size())
+	f.ReadAt(buf, 0, flash.Host)
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// LoadStore reads a persisted store into a fresh flash device.
+func LoadStore(dir string, dev *flash.Device) (*Store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("col: load store: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("col: corrupt catalog: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("col: unsupported catalog version %d", m.Version)
+	}
+	s := NewStore(dev)
+	for _, mt := range m.Tables {
+		t := &Table{
+			Schema:  Schema{Name: mt.Name},
+			NumRows: mt.NumRows,
+			store:   s,
+			cols:    make(map[string]*ColumnInfo),
+		}
+		for _, mc := range mt.Cols {
+			def := ColDef{Name: mc.Name, Typ: Type(mc.Typ)}
+			t.Cols = append(t.Cols, def)
+			ci := &ColumnInfo{Def: def, numRows: mt.NumRows,
+				Sorted: mc.Sorted, Unique: mc.Unique}
+			base := mt.Name + "/" + mc.Name
+			ci.File = dev.Create(base + ".dat")
+			if err := slurpFile(ci.File, filepath.Join(dir, mt.Name, mc.Name+".dat")); err != nil {
+				return nil, err
+			}
+			if mc.HasHeap {
+				ci.Heap = dev.Create(base + ".heap")
+				if err := slurpFile(ci.Heap, filepath.Join(dir, mt.Name, mc.Name+".heap")); err != nil {
+					return nil, err
+				}
+				if def.Typ == Dict {
+					dict, err := readDict(ci)
+					if err != nil {
+						return nil, fmt.Errorf("col: table %s column %s: %w", mt.Name, mc.Name, err)
+					}
+					ci.dict = dict
+				}
+			}
+			t.cols[def.Name] = ci
+		}
+		s.mu.Lock()
+		s.tables[t.Name] = t
+		s.mu.Unlock()
+	}
+	dev.ResetStats() // loading traffic is not part of any experiment
+	return s, nil
+}
+
+func slurpFile(f *flash.File, path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	f.Append(buf, flash.Host)
+	return nil
+}
+
+// readDict decodes the length-prefixed dictionary strings from the heap.
+func readDict(ci *ColumnInfo) ([]string, error) {
+	size := ci.Heap.Size()
+	buf := make([]byte, size)
+	ci.Heap.ReadAt(buf, 0, flash.Host)
+	var dict []string
+	for off := 0; off+4 <= len(buf); {
+		l := int(uint32(buf[off]) | uint32(buf[off+1])<<8 |
+			uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24)
+		off += 4
+		if off+l > len(buf) {
+			return nil, fmt.Errorf("truncated dictionary heap")
+		}
+		dict = append(dict, string(buf[off:off+l]))
+		off += l
+	}
+	return dict, nil
+}
+
+func sortStringsInPlace(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

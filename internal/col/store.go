@@ -1,0 +1,362 @@
+package col
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"aquoman/internal/bitvec"
+	"aquoman/internal/flash"
+)
+
+// ColDef describes one column of a schema.
+type ColDef struct {
+	Name string
+	Typ  Type
+}
+
+// Schema is an ordered list of column definitions for a named table.
+type Schema struct {
+	Name string
+	Cols []ColDef
+}
+
+// Col returns the definition of the named column and whether it exists.
+func (s Schema) Col(name string) (ColDef, bool) {
+	for _, c := range s.Cols {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ColDef{}, false
+}
+
+// Store is a catalog of tables backed by a simulated flash device.
+type Store struct {
+	Dev *flash.Device
+
+	mu     sync.Mutex
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store on the given device.
+func NewStore(dev *flash.Device) *Store {
+	return &Store{Dev: dev, tables: make(map[string]*Table)}
+}
+
+// Table returns the named table, or an error if absent.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("col: no table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table for callers that know the table exists.
+func (s *Store) MustTable(name string) *Table {
+	t, err := s.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Tables returns all table names in deterministic order.
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table is a loaded table: a schema plus per-column flash files.
+type Table struct {
+	Schema
+	NumRows int
+
+	store *Store
+	cols  map[string]*ColumnInfo
+}
+
+// Column returns the named column's storage info.
+func (t *Table) Column(name string) (*ColumnInfo, error) {
+	c, ok := t.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("col: table %q has no column %q", t.Name, name)
+	}
+	return c, nil
+}
+
+// MustColumn is Column for callers that know the column exists.
+func (t *Table) MustColumn(name string) *ColumnInfo {
+	c, err := t.Column(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// HasColumn reports whether the table stores the named column.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.cols[name]
+	return ok
+}
+
+// ColumnNames returns the column names in schema order (materialized RowID
+// companions included, after the declared columns).
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// NumVecs returns the number of 32-row Row Vectors covering the table.
+func (t *Table) NumVecs() int {
+	return (t.NumRows + bitvec.VecSize - 1) / bitvec.VecSize
+}
+
+// BytesOnFlash returns the summed size of the table's column and heap files.
+func (t *Table) BytesOnFlash() int64 {
+	var n int64
+	for _, c := range t.cols {
+		n += c.File.Size()
+		if c.Heap != nil {
+			n += c.Heap.Size()
+		}
+	}
+	return n
+}
+
+// ColumnInfo is the storage handle for one column: its data file, optional
+// string heap, and (for Dict columns) the in-memory dictionary.
+type ColumnInfo struct {
+	Def  ColDef
+	File *flash.File
+	// Heap holds string content for Dict and Text columns.
+	Heap *flash.File
+	// dict maps code -> string for Dict columns (codes are assigned in
+	// lexicographic order, so code comparisons agree with string order).
+	dict []string
+	// numRows mirrors the owning table's row count.
+	numRows int
+	// Sorted reports non-decreasing stored order; Unique reports strictly
+	// increasing order (TPC-H primary keys are both). Computed at build
+	// time, these drive the offload compiler's MERGE-vs-SORT_MERGE and
+	// join-cardinality decisions.
+	Sorted bool
+	Unique bool
+}
+
+// NumRows returns the number of values stored.
+func (c *ColumnInfo) NumRows() int { return c.numRows }
+
+// Dict returns the dictionary of a Dict column (code -> string).
+func (c *ColumnInfo) Dict() []string { return c.dict }
+
+// Code returns the dictionary code for s in a Dict column, or (-1, false).
+func (c *ColumnInfo) Code(s string) (Value, bool) {
+	i := sort.SearchStrings(c.dict, s)
+	if i < len(c.dict) && c.dict[i] == s {
+		return Value(i), true
+	}
+	return -1, false
+}
+
+// CodeRangeForPrefix returns the half-open code interval [lo, hi) of
+// dictionary entries with the given prefix (used to compile LIKE 'x%' on a
+// Dict column into an integer range predicate).
+func (c *ColumnInfo) CodeRangeForPrefix(prefix string) (lo, hi Value) {
+	lo = Value(sort.SearchStrings(c.dict, prefix))
+	hi = Value(sort.Search(len(c.dict), func(i int) bool {
+		s := c.dict[i]
+		if len(s) >= len(prefix) {
+			return s[:len(prefix)] > prefix
+		}
+		return s > prefix
+	}))
+	return lo, hi
+}
+
+// Str decodes a stored value into its string content. For Dict columns it
+// is a dictionary lookup; for Text columns it reads the heap through the
+// given requester (flash traffic is accounted).
+func (c *ColumnInfo) Str(v Value, who flash.Requester) string {
+	switch c.Def.Typ {
+	case Dict:
+		if v < 0 || int(v) >= len(c.dict) {
+			return ""
+		}
+		return c.dict[v]
+	case Text:
+		var lenBuf [4]byte
+		if n := c.Heap.ReadAt(lenBuf[:], v, who); n < 4 {
+			return ""
+		}
+		l := binary.LittleEndian.Uint32(lenBuf[:])
+		buf := make([]byte, l)
+		c.Heap.ReadAt(buf, v+4, who)
+		return string(buf)
+	default:
+		panic(fmt.Sprintf("col: Str on %s column %q", c.Def.Typ, c.Def.Name))
+	}
+}
+
+// HeapReader reads the whole string heap sequentially once and serves
+// per-offset lookups from memory — how a scan-oriented engine consumes a
+// string column through the page cache (one sequential pass instead of a
+// page-granular random read per row).
+type HeapReader struct {
+	data []byte
+}
+
+// NewHeapReader loads the column's heap, accounting one sequential read.
+func (c *ColumnInfo) NewHeapReader(who flash.Requester) *HeapReader {
+	if c.Heap == nil {
+		return &HeapReader{}
+	}
+	buf := make([]byte, c.Heap.Size())
+	c.Heap.ReadAt(buf, 0, who)
+	return &HeapReader{data: buf}
+}
+
+// Str decodes the length-prefixed string at offset off.
+func (h *HeapReader) Str(off Value) string {
+	if off < 0 || int(off)+4 > len(h.data) {
+		return ""
+	}
+	l := int(binary.LittleEndian.Uint32(h.data[off:]))
+	end := int(off) + 4 + l
+	if end > len(h.data) {
+		end = len(h.data)
+	}
+	return string(h.data[off+4 : end])
+}
+
+// HeapBytes returns the string-heap size (0 for non-string columns). The
+// compiler compares this against the regex accelerator's 1 MB cache to
+// decide whether string filtering must be suspended to the host
+// (Sec. VI-E condition 2).
+func (c *ColumnInfo) HeapBytes() int64 {
+	if c.Heap == nil {
+		return 0
+	}
+	return c.Heap.Size()
+}
+
+// ReadRange reads count values starting at row start into out, accounting
+// flash traffic to who. It returns the number of values read.
+func (c *ColumnInfo) ReadRange(start, count int, who flash.Requester, out []Value) int {
+	if start >= c.numRows {
+		return 0
+	}
+	if start+count > c.numRows {
+		count = c.numRows - start
+	}
+	w := c.Def.Typ.Width()
+	buf := make([]byte, count*w)
+	n := c.File.ReadAt(buf, int64(start)*int64(w), who)
+	count = n / w
+	decode(c.Def.Typ, buf[:count*w], out[:count])
+	return count
+}
+
+// ReadVec reads Row Vector vec (32 rows) into out and returns how many
+// rows it held (the final vector may be short).
+func (c *ColumnInfo) ReadVec(vec int, who flash.Requester, out []Value) int {
+	return c.ReadRange(vec*bitvec.VecSize, bitvec.VecSize, who, out)
+}
+
+// ReadAll reads the entire column sequentially.
+func (c *ColumnInfo) ReadAll(who flash.Requester) []Value {
+	out := make([]Value, c.numRows)
+	c.ReadRange(0, c.numRows, who, out)
+	return out
+}
+
+// Gather reads the values at the given row ids through a one-page buffer:
+// consecutive rowids on the same flash page cost a single page read, so
+// clustered gathers (sorted RowID columns) approach sequential cost while
+// scattered ones pay a page per element.
+func (c *ColumnInfo) Gather(rowids []Value, who flash.Requester) []Value {
+	out := make([]Value, len(rowids))
+	w := int64(c.Def.Typ.Width())
+	curPage := int64(-1)
+	var page []byte
+	for i, r := range rowids {
+		off := r * w
+		p := off / flash.PageSize
+		if p != curPage {
+			page = c.File.ReadPage(p, who)
+			curPage = p
+		}
+		rel := off - p*flash.PageSize
+		if int(rel+w) > len(page) {
+			out[i] = 0
+			continue
+		}
+		out[i] = decodeOne(c.Def.Typ, page[rel:rel+w])
+	}
+	return out
+}
+
+func decode(t Type, buf []byte, out []Value) {
+	w := t.Width()
+	switch w {
+	case 8:
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	case 4:
+		for i := range out {
+			out[i] = int64(int32(binary.LittleEndian.Uint32(buf[i*4:])))
+		}
+	case 1:
+		for i := range out {
+			out[i] = int64(buf[i])
+		}
+	}
+}
+
+func decodeOne(t Type, buf []byte) Value {
+	switch t.Width() {
+	case 8:
+		return int64(binary.LittleEndian.Uint64(buf))
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(buf)))
+	default:
+		return int64(buf[0])
+	}
+}
+
+func encode(t Type, vals []Value) []byte {
+	w := t.Width()
+	buf := make([]byte, len(vals)*w)
+	switch w {
+	case 8:
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+		}
+	case 4:
+		for i, v := range vals {
+			if v > (1<<31)-1 || v < -(1<<31) {
+				panic(fmt.Sprintf("col: value %d overflows 32-bit %s column", v, t))
+			}
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(int32(v)))
+		}
+	case 1:
+		for i, v := range vals {
+			buf[i] = byte(v & 1)
+		}
+	}
+	return buf
+}

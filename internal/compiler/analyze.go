@@ -1,0 +1,627 @@
+// Package compiler lowers logical query plans onto AQUOMAN Table Tasks.
+//
+// Given a plan tree, Compile finds the largest subtrees expressible as a
+// star of streaming Table Tasks — a fact table reduced by sort-merge /
+// merge semijoins against filtered dimensions (Sec. VI-D), with dimension
+// attributes reconstructed through materialized FK RowID columns and a
+// final AGGREGATE / AGGREGATE_GROUPBY / row-returning pass — and replaces
+// each with a plan.Materialized placeholder the host engine consumes. The
+// suspension conditions of Sec. VI-E are detected here: string-heap
+// predicates too large for the regex accelerator, mid-plan group-bys
+// (nested units stay separate), and shapes the pipeline cannot express
+// fall back to the host.
+package compiler
+
+import (
+	"fmt"
+
+	"aquoman/internal/col"
+	"aquoman/internal/plan"
+	"aquoman/internal/regexcc"
+	"aquoman/internal/rowsel"
+	"aquoman/internal/systolic"
+	"aquoman/internal/tabletask"
+)
+
+// errNotOffloadable marks subtrees the star analyzer rejects; the reason
+// is reported in the compile notes.
+type errNotOffloadable struct{ reason string }
+
+func (e *errNotOffloadable) Error() string { return e.reason }
+
+func reject(format string, args ...any) error {
+	return &errNotOffloadable{reason: fmt.Sprintf(format, args...)}
+}
+
+// tableRef is one base table in a star.
+type tableRef struct {
+	id   int
+	scan *plan.Scan
+	tab  *col.Table
+
+	parent *tableRef
+	// edgeFK / edgePK describe the equi-join edge to parent. When
+	// fkOnParent, parent.edgeFK references this table's unique edgePK
+	// (the usual fact→dimension direction); otherwise this table's
+	// edgeFK references the parent's key (semi/anti existence tests).
+	edgeFK     string
+	edgePK     string
+	fkOnParent bool
+	edgeKind   plan.JoinKind
+	children   []*tableRef
+
+	// Filters attached to this table.
+	selPreds []rowsel.ColPred
+	// regexPreds run on the Table Reader's regex accelerator (Text
+	// columns whose heap fits the 1 MB cache at the modeled scale).
+	regexPreds []tabletask.RegexFilter
+	postPreds  []plan.Expr // same-table conjuncts over canonical names
+	filtered   bool
+
+	// inSemi marks refs under a semi/anti edge: usable for reduction
+	// only, never for output columns.
+	inSemi bool
+}
+
+func (r *tableRef) markSemi() {
+	r.inSemi = true
+	for _, c := range r.children {
+		c.markSemi()
+	}
+}
+
+func (r *tableRef) subtreeFiltered() bool {
+	if r.filtered {
+		return true
+	}
+	for _, c := range r.children {
+		if c.subtreeFiltered() {
+			return true
+		}
+	}
+	return false
+}
+
+// resolved locates a canonical column on a base table.
+type resolved struct {
+	ref  *tableRef
+	col  string
+	info *col.ColumnInfo // nil for the implicit @rowid
+}
+
+// scope is the set of columns visible at one point of the tree: visible
+// name → canonical name (base columns) or defining expression (computed
+// projections, already in canonical terms).
+type scope struct {
+	cols  map[string]string
+	exprs map[string]plan.Expr
+}
+
+func newScope() *scope {
+	return &scope{cols: map[string]string{}, exprs: map[string]plan.Expr{}}
+}
+
+// star is the analyzed join tree.
+type star struct {
+	store *col.Store
+	cfg   Config
+
+	fact *tableRef
+	refs []*tableRef
+
+	// colOf maps canonical names ("t<id>.<col>") to their base columns.
+	colOf map[string]resolved
+	// out is the scope visible at the analyzed root.
+	out *scope
+	// residual holds cross-table conjuncts and inner-join Extra
+	// predicates (canonical terms); they must resolve on the fact side
+	// as the final task's transformer sub-predicate.
+	residual []plan.Expr
+}
+
+// canonName registers (and returns) the canonical name of a base column.
+func (s *star) canonName(ref *tableRef, name string) string {
+	canon := fmt.Sprintf("t%d.%s", ref.id, name)
+	if _, ok := s.colOf[canon]; !ok {
+		r := resolved{ref: ref, col: name}
+		if name != plan.RowIDCol {
+			if ci, err := ref.tab.Column(name); err == nil {
+				r.info = ci
+			}
+		}
+		s.colOf[canon] = r
+	}
+	return canon
+}
+
+// canonicalize rewrites an expression from visible names to canonical
+// names, inlining computed projections.
+func (s *star) canonicalize(e plan.Expr, sc *scope) (plan.Expr, error) {
+	rewriteCol := func(name string) (plan.Expr, error) {
+		if canon, ok := sc.cols[name]; ok {
+			return plan.Col{Name: canon}, nil
+		}
+		if def, ok := sc.exprs[name]; ok {
+			return def, nil
+		}
+		return nil, reject("unknown column %q", name)
+	}
+	switch n := e.(type) {
+	case plan.Col:
+		return rewriteCol(n.Name)
+	case plan.Bin:
+		l, err := s.canonicalize(n.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.canonicalize(n.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Bin{Op: n.Op, L: l, R: r}, nil
+	case plan.Not:
+		inner, err := s.canonicalize(n.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Not{E: inner}, nil
+	case plan.InInts:
+		inner, err := s.canonicalize(n.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return plan.InInts{E: inner, Vs: n.Vs}, nil
+	case plan.InStrs:
+		c, err := rewriteCol(n.Col)
+		if err != nil {
+			return nil, err
+		}
+		cc, ok := c.(plan.Col)
+		if !ok {
+			return nil, reject("string membership over a computed column")
+		}
+		return plan.InStrs{Col: cc.Name, Vs: n.Vs}, nil
+	case plan.Like:
+		c, err := rewriteCol(n.Col)
+		if err != nil {
+			return nil, err
+		}
+		cc, ok := c.(plan.Col)
+		if !ok {
+			return nil, reject("LIKE over a computed column")
+		}
+		return plan.Like{Col: cc.Name, Pattern: n.Pattern, Negate: n.Negate}, nil
+	case plan.SubstrCode:
+		c, err := rewriteCol(n.Col)
+		if err != nil {
+			return nil, err
+		}
+		cc, ok := c.(plan.Col)
+		if !ok {
+			return nil, reject("SUBSTRING over a computed column")
+		}
+		return plan.SubstrCode{Col: cc.Name, Start: n.Start, Len: n.Len}, nil
+	case plan.YearOf:
+		inner, err := s.canonicalize(n.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return plan.YearOf{E: inner}, nil
+	case plan.Case:
+		cond, err := s.canonicalize(n.Cond, sc)
+		if err != nil {
+			return nil, err
+		}
+		th, err := s.canonicalize(n.Then, sc)
+		if err != nil {
+			return nil, err
+		}
+		el, err := s.canonicalize(n.Else, sc)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Case{Cond: cond, Then: th, Else: el}, nil
+	default:
+		return e, nil
+	}
+}
+
+// analyze builds a star from a join-tree plan node.
+func (c *compileCtx) analyze(n plan.Node) (*star, error) {
+	s := &star{
+		store: c.store,
+		cfg:   c.cfg,
+		colOf: make(map[string]resolved),
+	}
+	root, sc, err := s.walk(n)
+	if err != nil {
+		return nil, err
+	}
+	s.fact = root
+	s.out = sc
+	return s, nil
+}
+
+// walk returns the row-identity table and the visible scope of a subtree.
+func (s *star) walk(n plan.Node) (*tableRef, *scope, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		if t.Tab == nil {
+			return nil, nil, fmt.Errorf("compiler: scan %q not bound", t.Table)
+		}
+		ref := &tableRef{id: len(s.refs), scan: t, tab: t.Tab}
+		s.refs = append(s.refs, ref)
+		sc := newScope()
+		for _, name := range t.Cols {
+			sc.cols[name] = s.canonName(ref, name)
+		}
+		return ref, sc, nil
+
+	case *plan.Filter:
+		ref, sc, err := s.walk(t.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, conj := range conjuncts(t.Pred) {
+			canon, err := s.canonicalize(conj, sc)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := s.attachPred(canon); err != nil {
+				return nil, nil, err
+			}
+		}
+		return ref, sc, nil
+
+	case *plan.Project:
+		ref, sc, err := s.walk(t.Input)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := newScope()
+		for _, ne := range t.Exprs {
+			canon, err := s.canonicalize(ne.E, sc)
+			if err != nil {
+				return nil, nil, err
+			}
+			if c, ok := canon.(plan.Col); ok {
+				out.cols[ne.Name] = c.Name
+			} else {
+				out.exprs[ne.Name] = canon
+			}
+		}
+		return ref, out, nil
+
+	case *plan.Join:
+		return s.walkJoin(t)
+
+	default:
+		return nil, nil, reject("%T inside a join tree (mid-plan aggregation or materialized input)", n)
+	}
+}
+
+func (s *star) walkJoin(t *plan.Join) (*tableRef, *scope, error) {
+	if t.Kind == plan.LeftMarkJoin {
+		return nil, nil, reject("outer join is not streamable")
+	}
+	if len(t.LKeys) != 1 {
+		return nil, nil, reject("composite-key join")
+	}
+	left, lsc, err := s.walk(t.L)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, rsc, err := s.walk(t.R)
+	if err != nil {
+		return nil, nil, err
+	}
+	lcanon, ok := lsc.cols[t.LKeys[0]]
+	if !ok {
+		return nil, nil, reject("join key %q is computed, not a base column", t.LKeys[0])
+	}
+	rcanon, ok := rsc.cols[t.RKeys[0]]
+	if !ok {
+		return nil, nil, reject("join key %q is computed, not a base column", t.RKeys[0])
+	}
+	lres := s.colOf[lcanon]
+	rres := s.colOf[rcanon]
+	rref := rres.ref
+	if rref != right {
+		return nil, nil, reject("join key %q is not on the right subtree's row-identity table", t.RKeys[0])
+	}
+	parent := lres.ref
+	rref.parent = parent
+	parent.children = append(parent.children, rref)
+	rref.edgeKind = t.Kind
+
+	fkRowID := col.RowIDColumnName(lres.col)
+	switch {
+	case parent.tab.HasColumn(fkRowID) && rres.info != nil && rres.info.Unique:
+		// parent.fk references the right table's primary key (N:1).
+		rref.fkOnParent = true
+		rref.edgeFK = lres.col
+		rref.edgePK = rres.col
+	case rref.tab.HasColumn(col.RowIDColumnName(rres.col)):
+		// right.fk references the parent's key (existence tests).
+		rref.fkOnParent = false
+		rref.edgeFK = rres.col
+		rref.edgePK = lres.col
+		if t.Kind == plan.InnerJoin {
+			return nil, nil, reject("inner join on %s=%s fans out (right side %q is not unique)",
+				t.LKeys[0], t.RKeys[0], rref.scan.Table)
+		}
+	default:
+		return nil, nil, reject("join %s=%s has no materialized RowID index on either side",
+			t.LKeys[0], t.RKeys[0])
+	}
+
+	merged := newScope()
+	switch t.Kind {
+	case plan.SemiJoin, plan.AntiJoin:
+		if t.Extra != nil {
+			return nil, nil, reject("%s join with a correlated extra predicate", t.Kind)
+		}
+		rref.markSemi()
+		// Only the left columns stay visible.
+		for k, v := range lsc.cols {
+			merged.cols[k] = v
+		}
+		for k, v := range lsc.exprs {
+			merged.exprs[k] = v
+		}
+	default:
+		for k, v := range lsc.cols {
+			merged.cols[k] = v
+		}
+		for k, v := range lsc.exprs {
+			merged.exprs[k] = v
+		}
+		for k, v := range rsc.cols {
+			if _, dup := merged.cols[k]; dup {
+				return nil, nil, reject("join output exposes duplicate column %q", k)
+			}
+			merged.cols[k] = v
+		}
+		for k, v := range rsc.exprs {
+			if _, dup := merged.exprs[k]; dup {
+				return nil, nil, reject("join output exposes duplicate column %q", k)
+			}
+			merged.exprs[k] = v
+		}
+		if t.Extra != nil {
+			canon, err := s.canonicalize(t.Extra, merged)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.residual = append(s.residual, canon)
+		}
+	}
+	return left, merged, nil
+}
+
+// colsIn collects the canonical columns an expression references.
+func colsIn(e plan.Expr, out map[string]bool) {
+	switch n := e.(type) {
+	case plan.Col:
+		out[n.Name] = true
+	case plan.Bin:
+		colsIn(n.L, out)
+		colsIn(n.R, out)
+	case plan.Not:
+		colsIn(n.E, out)
+	case plan.InInts:
+		colsIn(n.E, out)
+	case plan.InStrs:
+		out[n.Col] = true
+	case plan.Like:
+		out[n.Col] = true
+	case plan.SubstrCode:
+		out[n.Col] = true
+	case plan.YearOf:
+		colsIn(n.E, out)
+	case plan.Case:
+		colsIn(n.Cond, out)
+		colsIn(n.Then, out)
+		colsIn(n.Else, out)
+	}
+}
+
+// conjuncts splits a predicate on top-level ANDs.
+func conjuncts(e plan.Expr) []plan.Expr {
+	if b, ok := e.(plan.Bin); ok && b.Op == plan.OpAnd {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []plan.Expr{e}
+}
+
+// attachPred classifies one canonical filter conjunct: single-column
+// selector predicate, same-table transformer sub-predicate, or
+// cross-table residual.
+func (s *star) attachPred(conj plan.Expr) error {
+	names := map[string]bool{}
+	colsIn(conj, names)
+	var refs []*tableRef
+	distinct := map[*tableRef]bool{}
+	var baseCols []resolved
+	for name := range names {
+		r, ok := s.colOf[name]
+		if !ok {
+			return reject("predicate references unknown column %q", name)
+		}
+		baseCols = append(baseCols, r)
+		if !distinct[r.ref] {
+			distinct[r.ref] = true
+			refs = append(refs, r.ref)
+		}
+	}
+	if len(refs) != 1 {
+		s.residual = append(s.residual, conj)
+		return nil
+	}
+	ref := refs[0]
+	ref.filtered = true
+	// LIKE over a Text column whose heap fits the accelerator cache at
+	// the modeled scale runs on the regex accelerator.
+	if lk, ok := conj.(plan.Like); ok {
+		if r, known := s.colOf[lk.Col]; known && r.info != nil && r.info.Def.Typ == col.Text {
+			scaled := int64(float64(r.info.HeapBytes()) * s.cfg.HeapScale)
+			if !regexcc.FitsAccelerator(scaled) {
+				return reject("string-heap predicate on %q: %d bytes exceed the 1MB regex accelerator cache (suspend to host)",
+					lk.Col, scaled)
+			}
+			ref.regexPreds = append(ref.regexPreds, tabletask.RegexFilter{
+				Column: r.col, Pattern: lk.Pattern, Negate: lk.Negate})
+			return nil
+		}
+	}
+	if len(baseCols) == 1 && baseCols[0].col != plan.RowIDCol {
+		// Single-column predicate: try the Row Selector. Lower over a
+		// one-field schema named with the canonical name.
+		r := baseCols[0]
+		f := fieldFor(r)
+		canon := fmt.Sprintf("t%d.%s", r.ref.id, r.col)
+		f.Name = canon
+		lowered, err := plan.Lower(conj, plan.Schema{f})
+		if err == nil {
+			ref.selPreds = append(ref.selPreds, rowsel.ColPred{
+				Column: r.col, Expr: lowered, CPs: countCmps(lowered)})
+			return nil
+		}
+		if terr, ok := err.(*plan.TextError); ok {
+			return s.textPredicate(r, terr)
+		}
+		return err
+	}
+	// Multi-column same-table predicate: transformer sub-predicate,
+	// unless it needs string-heap content.
+	if err := s.checkTextOK(conj); err != nil {
+		return err
+	}
+	ref.postPreds = append(ref.postPreds, conj)
+	return nil
+}
+
+// textPredicate decides whether a string-heap predicate fits the regex
+// accelerator (Sec. VI-E condition 2). Heap sizes are scaled to the
+// modeled deployment scale factor before the 1 MB test.
+func (s *star) textPredicate(r resolved, terr *plan.TextError) error {
+	heap := int64(0)
+	if r.info != nil {
+		heap = r.info.HeapBytes()
+	}
+	scaled := int64(float64(heap) * s.cfg.HeapScale)
+	if regexcc.FitsAccelerator(scaled) {
+		// Only plain LIKE predicates map onto the accelerator (handled in
+		// attachPred); other string operations still suspend.
+		return reject("string predicate on %q: only LIKE maps onto the regex accelerator", terr.Col)
+	}
+	return reject("string-heap predicate on %q: %d bytes exceed the 1MB regex accelerator cache (suspend to host)",
+		terr.Col, scaled)
+}
+
+// checkTextOK rejects expressions needing heap content.
+func (s *star) checkTextOK(e plan.Expr) error {
+	var bad error
+	var visit func(plan.Expr)
+	visit = func(x plan.Expr) {
+		switch n := x.(type) {
+		case plan.SubstrCode:
+			bad = reject("substring extraction on %q needs the string heap", n.Col)
+		case plan.Like:
+			if r, ok := s.colOf[n.Col]; ok && r.info != nil && r.info.Def.Typ == col.Text {
+				bad = reject("string-heap LIKE on %q cannot stream through the transformer", n.Col)
+			}
+		case plan.Bin:
+			if _, isStr := n.R.(plan.Str); isStr {
+				if c, okc := n.L.(plan.Col); okc {
+					if r, ok := s.colOf[c.Name]; ok && r.info != nil && r.info.Def.Typ == col.Text {
+						bad = reject("string-heap comparison on %q", c.Name)
+					}
+				}
+			}
+			visit(n.L)
+			visit(n.R)
+		case plan.Not:
+			visit(n.E)
+		case plan.InInts:
+			visit(n.E)
+		case plan.YearOf:
+			visit(n.E)
+		case plan.Case:
+			visit(n.Cond)
+			visit(n.Then)
+			visit(n.Else)
+		}
+	}
+	visit(e)
+	return bad
+}
+
+func fieldFor(r resolved) plan.Field {
+	f := plan.Field{Name: r.col}
+	if r.info != nil {
+		f.Typ = r.info.Def.Typ
+		if f.Typ.IsString() {
+			f.Src = r.info
+		}
+	} else {
+		f.Typ = col.RowID
+	}
+	return f
+}
+
+// renameToField rewrites column references according to the mapping
+// (canonical names back to base storage names for task-local schemas).
+func renameToField(e plan.Expr, names map[string]string) plan.Expr {
+	switch n := e.(type) {
+	case plan.Col:
+		if to, ok := names[n.Name]; ok {
+			return plan.Col{Name: to}
+		}
+		return n
+	case plan.Bin:
+		return plan.Bin{Op: n.Op, L: renameToField(n.L, names), R: renameToField(n.R, names)}
+	case plan.Not:
+		return plan.Not{E: renameToField(n.E, names)}
+	case plan.InInts:
+		return plan.InInts{E: renameToField(n.E, names), Vs: n.Vs}
+	case plan.InStrs:
+		if to, ok := names[n.Col]; ok {
+			return plan.InStrs{Col: to, Vs: n.Vs}
+		}
+		return n
+	case plan.Like:
+		if to, ok := names[n.Col]; ok {
+			return plan.Like{Col: to, Pattern: n.Pattern, Negate: n.Negate}
+		}
+		return n
+	case plan.SubstrCode:
+		if to, ok := names[n.Col]; ok {
+			return plan.SubstrCode{Col: to, Start: n.Start, Len: n.Len}
+		}
+		return n
+	case plan.YearOf:
+		return plan.YearOf{E: renameToField(n.E, names)}
+	case plan.Case:
+		return plan.Case{Cond: renameToField(n.Cond, names),
+			Then: renameToField(n.Then, names), Else: renameToField(n.Else, names)}
+	default:
+		return e
+	}
+}
+
+// countCmps counts comparison nodes — the Column Predicate Evaluator
+// terms a selector predicate consumes.
+func countCmps(e systolic.Expr) int {
+	switch n := e.(type) {
+	case systolic.Bin:
+		c := countCmps(n.L) + countCmps(n.R)
+		switch n.Op {
+		case systolic.AluEQ, systolic.AluLT, systolic.AluGT:
+			c++
+		}
+		return c
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,525 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"aquoman/internal/col"
+	"aquoman/internal/flash"
+	p "aquoman/internal/plan"
+	"aquoman/internal/tabletask"
+)
+
+// starStore builds fact(sales) -> dim(item) -> subdim(cat) with
+// materialized FK RowID columns, plus an unsorted-FK edge and a Text
+// column for suspension tests.
+func starStore(t *testing.T) *col.Store {
+	t.Helper()
+	s := col.NewStore(flash.NewDevice())
+
+	cb := s.NewTable(col.Schema{Name: "cat", Cols: []col.ColDef{
+		{Name: "catkey", Typ: col.Int32},
+		{Name: "catname", Typ: col.Dict},
+	}})
+	names := []string{"food", "tools", "toys"}
+	for i, n := range names {
+		cb.Append(i, n)
+	}
+	cat, err := cb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ib := s.NewTable(col.Schema{Name: "item", Cols: []col.ColDef{
+		{Name: "itemkey", Typ: col.Int32},
+		{Name: "catkey", Typ: col.Int32},
+		{Name: "weight", Typ: col.Int32},
+		{Name: "descr", Typ: col.Text},
+	}})
+	const nItems = 300
+	for i := 0; i < nItems; i++ {
+		ib.Append(i, i%3, i%50, strings.Repeat("d", 20))
+	}
+	item, err := ib.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.MaterializeFK(item, "catkey", cat, "catkey"); err != nil {
+		t.Fatal(err)
+	}
+
+	sb := s.NewTable(col.Schema{Name: "sales", Cols: []col.ColDef{
+		{Name: "saleskey", Typ: col.Int32},
+		{Name: "itemkey", Typ: col.Int32}, // unsorted FK
+		{Name: "qty", Typ: col.Int32},
+		{Name: "price", Typ: col.Decimal},
+	}})
+	const nSales = 5000
+	for i := 0; i < nSales; i++ {
+		sb.Append(i, (i*7)%nItems, 1+i%10, int64(100+i%1000))
+	}
+	sales, err := sb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.MaterializeFK(sales, "itemkey", item, "itemkey"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func compileOn(t *testing.T, s *col.Store, n p.Node) (*Result, error) {
+	t.Helper()
+	if err := p.Bind(n, s); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	return Compile(n, s, Config{HeapScale: 1_000_000})
+}
+
+func groupBySales(filter p.Expr) *p.GroupBy {
+	var input p.Node = &p.Scan{Table: "sales", Cols: []string{"itemkey", "qty", "price"}}
+	if filter != nil {
+		input = &p.Filter{Input: input, Pred: filter}
+	}
+	return &p.GroupBy{
+		Input: input,
+		Keys:  []string{"itemkey"},
+		Aggs:  []p.AggSpec{{Func: p.AggSum, Name: "total", E: p.C("price")}},
+	}
+}
+
+func TestSingleTableUnit(t *testing.T) {
+	s := starStore(t)
+	res, err := compileOn(t, s, groupBySales(p.GT(p.C("qty"), p.I(5))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 1 {
+		t.Fatalf("units = %d (notes %v)", len(res.Units), res.Notes)
+	}
+	u := res.Units[0]
+	if len(u.Tasks) != 1 {
+		t.Fatalf("tasks = %d", len(u.Tasks))
+	}
+	task := u.Tasks[0]
+	if task.Op.Kind != tabletask.OpGroupBy || task.Op.Keys != 1 {
+		t.Fatalf("op = %+v", task.Op)
+	}
+	if task.RowSel == nil || len(task.RowSel.Preds) != 1 || task.RowSel.Preds[0].Column != "qty" {
+		t.Fatalf("rowsel = %+v", task.RowSel)
+	}
+	if !res.FullyOffloaded() {
+		t.Fatal("single group-by root should be fully offloaded")
+	}
+}
+
+func TestDimReductionUsesSortMergeForUnsortedFK(t *testing.T) {
+	s := starStore(t)
+	// Filtered dimension forces a dim task + a fact merge task; the fact's
+	// itemkey column is NOT sorted, so the merge must SORT first.
+	item := &p.Filter{
+		Input: &p.Scan{Table: "item", Cols: []string{"itemkey", "weight"}},
+		Pred:  p.LT(p.C("weight"), p.I(10)),
+	}
+	sales := &p.Project{
+		Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "price"}},
+		Exprs: []p.NamedExpr{
+			{Name: "s_itemkey", E: p.C("itemkey")},
+			{Name: "price", E: p.C("price")},
+		},
+	}
+	g := &p.GroupBy{
+		Input: &p.Join{Kind: p.InnerJoin, L: sales, R: item,
+			LKeys: []string{"s_itemkey"}, RKeys: []string{"itemkey"}},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "total", E: p.C("price")}},
+	}
+	res, err := compileOn(t, s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 1 {
+		t.Fatalf("units = %d (notes %v)", len(res.Units), res.Notes)
+	}
+	var ops []tabletask.OpKind
+	for _, task := range res.Units[0].Tasks {
+		ops = append(ops, task.Op.Kind)
+	}
+	if len(ops) != 3 || ops[0] != tabletask.OpNop || ops[1] != tabletask.OpSortMerge ||
+		ops[2] != tabletask.OpAggregate {
+		t.Fatalf("ops = %v, want [NOP SORT_MERGE AGGREGATE]", ops)
+	}
+}
+
+func TestGatherChainThroughTwoHops(t *testing.T) {
+	s := starStore(t)
+	// Group sales by the category name two hops away.
+	cat := &p.Project{
+		Input: &p.Scan{Table: "cat", Cols: []string{"catkey", "catname"}},
+		Exprs: []p.NamedExpr{
+			{Name: "c_catkey", E: p.C("catkey")},
+			{Name: "catname", E: p.C("catname")},
+		},
+	}
+	itemCat := &p.Join{Kind: p.InnerJoin,
+		L: &p.Scan{Table: "item", Cols: []string{"itemkey", "catkey"}},
+		R: cat, LKeys: []string{"catkey"}, RKeys: []string{"c_catkey"}}
+	sales := &p.Project{
+		Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "price", "qty"}},
+		Exprs: []p.NamedExpr{
+			{Name: "s_itemkey", E: p.C("itemkey")},
+			{Name: "price", E: p.C("price")},
+			{Name: "qty", E: p.C("qty")},
+		},
+	}
+	g := &p.GroupBy{
+		Input: &p.Join{Kind: p.InnerJoin, L: sales, R: itemCat,
+			LKeys: []string{"s_itemkey"}, RKeys: []string{"itemkey"}},
+		Keys: []string{"catname"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "total", E: p.C("price")}},
+	}
+	res, err := compileOn(t, s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 1 {
+		t.Fatalf("units = %d (notes: %v)", len(res.Units), res.Notes)
+	}
+	final := res.Units[0].Tasks[len(res.Units[0].Tasks)-1]
+	if len(final.Gathers) != 1 {
+		t.Fatalf("gathers = %+v", final.Gathers)
+	}
+	ga := final.Gathers[0]
+	if ga.BaseCol != col.RowIDColumnName("itemkey") || len(ga.Hops) != 2 ||
+		ga.Hops[0].Table != "item" || ga.Hops[0].Column != col.RowIDColumnName("catkey") ||
+		ga.Hops[1].Table != "cat" || ga.Hops[1].Column != "catname" {
+		t.Fatalf("gather chain = %+v", ga)
+	}
+}
+
+func TestTextPredicateRejectsUnit(t *testing.T) {
+	s := starStore(t)
+	item := &p.Filter{
+		Input: &p.Scan{Table: "item", Cols: []string{"itemkey", "descr"}},
+		Pred:  p.Like{Col: "descr", Pattern: "%dd%"},
+	}
+	sales := &p.Project{
+		Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "price"}},
+		Exprs: []p.NamedExpr{
+			{Name: "s_itemkey", E: p.C("itemkey")},
+			{Name: "price", E: p.C("price")},
+		},
+	}
+	g := &p.GroupBy{
+		Input: &p.Join{Kind: p.InnerJoin, L: sales, R: item,
+			LKeys: []string{"s_itemkey"}, RKeys: []string{"itemkey"}},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "total", E: p.C("price")}},
+	}
+	res, err := compileOn(t, s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 0 {
+		t.Fatalf("text-filtered unit offloaded: %v", res.Units[0].Label)
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "string-heap") || strings.Contains(n, "regex") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no suspension note: %v", res.Notes)
+	}
+}
+
+func TestCountDistinctRejected(t *testing.T) {
+	s := starStore(t)
+	g := &p.GroupBy{
+		Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "qty"}},
+		Keys:  []string{"qty"},
+		Aggs:  []p.AggSpec{{Func: p.AggCountDistinct, Name: "n", E: p.C("itemkey")}},
+	}
+	res, err := compileOn(t, s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 0 {
+		t.Fatal("COUNT(DISTINCT) offloaded")
+	}
+}
+
+func TestTinyFactRejected(t *testing.T) {
+	s := starStore(t)
+	g := &p.GroupBy{
+		Input: &p.Scan{Table: "cat", Cols: []string{"catkey"}},
+		Keys:  []string{"catkey"},
+		Aggs:  []p.AggSpec{{Func: p.AggCount, Name: "n"}},
+	}
+	res, err := compileOn(t, s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 0 {
+		t.Fatal("3-row fact offloaded")
+	}
+}
+
+func TestRowReturningUnitRequiresFilter(t *testing.T) {
+	s := starStore(t)
+	// A pure rename of a scan must not become a unit.
+	n := &p.Project{
+		Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "price"}},
+		Exprs: []p.NamedExpr{{Name: "k", E: p.C("itemkey")}},
+	}
+	res, err := compileOn(t, s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 0 {
+		t.Fatal("pass-through project offloaded")
+	}
+	// With a filter it becomes a legitimate pushdown.
+	n2 := &p.Filter{
+		Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "price"}},
+		Pred:  p.GT(p.C("price"), p.I(900)),
+	}
+	res2, err := compileOn(t, s, n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Units) != 1 {
+		t.Fatalf("filter pushdown missing (notes %v)", res2.Notes)
+	}
+	if res2.Units[0].Tasks[0].Op.Kind != tabletask.OpNop {
+		t.Fatalf("op = %v", res2.Units[0].Tasks[0].Op.Kind)
+	}
+}
+
+func TestSemiJoinBecomesExistenceMask(t *testing.T) {
+	s := starStore(t)
+	// items with at least one large sale, counted per category key.
+	sales := &p.Filter{
+		Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "qty"}},
+		Pred:  p.GT(p.C("qty"), p.I(8)),
+	}
+	salesR := &p.Project{Input: sales, Exprs: []p.NamedExpr{{Name: "s_itemkey", E: p.C("itemkey")}}}
+	semi := &p.Join{Kind: p.SemiJoin,
+		L:     &p.Scan{Table: "item", Cols: []string{"itemkey", "catkey"}},
+		R:     salesR,
+		LKeys: []string{"itemkey"}, RKeys: []string{"s_itemkey"}}
+	g := &p.GroupBy{Input: semi, Keys: []string{"catkey"},
+		Aggs: []p.AggSpec{{Func: p.AggCount, Name: "n"}}}
+	res, err := compileOn(t, s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 1 {
+		t.Fatalf("units = %d (notes %v)", len(res.Units), res.Notes)
+	}
+	tasks := res.Units[0].Tasks
+	if tasks[0].Op.Kind != tabletask.OpMask || tasks[0].Op.MaskTable != "item" {
+		t.Fatalf("first task op = %+v", tasks[0].Op)
+	}
+	final := tasks[len(tasks)-1]
+	if final.MaskSrc.Kind != tabletask.MaskDRAM || final.MaskSrc.Negate {
+		t.Fatalf("final mask = %+v", final.MaskSrc)
+	}
+}
+
+func TestAntiJoinNegatesMask(t *testing.T) {
+	s := starStore(t)
+	salesR := &p.Project{
+		Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "qty"}},
+		Exprs: []p.NamedExpr{{Name: "s_itemkey", E: p.C("itemkey")}},
+	}
+	anti := &p.Join{Kind: p.AntiJoin,
+		L:     &p.Scan{Table: "item", Cols: []string{"itemkey", "catkey", "weight"}},
+		R:     &p.Filter{Input: salesR, Pred: p.GT(p.C("s_itemkey"), p.I(100))},
+		LKeys: []string{"itemkey"}, RKeys: []string{"s_itemkey"}}
+	g := &p.GroupBy{Input: anti, Keys: []string{"catkey"},
+		Aggs: []p.AggSpec{{Func: p.AggCount, Name: "n"}}}
+	res, err := compileOn(t, s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 1 {
+		t.Fatalf("units = %d (notes %v)", len(res.Units), res.Notes)
+	}
+	final := res.Units[0].Tasks[len(res.Units[0].Tasks)-1]
+	if !final.MaskSrc.Negate {
+		t.Fatalf("anti-join mask not negated: %+v", final.MaskSrc)
+	}
+}
+
+func TestFanOutInnerJoinRejected(t *testing.T) {
+	s := starStore(t)
+	// Inner join item -> sales on itemkey fans out (sales not unique).
+	salesR := &p.Project{
+		Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "price"}},
+		Exprs: []p.NamedExpr{
+			{Name: "s_itemkey", E: p.C("itemkey")},
+			{Name: "price", E: p.C("price")},
+		},
+	}
+	j := &p.Join{Kind: p.InnerJoin,
+		L:     &p.Scan{Table: "item", Cols: []string{"itemkey", "weight"}},
+		R:     salesR,
+		LKeys: []string{"itemkey"}, RKeys: []string{"s_itemkey"}}
+	g := &p.GroupBy{
+		Input: &p.Filter{Input: j, Pred: p.GT(p.C("weight"), p.I(10))},
+		Aggs:  []p.AggSpec{{Func: p.AggSum, Name: "t", E: p.C("price")}},
+	}
+	res, err := compileOn(t, s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range res.Units {
+		if len(u.Tasks) > 1 {
+			t.Fatalf("fan-out join compiled into multi-task unit %s", u.Label)
+		}
+	}
+}
+
+func TestAvgExpandsToSharedSlots(t *testing.T) {
+	s := starStore(t)
+	g := &p.GroupBy{
+		Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "price"}},
+		Keys:  []string{"itemkey"},
+		Aggs: []p.AggSpec{
+			{Func: p.AggSum, Name: "s", E: p.C("price")},
+			{Func: p.AggAvg, Name: "a", E: p.C("price")},
+			{Func: p.AggCount, Name: "c"},
+		},
+	}
+	res, err := compileOn(t, s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 1 {
+		t.Fatalf("units = %d", len(res.Units))
+	}
+	task := res.Units[0].Tasks[0]
+	// sum(price) shared by SUM and AVG, one shared count: 2 slots.
+	if len(task.Op.Aggs) != 2 {
+		t.Fatalf("slots = %v, want 2 (shared)", task.Op.Aggs)
+	}
+}
+
+func TestCopyOnWriteLeavesOriginalExecutable(t *testing.T) {
+	s := starStore(t)
+	orig := groupBySales(p.GT(p.C("qty"), p.I(5)))
+	res, err := compileOn(t, s, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root == plan0(orig) {
+		t.Fatal("root not rewritten")
+	}
+	// The original tree still has its scan input (not a placeholder).
+	if _, ok := orig.Input.(*p.Filter); !ok {
+		t.Fatalf("original mutated: input is %T", orig.Input)
+	}
+}
+
+func plan0(n p.Node) p.Node { return n }
+
+// LIKE over a Text column whose heap fits the regex accelerator compiles
+// to a RegexFilter on the task instead of suspending.
+func TestSmallHeapLikeUsesRegexAccelerator(t *testing.T) {
+	s := starStore(t)
+	g := &p.GroupBy{
+		Input: &p.Filter{
+			Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "price", "qty"}},
+			Pred:  p.GT(p.C("qty"), p.I(0)),
+		},
+		Keys: []string{"itemkey"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "t", E: p.C("price")}},
+	}
+	// Rewrite the filter to reference the dim's Text column via a join.
+	item := &p.Filter{
+		Input: &p.Scan{Table: "item", Cols: []string{"itemkey", "descr"}},
+		Pred:  p.Like{Col: "descr", Pattern: "dd%"},
+	}
+	sales := &p.Project{
+		Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "price"}},
+		Exprs: []p.NamedExpr{
+			{Name: "s_itemkey", E: p.C("itemkey")},
+			{Name: "price", E: p.C("price")},
+		},
+	}
+	g = &p.GroupBy{
+		Input: &p.Join{Kind: p.InnerJoin, L: sales, R: item,
+			LKeys: []string{"s_itemkey"}, RKeys: []string{"itemkey"}},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "t", E: p.C("price")}},
+	}
+	if err := p.Bind(g, s); err != nil {
+		t.Fatal(err)
+	}
+	// HeapScale 1: the tiny heap fits the 1 MB cache.
+	res, err := Compile(g, s, Config{HeapScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 1 {
+		t.Fatalf("units = %d (notes %v)", len(res.Units), res.Notes)
+	}
+	foundRegex := false
+	for _, task := range res.Units[0].Tasks {
+		if len(task.RegexFilters) > 0 {
+			foundRegex = true
+			if task.RegexFilters[0].Pattern != "dd%" {
+				t.Fatalf("pattern = %q", task.RegexFilters[0].Pattern)
+			}
+		}
+	}
+	if !foundRegex {
+		t.Fatal("no task carries the regex filter")
+	}
+	// At deployment scale the same predicate suspends.
+	g2 := &p.GroupBy{
+		Input: &p.Join{Kind: p.InnerJoin,
+			L: &p.Project{
+				Input: &p.Scan{Table: "sales", Cols: []string{"itemkey", "price"}},
+				Exprs: []p.NamedExpr{
+					{Name: "s_itemkey", E: p.C("itemkey")},
+					{Name: "price", E: p.C("price")},
+				},
+			},
+			R: &p.Filter{
+				Input: &p.Scan{Table: "item", Cols: []string{"itemkey", "descr"}},
+				Pred:  p.Like{Col: "descr", Pattern: "dd%"},
+			},
+			LKeys: []string{"s_itemkey"}, RKeys: []string{"itemkey"}},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "t", E: p.C("price")}},
+	}
+	if err := p.Bind(g2, s); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Compile(g2, s, Config{HeapScale: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Units) != 0 {
+		t.Fatal("big-heap LIKE should suspend")
+	}
+}
+
+// Explain renders the Fig. 5-style task listing.
+func TestExplain(t *testing.T) {
+	s := starStore(t)
+	res, err := compileOn(t, s, groupBySales(p.GT(p.C("qty"), p.I(5))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Explain()
+	for _, want := range []string{"tabletask_0", "rowSel", "AGGREGATE_GROUPBY", "output   = Host"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// Host-only compilations say so.
+	empty := &Result{}
+	if !strings.Contains(empty.Explain(), "no offloadable units") {
+		t.Fatal("empty explain")
+	}
+}

@@ -1,0 +1,165 @@
+// Package core assembles AQUOMAN: the flash device, the accelerator DRAM,
+// the Row Selector → Row Transformer → SQL Swissknife pipeline (via the
+// Table-Task executor), the offload compiler, and the host engine that
+// runs residual plan fragments and resumes suspended queries (Sec. VI-E).
+//
+// A Device corresponds to one AQUOMAN-augmented SSD. RunQuery executes a
+// bound plan end-to-end: the compiler extracts offload units, the device
+// streams their Table Tasks, and the host engine finishes the rewritten
+// plan, with every byte of flash, DRAM, and host work accounted in the
+// returned Report.
+package core
+
+import (
+	"fmt"
+
+	"aquoman/internal/col"
+	"aquoman/internal/compiler"
+	"aquoman/internal/engine"
+	"aquoman/internal/flash"
+	"aquoman/internal/mem"
+	"aquoman/internal/plan"
+	"aquoman/internal/tabletask"
+)
+
+// Config sizes one AQUOMAN device.
+type Config struct {
+	// DRAMBytes is the in-storage DRAM capacity (Table VI: 40 GB default,
+	// 16 GB for AQUOMAN16).
+	DRAMBytes int64
+	// Compiler tunes offload decisions.
+	Compiler compiler.Config
+	// DisableOffload forces pure host execution (the baseline systems).
+	DisableOffload bool
+}
+
+// Device is one AQUOMAN-augmented SSD plus its host.
+type Device struct {
+	Store *col.Store
+	DRAM  *mem.DRAM
+	cfg   Config
+}
+
+// New builds a device over an existing store.
+func New(store *col.Store, cfg Config) *Device {
+	return &Device{Store: store, DRAM: mem.New(cfg.DRAMBytes), cfg: cfg}
+}
+
+// Report describes one query execution.
+type Report struct {
+	// Offloaded units that ran on AQUOMAN.
+	Units []string
+	// Notes records compiler decisions (suspension reasons etc.).
+	Notes []string
+	// FullyOffloaded is true when the host only post-processed a single
+	// aggregated result.
+	FullyOffloaded bool
+	// Suspended is true when an offload unit failed mid-flight (e.g.
+	// AQUOMAN DRAM capacity) and the query fell back to the host.
+	Suspended bool
+	// SuspendReason explains a fallback.
+	SuspendReason string
+
+	// AquomanTrace aggregates the Table-Task behaviour.
+	AquomanTrace tabletask.Trace
+	// DRAMPeak is the accelerator DRAM high-water mark in bytes.
+	DRAMPeak int64
+	// HostStats is the host engine's work/memory accounting.
+	HostStats *engine.Stats
+	// Flash is the per-requester flash traffic for this query.
+	Flash flash.Stats
+	// OffloadFraction is the share of flash bytes read in-storage.
+	OffloadFraction float64
+}
+
+// RunQuery executes a bound plan. The returned batch is the query result;
+// the report captures where the work happened.
+func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
+	flashBefore := d.Store.Dev.Stats()
+	rep := &Report{HostStats: engine.NewStats()}
+
+	run := func(root plan.Node) (*engine.Batch, error) {
+		host := engine.New(d.Store)
+		host.Stats = rep.HostStats
+		return host.Run(root)
+	}
+
+	if d.cfg.DisableOffload {
+		b, err := run(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		d.finishReport(rep, flashBefore)
+		return b, rep, nil
+	}
+
+	res, err := compiler.Compile(n, d.Store, d.cfg.Compiler)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Notes = res.Notes
+	rep.FullyOffloaded = res.FullyOffloaded()
+
+	exec := tabletask.NewExecutor(d.Store, d.DRAM)
+	var allObjects []string
+	for _, u := range res.Units {
+		if err := d.runUnit(exec, u); err != nil {
+			// Suspension (Sec. VI-E): the unit's intermediate state is
+			// dropped and the host resumes by executing the original
+			// subtree; completed units keep their offloaded results.
+			rep.Suspended = true
+			rep.SuspendReason = err.Error()
+			rep.FullyOffloaded = false
+			for _, name := range u.DRAMObjects {
+				d.DRAM.Free(name)
+			}
+			hb, herr := run(u.Replaced)
+			if herr != nil {
+				return nil, nil, fmt.Errorf("core: host resume of %s: %w", u.Label, herr)
+			}
+			u.Placeholder.Cols = hb.Cols
+			continue
+		}
+		rep.Units = append(rep.Units, u.Label)
+		allObjects = append(allObjects, u.DRAMObjects...)
+	}
+	rep.AquomanTrace = exec.Trace
+	rep.DRAMPeak = d.DRAM.Peak()
+	for _, name := range allObjects {
+		d.DRAM.Free(name)
+	}
+
+	b, err := run(res.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	d.finishReport(rep, flashBefore)
+	return b, rep, nil
+}
+
+func (d *Device) finishReport(rep *Report, before flash.Stats) {
+	rep.Flash = d.Store.Dev.Stats().Sub(before)
+	total := rep.Flash.BytesRead(flash.Host) + rep.Flash.BytesRead(flash.Aquoman)
+	if total > 0 {
+		rep.OffloadFraction = float64(rep.Flash.BytesRead(flash.Aquoman)) / float64(total)
+	}
+	d.DRAM.ResetPeak()
+}
+
+// runUnit streams one unit's Table Tasks and fills its placeholder.
+func (d *Device) runUnit(exec *tabletask.Executor, u *compiler.Unit) error {
+	var last *tabletask.Result
+	for _, task := range u.Tasks {
+		res, err := exec.Run(task)
+		if err != nil {
+			return fmt.Errorf("unit %s task %s: %w", u.Label, task.Name, err)
+		}
+		last = res
+	}
+	cols, err := u.Finalize(last)
+	if err != nil {
+		return fmt.Errorf("unit %s finalize: %w", u.Label, err)
+	}
+	u.Placeholder.Cols = cols
+	return nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"aquoman/internal/col"
+	"aquoman/internal/compiler"
+	"aquoman/internal/engine"
+	"aquoman/internal/flash"
+	"aquoman/internal/mem"
+	"aquoman/internal/plan"
+	"aquoman/internal/tabletask"
+	"aquoman/internal/tpch"
+)
+
+var (
+	storeOnce sync.Once
+	testStore *col.Store
+)
+
+func sharedStore(t *testing.T) *col.Store {
+	t.Helper()
+	storeOnce.Do(func() {
+		s := col.NewStore(flash.NewDevice())
+		if err := tpch.Gen(s, tpch.Config{SF: 0.01, Seed: 42}); err != nil {
+			t.Fatalf("Gen: %v", err)
+		}
+		testStore = s
+	})
+	return testStore
+}
+
+// canonical renders a batch as sorted row strings so host and offload
+// results compare independent of group emission order.
+func canonical(b *engine.Batch) []string {
+	rows := make([]string, b.NumRows())
+	for r := range rows {
+		s := ""
+		for c := range b.Cols {
+			s += fmt.Sprintf("%d|", b.Cols[c][r])
+		}
+		rows[r] = s
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+func runBoth(t *testing.T, q int) (*engine.Batch, *engine.Batch, *Report) {
+	t.Helper()
+	s := sharedStore(t)
+	def, err := tpch.Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hostPlan := def.Build()
+	if err := plan.Bind(hostPlan, s); err != nil {
+		t.Fatalf("q%d bind: %v", q, err)
+	}
+	hostDev := New(s, Config{DisableOffload: true})
+	hostBatch, _, err := hostDev.RunQuery(hostPlan)
+	if err != nil {
+		t.Fatalf("q%d host: %v", q, err)
+	}
+
+	offPlan := def.Build()
+	if err := plan.Bind(offPlan, s); err != nil {
+		t.Fatalf("q%d bind: %v", q, err)
+	}
+	dev := New(s, Config{DRAMBytes: mem.DefaultCapacity,
+		Compiler: compiler.Config{HeapScale: 100_000}}) // model SF-1000 vs SF-0.01
+	offBatch, rep, err := dev.RunQuery(offPlan)
+	if err != nil {
+		t.Fatalf("q%d offload: %v", q, err)
+	}
+	return hostBatch, offBatch, rep
+}
+
+// The headline integration property: every TPC-H query produces identical
+// results through the host engine and through AQUOMAN offload.
+func TestAllQueriesHostVsAquoman(t *testing.T) {
+	for _, def := range tpch.Queries() {
+		q := def.Num
+		t.Run(fmt.Sprintf("q%02d", q), func(t *testing.T) {
+			host, off, rep := runBoth(t, q)
+			if len(host.Schema) != len(off.Schema) {
+				t.Fatalf("schema mismatch: %s vs %s", host.Schema, off.Schema)
+			}
+			hc, oc := canonical(host), canonical(off)
+			if len(hc) != len(oc) {
+				t.Fatalf("row count: host %d vs aquoman %d (units %v, notes %v)",
+					len(hc), len(oc), rep.Units, rep.Notes)
+			}
+			for i := range hc {
+				if hc[i] != oc[i] {
+					t.Fatalf("row %d differs:\n host    %s\n aquoman %s\n(units %v)",
+						i, hc[i], oc[i], rep.Units)
+				}
+			}
+			t.Logf("q%02d: units=%d offload=%.0f%% fully=%v suspended=%v",
+				q, len(rep.Units), rep.OffloadFraction*100, rep.FullyOffloaded, rep.Suspended)
+		})
+	}
+}
+
+// Offload classification shape: the queries the paper fully offloads
+// should at least offload most of their flash traffic here, and the
+// regex-bound queries should not offload at all.
+func TestOffloadClassificationShape(t *testing.T) {
+	mostlyOffloaded := []int{1, 3, 4, 5, 6, 7, 8, 10, 12, 14, 19}
+	neverOffloaded := []int{9, 13, 22}
+	for _, q := range mostlyOffloaded {
+		_, _, rep := runBoth(t, q)
+		if rep.OffloadFraction < 0.5 {
+			t.Errorf("q%d offload fraction = %.2f, want >= 0.5 (notes: %v)",
+				q, rep.OffloadFraction, rep.Notes)
+		}
+	}
+	for _, q := range neverOffloaded {
+		_, _, rep := runBoth(t, q)
+		if len(rep.Units) != 0 {
+			t.Errorf("q%d offloaded units %v, want none", q, rep.Units)
+		}
+	}
+}
+
+// Partial offload: q17/q18's inner group-by subtrees run on AQUOMAN even
+// though the outer query suspends to the host (Sec. VIII-B).
+func TestPartialOffload(t *testing.T) {
+	for _, q := range []int{11, 15, 17, 18} {
+		_, _, rep := runBoth(t, q)
+		if len(rep.Units) == 0 {
+			t.Errorf("q%d: no offloaded units (notes: %v)", q, rep.Notes)
+		}
+		if rep.FullyOffloaded && q == 17 {
+			t.Errorf("q17 should not be fully offloaded")
+		}
+	}
+}
+
+// Fully-offloaded queries: single unit plus trivial host post-processing.
+func TestFullyOffloaded(t *testing.T) {
+	for _, q := range []int{1, 4, 6, 12, 19} {
+		_, _, rep := runBoth(t, q)
+		if !rep.FullyOffloaded {
+			t.Errorf("q%d not fully offloaded (units %v, notes %v)", q, rep.Units, rep.Notes)
+		}
+	}
+}
+
+// Tiny AQUOMAN DRAM forces a suspension and a correct host resume.
+func TestDRAMSuspension(t *testing.T) {
+	s := sharedStore(t)
+	def, _ := tpch.Get(3)
+	hostPlan := def.Build()
+	if err := plan.Bind(hostPlan, s); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := New(s, Config{DisableOffload: true}).RunQuery(hostPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offPlan := def.Build()
+	if err := plan.Bind(offPlan, s); err != nil {
+		t.Fatal(err)
+	}
+	dev := New(s, Config{DRAMBytes: 64, Compiler: compiler.Config{HeapScale: 100_000}})
+	got, rep, err := dev.RunQuery(offPlan)
+	if err != nil {
+		t.Fatalf("suspended run failed: %v", err)
+	}
+	if !rep.Suspended {
+		t.Fatal("expected a DRAM-capacity suspension")
+	}
+	hc, oc := canonical(want), canonical(got)
+	if len(hc) != len(oc) {
+		t.Fatalf("suspended result rows: %d vs %d", len(hc), len(oc))
+	}
+	for i := range hc {
+		if hc[i] != oc[i] {
+			t.Fatalf("suspended result differs at row %d", i)
+		}
+	}
+}
+
+// Spill-over accounting: q1 (4 groups) must not spill; q15's view groups
+// by supplier and must spill beyond the 1024 buckets while staying exact.
+func TestGroupBySpillAccounting(t *testing.T) {
+	_, _, rep1 := runBoth(t, 1)
+	if sp := rep1.AquomanTrace.Total(func(tt *tabletask.TaskTrace) int64 { return tt.SpilledRows }); sp != 0 {
+		t.Fatalf("q1 spilled %d rows", sp)
+	}
+}

@@ -1,0 +1,291 @@
+// Package distrib implements the paper's stated future work (Sec. IX):
+// distributed execution of queries whose data is spread over multiple
+// AQUOMAN SSDs.
+//
+// A Cluster holds N devices. Fact tables (orders and lineitem, which are
+// co-clustered on the order key) are horizontally partitioned round-robin
+// by order; dimension tables are replicated, the standard star-schema
+// layout. Each device rematerializes its local FK RowID indices, so the
+// per-device stores are fully self-contained AQUOMAN disks.
+//
+// Queries distribute by scatter-gather: every device runs the plan over
+// its partition (offloading to its own AQUOMAN pipeline), and the
+// coordinator merges the partial results. Root aggregations merge by
+// aggregate-specific combination (SUM/COUNT re-sum, MIN/MAX re-min/max,
+// AVG is decomposed into SUM+COUNT partials); row-returning plans
+// concatenate. Plans with nested aggregation or scalar subqueries over a
+// partitioned table are rejected (they would need a second shuffle), and
+// plans touching only replicated tables run on one device.
+package distrib
+
+import (
+	"fmt"
+
+	"aquoman/internal/col"
+	"aquoman/internal/compiler"
+	"aquoman/internal/core"
+	"aquoman/internal/engine"
+	"aquoman/internal/flash"
+	"aquoman/internal/mem"
+	"aquoman/internal/plan"
+	"aquoman/internal/tpch"
+)
+
+// PartitionedTables lists the co-clustered fact tables split across
+// devices; everything else is replicated.
+var PartitionedTables = map[string]bool{"orders": true, "lineitem": true}
+
+// Cluster is a set of AQUOMAN SSDs holding one distributed data set.
+type Cluster struct {
+	Stores  []*col.Store
+	Devices []*flash.Device
+
+	// DRAMBytes per device; HeapScale as in the single-device runtime.
+	DRAMBytes int64
+	HeapScale float64
+}
+
+// NewCluster returns an empty cluster of n devices.
+func NewCluster(n int) *Cluster {
+	c := &Cluster{DRAMBytes: mem.DefaultCapacity, HeapScale: 1}
+	for i := 0; i < n; i++ {
+		dev := flash.NewDevice()
+		c.Devices = append(c.Devices, dev)
+		c.Stores = append(c.Stores, col.NewStore(dev))
+	}
+	return c
+}
+
+// NumDevices returns the cluster size.
+func (c *Cluster) NumDevices() int { return len(c.Stores) }
+
+// LoadTPCH generates a TPC-H data set and partitions it across the
+// cluster: orders row r goes to device r % N, lineitem follows its order,
+// and the six dimension tables are replicated.
+func (c *Cluster) LoadTPCH(sf float64, seed int64) error {
+	src := col.NewStore(flash.NewDevice())
+	if err := tpch.Gen(src, tpch.Config{SF: sf, Seed: seed}); err != nil {
+		return err
+	}
+	return c.Partition(src)
+}
+
+// Partition distributes an existing TPC-H store across the cluster.
+func (c *Cluster) Partition(src *col.Store) error {
+	n := c.NumDevices()
+	orders, err := src.Table("orders")
+	if err != nil {
+		return err
+	}
+	// Device of each orders row, and of each lineitem row via its
+	// materialized order RowID.
+	orderDev := func(row int) int { return row % n }
+	li, err := src.Table("lineitem")
+	if err != nil {
+		return err
+	}
+	liOrderRow := li.MustColumn(col.RowIDColumnName("l_orderkey")).ReadAll(flash.Host)
+
+	for d := 0; d < n; d++ {
+		for _, name := range src.Tables() {
+			tab := src.MustTable(name)
+			var keep []int
+			switch name {
+			case "orders":
+				for r := 0; r < tab.NumRows; r++ {
+					if orderDev(r) == d {
+						keep = append(keep, r)
+					}
+				}
+			case "lineitem":
+				for r := 0; r < tab.NumRows; r++ {
+					if orderDev(int(liOrderRow[r])) == d {
+						keep = append(keep, r)
+					}
+				}
+			default:
+				keep = nil // replicate all rows
+			}
+			if err := copyTable(c.Stores[d], tab, keep); err != nil {
+				return fmt.Errorf("distrib: device %d table %s: %w", d, name, err)
+			}
+		}
+		if err := rematerialize(c.Stores[d]); err != nil {
+			return fmt.Errorf("distrib: device %d: %w", d, err)
+		}
+	}
+	_ = orders
+	return nil
+}
+
+// copyTable copies the declared (non-RowID-index) columns of tab into
+// dst, keeping only the given rows (nil = all rows).
+func copyTable(dst *col.Store, tab *col.Table, keep []int) error {
+	var defs []col.ColDef
+	for _, cd := range tab.Cols {
+		if cd.Typ == col.RowID {
+			continue // rematerialized locally
+		}
+		defs = append(defs, cd)
+	}
+	b := dst.NewTable(col.Schema{Name: tab.Name, Cols: defs})
+	nRows := tab.NumRows
+	if keep != nil {
+		nRows = len(keep)
+	}
+	// Seed dictionaries with the source's full domain so that every
+	// partition assigns identical codes even when it lacks some values —
+	// merged partial aggregates compare codes directly.
+	for _, cd := range defs {
+		if cd.Typ == col.Dict {
+			b.SeedDictionary(cd.Name, tab.MustColumn(cd.Name).Dict())
+		}
+	}
+	for _, cd := range defs {
+		ci := tab.MustColumn(cd.Name)
+		if cd.Typ.IsString() {
+			offs := ci.ReadAll(flash.Host)
+			var heap *col.HeapReader
+			var dict []string
+			if cd.Typ == col.Text {
+				heap = ci.NewHeapReader(flash.Host)
+			} else {
+				dict = ci.Dict()
+			}
+			strs := make([]string, 0, nRows)
+			emit := func(r int) {
+				if cd.Typ == col.Text {
+					strs = append(strs, heap.Str(offs[r]))
+				} else {
+					strs = append(strs, dict[offs[r]])
+				}
+			}
+			if keep == nil {
+				for r := 0; r < tab.NumRows; r++ {
+					emit(r)
+				}
+			} else {
+				for _, r := range keep {
+					emit(r)
+				}
+			}
+			b.AppendColumnStrings(cd.Name, strs)
+			continue
+		}
+		vals := ci.ReadAll(flash.Host)
+		if keep == nil {
+			b.AppendColumnValues(cd.Name, vals)
+		} else {
+			sel := make([]int64, len(keep))
+			for i, r := range keep {
+				sel[i] = vals[r]
+			}
+			b.AppendColumnValues(cd.Name, sel)
+		}
+	}
+	b.SetNumRows(nRows)
+	_, err := b.Finalize()
+	return err
+}
+
+// rematerialize rebuilds the local FK RowID indices of a partitioned
+// TPC-H store.
+func rematerialize(s *col.Store) error {
+	type fk struct{ fact, col, dim, pk string }
+	fks := []fk{
+		{"nation", "n_regionkey", "region", "r_regionkey"},
+		{"supplier", "s_nationkey", "nation", "n_nationkey"},
+		{"customer", "c_nationkey", "nation", "n_nationkey"},
+		{"partsupp", "ps_partkey", "part", "p_partkey"},
+		{"partsupp", "ps_suppkey", "supplier", "s_suppkey"},
+		{"orders", "o_custkey", "customer", "c_custkey"},
+		{"lineitem", "l_orderkey", "orders", "o_orderkey"},
+		{"lineitem", "l_partkey", "part", "p_partkey"},
+		{"lineitem", "l_suppkey", "supplier", "s_suppkey"},
+	}
+	for _, f := range fks {
+		fact, err := s.Table(f.fact)
+		if err != nil {
+			return err
+		}
+		dim, err := s.Table(f.dim)
+		if err != nil {
+			return err
+		}
+		if err := col.MaterializeFK(fact, f.col, dim, f.pk); err != nil {
+			return err
+		}
+	}
+	li, err := s.Table("lineitem")
+	if err != nil {
+		return err
+	}
+	ps, err := s.Table("partsupp")
+	if err != nil {
+		return err
+	}
+	return tpch.MaterializePartSuppIndex(li, ps)
+}
+
+// Report aggregates the per-device execution reports.
+type Report struct {
+	// PerDevice holds each device's report (nil for devices that did not
+	// participate).
+	PerDevice []*core.Report
+	// Strategy describes how the query was distributed.
+	Strategy string
+}
+
+// OffloadFraction returns the cluster-wide in-storage traffic share.
+func (r *Report) OffloadFraction() float64 {
+	var host, aq int64
+	for _, rep := range r.PerDevice {
+		if rep == nil {
+			continue
+		}
+		host += rep.Flash.BytesRead(flash.Host)
+		aq += rep.Flash.BytesRead(flash.Aquoman)
+	}
+	if host+aq == 0 {
+		return 0
+	}
+	return float64(aq) / float64(host+aq)
+}
+
+// RunQuery executes the plan produced by build across the cluster. build
+// must return a fresh tree per call (each device binds its own copy).
+func (c *Cluster) RunQuery(build func() plan.Node) (*engine.Batch, *Report, error) {
+	probe := build()
+	if err := plan.Bind(probe, c.Stores[0]); err != nil {
+		return nil, nil, err
+	}
+	strat, err := classify(probe)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch strat.kind {
+	case stratSingle:
+		b, rep, err := c.runOn(0, build())
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, &Report{PerDevice: []*core.Report{rep}, Strategy: "replicated-only (device 0)"}, nil
+	case stratConcat:
+		return c.scatterGather(build, nil)
+	case stratMergeAgg:
+		return c.scatterGather(build, strat)
+	default:
+		return nil, nil, fmt.Errorf("distrib: unreachable")
+	}
+}
+
+func (c *Cluster) runOn(d int, p plan.Node) (*engine.Batch, *core.Report, error) {
+	if err := plan.Bind(p, c.Stores[d]); err != nil {
+		return nil, nil, err
+	}
+	dev := core.New(c.Stores[d], core.Config{
+		DRAMBytes: c.DRAMBytes,
+		Compiler:  compiler.Config{HeapScale: c.HeapScale},
+	})
+	return dev.RunQuery(p)
+}

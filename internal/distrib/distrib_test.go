@@ -1,0 +1,317 @@
+package distrib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"aquoman/internal/col"
+	"aquoman/internal/engine"
+	"aquoman/internal/flash"
+	"aquoman/internal/plan"
+	"aquoman/internal/tpch"
+)
+
+var (
+	setupOnce sync.Once
+	srcStore  *col.Store
+	cluster3  *Cluster
+)
+
+func setup(t *testing.T) (*col.Store, *Cluster) {
+	t.Helper()
+	setupOnce.Do(func() {
+		srcStore = col.NewStore(flash.NewDevice())
+		if err := tpch.Gen(srcStore, tpch.Config{SF: 0.005, Seed: 9}); err != nil {
+			t.Fatalf("Gen: %v", err)
+		}
+		cluster3 = NewCluster(3)
+		cluster3.HeapScale = 1000 / 0.005
+		if err := cluster3.Partition(srcStore); err != nil {
+			t.Fatalf("Partition: %v", err)
+		}
+	})
+	return srcStore, cluster3
+}
+
+func TestPartitionCardinalities(t *testing.T) {
+	src, c := setup(t)
+	var orders, lineitem int
+	for d := 0; d < c.NumDevices(); d++ {
+		o := c.Stores[d].MustTable("orders")
+		l := c.Stores[d].MustTable("lineitem")
+		orders += o.NumRows
+		lineitem += l.NumRows
+		// Partitions should be roughly balanced.
+		if o.NumRows < src.MustTable("orders").NumRows/4 {
+			t.Fatalf("device %d underfull: %d orders", d, o.NumRows)
+		}
+		// Replicated dimensions are complete copies.
+		for _, dim := range []string{"customer", "part", "supplier", "partsupp", "nation", "region"} {
+			if c.Stores[d].MustTable(dim).NumRows != src.MustTable(dim).NumRows {
+				t.Fatalf("device %d: %s not fully replicated", d, dim)
+			}
+		}
+	}
+	if orders != src.MustTable("orders").NumRows {
+		t.Fatalf("orders total %d, want %d", orders, src.MustTable("orders").NumRows)
+	}
+	if lineitem != src.MustTable("lineitem").NumRows {
+		t.Fatalf("lineitem total %d, want %d", lineitem, src.MustTable("lineitem").NumRows)
+	}
+}
+
+func TestCoPartitioning(t *testing.T) {
+	_, c := setup(t)
+	// Every lineitem row's order must exist on the same device.
+	for d := 0; d < c.NumDevices(); d++ {
+		s := c.Stores[d]
+		li := s.MustTable("lineitem")
+		orders := s.MustTable("orders")
+		rid := li.MustColumn(col.RowIDColumnName("l_orderkey")).ReadAll(flash.Host)
+		lok := li.MustColumn("l_orderkey").ReadAll(flash.Host)
+		ook := orders.MustColumn("o_orderkey").ReadAll(flash.Host)
+		for i := 0; i < len(rid); i += 53 {
+			if ook[rid[i]] != lok[i] {
+				t.Fatalf("device %d row %d: local rowid broken", d, i)
+			}
+		}
+	}
+}
+
+func canonical(b *engine.Batch) []string {
+	rows := make([]string, b.NumRows())
+	for r := range rows {
+		var sb strings.Builder
+		for c := range b.Cols {
+			fmt.Fprintf(&sb, "%d|", b.Cols[c][r])
+		}
+		rows[r] = sb.String()
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// reference runs the query on the unpartitioned source store.
+func reference(t *testing.T, src *col.Store, q int) *engine.Batch {
+	t.Helper()
+	def, err := tpch.Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := def.Build()
+	if err := plan.Bind(n, src); err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.New(src).Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Distributable queries must match single-store execution exactly.
+func TestDistributedMatchesSingleStore(t *testing.T) {
+	src, c := setup(t)
+	distributable := []int{1, 3, 4, 5, 6, 7, 8, 10, 12, 14, 19}
+	for _, q := range distributable {
+		def, _ := tpch.Get(q)
+		got, rep, err := c.RunQuery(def.Build)
+		if err != nil {
+			t.Fatalf("q%d: %v", q, err)
+		}
+		want := reference(t, src, q)
+		gc, wc := canonical(got), canonical(want)
+		if len(gc) != len(wc) {
+			t.Fatalf("q%d rows: %d vs %d (strategy %s)", q, len(gc), len(wc), rep.Strategy)
+		}
+		for i := range wc {
+			if gc[i] != wc[i] {
+				t.Fatalf("q%d row %d differs (strategy %s):\n got  %s\n want %s",
+					q, i, rep.Strategy, gc[i], wc[i])
+			}
+		}
+		if rep.Strategy != "merge-aggregate" {
+			t.Fatalf("q%d strategy = %s", q, rep.Strategy)
+		}
+		if rep.OffloadFraction() < 0.5 {
+			t.Errorf("q%d cluster offload = %.2f", q, rep.OffloadFraction())
+		}
+	}
+}
+
+// Ordering-sensitive results (ORDER BY + LIMIT) must also match exactly,
+// not just as multisets.
+func TestDistributedOrderingPreserved(t *testing.T) {
+	src, c := setup(t)
+	def, _ := tpch.Get(3) // order by revenue desc limit 10
+	got, _, err := c.RunQuery(def.Build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reference(t, src, 3)
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("rows %d vs %d", got.NumRows(), want.NumRows())
+	}
+	for ci := range want.Cols {
+		for r := range want.Cols[ci] {
+			if got.Cols[ci][r] != want.Cols[ci][r] {
+				t.Fatalf("ordered row %d col %d differs", r, ci)
+			}
+		}
+	}
+}
+
+// Queries over replicated tables only run on a single device.
+func TestReplicatedOnlyQuery(t *testing.T) {
+	_, c := setup(t)
+	build := func() plan.Node {
+		return &plan.GroupBy{
+			Input: &plan.Scan{Table: "supplier", Cols: []string{"s_nationkey"}},
+			Keys:  []string{"s_nationkey"},
+			Aggs:  []plan.AggSpec{{Func: plan.AggCount, Name: "n"}},
+		}
+	}
+	_, rep, err := c.RunQuery(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Strategy, "replicated-only") {
+		t.Fatalf("strategy = %s", rep.Strategy)
+	}
+	active := 0
+	for _, r := range rep.PerDevice {
+		if r != nil {
+			active++
+		}
+	}
+	if active != 1 {
+		t.Fatalf("active devices = %d", active)
+	}
+}
+
+// Non-distributable shapes are rejected with clear reasons.
+func TestRejectionReasons(t *testing.T) {
+	_, c := setup(t)
+	cases := []struct {
+		q    int
+		want string
+	}{
+		{17, "nested aggregation"},
+		{18, "nested aggregation"},
+		{22, "partitioned inner"},  // anti join hits first; the scalar subquery would also block
+		{13, "nested aggregation"}, // per-customer counting: the outer-join and
+		// nested-aggregation conditions both block; walk order reports the latter
+	}
+	for _, tc := range cases {
+		def, _ := tpch.Get(tc.q)
+		_, _, err := c.RunQuery(def.Build)
+		if err == nil {
+			t.Fatalf("q%d distributed", tc.q)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("q%d reason = %v, want %q", tc.q, err, tc.want)
+		}
+	}
+}
+
+// AVG must merge through SUM+COUNT partials, not averaged averages.
+func TestAvgMergesExactly(t *testing.T) {
+	src, c := setup(t)
+	build := func() plan.Node {
+		return &plan.GroupBy{
+			Input: &plan.Scan{Table: "lineitem", Cols: []string{"l_returnflag", "l_quantity"}},
+			Keys:  []string{"l_returnflag"},
+			Aggs: []plan.AggSpec{
+				{Func: plan.AggAvg, Name: "avg_qty", E: plan.C("l_quantity"), Typ: col.Decimal},
+				{Func: plan.AggCount, Name: "n"},
+			},
+		}
+	}
+	got, _, err := c.RunQuery(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := build()
+	if err := plan.Bind(ref, src); err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.New(src).Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, wc := canonical(got), canonical(want)
+	for i := range wc {
+		if gc[i] != wc[i] {
+			t.Fatalf("avg merge differs: %s vs %s", gc[i], wc[i])
+		}
+	}
+}
+
+func TestClusterSizes(t *testing.T) {
+	src, _ := setup(t)
+	for _, n := range []int{1, 2, 5} {
+		c := NewCluster(n)
+		c.HeapScale = 1000 / 0.005
+		if err := c.Partition(src); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		def, _ := tpch.Get(6)
+		got, _, err := c.RunQuery(def.Build)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := reference(t, src, 6)
+		if got.Cols[0][0] != want.Cols[0][0] {
+			t.Fatalf("n=%d: q6 = %d, want %d", n, got.Cols[0][0], want.Cols[0][0])
+		}
+	}
+}
+
+// With many devices, small partitions can miss dictionary values; seeded
+// dictionaries must keep codes globally consistent so merged aggregates
+// stay exact.
+func TestSkewedPartitionsDictConsistency(t *testing.T) {
+	src, _ := setup(t)
+	c := NewCluster(17) // tiny partitions
+	c.HeapScale = 1000 / 0.005
+	if err := c.Partition(src); err != nil {
+		t.Fatal(err)
+	}
+	build := func() plan.Node {
+		return &plan.GroupBy{
+			Input: &plan.Scan{Table: "lineitem",
+				Cols: []string{"l_returnflag", "l_linestatus", "l_quantity"}},
+			Keys: []string{"l_returnflag", "l_linestatus"},
+			Aggs: []plan.AggSpec{{Func: plan.AggSum, Name: "q", E: plan.C("l_quantity")}},
+		}
+	}
+	got, _, err := c.RunQuery(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := build()
+	if err := plan.Bind(ref, src); err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.New(src).Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, wc := canonical(got), canonical(want)
+	if len(gc) != len(wc) {
+		t.Fatalf("groups: %d vs %d", len(gc), len(wc))
+	}
+	for i := range wc {
+		if gc[i] != wc[i] {
+			t.Fatalf("dict codes diverged across partitions: %s vs %s", gc[i], wc[i])
+		}
+	}
+	// Decoded strings must agree too.
+	f := got.Schema[0]
+	if f.Src == nil {
+		t.Fatal("dict source lost")
+	}
+}

@@ -1,0 +1,250 @@
+package distrib
+
+import (
+	"fmt"
+
+	"aquoman/internal/compiler"
+	"aquoman/internal/core"
+	"aquoman/internal/engine"
+	"aquoman/internal/plan"
+)
+
+type stratKind int
+
+const (
+	// stratSingle runs on one device (replicated tables only).
+	stratSingle stratKind = iota
+	// stratConcat concatenates per-device rows.
+	stratConcat
+	// stratMergeAgg re-aggregates per-device partial aggregates.
+	stratMergeAgg
+)
+
+type strategy struct {
+	kind stratKind
+}
+
+func (k stratKind) String() string {
+	return [...]string{"replicated-only", "concat", "merge-aggregate"}[k]
+}
+
+// peel walks the post-processing chain (OrderBy/Limit/Project) above the
+// distributable core, returning the chain outermost-first and the core.
+func peel(n plan.Node) (chain []plan.Node, core plan.Node) {
+	for {
+		switch t := n.(type) {
+		case *plan.OrderBy:
+			chain = append(chain, t)
+			n = t.Input
+		case *plan.Limit:
+			chain = append(chain, t)
+			n = t.Input
+		case *plan.Project:
+			chain = append(chain, t)
+			n = t.Input
+		default:
+			return chain, n
+		}
+	}
+}
+
+func touchesPartitioned(n plan.Node) bool {
+	found := false
+	plan.Walk(n, func(m plan.Node) {
+		if s, ok := m.(*plan.Scan); ok && PartitionedTables[s.Table] {
+			found = true
+		}
+	})
+	return found
+}
+
+// classify decides the distribution strategy for a bound plan.
+func classify(root plan.Node) (*strategy, error) {
+	if !touchesPartitioned(root) {
+		return &strategy{kind: stratSingle}, nil
+	}
+	_, coreNode := peel(root)
+
+	// Distribution-breaking constructs over partitioned data: nested
+	// aggregation / scalar subqueries (they would need a second shuffle)
+	// and existence tests whose outer side is replicated (per-device
+	// existence would duplicate or drop rows).
+	var reason error
+	check := func(m plan.Node, isRoot bool) {
+		switch t := m.(type) {
+		case *plan.GroupBy:
+			if !isRoot && touchesPartitioned(t) {
+				reason = fmt.Errorf("distrib: nested aggregation over a partitioned table")
+			}
+		case *plan.ScalarJoin:
+			if touchesPartitioned(t.Sub) {
+				reason = fmt.Errorf("distrib: scalar subquery over a partitioned table")
+			}
+		case *plan.Join:
+			switch t.Kind {
+			case plan.SemiJoin, plan.AntiJoin, plan.LeftMarkJoin:
+				if touchesPartitioned(t.R) && !touchesPartitioned(t.L) {
+					reason = fmt.Errorf("distrib: %s join with a replicated outer and partitioned inner", t.Kind)
+				}
+			}
+		}
+	}
+	plan.Walk(coreNode, func(m plan.Node) { check(m, m == coreNode) })
+	if reason != nil {
+		return nil, reason
+	}
+
+	if g, ok := coreNode.(*plan.GroupBy); ok {
+		for _, a := range g.Aggs {
+			if a.Func == plan.AggCountDistinct {
+				return nil, fmt.Errorf("distrib: COUNT(DISTINCT) does not merge across devices")
+			}
+		}
+		return &strategy{kind: stratMergeAgg}, nil
+	}
+	return &strategy{kind: stratConcat}, nil
+}
+
+// partialAggs rewrites a group-by's aggregates into mergeable partials:
+// AVG becomes SUM + COUNT columns.
+func partialAggs(g *plan.GroupBy) []plan.AggSpec {
+	var out []plan.AggSpec
+	for _, a := range g.Aggs {
+		switch a.Func {
+		case plan.AggAvg:
+			out = append(out,
+				plan.AggSpec{Func: plan.AggSum, Name: a.Name + "@sum", E: a.E, Typ: a.Typ},
+				plan.AggSpec{Func: plan.AggCount, Name: a.Name + "@cnt", E: nil})
+		default:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// mergePlan builds the coordinator-side re-aggregation over the
+// concatenated partials, restoring the original output schema.
+func mergePlan(g *plan.GroupBy, partial *plan.Materialized) plan.Node {
+	var aggs []plan.AggSpec
+	needsProject := false
+	for _, a := range g.Aggs {
+		switch a.Func {
+		case plan.AggSum:
+			aggs = append(aggs, plan.AggSpec{Func: plan.AggSum, Name: a.Name, E: plan.C(a.Name), Typ: a.Typ})
+		case plan.AggCount:
+			aggs = append(aggs, plan.AggSpec{Func: plan.AggSum, Name: a.Name, E: plan.C(a.Name), Typ: a.Typ})
+		case plan.AggMin:
+			aggs = append(aggs, plan.AggSpec{Func: plan.AggMin, Name: a.Name, E: plan.C(a.Name), Typ: a.Typ})
+		case plan.AggMax:
+			aggs = append(aggs, plan.AggSpec{Func: plan.AggMax, Name: a.Name, E: plan.C(a.Name), Typ: a.Typ})
+		case plan.AggAvg:
+			needsProject = true
+			aggs = append(aggs,
+				plan.AggSpec{Func: plan.AggSum, Name: a.Name + "@sum", E: plan.C(a.Name + "@sum"), Typ: a.Typ},
+				plan.AggSpec{Func: plan.AggSum, Name: a.Name + "@cnt", E: plan.C(a.Name + "@cnt")})
+		}
+	}
+	merged := &plan.GroupBy{Input: partial, Keys: g.Keys, Aggs: aggs}
+	if !needsProject {
+		return merged
+	}
+	// Restore the declared schema: divide AVG sums by counts and drop the
+	// helper columns.
+	var exprs []plan.NamedExpr
+	for _, k := range g.Keys {
+		exprs = append(exprs, plan.NamedExpr{Name: k, E: plan.C(k)})
+	}
+	for _, a := range g.Aggs {
+		if a.Func == plan.AggAvg {
+			exprs = append(exprs, plan.NamedExpr{Name: a.Name, Typ: a.Typ,
+				E: plan.DivE(plan.C(a.Name+"@sum"), plan.C(a.Name+"@cnt"))})
+		} else {
+			exprs = append(exprs, plan.NamedExpr{Name: a.Name, E: plan.C(a.Name), Typ: a.Typ})
+		}
+	}
+	return &plan.Project{Input: merged, Exprs: exprs}
+}
+
+// scatterGather runs the per-device core plans and merges.
+func (c *Cluster) scatterGather(build func() plan.Node, strat *strategy) (*engine.Batch, *Report, error) {
+	rep := &Report{PerDevice: make([]*core.Report, c.NumDevices())}
+	if strat == nil {
+		rep.Strategy = stratConcat.String()
+	} else {
+		rep.Strategy = stratMergeAgg.String()
+	}
+
+	var parts []*engine.Batch
+	var partialSchema plan.Schema
+	var probeChain []plan.Node
+	var probeGroup *plan.GroupBy
+
+	for d := 0; d < c.NumDevices(); d++ {
+		tree := build()
+		if err := plan.Bind(tree, c.Stores[d]); err != nil {
+			return nil, nil, err
+		}
+		chain, coreNode := peel(tree)
+		var devicePlan plan.Node = coreNode
+		if strat != nil {
+			g, ok := coreNode.(*plan.GroupBy)
+			if !ok {
+				return nil, nil, fmt.Errorf("distrib: merge strategy on non-group-by core %T", coreNode)
+			}
+			devicePlan = &plan.GroupBy{Input: g.Input, Keys: g.Keys, Aggs: partialAggs(g)}
+			if d == 0 {
+				probeGroup = g
+			}
+		}
+		if err := plan.Bind(devicePlan, c.Stores[d]); err != nil {
+			return nil, nil, err
+		}
+		dev := core.New(c.Stores[d], core.Config{
+			DRAMBytes: c.DRAMBytes,
+			Compiler:  compiler.Config{HeapScale: c.HeapScale},
+		})
+		b, r, err := dev.RunQuery(devicePlan)
+		if err != nil {
+			return nil, nil, fmt.Errorf("distrib: device %d: %w", d, err)
+		}
+		rep.PerDevice[d] = r
+		parts = append(parts, b)
+		if d == 0 {
+			partialSchema = b.Schema
+			probeChain = chain
+		}
+	}
+
+	// Concatenate partials into a Materialized leaf.
+	concat := &plan.Materialized{S: partialSchema, Label: "distrib-gather"}
+	concat.Cols = make([][]int64, len(partialSchema))
+	for _, b := range parts {
+		for ci := range b.Cols {
+			concat.Cols[ci] = append(concat.Cols[ci], b.Cols[ci]...)
+		}
+	}
+
+	var merged plan.Node = concat
+	if strat != nil {
+		merged = mergePlan(probeGroup, concat)
+	}
+	// Re-apply the peeled post-processing chain, innermost last.
+	for i := len(probeChain) - 1; i >= 0; i-- {
+		switch t := probeChain[i].(type) {
+		case *plan.OrderBy:
+			merged = &plan.OrderBy{Input: merged, Keys: t.Keys}
+		case *plan.Limit:
+			merged = &plan.Limit{Input: merged, N: t.N}
+		case *plan.Project:
+			merged = &plan.Project{Input: merged, Exprs: t.Exprs}
+		}
+	}
+	if err := plan.Bind(merged, c.Stores[0]); err != nil {
+		return nil, nil, err
+	}
+	out, err := engine.New(c.Stores[0]).Run(merged)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}

@@ -1,0 +1,308 @@
+// Package flash simulates the NAND flash device AQUOMAN is embedded in.
+//
+// The paper's prototype (BlueDBM) exposes a 1 TB open-channel flash array
+// with 8 KB page access granularity, 2.4 GB/s read and 0.8 GB/s write
+// bandwidth, and a flash-command queue of depth 128. Both the x86 host and
+// AQUOMAN access NAND through a flash controller switch that arbitrates
+// page reads, page writes, and block erases (Fig. 3).
+//
+// This package reproduces that device as an in-memory page store with exact
+// byte-level content plus per-requester traffic accounting. The accounting
+// (pages read sequentially vs. randomly, per requester) is what the timing
+// model in internal/perf converts into simulated seconds, mirroring the
+// paper's trace-based simulator.
+package flash
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Device geometry and rate constants from Sec. VII of the paper.
+const (
+	// PageSize is the flash page access granularity in bytes.
+	PageSize = 8192
+	// QueueDepth is the flash command queue depth; it sizes the Row-Mask
+	// Vector circular buffer (Sec. VI: 128 in-flight pages => 32K 32-row
+	// vectors of mask state).
+	QueueDepth = 128
+	// ReadBandwidth is the sustained read rate in bytes/second.
+	ReadBandwidth = 2.4e9
+	// WriteBandwidth is the sustained write rate in bytes/second.
+	WriteBandwidth = 0.8e9
+)
+
+// Requester identifies which side of the controller switch issued an I/O.
+type Requester int
+
+const (
+	// Host I/O arrives through the legacy OS stack (filesystem + block
+	// device driver in Fig. 3).
+	Host Requester = iota
+	// Aquoman I/O is issued by the in-storage accelerator itself.
+	Aquoman
+	numRequesters
+)
+
+func (r Requester) String() string {
+	switch r {
+	case Host:
+		return "host"
+	case Aquoman:
+		return "aquoman"
+	default:
+		return fmt.Sprintf("requester(%d)", int(r))
+	}
+}
+
+// Stats is a snapshot of traffic through the controller switch.
+type Stats struct {
+	// PagesRead counts 8 KB page reads per requester.
+	PagesRead [numRequesters]int64
+	// PagesReadRandom counts page reads that broke the requester's
+	// sequential stream on a file (gathers by RowID land here).
+	PagesReadRandom [numRequesters]int64
+	// PagesWritten counts page-granular writes per requester.
+	PagesWritten [numRequesters]int64
+}
+
+// BytesRead returns total bytes read by r.
+func (s Stats) BytesRead(r Requester) int64 { return s.PagesRead[r] * PageSize }
+
+// BytesWritten returns total bytes written by r.
+func (s Stats) BytesWritten(r Requester) int64 { return s.PagesWritten[r] * PageSize }
+
+// TotalPagesRead returns page reads summed over requesters.
+func (s Stats) TotalPagesRead() int64 {
+	var t int64
+	for _, v := range s.PagesRead {
+		t += v
+	}
+	return t
+}
+
+// Sub returns s - o, counter-wise (used to extract a per-query trace).
+func (s Stats) Sub(o Stats) Stats {
+	var r Stats
+	for i := 0; i < int(numRequesters); i++ {
+		r.PagesRead[i] = s.PagesRead[i] - o.PagesRead[i]
+		r.PagesReadRandom[i] = s.PagesReadRandom[i] - o.PagesReadRandom[i]
+		r.PagesWritten[i] = s.PagesWritten[i] - o.PagesWritten[i]
+	}
+	return r
+}
+
+// Device is a simulated flash drive holding named files. It is safe for
+// concurrent use; the controller switch serializes command accounting.
+type Device struct {
+	mu    sync.Mutex
+	files map[string]*File
+	stats Stats
+}
+
+// NewDevice returns an empty flash device.
+func NewDevice() *Device {
+	return &Device{files: make(map[string]*File)}
+}
+
+// File is a byte-addressable flash-backed file. Content is stored exactly;
+// reads and writes are accounted at page granularity.
+type File struct {
+	dev  *Device
+	name string
+
+	mu       sync.Mutex
+	data     []byte
+	lastRead [numRequesters]int64 // next sequential page per requester, -1 if none
+}
+
+// Create creates (or truncates) a file.
+func (d *Device) Create(name string) *File {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := &File{dev: d, name: name}
+	for i := range f.lastRead {
+		f.lastRead[i] = -1
+	}
+	d.files[name] = f
+	return f
+}
+
+// Open returns the named file.
+func (d *Device) Open(name string) (*File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return nil, fmt.Errorf("flash: open %s: no such file", name)
+	}
+	return f, nil
+}
+
+// Exists reports whether a file of that name exists.
+func (d *Device) Exists(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.files[name]
+	return ok
+}
+
+// Remove deletes a file. Removing a missing file is a no-op.
+func (d *Device) Remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, name)
+}
+
+// Files returns the names of all files in deterministic order.
+func (d *Device) Files() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.files))
+	for n := range d.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalBytes returns the summed content size of all files.
+func (d *Device) TotalBytes() int64 {
+	d.mu.Lock()
+	files := make([]*File, 0, len(d.files))
+	for _, f := range d.files {
+		files = append(files, f)
+	}
+	d.mu.Unlock()
+	var t int64
+	for _, f := range files {
+		t += f.Size()
+	}
+	return t
+}
+
+// Stats returns a snapshot of the device traffic counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the traffic counters and sequential-read state (used
+// between experiments).
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	d.stats = Stats{}
+	files := make([]*File, 0, len(d.files))
+	for _, f := range d.files {
+		files = append(files, f)
+	}
+	d.mu.Unlock()
+	for _, f := range files {
+		f.mu.Lock()
+		for i := range f.lastRead {
+			f.lastRead[i] = -1
+		}
+		f.mu.Unlock()
+	}
+}
+
+func (d *Device) account(who Requester, pagesRead, random, pagesWritten int64) {
+	d.mu.Lock()
+	d.stats.PagesRead[who] += pagesRead
+	d.stats.PagesReadRandom[who] += random
+	d.stats.PagesWritten[who] += pagesWritten
+	d.mu.Unlock()
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the file content size in bytes.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.data))
+}
+
+// NumPages returns the number of flash pages the file occupies.
+func (f *File) NumPages() int64 {
+	return (f.Size() + PageSize - 1) / PageSize
+}
+
+// Append writes p at the end of the file, accounted to requester who.
+func (f *File) Append(p []byte, who Requester) {
+	if len(p) == 0 {
+		return
+	}
+	f.mu.Lock()
+	off := int64(len(f.data))
+	f.data = append(f.data, p...)
+	f.mu.Unlock()
+	f.dev.account(who, 0, 0, PagesSpanned(off, int64(len(p))))
+}
+
+// WriteAt writes p at offset off (extending the file as needed).
+func (f *File) WriteAt(p []byte, off int64, who Requester) {
+	if len(p) == 0 {
+		return
+	}
+	f.mu.Lock()
+	end := off + int64(len(p))
+	if int64(len(f.data)) < end {
+		f.data = append(f.data, make([]byte, end-int64(len(f.data)))...)
+	}
+	copy(f.data[off:end], p)
+	f.mu.Unlock()
+	f.dev.account(who, 0, 0, PagesSpanned(off, int64(len(p))))
+}
+
+// ReadAt fills p from offset off, accounting every touched page to who.
+// It returns the number of bytes read; reading past EOF returns the
+// available prefix.
+func (f *File) ReadAt(p []byte, off int64, who Requester) int {
+	if len(p) == 0 || off < 0 {
+		return 0
+	}
+	f.mu.Lock()
+	n := 0
+	if off < int64(len(f.data)) {
+		n = copy(p, f.data[off:])
+	}
+	var pages, random int64
+	if n > 0 {
+		first, last := off/PageSize, (off+int64(n)-1)/PageSize
+		pages = last - first + 1
+		if f.lastRead[who] >= 0 && first > f.lastRead[who] {
+			// Jumped forward past the sequential stream: one seek.
+			random = 1
+		} else if f.lastRead[who] >= 0 && first < f.lastRead[who]-1 {
+			// Jumped backward: one seek.
+			random = 1
+		}
+		f.lastRead[who] = last + 1
+	}
+	f.mu.Unlock()
+	if n > 0 {
+		f.dev.account(who, pages, random, 0)
+	}
+	return n
+}
+
+// ReadPage reads one whole page (the last page may be short). It is the
+// primitive AQUOMAN's Table Reader uses; page skipping simply avoids the
+// call.
+func (f *File) ReadPage(page int64, who Requester) []byte {
+	buf := make([]byte, PageSize)
+	n := f.ReadAt(buf, page*PageSize, who)
+	return buf[:n]
+}
+
+// PagesSpanned reports how many pages the byte range [off, off+n) touches.
+func PagesSpanned(off, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return (off+n-1)/PageSize - off/PageSize + 1
+}

@@ -1,0 +1,211 @@
+package flash
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateOpenRemove(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("tbl/col0")
+	if f.Name() != "tbl/col0" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	if !d.Exists("tbl/col0") {
+		t.Fatal("Exists = false after Create")
+	}
+	got, err := d.Open("tbl/col0")
+	if err != nil || got != f {
+		t.Fatalf("Open: %v, %v", got, err)
+	}
+	if _, err := d.Open("missing"); err == nil {
+		t.Fatal("Open(missing) succeeded")
+	}
+	d.Remove("tbl/col0")
+	if d.Exists("tbl/col0") {
+		t.Fatal("Exists = true after Remove")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 1024) // 16 KB
+	f.Append(payload, Host)
+	if f.Size() != int64(len(payload)) {
+		t.Fatalf("Size = %d, want %d", f.Size(), len(payload))
+	}
+	buf := make([]byte, len(payload))
+	if n := f.ReadAt(buf, 0, Host); n != len(payload) {
+		t.Fatalf("ReadAt = %d", n)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("content mismatch")
+	}
+	// Partial read past EOF returns available prefix.
+	n := f.ReadAt(buf, int64(len(payload))-10, Host)
+	if n != 10 {
+		t.Fatalf("tail read = %d, want 10", n)
+	}
+}
+
+func TestWriteAtExtends(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	f.WriteAt([]byte("xyz"), 100, Host)
+	if f.Size() != 103 {
+		t.Fatalf("Size = %d, want 103", f.Size())
+	}
+	buf := make([]byte, 3)
+	f.ReadAt(buf, 100, Host)
+	if string(buf) != "xyz" {
+		t.Fatalf("content = %q", buf)
+	}
+}
+
+func TestPageAccounting(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	f.Append(make([]byte, 3*PageSize), Aquoman)
+	d.ResetStats()
+
+	// A sequential full read touches 3 pages, no random seeks.
+	buf := make([]byte, 3*PageSize)
+	f.ReadAt(buf, 0, Aquoman)
+	s := d.Stats()
+	if s.PagesRead[Aquoman] != 3 {
+		t.Fatalf("PagesRead = %d, want 3", s.PagesRead[Aquoman])
+	}
+	if s.PagesReadRandom[Aquoman] != 0 {
+		t.Fatalf("PagesReadRandom = %d, want 0", s.PagesReadRandom[Aquoman])
+	}
+	if s.PagesRead[Host] != 0 {
+		t.Fatal("host pages counted for aquoman read")
+	}
+
+	// Re-reading page 0 after finishing is a backward seek.
+	f.ReadPage(0, Aquoman)
+	s = d.Stats()
+	if s.PagesReadRandom[Aquoman] != 1 {
+		t.Fatalf("PagesReadRandom = %d, want 1", s.PagesReadRandom[Aquoman])
+	}
+
+	// Page-skipping forward (the Table Reader skipping masked pages) is a
+	// seek too.
+	f.ReadPage(2, Aquoman)
+	s = d.Stats()
+	if s.PagesReadRandom[Aquoman] != 2 {
+		t.Fatalf("PagesReadRandom = %d, want 2", s.PagesReadRandom[Aquoman])
+	}
+	if s.TotalPagesRead() != 5 {
+		t.Fatalf("TotalPagesRead = %d, want 5", s.TotalPagesRead())
+	}
+}
+
+func TestSequentialPageReadsNotRandom(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	f.Append(make([]byte, 10*PageSize), Host)
+	d.ResetStats()
+	for p := int64(0); p < 10; p++ {
+		f.ReadPage(p, Aquoman)
+	}
+	s := d.Stats()
+	if s.PagesRead[Aquoman] != 10 || s.PagesReadRandom[Aquoman] != 0 {
+		t.Fatalf("stats = %+v, want 10 sequential reads", s)
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	f.Append(make([]byte, PageSize+1), Host)
+	s := d.Stats()
+	if s.PagesWritten[Host] != 2 {
+		t.Fatalf("PagesWritten = %d, want 2", s.PagesWritten[Host])
+	}
+	if s.BytesWritten(Host) != 2*PageSize {
+		t.Fatalf("BytesWritten = %d", s.BytesWritten(Host))
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	f.Append(make([]byte, PageSize), Host)
+	before := d.Stats()
+	f.ReadPage(0, Aquoman)
+	diff := d.Stats().Sub(before)
+	if diff.PagesRead[Aquoman] != 1 || diff.PagesWritten[Host] != 0 {
+		t.Fatalf("diff = %+v", diff)
+	}
+}
+
+func TestPagesSpanned(t *testing.T) {
+	cases := []struct {
+		off, n, want int64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, PageSize, 1},
+		{0, PageSize + 1, 2},
+		{PageSize - 1, 2, 2},
+		{PageSize, PageSize, 1},
+		{100, 3 * PageSize, 4},
+	}
+	for _, c := range cases {
+		if got := PagesSpanned(c.off, c.n); got != c.want {
+			t.Errorf("PagesSpanned(%d,%d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	f.Append(make([]byte, 64*PageSize), Host)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, PageSize)
+			for i := 0; i < 100; i++ {
+				f.ReadAt(buf, int64((g*100+i)%64)*PageSize, Host)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := d.Stats().PagesRead[Host]; got != 800 {
+		t.Fatalf("PagesRead = %d, want 800", got)
+	}
+}
+
+// Property: content written at arbitrary offsets reads back exactly.
+func TestQuickWriteReadAt(t *testing.T) {
+	f := func(chunks [][]byte, offs []uint16) bool {
+		d := NewDevice()
+		file := d.Create("q")
+		ref := make([]byte, 0)
+		for i, c := range chunks {
+			if i >= len(offs) {
+				break
+			}
+			off := int64(offs[i])
+			end := off + int64(len(c))
+			if int64(len(ref)) < end {
+				ref = append(ref, make([]byte, end-int64(len(ref)))...)
+			}
+			copy(ref[off:end], c)
+			file.WriteAt(c, off, Host)
+		}
+		got := make([]byte, len(ref))
+		file.ReadAt(got, 0, Host)
+		return bytes.Equal(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"aquoman/internal/col"
+	"aquoman/internal/compiler"
+	"aquoman/internal/core"
+	"aquoman/internal/flash"
+	"aquoman/internal/plan"
+	"aquoman/internal/swissknife"
+	"aquoman/internal/tabletask"
+	"aquoman/internal/tpch"
+)
+
+// Evaluator drives the Fig. 16 experiments: it executes each query
+// functionally on a generated store, scales the traces to TargetSF, and
+// prices them with the rate model.
+type Evaluator struct {
+	// Store is the primary generated data set.
+	Store *col.Store
+	// HalfStore, if non-nil, is a half-scale data set used to measure how
+	// per-task group counts grow with scale (so q1's 4 groups stay 4 at
+	// SF-1000 while q15's per-supplier groups grow linearly).
+	HalfStore *col.Store
+	// TargetSF is the modeled deployment scale (1000 in the paper).
+	TargetSF float64
+	Rates    Rates
+}
+
+// actualSF infers a store's scale factor from the orders cardinality.
+func actualSF(s *col.Store) float64 {
+	o, err := s.Table("orders")
+	if err != nil {
+		return 1
+	}
+	return float64(o.NumRows) / float64(tpch.OrdersPerSF)
+}
+
+// QueryEval is the modeled outcome of one query under every system.
+type QueryEval struct {
+	Query int
+	// RunSeconds, HostCPUSeconds, MaxHostMem, AvgHostMem, AqMem are keyed
+	// by system name.
+	RunSeconds     map[string]float64
+	HostCPUSeconds map[string]float64
+	MaxHostMem     map[string]int64
+	AvgHostMem     map[string]int64
+	AqMem          map[string]int64
+	// AqSeconds is the time spent inside AQUOMAN per system.
+	AqSeconds map[string]float64
+	// OffloadFraction / FullyOffloaded / Suspended describe the
+	// 40 GB-AQUOMAN run.
+	OffloadFraction float64
+	FullyOffloaded  bool
+	Suspended       bool
+	Units           []string
+	Notes           []string
+	// Pipeline usage highlights from the L-AQUOMAN trace (resource
+	// report).
+	Tasks       int
+	MaxCPs      int
+	MaxPEs      int
+	Groups      int64
+	SpilledRows int64
+	WidenedRegs bool
+}
+
+// EvalQuery models query q on every Fig. 16 system.
+func (ev *Evaluator) EvalQuery(q int) (*QueryEval, error) {
+	def, err := tpch.Get(q)
+	if err != nil {
+		return nil, err
+	}
+	scale := ev.TargetSF / actualSF(ev.Store)
+	out := &QueryEval{
+		Query:          q,
+		RunSeconds:     map[string]float64{},
+		HostCPUSeconds: map[string]float64{},
+		MaxHostMem:     map[string]int64{},
+		AvgHostMem:     map[string]int64{},
+		AqMem:          map[string]int64{},
+		AqSeconds:      map[string]float64{},
+	}
+
+	// Baseline functional run (host only) serves S and L.
+	baseRep, err := ev.run(def, core.Config{DisableOffload: true}, ev.Store)
+	if err != nil {
+		return nil, err
+	}
+	baseCPU := ev.Rates.HostCPUSeconds(baseRep.HostStats.Work) * scale
+	for _, sys := range []System{SystemS, SystemL} {
+		ev.price(out, sys, baseRep, nil, scale, baseCPU)
+	}
+
+	// Offloaded runs: one per AQUOMAN DRAM configuration. The functional
+	// DRAM capacity is the configured capacity divided by the trace
+	// scale, so capacity suspensions trigger exactly when they would at
+	// TargetSF.
+	for _, sys := range []System{SystemSAq, SystemLAq, SystemSAq16} {
+		cfg := core.Config{
+			DRAMBytes: int64(float64(sys.Aquoman.DRAMBytes) / scale),
+			Compiler:  compiler.Config{HeapScale: scale},
+		}
+		rep, err := ev.run(def, cfg, ev.Store)
+		if err != nil {
+			return nil, err
+		}
+		var alpha map[string]float64
+		if ev.HalfStore != nil {
+			alpha, err = ev.groupGrowth(def, cfg, rep)
+			if err != nil {
+				return nil, err
+			}
+		}
+		hostCPU := ev.Rates.HostCPUSeconds(rep.HostStats.Work) * scale
+		ev.priceOffloaded(out, sys, rep, alpha, scale, hostCPU)
+		if sys.Name == SystemLAq.Name {
+			out.OffloadFraction = rep.OffloadFraction
+			out.FullyOffloaded = rep.FullyOffloaded
+			out.Suspended = rep.Suspended
+			out.Units = rep.Units
+			out.Notes = rep.Notes
+			out.Tasks = len(rep.AquomanTrace.Tasks)
+			for _, tt := range rep.AquomanTrace.Tasks {
+				if tt.SelectorCPs > out.MaxCPs {
+					out.MaxCPs = tt.SelectorCPs
+				}
+				if tt.TransformerPEs > out.MaxPEs {
+					out.MaxPEs = tt.TransformerPEs
+				}
+				if tt.WidenedRegs {
+					out.WidenedRegs = true
+				}
+				out.Groups += tt.Groups
+				out.SpilledRows += tt.SpilledRows
+			}
+		}
+	}
+	return out, nil
+}
+
+func (ev *Evaluator) run(def tpch.Query, cfg core.Config, store *col.Store) (*core.Report, error) {
+	n := def.Build()
+	if err := plan.Bind(n, store); err != nil {
+		return nil, err
+	}
+	dev := core.New(store, cfg)
+	_, rep, err := dev.RunQuery(n)
+	if err != nil {
+		return nil, fmt.Errorf("perf: q%d: %w", def.Num, err)
+	}
+	return rep, nil
+}
+
+// groupGrowth measures the per-task group-count growth exponent between
+// the half store and the primary store: α = log2(g_full / g_half); α≈0
+// means a scale-invariant group domain (q1's flag/status pairs), α≈1 a
+// linearly growing one (q15's suppliers).
+func (ev *Evaluator) groupGrowth(def tpch.Query, cfg core.Config, full *core.Report) (map[string]float64, error) {
+	halfRep, err := ev.run(def, cfg, ev.HalfStore)
+	if err != nil {
+		return nil, err
+	}
+	halfGroups := map[string]int64{}
+	for _, tt := range halfRep.AquomanTrace.Tasks {
+		if tt.Groups > 0 {
+			halfGroups[tt.Name] = tt.Groups
+		}
+	}
+	ratio := actualSF(ev.Store) / actualSF(ev.HalfStore)
+	alpha := map[string]float64{}
+	for _, tt := range full.AquomanTrace.Tasks {
+		if tt.Groups <= 0 {
+			continue
+		}
+		a := 1.0
+		if hg, ok := halfGroups[tt.Name]; ok && hg > 0 && ratio > 1 {
+			a = math.Log(float64(tt.Groups)/float64(hg)) / math.Log(ratio)
+		}
+		if a < 0 {
+			a = 0
+		}
+		if a > 1 {
+			a = 1
+		}
+		alpha[tt.Name] = a
+	}
+	return alpha, nil
+}
+
+// price fills the baseline (no-AQUOMAN) numbers for one system.
+func (ev *Evaluator) price(out *QueryEval, sys System, rep *core.Report, _ map[string]float64, scale, cpuSeconds float64) {
+	io := float64(rep.Flash.BytesRead(flash.Host))*scale/ev.Rates.FlashSeqBW +
+		float64(rep.Flash.BytesWritten(flash.Host))*scale/ev.Rates.FlashWriteBW
+	peak := int64(float64(rep.HostStats.PeakBytes) * scale)
+	run := math.Max(cpuSeconds/float64(sys.Host.Threads), io)
+	run += ev.swapPenalty(peak, sys.Host)
+	out.RunSeconds[sys.Name] = run
+	out.HostCPUSeconds[sys.Name] = cpuSeconds
+	out.MaxHostMem[sys.Name] = minI64(peak, sys.Host.DRAMBytes)
+	out.AvgHostMem[sys.Name] = minI64(avgMem(rep, scale), sys.Host.DRAMBytes)
+	out.AqSeconds[sys.Name] = 0
+	out.AqMem[sys.Name] = 0
+}
+
+// priceOffloaded fills one AQUOMAN-augmented system's numbers.
+func (ev *Evaluator) priceOffloaded(out *QueryEval, sys System, rep *core.Report, alpha map[string]float64, scale, hostCPU float64) {
+	r := ev.Rates
+	// AQUOMAN time: sequential streaming bounded by flash and the 4 GB/s
+	// pipeline, plus random gathers, sorter DRAM passes, and write-backs.
+	seqPages := rep.Flash.PagesRead[flash.Aquoman] - rep.Flash.PagesReadRandom[flash.Aquoman]
+	seqBytes := float64(seqPages*flash.PageSize) * scale
+	randBytes := float64(rep.Flash.PagesReadRandom[flash.Aquoman]*flash.PageSize) * scale
+	aqTime := math.Max(seqBytes/r.FlashSeqBW, seqBytes/r.AquomanStreamBW)
+	aqTime += randBytes / r.FlashRandomBW
+	var sorterDRAM, spillRows float64
+	for _, tt := range rep.AquomanTrace.Tasks {
+		sorterDRAM += float64(tt.SorterDRAMBytes) * scale
+		spillRows += ev.scaledSpill(&tt, alpha, scale)
+	}
+	aqTime += sorterDRAM / r.AquomanDRAMBW
+
+	// Host side: residual plan work, plus keeping up with spill-over
+	// accumulation (concurrent with streaming, so take the max with the
+	// streaming time), plus its own I/O.
+	spillTime := spillRows / r.SpillRate
+	hostCPU += spillRows / r.SpillRate // spilled accumulates burn host cycles
+	hostIO := float64(rep.Flash.BytesRead(flash.Host)) * scale / r.FlashSeqBW
+	hostResidual := math.Max(ev.Rates.HostCPUSeconds(rep.HostStats.Work)*scale/float64(sys.Host.Threads), hostIO)
+	run := math.Max(aqTime, spillTime/float64(sys.Host.Threads)) + hostResidual
+
+	peak := int64(float64(rep.HostStats.PeakBytes) * scale)
+	run += ev.swapPenalty(peak, sys.Host)
+
+	out.RunSeconds[sys.Name] = run
+	out.HostCPUSeconds[sys.Name] = hostCPU
+	out.MaxHostMem[sys.Name] = minI64(peak, sys.Host.DRAMBytes)
+	out.AvgHostMem[sys.Name] = minI64(avgMem(rep, scale), sys.Host.DRAMBytes)
+	out.AqSeconds[sys.Name] = aqTime
+	out.AqMem[sys.Name] = int64(float64(rep.DRAMPeak) * scale)
+}
+
+// scaledSpill estimates the spill-over rows at TargetSF: the group count
+// grows as scale^α, and rows spill in proportion to the groups that fall
+// outside the accelerator's buckets.
+func (ev *Evaluator) scaledSpill(tt *tabletask.TaskTrace, alpha map[string]float64, scale float64) float64 {
+	if tt.Groups == 0 {
+		return 0
+	}
+	a := 1.0
+	if alpha != nil {
+		if v, ok := alpha[tt.Name]; ok {
+			a = v
+		}
+	}
+	groupsScaled := float64(tt.Groups) * math.Pow(scale, a)
+	rowsScaled := float64(tt.RowsToSwissknife) * scale
+	if groupsScaled <= float64(swissknife.GroupBuckets) {
+		// Everything resident, modulo hash collisions measured
+		// functionally.
+		return float64(tt.SpilledRows) * scale
+	}
+	frac := 1 - float64(swissknife.GroupBuckets)/groupsScaled
+	return rowsScaled * frac
+}
+
+// swapPenalty models MonetDB's disk-swap when intermediates exceed DRAM.
+func (ev *Evaluator) swapPenalty(peak int64, h HostConfig) float64 {
+	if peak <= h.DRAMBytes {
+		return 0
+	}
+	return 2 * float64(peak-h.DRAMBytes) / ev.Rates.HostDiskSwapBW
+}
+
+func avgMem(rep *core.Report, scale float64) int64 {
+	if rep.HostStats.Batches == 0 {
+		return 0
+	}
+	return int64(float64(rep.HostStats.SumBytes) / float64(rep.HostStats.Batches) * scale)
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// traceFor returns the L-AQUOMAN execution report (with task traces) for
+// one query.
+func (ev *Evaluator) traceFor(q int) (*core.Report, error) {
+	def, err := tpch.Get(q)
+	if err != nil {
+		return nil, err
+	}
+	scale := ev.TargetSF / actualSF(ev.Store)
+	cfg := core.Config{
+		DRAMBytes: int64(float64(SystemLAq.Aquoman.DRAMBytes) / scale),
+		Compiler:  compiler.Config{HeapScale: scale},
+	}
+	return ev.run(def, cfg, ev.Store)
+}
+
+// EvalAll evaluates every TPC-H query.
+func (ev *Evaluator) EvalAll() ([]*QueryEval, error) {
+	var out []*QueryEval
+	for _, def := range tpch.Queries() {
+		qe, err := ev.EvalQuery(def.Num)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, qe)
+	}
+	return out, nil
+}

@@ -1,0 +1,347 @@
+package plan
+
+import (
+	"fmt"
+
+	"aquoman/internal/col"
+)
+
+// Node is a logical relational operator. Output schemas are computed
+// bottom-up by Bind, which resolves names against the store's catalog.
+type Node interface {
+	node()
+	// Schema returns the operator's output schema (valid after Bind).
+	Schema() Schema
+	// Inputs returns child operators.
+	Inputs() []Node
+}
+
+// Scan reads named columns of a base table. The pseudo-column "@rowid"
+// exposes the implicit RowID; "<fk>@rowid" columns expose materialized
+// foreign-key join indices.
+type Scan struct {
+	Table string
+	Cols  []string
+
+	schema Schema
+	// Tab is resolved by Bind.
+	Tab *col.Table
+}
+
+// Filter keeps rows where Pred is nonzero.
+type Filter struct {
+	Input Node
+	Pred  Expr
+}
+
+// NamedExpr is one projected output column. Typ documents the output type
+// for display; zero value means "inherit/int64".
+type NamedExpr struct {
+	Name string
+	E    Expr
+	Typ  col.Type
+}
+
+// Project computes new columns.
+type Project struct {
+	Input Node
+	Exprs []NamedExpr
+
+	schema Schema
+}
+
+// JoinKind selects the join semantics.
+type JoinKind int
+
+const (
+	// InnerJoin emits the concatenation of matching rows.
+	InnerJoin JoinKind = iota
+	// SemiJoin emits left rows with at least one match.
+	SemiJoin
+	// AntiJoin emits left rows with no match.
+	AntiJoin
+	// LeftMarkJoin emits one row per (left, match) pair plus unmatched
+	// left rows, with an extra 0/1 column "@matched" (used for outer
+	// counting as in q13).
+	LeftMarkJoin
+)
+
+func (k JoinKind) String() string {
+	return [...]string{"inner", "semi", "anti", "leftmark"}[k]
+}
+
+// Join is a multi-key equi-join with an optional extra predicate evaluated
+// on the concatenated schema (for q21-style correlated inequalities).
+type Join struct {
+	Kind  JoinKind
+	L, R  Node
+	LKeys []string
+	RKeys []string
+	// Extra, if non-nil, must also hold for a pair to count as a match.
+	Extra Expr
+
+	schema Schema
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+const (
+	AggSum AggFunc = iota
+	AggMin
+	AggMax
+	AggCount // COUNT(*) when E == nil
+	AggCountDistinct
+	AggAvg
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"sum", "min", "max", "count", "count_distinct", "avg"}[f]
+}
+
+// AggSpec is one aggregate output.
+type AggSpec struct {
+	Func AggFunc
+	E    Expr // nil for COUNT(*)
+	Name string
+	Typ  col.Type
+}
+
+// GroupBy groups by key columns (empty Keys = single-group scalar
+// aggregation) and computes aggregates.
+type GroupBy struct {
+	Input Node
+	Keys  []string
+	Aggs  []AggSpec
+
+	schema Schema
+}
+
+// OrderKey is one sort key.
+type OrderKey struct {
+	Name string
+	Desc bool
+}
+
+// OrderBy sorts rows.
+type OrderBy struct {
+	Input Node
+	Keys  []OrderKey
+}
+
+// Limit keeps the first N rows.
+type Limit struct {
+	Input Node
+	N     int
+}
+
+// Materialized is a subtree replaced by an already-computed result —
+// the hand-off point between an offloaded AQUOMAN program and the
+// residual host plan. Cols are filled in by the AQUOMAN runtime before
+// the host engine executes the residual tree.
+type Materialized struct {
+	S    Schema
+	Cols [][]int64
+	// Label identifies the offload unit for traces.
+	Label string
+}
+
+func (*Materialized) node()            {}
+func (n *Materialized) Schema() Schema { return n.S }
+func (n *Materialized) Inputs() []Node { return nil }
+
+// ScalarJoin attaches the single value produced by Sub (one row, one
+// column) to every row of Input as column Name — the decorrelated form of
+// scalar subqueries (q11, q15, q22).
+type ScalarJoin struct {
+	Input Node
+	Sub   Node
+	Name  string
+
+	schema Schema
+}
+
+func (*Scan) node()       {}
+func (*Filter) node()     {}
+func (*Project) node()    {}
+func (*Join) node()       {}
+func (*GroupBy) node()    {}
+func (*OrderBy) node()    {}
+func (*Limit) node()      {}
+func (*ScalarJoin) node() {}
+
+func (n *Scan) Schema() Schema    { return n.schema }
+func (n *Filter) Schema() Schema  { return n.Input.Schema() }
+func (n *Project) Schema() Schema { return n.schema }
+func (n *Join) Schema() Schema    { return n.schema }
+func (n *GroupBy) Schema() Schema { return n.schema }
+func (n *OrderBy) Schema() Schema { return n.Input.Schema() }
+func (n *Limit) Schema() Schema   { return n.Input.Schema() }
+func (n *ScalarJoin) Schema() Schema {
+	return n.schema
+}
+
+func (n *Scan) Inputs() []Node       { return nil }
+func (n *Filter) Inputs() []Node     { return []Node{n.Input} }
+func (n *Project) Inputs() []Node    { return []Node{n.Input} }
+func (n *Join) Inputs() []Node       { return []Node{n.L, n.R} }
+func (n *GroupBy) Inputs() []Node    { return []Node{n.Input} }
+func (n *OrderBy) Inputs() []Node    { return []Node{n.Input} }
+func (n *Limit) Inputs() []Node      { return []Node{n.Input} }
+func (n *ScalarJoin) Inputs() []Node { return []Node{n.Input, n.Sub} }
+
+// MatchedCol is the implicit mark column added by LeftMarkJoin.
+const MatchedCol = "@matched"
+
+// RowIDCol is the pseudo-column exposing a table's implicit row id.
+const RowIDCol = "@rowid"
+
+// Bind resolves the tree against the store catalog, computing schemas.
+func Bind(n Node, store *col.Store) error {
+	for _, in := range n.Inputs() {
+		if err := Bind(in, store); err != nil {
+			return err
+		}
+	}
+	switch t := n.(type) {
+	case *Scan:
+		tab, err := store.Table(t.Table)
+		if err != nil {
+			return err
+		}
+		t.Tab = tab
+		t.schema = nil
+		for _, name := range t.Cols {
+			if name == RowIDCol {
+				t.schema = append(t.schema, Field{Name: RowIDCol, Typ: col.RowID})
+				continue
+			}
+			ci, err := tab.Column(name)
+			if err != nil {
+				return err
+			}
+			f := Field{Name: name, Typ: ci.Def.Typ}
+			if ci.Def.Typ.IsString() {
+				f.Src = ci
+			}
+			t.schema = append(t.schema, f)
+		}
+	case *Filter:
+		// Validate the predicate lowers (Text predicates are allowed at
+		// execution time; only name errors are caught here).
+		if _, err := Lower(t.Pred, t.Input.Schema()); err != nil {
+			if _, ok := err.(*TextError); !ok {
+				return err
+			}
+		}
+	case *Project:
+		t.schema = nil
+		for _, ne := range t.Exprs {
+			f := Field{Name: ne.Name, Typ: ne.Typ}
+			// Column pass-throughs inherit type and dictionary.
+			if c, ok := ne.E.(Col); ok {
+				src, err := t.Input.Schema().Field(c.Name)
+				if err != nil {
+					return err
+				}
+				if f.Typ == col.Int64 || f.Typ == 0 {
+					f.Typ = src.Typ
+				}
+				f.Src = src.Src
+			}
+			t.schema = append(t.schema, f)
+		}
+	case *Join:
+		if len(t.LKeys) != len(t.RKeys) || len(t.LKeys) == 0 {
+			return fmt.Errorf("plan: join needs matching key lists, got %v vs %v", t.LKeys, t.RKeys)
+		}
+		ls, rs := t.L.Schema(), t.R.Schema()
+		for _, k := range t.LKeys {
+			if ls.Index(k) < 0 {
+				return fmt.Errorf("plan: left join key %q not in %s", k, ls)
+			}
+		}
+		for _, k := range t.RKeys {
+			if rs.Index(k) < 0 {
+				return fmt.Errorf("plan: right join key %q not in %s", k, rs)
+			}
+		}
+		switch t.Kind {
+		case SemiJoin, AntiJoin:
+			t.schema = ls
+		case LeftMarkJoin:
+			t.schema = append(append(Schema{}, ls...), rs...)
+			t.schema = append(t.schema, Field{Name: MatchedCol, Typ: col.Bool})
+		default:
+			t.schema = append(append(Schema{}, ls...), rs...)
+		}
+		for i, f := range t.schema {
+			for _, g := range t.schema[i+1:] {
+				if f.Name == g.Name {
+					return fmt.Errorf("plan: join output has duplicate column %q", f.Name)
+				}
+			}
+		}
+	case *GroupBy:
+		in := t.Input.Schema()
+		t.schema = nil
+		for _, k := range t.Keys {
+			f, err := in.Field(k)
+			if err != nil {
+				return err
+			}
+			t.schema = append(t.schema, f)
+		}
+		for _, a := range t.Aggs {
+			typ := a.Typ
+			if typ == 0 {
+				typ = col.Int64
+			}
+			t.schema = append(t.schema, Field{Name: a.Name, Typ: typ})
+		}
+	case *OrderBy:
+		in := t.Input.Schema()
+		for _, k := range t.Keys {
+			if in.Index(k.Name) < 0 {
+				return fmt.Errorf("plan: order key %q not in %s", k.Name, in)
+			}
+		}
+	case *Limit:
+		if t.N < 0 {
+			return fmt.Errorf("plan: negative limit %d", t.N)
+		}
+	case *Materialized:
+		// Nothing to resolve; the schema is fixed by the producer.
+	case *ScalarJoin:
+		sub := t.Sub.Schema()
+		if len(sub) != 1 {
+			return fmt.Errorf("plan: scalar subquery must have one column, got %s", sub)
+		}
+		t.schema = append(append(Schema{}, t.Input.Schema()...),
+			Field{Name: t.Name, Typ: sub[0].Typ})
+	default:
+		return fmt.Errorf("plan: unknown node %T", n)
+	}
+	return nil
+}
+
+// Walk visits the tree depth-first, children before parents.
+func Walk(n Node, fn func(Node)) {
+	for _, in := range n.Inputs() {
+		Walk(in, fn)
+	}
+	fn(n)
+}
+
+// BaseTables returns the distinct base tables scanned by the tree.
+func BaseTables(n Node) []string {
+	seen := map[string]bool{}
+	var out []string
+	Walk(n, func(m Node) {
+		if s, ok := m.(*Scan); ok && !seen[s.Table] {
+			seen[s.Table] = true
+			out = append(out, s.Table)
+		}
+	})
+	return out
+}

@@ -1,0 +1,136 @@
+// Package regexcc models AQUOMAN's Regular-Expression Accelerator
+// (Sec. VI-B): a matcher inside the Table Reader that pre-processes
+// variable-sized string columns into one-bit (true/false) columns, backed
+// by a 1 MB memory for the column's string content. When the string heap
+// exceeds that memory — many unique strings — the random heap reads make
+// the column unsuitable for in-storage processing and the query suspends
+// to the host (Sec. VI-E condition 2).
+//
+// The matcher implements SQL LIKE patterns ('%' any run, '_' any single
+// byte) from scratch; TPC-H's string predicates are all LIKE-shaped.
+package regexcc
+
+import "strings"
+
+// CacheBytes is the accelerator's string memory (1 MB in the prototype).
+const CacheBytes = 1 << 20
+
+// Pattern is a compiled LIKE pattern.
+type Pattern struct {
+	src string
+	// segments between '%' wildcards; each segment may contain '_'.
+	segments []string
+	// leading/trailing report whether the pattern is anchored.
+	anchoredStart bool
+	anchoredEnd   bool
+}
+
+// Compile parses a LIKE pattern. There is no escape syntax (TPC-H does not
+// use one).
+func Compile(like string) *Pattern {
+	p := &Pattern{src: like}
+	parts := strings.Split(like, "%")
+	p.anchoredStart = !strings.HasPrefix(like, "%")
+	p.anchoredEnd = !strings.HasSuffix(like, "%")
+	for _, s := range parts {
+		if s != "" {
+			p.segments = append(p.segments, s)
+		}
+	}
+	return p
+}
+
+// Source returns the original pattern text.
+func (p *Pattern) Source() string { return p.src }
+
+// IsPrefix reports whether the pattern is a pure prefix match ("abc%"
+// with no '_'), which compiles to a dictionary code-range predicate.
+func (p *Pattern) IsPrefix() (string, bool) {
+	if p.anchoredStart && !p.anchoredEnd && len(p.segments) == 1 &&
+		!strings.ContainsRune(p.segments[0], '_') {
+		return p.segments[0], true
+	}
+	return "", false
+}
+
+// segMatchAt reports whether segment seg matches s starting at i
+// (honouring '_').
+func segMatchAt(s, seg string, i int) bool {
+	if i+len(seg) > len(s) {
+		return false
+	}
+	for j := 0; j < len(seg); j++ {
+		if seg[j] != '_' && s[i+j] != seg[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// segIndex finds the first match of seg in s at or after from, or -1.
+func segIndex(s, seg string, from int) int {
+	for i := from; i+len(seg) <= len(s); i++ {
+		if segMatchAt(s, seg, i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Match reports whether s matches the pattern.
+func (p *Pattern) Match(s string) bool {
+	segs := p.segments
+	pos := 0
+	if len(segs) == 0 {
+		// "%", "%%", ... match anything; "" matches only "".
+		if p.anchoredStart && p.anchoredEnd {
+			return s == ""
+		}
+		return true
+	}
+	if p.anchoredStart {
+		if !segMatchAt(s, segs[0], 0) {
+			return false
+		}
+		pos = len(segs[0])
+		segs = segs[1:]
+	}
+	// Trailing anchored segment is matched last.
+	var tail string
+	if p.anchoredEnd && len(segs) > 0 {
+		tail = segs[len(segs)-1]
+		segs = segs[:len(segs)-1]
+	}
+	for _, seg := range segs {
+		i := segIndex(s, seg, pos)
+		if i < 0 {
+			return false
+		}
+		pos = i + len(seg)
+	}
+	if p.anchoredEnd {
+		if tail == "" {
+			// Anchored end with no tail segment (pattern had no '%'
+			// at all): position must have consumed the string.
+			return pos == len(s)
+		}
+		start := len(s) - len(tail)
+		return start >= pos && segMatchAt(s, tail, start)
+	}
+	return true
+}
+
+// MatchDict evaluates the pattern over a dictionary, returning the
+// matching codes' truth table. This is how LIKE on a dictionary-encoded
+// column becomes an integer set predicate for the Row Selector.
+func (p *Pattern) MatchDict(dict []string) []bool {
+	out := make([]bool, len(dict))
+	for i, s := range dict {
+		out[i] = p.Match(s)
+	}
+	return out
+}
+
+// FitsAccelerator reports whether a string heap of the given size can be
+// processed in storage.
+func FitsAccelerator(heapBytes int64) bool { return heapBytes <= CacheBytes }

@@ -1,0 +1,140 @@
+package regexcc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// refLike is a simple reference implementation via dynamic programming.
+func refLike(pat, s string) bool {
+	// dp[i][j]: pat[:i] matches s[:j]
+	m, n := len(pat), len(s)
+	dp := make([][]bool, m+1)
+	for i := range dp {
+		dp[i] = make([]bool, n+1)
+	}
+	dp[0][0] = true
+	for i := 1; i <= m; i++ {
+		for j := 0; j <= n; j++ {
+			switch pat[i-1] {
+			case '%':
+				dp[i][j] = dp[i-1][j] || (j > 0 && dp[i][j-1])
+			case '_':
+				dp[i][j] = j > 0 && dp[i-1][j-1]
+			default:
+				dp[i][j] = j > 0 && dp[i-1][j-1] && s[j-1] == pat[i-1]
+			}
+		}
+	}
+	return dp[m][n]
+}
+
+func TestMatchTPCHPatterns(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		// q9: p_name like '%green%'
+		{"%green%", "spring green yellow", true},
+		{"%green%", "greenish", true},
+		{"%green%", "blue red", false},
+		// q13: o_comment not like '%special%requests%'
+		{"%special%requests%", "the special pending requests", true},
+		{"%special%requests%", "requests special", false},
+		// q14: p_type like 'PROMO%'
+		{"PROMO%", "PROMO BURNISHED COPPER", true},
+		{"PROMO%", "STANDARD PROMO", false},
+		// q16: p_type not like 'MEDIUM POLISHED%'
+		{"MEDIUM POLISHED%", "MEDIUM POLISHED TIN", true},
+		{"MEDIUM POLISHED%", "MEDIUM PLATED TIN", false},
+		// q2: p_type like '%BRASS'
+		{"%BRASS", "SMALL PLATED BRASS", true},
+		{"%BRASS", "BRASS PLATED TIN", false},
+		{"%BRASS", "BRASS", true},
+		// q20: p_name like 'forest%'
+		{"forest%", "forest chiffon", true},
+		{"forest%", "rainforest", false},
+		// underscores
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"a_c", "abcd", false},
+		// exact (no wildcard)
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		// empty and universal
+		{"", "", true},
+		{"", "x", false},
+		{"%", "", true},
+		{"%", "anything", true},
+		{"%%", "x", true},
+	}
+	for _, c := range cases {
+		p := Compile(c.pat)
+		if got := p.Match(c.s); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+		if got := refLike(c.pat, c.s); got != c.want {
+			t.Errorf("reference disagrees on (%q, %q)", c.pat, c.s)
+		}
+	}
+}
+
+func TestIsPrefix(t *testing.T) {
+	if pre, ok := Compile("PROMO%").IsPrefix(); !ok || pre != "PROMO" {
+		t.Fatalf("IsPrefix(PROMO%%) = %q, %v", pre, ok)
+	}
+	for _, pat := range []string{"%BRASS", "%green%", "a_c%", "abc", "%"} {
+		if _, ok := Compile(pat).IsPrefix(); ok {
+			t.Errorf("IsPrefix(%q) = true", pat)
+		}
+	}
+}
+
+func TestMatchDict(t *testing.T) {
+	dict := []string{"ECONOMY BRASS", "LARGE POLISHED TIN", "PROMO BURNISHED BRASS"}
+	got := Compile("%BRASS").MatchDict(dict)
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MatchDict = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFitsAccelerator(t *testing.T) {
+	if !FitsAccelerator(CacheBytes) {
+		t.Fatal("exact fit rejected")
+	}
+	if FitsAccelerator(CacheBytes + 1) {
+		t.Fatal("oversized heap accepted")
+	}
+}
+
+func TestSource(t *testing.T) {
+	if Compile("a%b").Source() != "a%b" {
+		t.Fatal("Source")
+	}
+}
+
+// Property: the segment matcher agrees with the DP reference on random
+// patterns and subjects.
+func TestQuickMatchesReference(t *testing.T) {
+	alphabet := "ab%_"
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var pat, s strings.Builder
+		for i := rng.Intn(8); i > 0; i-- {
+			pat.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+		for i := rng.Intn(10); i > 0; i-- {
+			s.WriteByte(alphabet[rng.Intn(2)]) // subjects only a/b
+		}
+		p, subj := pat.String(), s.String()
+		return Compile(p).Match(subj) == refLike(p, subj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

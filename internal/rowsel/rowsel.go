@@ -1,0 +1,133 @@
+// Package rowsel implements AQUOMAN's Row Selector (Sec. VI-A, Fig. 6):
+// a vector unit of Column Predicate Evaluators computing predicates of
+// the form F(CP0, ..., CPn-1), where each CPi is a comparison or equality
+// of one column against constants and F is a simple boolean function. The
+// selector writes Row-Mask Vectors into the circular buffer sized by the
+// flash command-queue depth; predicates it cannot compute (multi-column
+// comparisons, string-heap regular expressions) are forwarded to the Row
+// Transformer.
+package rowsel
+
+import (
+	"fmt"
+
+	"aquoman/internal/bitvec"
+	"aquoman/internal/col"
+	"aquoman/internal/flash"
+	"aquoman/internal/systolic"
+)
+
+// PrototypeEvaluators is the Column Predicate Evaluator count of the FPGA
+// prototype; the paper notes 4–6 suffice for most TPC-H filters, and the
+// trace-based simulator assumes as many as needed.
+const PrototypeEvaluators = 4
+
+// MaskBufferRows is the Row-Mask Vector circular buffer capacity implied
+// by the flash command queue: 128 in-flight 8 KB pages of 1-byte elements
+// (Sec. VI) — 128 × 8 K rows.
+const MaskBufferRows = flash.QueueDepth * flash.PageSize
+
+// ColPred is one single-column predicate: an integer expression over the
+// column's value (systolic.In(0)) evaluating to 0/1. CPs counts the
+// hardware comparator terms it consumes (an IN-list of three codes is
+// three CPs OR-ed by F).
+type ColPred struct {
+	Column string
+	Expr   systolic.Expr
+	CPs    int
+}
+
+// Program is a conjunction of column predicates (the boolean function F
+// restricted to the AND of per-column terms; OR structure within a column
+// lives inside the predicate expression).
+type Program struct {
+	Preds []ColPred
+}
+
+// NumCPs returns the total comparator terms the program needs.
+func (p *Program) NumCPs() int {
+	n := 0
+	for _, cp := range p.Preds {
+		n += cp.CPs
+	}
+	return n
+}
+
+// Stats reports one selector pass.
+type Stats struct {
+	// RowsIn is the number of rows examined (after the incoming mask).
+	RowsIn int64
+	// RowsSelected is the number of rows surviving all predicates.
+	RowsSelected int64
+	// PagesRead / PagesSkipped count predicate-column page traffic.
+	PagesRead    int64
+	PagesSkipped int64
+}
+
+// Run evaluates the program over the table, starting from the incoming
+// mask (nil = all rows), and returns the refined mask. Column pages whose
+// vectors are already fully masked out are skipped.
+func (p *Program) Run(tab *col.Table, in *bitvec.Mask, who flash.Requester) (*bitvec.Mask, Stats, error) {
+	var st Stats
+	mask := in
+	if mask == nil {
+		mask = bitvec.NewFull(tab.NumRows)
+	} else {
+		if mask.Len() != tab.NumRows {
+			return nil, st, fmt.Errorf("rowsel: mask covers %d rows, table %q has %d",
+				mask.Len(), tab.Name, tab.NumRows)
+		}
+		mask = mask.Clone()
+	}
+	st.RowsIn = int64(mask.Count())
+	if len(p.Preds) == 0 {
+		st.RowsSelected = st.RowsIn
+		return mask, st, nil
+	}
+	readers := make([]*col.PagedReader, len(p.Preds))
+	for i, cp := range p.Preds {
+		ci, err := tab.Column(cp.Column)
+		if err != nil {
+			return nil, st, err
+		}
+		readers[i] = col.NewPagedReader(ci, who)
+	}
+	var vals [bitvec.VecSize]int64
+	var lane [1]int64
+	nVecs := mask.NumVecs()
+	for vec := 0; vec < nVecs; vec++ {
+		if mask.VecAllZero(vec) {
+			for _, r := range readers {
+				r.SkipVec(vec)
+			}
+			continue
+		}
+		base := vec * bitvec.VecSize
+		for pi, cp := range p.Preds {
+			n := readers[pi].ReadVec(vec, vals[:])
+			for j := 0; j < n; j++ {
+				row := base + j
+				if !mask.Get(row) {
+					continue
+				}
+				lane[0] = vals[j]
+				if systolic.EvalExpr(cp.Expr, lane[:]) == 0 {
+					mask.Clear(row)
+				}
+			}
+			if mask.VecAllZero(vec) {
+				// Remaining evaluators skip this vector entirely.
+				for _, r := range readers[pi+1:] {
+					r.SkipVec(vec)
+				}
+				break
+			}
+		}
+	}
+	for _, r := range readers {
+		st.PagesRead += r.PagesRead
+		st.PagesSkipped += r.PagesSkipped
+	}
+	st.RowsSelected = int64(mask.Count())
+	return mask, st, nil
+}

@@ -1,0 +1,217 @@
+package rowsel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aquoman/internal/bitvec"
+	"aquoman/internal/col"
+	"aquoman/internal/flash"
+	"aquoman/internal/systolic"
+)
+
+// buildTable creates a table with deterministic columns a (0..n-1),
+// b (i%7), c (i%2).
+func buildTable(t testing.TB, n int) (*col.Store, *col.Table) {
+	t.Helper()
+	s := col.NewStore(flash.NewDevice())
+	tb := s.NewTable(col.Schema{Name: "t", Cols: []col.ColDef{
+		{Name: "a", Typ: col.Int32},
+		{Name: "b", Typ: col.Int32},
+		{Name: "c", Typ: col.Int32},
+	}})
+	for i := 0; i < n; i++ {
+		tb.Append(i, i%7, i%2)
+	}
+	tab, err := tb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tab
+}
+
+func pred(column string, e systolic.Expr, cps int) ColPred {
+	return ColPred{Column: column, Expr: e, CPs: cps}
+}
+
+func TestSelectAllWithEmptyProgram(t *testing.T) {
+	_, tab := buildTable(t, 100)
+	p := &Program{}
+	m, st, err := p.Run(tab, nil, flash.Aquoman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 100 || st.RowsSelected != 100 || st.RowsIn != 100 {
+		t.Fatalf("mask=%d stats=%+v", m.Count(), st)
+	}
+}
+
+func TestSinglePredicate(t *testing.T) {
+	_, tab := buildTable(t, 1000)
+	p := &Program{Preds: []ColPred{
+		pred("a", systolic.LT(systolic.In(0), systolic.C(100)), 1),
+	}}
+	m, st, err := p.Run(tab, nil, flash.Aquoman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 100 {
+		t.Fatalf("selected %d, want 100", m.Count())
+	}
+	if st.PagesRead == 0 {
+		t.Fatal("no pages read")
+	}
+	if p.NumCPs() != 1 {
+		t.Fatalf("NumCPs = %d", p.NumCPs())
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	_, tab := buildTable(t, 1000)
+	p := &Program{Preds: []ColPred{
+		pred("b", systolic.EQ(systolic.In(0), systolic.C(3)), 1),
+		pred("c", systolic.EQ(systolic.In(0), systolic.C(1)), 1),
+	}}
+	m, _, err := p.Run(tab, nil, flash.Aquoman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < 1000; i++ {
+		if i%7 == 3 && i%2 == 1 {
+			want++
+		}
+	}
+	if m.Count() != want {
+		t.Fatalf("selected %d, want %d", m.Count(), want)
+	}
+}
+
+func TestIncomingMaskComposed(t *testing.T) {
+	_, tab := buildTable(t, 200)
+	in := bitvec.New(200)
+	for i := 0; i < 200; i += 2 {
+		in.Set(i) // evens only
+	}
+	p := &Program{Preds: []ColPred{
+		pred("a", systolic.LT(systolic.In(0), systolic.C(100)), 1),
+	}}
+	m, st, err := p.Run(tab, in, flash.Aquoman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RowsIn != 100 {
+		t.Fatalf("RowsIn = %d, want 100 (masked)", st.RowsIn)
+	}
+	if m.Count() != 50 { // evens below 100
+		t.Fatalf("selected %d, want 50", m.Count())
+	}
+	// The incoming mask must not be mutated.
+	if in.Count() != 100 {
+		t.Fatal("incoming mask mutated")
+	}
+}
+
+func TestMaskLengthMismatch(t *testing.T) {
+	_, tab := buildTable(t, 100)
+	p := &Program{Preds: []ColPred{
+		pred("a", systolic.LT(systolic.In(0), systolic.C(10)), 1),
+	}}
+	if _, _, err := p.Run(tab, bitvec.New(50), flash.Aquoman); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestUnknownColumn(t *testing.T) {
+	_, tab := buildTable(t, 100)
+	p := &Program{Preds: []ColPred{
+		pred("missing", systolic.EQ(systolic.In(0), systolic.C(1)), 1),
+	}}
+	if _, _, err := p.Run(tab, nil, flash.Aquoman); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+// Page skipping: once a sparse incoming mask empties most vectors, the
+// selector should skip the corresponding pages.
+func TestPageSkipping(t *testing.T) {
+	_, tab := buildTable(t, 1<<16) // 32 pages per 4-byte column
+	in := bitvec.New(1 << 16)
+	in.Set(0) // only the first vector is live
+	p := &Program{Preds: []ColPred{
+		pred("a", systolic.LT(systolic.In(0), systolic.C(1<<20)), 1),
+	}}
+	_, st, err := p.Run(tab, in, flash.Aquoman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PagesRead != 1 {
+		t.Fatalf("PagesRead = %d, want 1", st.PagesRead)
+	}
+	if st.PagesSkipped < 30 {
+		t.Fatalf("PagesSkipped = %d, want >= 30", st.PagesSkipped)
+	}
+}
+
+// Short-circuit: when the first predicate empties a vector, later
+// evaluators must skip its pages.
+func TestShortCircuitSkipsLaterColumns(t *testing.T) {
+	_, tab := buildTable(t, 1<<14)
+	p := &Program{Preds: []ColPred{
+		pred("a", systolic.LT(systolic.In(0), systolic.C(32)), 1), // first vector only
+		pred("c", systolic.EQ(systolic.In(0), systolic.C(0)), 1),
+	}}
+	_, st, err := p.Run(tab, nil, flash.Aquoman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column a: all pages; column c: only the first page.
+	colPages := int64((1 << 14) * 4 / flash.PageSize)
+	if st.PagesRead != colPages+1 {
+		t.Fatalf("PagesRead = %d, want %d", st.PagesRead, colPages+1)
+	}
+	if st.RowsSelected != 16 {
+		t.Fatalf("RowsSelected = %d, want 16", st.RowsSelected)
+	}
+}
+
+// Property: the selector agrees with a direct scan for random range
+// predicates.
+func TestQuickSelectorMatchesScan(t *testing.T) {
+	_, tab := buildTable(t, 3000)
+	a := tab.MustColumn("a").ReadAll(flash.Host)
+	b := tab.MustColumn("b").ReadAll(flash.Host)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lo := int64(rng.Intn(3000))
+		hi := lo + int64(rng.Intn(1000))
+		bv := int64(rng.Intn(7))
+		p := &Program{Preds: []ColPred{
+			pred("a", systolic.Mul(
+				systolic.Sub(systolic.C(1), systolic.LT(systolic.In(0), systolic.C(lo))),
+				systolic.LT(systolic.In(0), systolic.C(hi))), 2),
+			pred("b", systolic.EQ(systolic.In(0), systolic.C(bv)), 1),
+		}}
+		m, _, err := p.Run(tab, nil, flash.Aquoman)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			want := a[i] >= lo && a[i] < hi && b[i] == bv
+			if m.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskBufferConstant(t *testing.T) {
+	if MaskBufferRows != 128*8192 {
+		t.Fatalf("MaskBufferRows = %d, want 128x8K (Sec. VI)", MaskBufferRows)
+	}
+}

@@ -1,0 +1,189 @@
+package sorter
+
+import "fmt"
+
+// Config sizes the 1 GB-Block Streaming Sorter (Fig. 15). The hardware
+// instance sorts 64-byte vectors with a pipelined bitonic sorter and
+// cascades three 256-to-1 merger layers, producing
+// 8 × 256³ ≈ 134M-element (1 GB at 8 B/elem) sorted runs; the first two
+// layers buffer in SRAM and the last in DRAM.
+type Config struct {
+	// VecElems is the bitonic sorter's vector size in elements.
+	VecElems int
+	// FanIn is each merger layer's fan-in.
+	FanIn int
+	// Layers is the number of merger layers.
+	Layers int
+	// ElemBytes is the element width for traffic accounting (8 for
+	// kv<uint32,uint32>, 16 for kv<uint64,uint64>).
+	ElemBytes int
+}
+
+// DefaultConfig is the hardware instance: 8-element vectors, three
+// 256-to-1 layers, kv<uint32,uint32> elements.
+func DefaultConfig() Config {
+	return Config{VecElems: VecElems, FanIn: DefaultFanIn, Layers: 3, ElemBytes: 8}
+}
+
+// RunElems returns the sorted-run length in elements (the "1 GB block").
+func (c Config) RunElems() int {
+	n := c.VecElems
+	for i := 0; i < c.Layers; i++ {
+		n *= c.FanIn
+	}
+	return n
+}
+
+// Stats accumulates the sorter's data movement for the timing model.
+type Stats struct {
+	// ElemsIn is the number of elements streamed in.
+	ElemsIn int64
+	// SRAMBytes is traffic through the first Layers-1 merge layers
+	// (on-chip buffers in the prototype).
+	SRAMBytes int64
+	// DRAMBytes is traffic through the final merge layer plus any
+	// run-merging beyond one run (each element is read and written once
+	// per pass).
+	DRAMBytes int64
+	// Runs is the number of sorted runs produced by the cascade.
+	Runs int64
+}
+
+// StreamingSorter sorts unbounded streams into RunElems-sized sorted runs
+// by reproducing the hardware cascade: bitonic-sort base vectors, then
+// merge FanIn runs per layer through binary trees of 2-to-1 mergers.
+type StreamingSorter struct {
+	cfg   Config
+	stats Stats
+}
+
+// NewStreaming returns a sorter with the given configuration; zero fields
+// fall back to the hardware defaults.
+func NewStreaming(cfg Config) *StreamingSorter {
+	d := DefaultConfig()
+	if cfg.VecElems <= 0 {
+		cfg.VecElems = d.VecElems
+	}
+	if cfg.FanIn <= 1 {
+		cfg.FanIn = d.FanIn
+	}
+	if cfg.Layers <= 0 {
+		cfg.Layers = d.Layers
+	}
+	if cfg.ElemBytes <= 0 {
+		cfg.ElemBytes = d.ElemBytes
+	}
+	return &StreamingSorter{cfg: cfg}
+}
+
+// Config returns the active configuration.
+func (s *StreamingSorter) Config() Config { return s.cfg }
+
+// Stats returns the accumulated data-movement counters.
+func (s *StreamingSorter) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters.
+func (s *StreamingSorter) ResetStats() { s.stats = Stats{} }
+
+// SortRuns streams data through the cascade and returns the sorted runs
+// in input order. data is consumed (sorted in place segment-wise).
+func (s *StreamingSorter) SortRuns(data []KV) [][]KV {
+	s.stats.ElemsIn += int64(len(data))
+	// Layer 0: bitonic-sort base vectors.
+	runs := make([][]KV, 0, (len(data)+s.cfg.VecElems-1)/s.cfg.VecElems)
+	for base := 0; base < len(data); base += s.cfg.VecElems {
+		end := base + s.cfg.VecElems
+		if end > len(data) {
+			end = len(data)
+		}
+		v := data[base:end]
+		BitonicSort(v)
+		runs = append(runs, v)
+	}
+	// Merge layers.
+	for layer := 1; layer <= s.cfg.Layers; layer++ {
+		if len(runs) <= 1 {
+			break
+		}
+		var next [][]KV
+		for g := 0; g < len(runs); g += s.cfg.FanIn {
+			e := g + s.cfg.FanIn
+			if e > len(runs) {
+				e = len(runs)
+			}
+			merged := s.mergeGroup(runs[g:e], layer)
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	s.stats.Runs += int64(len(runs))
+	return runs
+}
+
+func (s *StreamingSorter) mergeGroup(group [][]KV, layer int) []KV {
+	if len(group) == 1 {
+		return group[0]
+	}
+	streams := make([]Stream, len(group))
+	total := 0
+	for i, r := range group {
+		streams[i] = NewSliceStream(r)
+		total += len(r)
+	}
+	root, _ := MergeN(streams)
+	out := make([]KV, 0, total)
+	for {
+		kv, ok := root.Next()
+		if !ok {
+			break
+		}
+		out = append(out, kv)
+	}
+	bytes := int64(total) * int64(s.cfg.ElemBytes)
+	if layer >= s.cfg.Layers {
+		s.stats.DRAMBytes += 2 * bytes // read + write through DDR4
+	} else {
+		s.stats.SRAMBytes += 2 * bytes
+	}
+	return out
+}
+
+// Sort fully sorts data. Within one run it is the pure cascade; beyond
+// one run it folds extra merge passes through DRAM at half streaming rate
+// (the paper: "it can sort 256GB by folding the last 256-to-1 merging
+// step", each fold costing one extra DRAM round trip per element).
+func (s *StreamingSorter) Sort(data []KV) []KV {
+	runs := s.SortRuns(data)
+	return s.MergeRuns(runs)
+}
+
+// MergeRuns merges pre-sorted runs into one sorted stream, accounting the
+// extra DRAM traffic of the folded merge passes.
+func (s *StreamingSorter) MergeRuns(runs [][]KV) []KV {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return runs[0]
+	}
+	for len(runs) > 1 {
+		var next [][]KV
+		for g := 0; g < len(runs); g += s.cfg.FanIn {
+			e := g + s.cfg.FanIn
+			if e > len(runs) {
+				e = len(runs)
+			}
+			next = append(next, s.mergeGroup(runs[g:e], s.cfg.Layers))
+		}
+		runs = next
+	}
+	return runs[0]
+}
+
+// Validate sanity-checks a configuration.
+func (c Config) Validate() error {
+	if c.VecElems < 1 || c.FanIn < 2 || c.Layers < 1 || c.ElemBytes < 1 {
+		return fmt.Errorf("sorter: invalid config %+v", c)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+// Package sql is a textual frontend for the query library: a lexer,
+// recursive-descent parser and planner translating an analytics-oriented
+// SQL dialect into the plan algebra that both the host engine and the
+// AQUOMAN offload compiler execute.
+//
+// Supported dialect (everything TPC-H-shaped except subqueries, which the
+// plan algebra expresses directly):
+//
+//	SELECT expr [AS name], ...
+//	FROM table [alias], table [alias], ...
+//	[WHERE predicate]              -- equi-join conditions live here
+//	[GROUP BY col, ...]
+//	[HAVING predicate]
+//	[ORDER BY expr [DESC], ...]
+//	[LIMIT n]
+//
+// with arithmetic, comparisons, AND/OR/NOT, BETWEEN, IN (...), LIKE,
+// CASE WHEN, EXTRACT(YEAR FROM x), DATE 'yyyy-mm-dd' literals, decimal
+// literals (×100 fixed point), and the aggregates SUM/AVG/MIN/MAX/COUNT.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString // '...'
+	tokSymbol // punctuation / operators
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased, identifiers lower-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "BETWEEN": true, "LIKE": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "COUNT": true,
+	"DISTINCT": true, "ASC": true, "DESC": true, "DATE": true,
+	"EXTRACT": true, "YEAR": true, "SUBSTRING": true, "INTERVAL": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexWord()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '@'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '@'
+}
+
+func (l *lexer) lexWord() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	w := l.src[start:l.pos]
+	up := strings.ToUpper(w)
+	if keywords[up] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+		return
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(w), pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+var twoCharSymbols = []string{"<>", "<=", ">=", "!="}
+
+func (l *lexer) lexSymbol() error {
+	start := l.pos
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		for _, s := range twoCharSymbols {
+			if two == s {
+				l.pos += 2
+				l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: start})
+				return nil
+			}
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '+', '-', '*', '/', '<', '>', '=', '.', ';':
+		l.pos++
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", c, start)
+}

@@ -1,0 +1,337 @@
+// Package swissknife implements AQUOMAN's SQL Swissknife (Sec. VI-C,
+// Fig. 11): the array of streaming operator accelerators that consume the
+// Row Transformer's intermediate table — AGGREGATE, AGGREGATE_GROUPBY
+// (Fig. 12: column zipper, 1024-bucket group-number hash with 16 B group
+// identifiers and spill-over groups handed to the host), TOPK (Fig. 13:
+// pipelined bitonic pre-sorter + daisy-chained VCAS blocks), and MERGE
+// (Fig. 14: 2-to-1 vector merger + intersection engine). SORT and
+// SORT_MERGE reuse the 1 GB-block streaming sorter from internal/sorter.
+package swissknife
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"aquoman/internal/sorter"
+)
+
+// Hardware geometry from the paper.
+const (
+	// GroupBuckets is the group-number hash table size.
+	GroupBuckets = 1024
+	// GroupIDBytes is the maximum group-identifier size.
+	GroupIDBytes = 16
+	// MaxAggSlots is the number of aggregate columns one slot stores.
+	MaxAggSlots = 8
+)
+
+// AggKind selects one accumulator (the hardware supports sum, min, max,
+// cnt; AVG is compiled to SUM+CNT and divided on the host).
+type AggKind int
+
+const (
+	AggSum AggKind = iota
+	AggMin
+	AggMax
+	AggCnt
+)
+
+func (k AggKind) String() string {
+	return [...]string{"sum", "min", "max", "cnt"}[k]
+}
+
+// GroupByConfig sizes the accelerator; zero values take the hardware
+// defaults.
+type GroupByConfig struct {
+	Buckets int
+	IDBytes int
+}
+
+// GroupByStats reports the hardware-model behaviour of a run.
+type GroupByStats struct {
+	// RowsIn counts consumed rows.
+	RowsIn int64
+	// Groups is the number of distinct groups seen (accelerator + host).
+	Groups int64
+	// SpilledRows counts rows whose group had to be accumulated by the
+	// host: hash collisions with a resident group, group numbers beyond
+	// the bucket count, or identifiers over 16 B (Sec. VI-E condition 3).
+	SpilledRows int64
+	// SpilledGroups is the number of distinct spill-over groups.
+	SpilledGroups int64
+}
+
+// group is one accumulated group (identical layout for resident and
+// spilled groups; residency only affects accounting).
+type group struct {
+	keys  []int64
+	attrs []int64
+	aggs  []int64
+	cnt   []int64
+}
+
+// GroupByAccel is the Aggregate-GroupBy accelerator. Grouping semantics
+// are exact (full-key equality); the 1024-bucket / 16 B-identifier limits
+// determine which rows count as spill-over work for the host, exactly as
+// in the paper where the host keeps up with the spills (Sec. VI-E).
+//
+// Keys beyond the identifier capacity may be declared as dependent
+// attributes (AttrCount): they are stored once per group and verified to
+// be functionally dependent on the key columns.
+type GroupByAccel struct {
+	cfg      GroupByConfig
+	keyCount int
+	attrs    int
+	aggs     []AggKind
+
+	groups map[string]*group
+	order  []string
+	// residentBucket maps a hash bucket to the identifier that owns it.
+	residentBucket map[uint32]string
+	spilled        map[string]bool
+
+	stats GroupByStats
+}
+
+// NewGroupBy returns an accelerator grouping on keyCount leading values,
+// carrying attrCount dependent attributes, and accumulating the given
+// aggregates.
+func NewGroupBy(cfg GroupByConfig, keyCount, attrCount int, aggs []AggKind) (*GroupByAccel, error) {
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = GroupBuckets
+	}
+	if cfg.IDBytes <= 0 {
+		cfg.IDBytes = GroupIDBytes
+	}
+	if keyCount < 0 || keyCount+attrCount == 0 && len(aggs) == 0 {
+		return nil, fmt.Errorf("swissknife: degenerate group-by")
+	}
+	if len(aggs) > MaxAggSlots {
+		return nil, fmt.Errorf("swissknife: %d aggregates exceed the %d slots per group",
+			len(aggs), MaxAggSlots)
+	}
+	return &GroupByAccel{
+		cfg: cfg, keyCount: keyCount, attrs: attrCount, aggs: aggs,
+		groups:         make(map[string]*group),
+		residentBucket: make(map[uint32]string),
+		spilled:        make(map[string]bool),
+	}, nil
+}
+
+// identifier packs key values 4 bytes each; ok is false when a value does
+// not fit or the identifier exceeds the configured size (such groups
+// always spill).
+func (g *GroupByAccel) identifier(keys []int64) (string, bool) {
+	if len(keys)*4 > g.cfg.IDBytes {
+		return "", false
+	}
+	buf := make([]byte, 0, len(keys)*4)
+	for _, k := range keys {
+		if k > (1<<31)-1 || k < -(1<<31) {
+			return "", false
+		}
+		var t [4]byte
+		binary.LittleEndian.PutUint32(t[:], uint32(int32(k)))
+		buf = append(buf, t[:]...)
+	}
+	return string(buf), true
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// Consume feeds one row: keys (grouping columns), attrs (dependent
+// attribute columns), vals (aggregate inputs, one per configured AggKind).
+func (g *GroupByAccel) Consume(keys, attrs, vals []int64) error {
+	if len(keys) != g.keyCount || len(attrs) != g.attrs || len(vals) != len(g.aggs) {
+		return fmt.Errorf("swissknife: group-by row shape (%d,%d,%d) vs configured (%d,%d,%d)",
+			len(keys), len(attrs), len(vals), g.keyCount, g.attrs, len(g.aggs))
+	}
+	g.stats.RowsIn++
+	mapKey := g.exactKey(keys)
+	gr, ok := g.groups[mapKey]
+	if !ok {
+		gr = &group{
+			keys:  append([]int64(nil), keys...),
+			attrs: append([]int64(nil), attrs...),
+			aggs:  make([]int64, len(g.aggs)),
+			cnt:   make([]int64, len(g.aggs)),
+		}
+		for i, k := range g.aggs {
+			switch k {
+			case AggMin:
+				gr.aggs[i] = int64(^uint64(0) >> 1)
+			case AggMax:
+				gr.aggs[i] = -int64(^uint64(0)>>1) - 1
+			}
+		}
+		g.groups[mapKey] = gr
+		g.order = append(g.order, mapKey)
+		// Hardware residency: the group gets a bucket only if its
+		// identifier fits 16 B, a group number below the bucket count is
+		// free, and no resident group owns its hash bucket.
+		id, fits := g.identifier(keys)
+		resident := false
+		if fits && len(g.residentBucket) < g.cfg.Buckets {
+			b := fnv32(id) % uint32(g.cfg.Buckets)
+			if _, taken := g.residentBucket[b]; !taken {
+				g.residentBucket[b] = mapKey
+				resident = true
+			}
+		}
+		if !resident {
+			g.spilled[mapKey] = true
+		}
+	} else if g.attrs > 0 {
+		// Verify the declared functional dependence on every revisit.
+		for i, a := range attrs {
+			if gr.attrs[i] != a {
+				return fmt.Errorf("swissknife: attribute %d not functionally dependent on group key", i)
+			}
+		}
+	}
+	if g.spilled[mapKey] {
+		g.stats.SpilledRows++
+	}
+	for i, k := range g.aggs {
+		v := vals[i]
+		switch k {
+		case AggSum:
+			gr.aggs[i] += v
+		case AggMin:
+			if v < gr.aggs[i] {
+				gr.aggs[i] = v
+			}
+		case AggMax:
+			if v > gr.aggs[i] {
+				gr.aggs[i] = v
+			}
+		case AggCnt:
+			gr.aggs[i]++
+		}
+		gr.cnt[i]++
+	}
+	return nil
+}
+
+func (g *GroupByAccel) exactKey(keys []int64) string {
+	buf := make([]byte, len(keys)*8)
+	for i, k := range keys {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(k))
+	}
+	return string(buf)
+}
+
+// Results returns the merged groups (resident + host spill-over) in first-
+// seen order: key columns, then attribute columns, then aggregates.
+func (g *GroupByAccel) Results() (rows [][]int64) {
+	for _, k := range g.order {
+		gr := g.groups[k]
+		row := make([]int64, 0, g.keyCount+g.attrs+len(g.aggs))
+		row = append(row, gr.keys...)
+		row = append(row, gr.attrs...)
+		row = append(row, gr.aggs...)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Counts returns, aligned with Results, the per-aggregate row counts
+// (used to finalize AVG on the host).
+func (g *GroupByAccel) Counts() (rows [][]int64) {
+	for _, k := range g.order {
+		rows = append(rows, append([]int64(nil), g.groups[k].cnt...))
+	}
+	return rows
+}
+
+// Stats returns the hardware-model counters.
+func (g *GroupByAccel) Stats() GroupByStats {
+	s := g.stats
+	s.Groups = int64(len(g.groups))
+	s.SpilledGroups = int64(len(g.spilled))
+	return s
+}
+
+// Aggregate is the scalar (group-less) accelerator.
+type Aggregate struct {
+	inner *GroupByAccel
+}
+
+// NewAggregate accumulates the given aggregates over the whole stream.
+func NewAggregate(aggs []AggKind) (*Aggregate, error) {
+	g, err := NewGroupBy(GroupByConfig{}, 0, 0, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &Aggregate{inner: g}, nil
+}
+
+// Consume feeds one row of aggregate inputs.
+func (a *Aggregate) Consume(vals []int64) error {
+	return a.inner.Consume(nil, nil, vals)
+}
+
+// Result returns the accumulated aggregates and their row counts. A
+// stream with no rows yields zeros (SQL NULL rendered as 0).
+func (a *Aggregate) Result() (aggs, counts []int64) {
+	rows := a.inner.Results()
+	cnts := a.inner.Counts()
+	if len(rows) == 0 {
+		n := len(a.inner.aggs)
+		return make([]int64, n), make([]int64, n)
+	}
+	return rows[0], cnts[0]
+}
+
+// RowsIn returns the number of consumed rows.
+func (a *Aggregate) RowsIn() int64 { return a.inner.stats.RowsIn }
+
+// SemiJoinSorted is the MERGE operator's intersection semantics: it
+// returns the elements of stream whose key appears in dim. Both inputs
+// must be sorted ascending by key; dim is the DRAM-resident table of a
+// SORT_MERGE (typically unique primary keys). The hardware realizes this
+// with a 2-to-1 vector merger whose equal-key alternation lets the
+// intersection engine use a look-ahead of one; the two-pointer sweep below
+// is element-wise identical.
+func SemiJoinSorted(stream, dim []sorter.KV) []sorter.KV {
+	out := make([]sorter.KV, 0, len(stream)/4)
+	i, j := 0, 0
+	for i < len(stream) && j < len(dim) {
+		switch {
+		case stream[i].Key < dim[j].Key:
+			i++
+		case stream[i].Key > dim[j].Key:
+			j++
+		default:
+			out = append(out, stream[i])
+			i++ // keep j: the next stream element may share the key
+		}
+	}
+	return out
+}
+
+// IntersectKeys returns the strict set intersection of two sorted unique
+// key lists (both sides deduplicated), the MERGE operator of Fig. 5.
+func IntersectKeys(a, b []sorter.KV) []sorter.KV {
+	var out []sorter.KV
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Key < b[j].Key:
+			i++
+		case a[i].Key > b[j].Key:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

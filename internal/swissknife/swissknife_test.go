@@ -1,0 +1,269 @@
+package swissknife
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"aquoman/internal/sorter"
+)
+
+func TestGroupBySimple(t *testing.T) {
+	g, err := NewGroupBy(GroupByConfig{}, 1, 0, []AggKind{AggSum, AggCnt, AggMin, AggMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := int64(i % 3)
+		if err := g.Consume([]int64{k}, nil, []int64{int64(i), 0, int64(i), int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := g.Results()
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	// Group 0: values 0,3,...,99 => sum 1683, cnt 34, min 0, max 99.
+	for _, r := range rows {
+		switch r[0] {
+		case 0:
+			if r[1] != 1683 || r[2] != 34 || r[3] != 0 || r[4] != 99 {
+				t.Fatalf("group 0 = %v", r)
+			}
+		case 1:
+			if r[2] != 33 || r[3] != 1 || r[4] != 97 {
+				t.Fatalf("group 1 = %v", r)
+			}
+		}
+	}
+	s := g.Stats()
+	if s.RowsIn != 100 || s.Groups != 3 || s.SpilledRows != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestGroupBySpillOnBucketOverflow(t *testing.T) {
+	g, err := NewGroupBy(GroupByConfig{Buckets: 4}, 1, 0, []AggKind{AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 distinct groups vs 4 buckets: most rows spill, results exact.
+	for i := 0; i < 200; i++ {
+		if err := g.Consume([]int64{int64(i % 100)}, nil, []int64{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := g.Results()
+	if len(rows) != 100 {
+		t.Fatalf("groups = %d, want 100 (exact despite spill)", len(rows))
+	}
+	for _, r := range rows {
+		if r[1] != 2 {
+			t.Fatalf("group %d count = %d", r[0], r[1])
+		}
+	}
+	s := g.Stats()
+	if s.SpilledGroups < 96 {
+		t.Fatalf("SpilledGroups = %d, want >= 96", s.SpilledGroups)
+	}
+	if s.SpilledRows < 96*2 {
+		t.Fatalf("SpilledRows = %d", s.SpilledRows)
+	}
+}
+
+func TestGroupByIdentifierOverflowSpills(t *testing.T) {
+	// 5 key columns exceed the 16 B identifier: every group spills.
+	g, err := NewGroupBy(GroupByConfig{}, 5, 0, []AggKind{AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Consume([]int64{1, 2, 3, 4, 5}, nil, []int64{0})
+	if got := g.Stats().SpilledRows; got != 1 {
+		t.Fatalf("SpilledRows = %d, want 1", got)
+	}
+	// A 64-bit key value also overflows the 4 B packing.
+	g2, _ := NewGroupBy(GroupByConfig{}, 1, 0, []AggKind{AggCnt})
+	g2.Consume([]int64{1 << 40}, nil, []int64{0})
+	if got := g2.Stats().SpilledRows; got != 1 {
+		t.Fatalf("wide-key SpilledRows = %d, want 1", got)
+	}
+}
+
+func TestGroupByDependentAttributes(t *testing.T) {
+	g, err := NewGroupBy(GroupByConfig{}, 1, 2, []AggKind{AggSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Consume([]int64{7}, []int64{70, 700}, []int64{1})
+	g.Consume([]int64{7}, []int64{70, 700}, []int64{2})
+	rows := g.Results()
+	if len(rows) != 1 || rows[0][1] != 70 || rows[0][2] != 700 || rows[0][3] != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Non-dependent attribute must be detected.
+	if err := g.Consume([]int64{7}, []int64{71, 700}, []int64{1}); err == nil {
+		t.Fatal("non-dependent attribute accepted")
+	}
+}
+
+func TestGroupByTooManyAggs(t *testing.T) {
+	if _, err := NewGroupBy(GroupByConfig{}, 1, 0, make([]AggKind, 9)); err == nil {
+		t.Fatal("9 aggregates accepted")
+	}
+}
+
+func TestAggregateScalar(t *testing.T) {
+	a, err := NewAggregate([]AggKind{AggSum, AggMin, AggMax, AggCnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int64{5, -3, 10} {
+		a.Consume([]int64{v, v, v, 0})
+	}
+	aggs, counts := a.Result()
+	if aggs[0] != 12 || aggs[1] != -3 || aggs[2] != 10 || aggs[3] != 3 {
+		t.Fatalf("aggs = %v", aggs)
+	}
+	if counts[0] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if a.RowsIn() != 3 {
+		t.Fatalf("RowsIn = %d", a.RowsIn())
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	a, _ := NewAggregate([]AggKind{AggSum, AggCnt})
+	aggs, counts := a.Result()
+	if aggs[0] != 0 || aggs[1] != 0 || counts[0] != 0 {
+		t.Fatalf("empty aggs = %v, %v", aggs, counts)
+	}
+}
+
+func TestTopKExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := rng.Perm(1000)
+	tk := NewTopK(10, 8)
+	for _, v := range vals {
+		tk.Push(sorter.KV{Key: int64(v), Val: int64(v) * 2})
+	}
+	got := tk.Results()
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, kv := range got {
+		want := int64(999 - i)
+		if kv.Key != want || kv.Val != want*2 {
+			t.Fatalf("got[%d] = %+v, want key %d", i, kv, want)
+		}
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	tk := NewTopK(10, 4)
+	tk.Push(sorter.KV{Key: 3, Val: 1})
+	tk.Push(sorter.KV{Key: 1, Val: 2})
+	got := tk.Results()
+	if len(got) != 2 || got[0].Key != 3 || got[1].Key != 1 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+// Property: TopK matches a reference sort for arbitrary streams and k.
+func TestQuickTopK(t *testing.T) {
+	f := func(seed int64, k8, n16 uint8) bool {
+		k := int(k8)%50 + 1
+		n := int(n16)
+		rng := rand.New(rand.NewSource(seed))
+		tk := NewTopK(k, 8)
+		all := make([]sorter.KV, n)
+		for i := range all {
+			all[i] = sorter.KV{Key: int64(rng.Intn(100)), Val: int64(i)}
+			tk.Push(all[i])
+		}
+		sort.Slice(all, func(i, j int) bool { return all[j].Less(all[i]) })
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := tk.Results()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemiJoinSorted(t *testing.T) {
+	stream := []sorter.KV{{Key: 1, Val: 10}, {Key: 2, Val: 20}, {Key: 2, Val: 21},
+		{Key: 5, Val: 50}, {Key: 9, Val: 90}}
+	dim := []sorter.KV{{Key: 2, Val: 0}, {Key: 3, Val: 0}, {Key: 9, Val: 0}}
+	got := SemiJoinSorted(stream, dim)
+	want := []int64{20, 21, 90}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i].Val != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestIntersectKeys(t *testing.T) {
+	a := []sorter.KV{{Key: 1}, {Key: 3}, {Key: 5}}
+	b := []sorter.KV{{Key: 3}, {Key: 4}, {Key: 5}, {Key: 6}}
+	got := IntersectKeys(a, b)
+	if len(got) != 2 || got[0].Key != 3 || got[1].Key != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Property: SemiJoinSorted equals the set-membership reference.
+func TestQuickSemiJoin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var stream, dim []sorter.KV
+		for i := 0; i < rng.Intn(60); i++ {
+			stream = append(stream, sorter.KV{Key: int64(rng.Intn(30)), Val: int64(i)})
+		}
+		inDim := map[int64]bool{}
+		for i := 0; i < rng.Intn(20); i++ {
+			k := int64(rng.Intn(30))
+			if !inDim[k] {
+				inDim[k] = true
+				dim = append(dim, sorter.KV{Key: k})
+			}
+		}
+		sort.Slice(stream, func(i, j int) bool { return stream[i].Less(stream[j]) })
+		sort.Slice(dim, func(i, j int) bool { return dim[i].Less(dim[j]) })
+		got := SemiJoinSorted(stream, dim)
+		var want []sorter.KV
+		for _, kv := range stream {
+			if inDim[kv.Key] {
+				want = append(want, kv)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+package swissknife
+
+import (
+	"sort"
+
+	"aquoman/internal/sorter"
+)
+
+// TopK is the TopK accelerator (Fig. 13): a pipelined bitonic sorter
+// feeds a daisy chain of ceil(k/n) Vector-Compare-And-Swap blocks, each
+// holding the n largest elements seen at its position. After the stream
+// ends the chain holds the k largest elements.
+type TopK struct {
+	k       int
+	vecSize int
+	// blocks[0] holds the overall largest n; evictions cascade down.
+	blocks [][]sorter.KV
+	// pending buffers one input vector.
+	pending []sorter.KV
+	rowsIn  int64
+}
+
+// NewTopK keeps the largest k elements; vecSize is the hardware vector
+// width (sorter.VecElems when 0).
+func NewTopK(k, vecSize int) *TopK {
+	if vecSize <= 0 {
+		vecSize = sorter.VecElems
+	}
+	nBlocks := (k + vecSize - 1) / vecSize
+	if nBlocks == 0 {
+		nBlocks = 1
+	}
+	t := &TopK{k: k, vecSize: vecSize}
+	const negInf = -int64(^uint64(0)>>1) - 1
+	for i := 0; i < nBlocks; i++ {
+		blk := make([]sorter.KV, vecSize)
+		for j := range blk {
+			blk[j] = sorter.KV{Key: negInf, Val: negInf}
+		}
+		t.blocks = append(t.blocks, blk)
+	}
+	return t
+}
+
+// Push feeds one element.
+func (t *TopK) Push(kv sorter.KV) {
+	t.rowsIn++
+	t.pending = append(t.pending, kv)
+	if len(t.pending) == t.vecSize {
+		t.flush()
+	}
+}
+
+func (t *TopK) flush() {
+	if len(t.pending) == 0 {
+		return
+	}
+	// Pad a short tail with -inf sentinels, then bitonic-sort the vector
+	// before it enters the VCAS chain.
+	const negInf = -int64(^uint64(0)>>1) - 1
+	for len(t.pending) < t.vecSize {
+		t.pending = append(t.pending, sorter.KV{Key: negInf, Val: negInf})
+	}
+	sorter.BitonicSort(t.pending)
+	v := t.pending
+	for _, blk := range t.blocks {
+		v = sorter.VCAS(v, blk) // keeps the larger half in blk
+	}
+	t.pending = t.pending[:0]
+}
+
+// RowsIn returns the number of pushed elements.
+func (t *TopK) RowsIn() int64 { return t.rowsIn }
+
+// Results returns the k largest elements in descending key order.
+func (t *TopK) Results() []sorter.KV {
+	t.flush()
+	var all []sorter.KV
+	const negInf = -int64(^uint64(0)>>1) - 1
+	for _, blk := range t.blocks {
+		for _, kv := range blk {
+			if kv.Key != negInf || kv.Val != negInf {
+				all = append(all, kv)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[j].Less(all[i]) })
+	if len(all) > t.k {
+		all = all[:t.k]
+	}
+	return all
+}

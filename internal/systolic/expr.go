@@ -1,0 +1,87 @@
+package systolic
+
+import "fmt"
+
+// Expr is a row-transformation expression over the streamed input columns.
+// The compiler lowers a set of output Exprs into PE programs; EvalExpr is
+// the reference (non-systolic) semantics used by tests and by the host
+// engine so that offloaded and host execution agree bit-for-bit.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Col references input column i (in the Table Reader's streaming order:
+// leftmost column first).
+type Col struct{ Index int }
+
+// Const is an integer literal.
+type Const struct{ V int64 }
+
+// Bin applies an ALU operation to two subexpressions.
+type Bin struct {
+	Op   AluOp
+	L, R Expr
+}
+
+func (Col) exprNode()   {}
+func (Const) exprNode() {}
+func (Bin) exprNode()   {}
+
+func (c Col) String() string   { return fmt.Sprintf("c%d", c.Index) }
+func (c Const) String() string { return fmt.Sprintf("%d", c.V) }
+func (b Bin) String() string   { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// C builds a Const.
+func C(v int64) Expr { return Const{V: v} }
+
+// In builds a Col reference.
+func In(i int) Expr { return Col{Index: i} }
+
+// B builds a Bin.
+func B(op AluOp, l, r Expr) Expr { return Bin{Op: op, L: l, R: r} }
+
+// Add, Sub, Mul, Div, EQ, LT, GT are convenience constructors.
+func Add(l, r Expr) Expr { return B(AluAdd, l, r) }
+func Sub(l, r Expr) Expr { return B(AluSub, l, r) }
+func Mul(l, r Expr) Expr { return B(AluMul, l, r) }
+func Div(l, r Expr) Expr { return B(AluDiv, l, r) }
+func EQ(l, r Expr) Expr  { return B(AluEQ, l, r) }
+func LT(l, r Expr) Expr  { return B(AluLT, l, r) }
+func GT(l, r Expr) Expr  { return B(AluGT, l, r) }
+
+// EvalExpr evaluates e on one row whose input column values are in.
+func EvalExpr(e Expr, in []int64) int64 {
+	switch n := e.(type) {
+	case Col:
+		return in[n.Index]
+	case Const:
+		return n.V
+	case Bin:
+		return n.Op.Apply(EvalExpr(n.L, in), EvalExpr(n.R, in))
+	default:
+		panic(fmt.Sprintf("systolic: unknown expr %T", e))
+	}
+}
+
+// MaxColIndex returns the largest input column index referenced by the
+// expressions, or -1 if none.
+func MaxColIndex(exprs []Expr) int {
+	max := -1
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case Col:
+			if n.Index > max {
+				max = n.Index
+			}
+		case Bin:
+			walk(n.L)
+			walk(n.R)
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	return max
+}

@@ -1,0 +1,176 @@
+package systolic
+
+import (
+	"fmt"
+
+	"aquoman/internal/bitvec"
+)
+
+// Machine executes a compiled PE chain on row vectors. It models the
+// dataflow exactly: each PE runs its program once per row vector, popping
+// the upstream FIFO on rs==0 reads and pushing downstream on rd==0 writes,
+// with the opReg operand FIFO between Store/Copy producers and ALU
+// consumers.
+type Machine struct {
+	m *Mapped
+}
+
+// NewMachine wraps a compiled transformation.
+func NewMachine(m *Mapped) *Machine { return &Machine{m: m} }
+
+// Mapped returns the underlying compiled transformation.
+func (ma *Machine) Mapped() *Mapped { return ma.m }
+
+// lane buffers are full row vectors (up to 32 lanes wide).
+type vec struct {
+	lanes [bitvec.VecSize]int64
+	n     int
+}
+
+// RunVec transforms one row vector. inputs holds one slice per streamed
+// column (all the same length n ≤ 32); the result holds one slice per
+// output column. The same buffers are reused across calls of a single
+// Machine, so callers must copy if they retain results.
+func (ma *Machine) RunVec(inputs [][]int64) ([][]int64, error) {
+	if len(inputs) != ma.m.NumInputs {
+		return nil, fmt.Errorf("systolic: got %d input columns, want %d", len(inputs), ma.m.NumInputs)
+	}
+	n := 0
+	if len(inputs) > 0 {
+		n = len(inputs[0])
+		for _, c := range inputs {
+			if len(c) != n {
+				return nil, fmt.Errorf("systolic: ragged input vectors")
+			}
+		}
+	}
+	// Upstream FIFO of the first PE: the streamed columns in order.
+	fifo := make([]vec, 0, len(inputs))
+	for _, c := range inputs {
+		var v vec
+		v.n = n
+		copy(v.lanes[:], c)
+		fifo = append(fifo, v)
+	}
+	for pi, prog := range ma.m.Programs {
+		out, err := runPE(prog, fifo, n)
+		if err != nil {
+			return nil, fmt.Errorf("systolic: PE %d: %w", pi, err)
+		}
+		fifo = out
+	}
+	if len(fifo) != ma.m.NumOutputs {
+		return nil, fmt.Errorf("systolic: chain produced %d vectors, want %d", len(fifo), ma.m.NumOutputs)
+	}
+	res := make([][]int64, len(fifo))
+	for i := range fifo {
+		res[i] = fifo[i].lanes[:n]
+	}
+	return res, nil
+}
+
+func runPE(prog Program, in []vec, n int) ([]vec, error) {
+	maxReg := NumRegs
+	for _, ins := range prog {
+		if int(ins.Rd) > maxReg {
+			maxReg = int(ins.Rd)
+		}
+		if int(ins.Rs) > maxReg {
+			maxReg = int(ins.Rs)
+		}
+	}
+	regs := make([]vec, maxReg+1)
+	var opFifo []vec
+	var out []vec
+	pop := func() (vec, error) {
+		if len(in) == 0 {
+			return vec{}, fmt.Errorf("input FIFO underflow")
+		}
+		v := in[0]
+		in = in[1:]
+		return v, nil
+	}
+	readSrc := func(rs uint8) (vec, error) {
+		if rs == StreamReg {
+			return pop()
+		}
+		return regs[rs], nil
+	}
+	writeDst := func(rd uint8, v vec) {
+		if rd == StreamReg {
+			out = append(out, v)
+		} else {
+			regs[rd] = v
+		}
+	}
+	for _, ins := range prog {
+		src, err := readSrc(ins.Rs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ins, err)
+		}
+		switch ins.Op {
+		case OpPass:
+			writeDst(ins.Rd, src)
+		case OpCopy:
+			writeDst(ins.Rd, src)
+			opFifo = append(opFifo, src)
+		case OpStore:
+			opFifo = append(opFifo, src)
+		case OpAlu:
+			var operand vec
+			if ins.UseImm {
+				operand.n = n
+				for i := 0; i < n; i++ {
+					operand.lanes[i] = ins.Imm
+				}
+			} else {
+				if len(opFifo) == 0 {
+					return nil, fmt.Errorf("%s: operand FIFO underflow", ins)
+				}
+				operand = opFifo[0]
+				opFifo = opFifo[1:]
+			}
+			var r vec
+			r.n = n
+			for i := 0; i < n; i++ {
+				r.lanes[i] = ins.Alu.Apply(src.lanes[i], operand.lanes[i])
+			}
+			writeDst(ins.Rd, r)
+		default:
+			return nil, fmt.Errorf("bad opcode %d", ins.Op)
+		}
+	}
+	return out, nil
+}
+
+// Transform runs whole columns through the PE chain, vector by vector.
+// inputs[c][r] is row r of streamed column c; the result is indexed the
+// same way by output column.
+func (ma *Machine) Transform(inputs [][]int64) ([][]int64, error) {
+	nRows := 0
+	if len(inputs) > 0 {
+		nRows = len(inputs[0])
+	}
+	outs := make([][]int64, ma.m.NumOutputs)
+	for i := range outs {
+		outs[i] = make([]int64, 0, nRows)
+	}
+	inVec := make([][]int64, len(inputs))
+	for base := 0; base < nRows; base += bitvec.VecSize {
+		end := base + bitvec.VecSize
+		if end > nRows {
+			end = nRows
+		}
+		for c := range inputs {
+			inVec[c] = inputs[c][base:end]
+		}
+		res, err := ma.RunVec(inVec)
+		if err != nil {
+			return nil, err
+		}
+		for c := range res {
+			outs[c] = append(outs[c], res[c]...)
+		}
+	}
+	return outs, nil
+}

@@ -1,0 +1,631 @@
+package tabletask
+
+import (
+	"fmt"
+
+	"aquoman/internal/bitvec"
+	"aquoman/internal/col"
+	"aquoman/internal/flash"
+	"aquoman/internal/mem"
+	"aquoman/internal/regexcc"
+	"aquoman/internal/sorter"
+	"aquoman/internal/swissknife"
+	"aquoman/internal/systolic"
+)
+
+// dramCacheRowLimit bounds which gather-hop tables are cached whole in
+// AQUOMAN DRAM (nation/region-sized dimensions); larger tables gather
+// through random flash reads.
+const dramCacheRowLimit = 4096
+
+// TaskTrace records one task's behaviour.
+type TaskTrace struct {
+	Name             string
+	Table            string
+	Op               string
+	RowsIn           int64
+	RowsSelected     int64
+	RowsTransformed  int64
+	RowsToSwissknife int64
+	PagesRead        int64
+	PagesSkipped     int64
+	GatherFlashReads int64
+	GatherDRAMReads  int64
+	SorterElems      int64
+	SorterDRAMBytes  int64
+	SorterSRAMBytes  int64
+	MergeElems       int64
+	Groups           int64
+	SpilledRows      int64
+	SpilledGroups    int64
+	HostRows         int64
+	SelectorCPs      int
+	TransformerPEs   int
+	// WidenedRegs marks transformations that exceeded the prototype's
+	// 7-register PEs (see systolic.Config).
+	WidenedRegs bool
+}
+
+// Trace accumulates a query's AQUOMAN-side behaviour.
+type Trace struct {
+	Tasks []TaskTrace
+	// DRAMPeak is the high-water AQUOMAN DRAM footprint.
+	DRAMPeak int64
+}
+
+// Total sums a field over tasks.
+func (tr *Trace) Total(f func(*TaskTrace) int64) int64 {
+	var t int64
+	for i := range tr.Tasks {
+		t += f(&tr.Tasks[i])
+	}
+	return t
+}
+
+// Executor runs Table Tasks sequentially (a single task already saturates
+// flash bandwidth, Sec. V).
+type Executor struct {
+	Store  *col.Store
+	DRAM   *mem.DRAM
+	Sorter sorter.Config
+	Trace  Trace
+
+	cached map[string]bool // DRAM-cached gather columns
+}
+
+// NewExecutor returns an executor over the store using the given AQUOMAN
+// DRAM.
+func NewExecutor(store *col.Store, dram *mem.DRAM) *Executor {
+	return &Executor{Store: store, DRAM: dram, Sorter: sorter.DefaultConfig(),
+		cached: make(map[string]bool)}
+}
+
+// Result is a task's host-side output (empty for ToDRAM tasks).
+type Result struct {
+	Cols [][]int64
+}
+
+// NumRows returns the host-output row count.
+func (r *Result) NumRows() int {
+	if r == nil || len(r.Cols) == 0 {
+		return 0
+	}
+	return len(r.Cols[0])
+}
+
+// Run executes one task.
+func (e *Executor) Run(t *Task) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	tt := TaskTrace{Name: t.Name, Table: t.Table, Op: t.Op.Kind.String()}
+	defer func() {
+		e.Trace.Tasks = append(e.Trace.Tasks, tt)
+		if p := e.DRAM.Peak(); p > e.Trace.DRAMPeak {
+			e.Trace.DRAMPeak = p
+		}
+	}()
+
+	tab, err := e.Store.Table(t.Table)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Incoming mask.
+	loadMask := func(src MaskSource) (*bitvec.Mask, error) {
+		obj, err := e.DRAM.Get(src.Name)
+		if err != nil {
+			return nil, err
+		}
+		if obj.Kind != mem.KindMask {
+			return nil, fmt.Errorf("tabletask %q: maskSrc %q is not a mask", t.Name, src.Name)
+		}
+		m := obj.Mask
+		if m.Len() != tab.NumRows {
+			return nil, fmt.Errorf("tabletask %q: mask %q covers %d rows, table has %d",
+				t.Name, src.Name, m.Len(), tab.NumRows)
+		}
+		if src.Negate {
+			m = m.Clone()
+			m.Not()
+		}
+		return m, nil
+	}
+	var mask *bitvec.Mask
+	if t.MaskSrc.Kind == MaskDRAM {
+		m, err := loadMask(t.MaskSrc)
+		if err != nil {
+			return nil, err
+		}
+		mask = m
+	}
+	for _, src := range t.MaskAnd {
+		m, err := loadMask(src)
+		if err != nil {
+			return nil, err
+		}
+		if mask == nil {
+			mask = m
+		} else {
+			if mask == m {
+				continue
+			}
+			mask = mask.Clone()
+			mask.And(m)
+		}
+	}
+
+	// 2. Row Selector.
+	sel := t.RowSel
+	if sel == nil {
+		sel = &Program{}
+	}
+	mask, selStats, err := sel.Run(tab, mask, flash.Aquoman)
+	if err != nil {
+		return nil, err
+	}
+	tt.RowsIn = selStats.RowsIn
+	tt.RowsSelected = selStats.RowsSelected
+	tt.PagesRead += selStats.PagesRead
+	tt.PagesSkipped += selStats.PagesSkipped
+	tt.SelectorCPs = sel.NumCPs()
+
+	// 2b. Regular-expression accelerator: pre-process string columns into
+	// one-bit columns refining the mask (the heap is streamed once into
+	// the 1 MB cache).
+	for _, rf := range t.RegexFilters {
+		if err := e.runRegexFilter(t, tab, rf, mask, &tt); err != nil {
+			return nil, err
+		}
+	}
+	tt.RowsSelected = int64(mask.Count())
+
+	// 3. Table Reader: stream the input columns for selected rows,
+	// skipping fully-masked pages.
+	selRows := mask.Rows()
+	inputs := make([][]int64, 0, len(t.Stream)+len(t.Gathers))
+	for _, name := range t.Stream {
+		vals, pr, ps, err := e.streamColumn(tab, name, mask, len(selRows))
+		if err != nil {
+			return nil, fmt.Errorf("tabletask %q: %w", t.Name, err)
+		}
+		tt.PagesRead += pr
+		tt.PagesSkipped += ps
+		inputs = append(inputs, vals)
+	}
+	// 3b. Gathers (RowID chases).
+	for _, ga := range t.Gathers {
+		base, pr, ps, err := e.streamColumn(tab, ga.BaseCol, mask, len(selRows))
+		if err != nil {
+			return nil, fmt.Errorf("tabletask %q gather %q: %w", t.Name, ga.Name, err)
+		}
+		tt.PagesRead += pr
+		tt.PagesSkipped += ps
+		vals := base
+		for _, hop := range ga.Hops {
+			vals, err = e.gatherHop(hop, vals, &tt)
+			if err != nil {
+				return nil, fmt.Errorf("tabletask %q gather %q: %w", t.Name, ga.Name, err)
+			}
+		}
+		inputs = append(inputs, vals)
+	}
+
+	// 4. Row Transformation Systolic Array.
+	outputs := inputs
+	if t.Transform != nil {
+		mapped, err := systolic.Compile(t.Transform, len(inputs), systolic.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("tabletask %q: transform: %w", t.Name, err)
+		}
+		tt.TransformerPEs = mapped.NumPEs()
+		tt.WidenedRegs = mapped.WidenedRegs
+		outputs, err = systolic.NewMachine(mapped).Transform(inputs)
+		if err != nil {
+			return nil, fmt.Errorf("tabletask %q: transform run: %w", t.Name, err)
+		}
+	}
+	tt.RowsTransformed = int64(len(selRows))
+
+	// 5. Mask Reader: apply the transformer-computed sub-predicate.
+	if t.FilterOut >= 0 {
+		pred := outputs[t.FilterOut]
+		var kept [][]int64
+		for ci, c := range outputs {
+			if ci == t.FilterOut {
+				continue
+			}
+			dst := c[:0:0]
+			for r, v := range c {
+				if pred[r] != 0 {
+					dst = append(dst, v)
+				}
+			}
+			kept = append(kept, dst)
+		}
+		outputs = kept
+	}
+	nRows := 0
+	if len(outputs) > 0 {
+		nRows = len(outputs[0])
+	}
+	tt.RowsToSwissknife = int64(nRows)
+
+	// 6. SQL Swissknife.
+	res, err := e.runOperator(t, tab, outputs, &tt)
+	if err != nil {
+		return nil, err
+	}
+	tt.HostRows = int64(res.NumRows())
+	return res, nil
+}
+
+// runRegexFilter applies one accelerator pattern to the mask in place.
+func (e *Executor) runRegexFilter(t *Task, tab *col.Table, rf RegexFilter, mask *bitvec.Mask, tt *TaskTrace) error {
+	ci, err := tab.Column(rf.Column)
+	if err != nil {
+		return fmt.Errorf("tabletask %q: regex filter: %w", t.Name, err)
+	}
+	if !regexcc.FitsAccelerator(ci.HeapBytes()) {
+		return fmt.Errorf("tabletask %q: string heap of %q (%d bytes) exceeds the %d-byte regex cache",
+			t.Name, rf.Column, ci.HeapBytes(), regexcc.CacheBytes)
+	}
+	pat := regexcc.Compile(rf.Pattern)
+	// Stream the offset column (page-skipped) and the heap (once, into
+	// the accelerator cache).
+	reader := col.NewPagedReader(ci, flash.Aquoman)
+	heap := ci.NewHeapReader(flash.Aquoman)
+	var vals [bitvec.VecSize]int64
+	nVecs := mask.NumVecs()
+	for vec := 0; vec < nVecs; vec++ {
+		if mask.VecAllZero(vec) {
+			reader.SkipVec(vec)
+			continue
+		}
+		n := reader.ReadVec(vec, vals[:])
+		base := vec * bitvec.VecSize
+		for j := 0; j < n; j++ {
+			row := base + j
+			if !mask.Get(row) {
+				continue
+			}
+			if pat.Match(heap.Str(vals[j])) == rf.Negate {
+				mask.Clear(row)
+			}
+		}
+	}
+	tt.PagesRead += reader.PagesRead + (ci.HeapBytes()+flash.PageSize-1)/flash.PageSize
+	tt.PagesSkipped += reader.PagesSkipped
+	return nil
+}
+
+// RowIDCol is the implicit row-index pseudo-column (Sec. VI-D: "such a
+// column is implicit and does not need to be stored in DRAM or flash");
+// streaming it costs no flash traffic.
+const RowIDCol = "@rowid"
+
+// streamColumn reads one base-table column for the selected rows through
+// the page buffer, honouring page skipping.
+func (e *Executor) streamColumn(tab *col.Table, name string, mask *bitvec.Mask, nSel int) ([]int64, int64, int64, error) {
+	if name == RowIDCol {
+		out := make([]int64, 0, nSel)
+		mask.ForEach(func(r int) { out = append(out, int64(r)) })
+		return out, 0, 0, nil
+	}
+	ci, err := tab.Column(name)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	r := col.NewPagedReader(ci, flash.Aquoman)
+	out := make([]int64, 0, nSel)
+	var vals [bitvec.VecSize]int64
+	nVecs := mask.NumVecs()
+	for vec := 0; vec < nVecs; vec++ {
+		if mask.VecAllZero(vec) {
+			r.SkipVec(vec)
+			continue
+		}
+		n := r.ReadVec(vec, vals[:])
+		bits := mask.VecBits(vec)
+		for j := 0; j < n; j++ {
+			if bits&(1<<uint(j)) != 0 {
+				out = append(out, vals[j])
+			}
+		}
+	}
+	return out, r.PagesRead, r.PagesSkipped, nil
+}
+
+// gatherHop chases one RowID hop for every pending value. Small
+// dimensions are cached whole in AQUOMAN DRAM; larger ones are fetched
+// with one sequential masked scan of the referenced column into a
+// transient DRAM table (rowid -> value), which is how the accelerator
+// avoids per-row random flash reads — its DRAM exists precisely to hold
+// such per-join value tables (Sec. VI-D). DRAM capacity pressure from the
+// transient table raises ErrCapacity and suspends the query.
+func (e *Executor) gatherHop(hop GatherHop, rows []int64, tt *TaskTrace) ([]int64, error) {
+	tab, err := e.Store.Table(hop.Table)
+	if err != nil {
+		return nil, err
+	}
+	ci, err := tab.Column(hop.Column)
+	if err != nil {
+		return nil, err
+	}
+	cacheName := "cache:" + hop.Table + "/" + hop.Column
+	if tab.NumRows <= dramCacheRowLimit {
+		if !e.cached[cacheName] {
+			vals := ci.ReadAll(flash.Aquoman)
+			if _, err := e.DRAM.PutColumn(cacheName, vals); err != nil {
+				return nil, err
+			}
+			e.cached[cacheName] = true
+		}
+		obj, err := e.DRAM.Get(cacheName)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, len(rows))
+		for i, r := range rows {
+			if r < 0 || int(r) >= len(obj.Col) {
+				return nil, fmt.Errorf("gather rowid %d out of range for %s", r, hop.Table)
+			}
+			out[i] = obj.Col[r]
+		}
+		tt.GatherDRAMReads += int64(len(rows))
+		return out, nil
+	}
+
+	// Referenced-row mask, then one sequential masked pass.
+	refMask := bitvec.New(tab.NumRows)
+	for _, r := range rows {
+		if r < 0 || int(r) >= tab.NumRows {
+			return nil, fmt.Errorf("gather rowid %d out of range for %s", r, hop.Table)
+		}
+		refMask.Set(int(r))
+	}
+	reader := col.NewPagedReader(ci, flash.Aquoman)
+	lookup := make(map[int64]int64, refMask.Count())
+	var vals [bitvec.VecSize]int64
+	nVecs := refMask.NumVecs()
+	for vec := 0; vec < nVecs; vec++ {
+		if refMask.VecAllZero(vec) {
+			reader.SkipVec(vec)
+			continue
+		}
+		n := reader.ReadVec(vec, vals[:])
+		bits := refMask.VecBits(vec)
+		base := vec * bitvec.VecSize
+		for j := 0; j < n; j++ {
+			if bits&(1<<uint(j)) != 0 {
+				lookup[int64(base+j)] = vals[j]
+			}
+		}
+	}
+	tt.PagesRead += reader.PagesRead
+	tt.PagesSkipped += reader.PagesSkipped
+	// The transient value table occupies AQUOMAN DRAM for the task's
+	// duration: 8 bytes per referenced row (index + 4B value).
+	tmpName := fmt.Sprintf("gather:%s/%s#%d", hop.Table, hop.Column, len(e.Trace.Tasks))
+	if _, err := e.DRAM.PutColumn(tmpName, make([]int64, 2*len(lookup))); err != nil {
+		return nil, err
+	}
+	defer e.DRAM.Free(tmpName)
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = lookup[r]
+	}
+	tt.GatherDRAMReads += int64(len(rows))
+	return out, nil
+}
+
+func (e *Executor) runOperator(t *Task, tab *col.Table, outputs [][]int64, tt *TaskTrace) (*Result, error) {
+	switch t.Op.Kind {
+	case OpNop:
+		if t.Out.Kind == ToHost {
+			return &Result{Cols: outputs}, nil
+		}
+		kvs, err := toKVs(outputs)
+		if err != nil {
+			return nil, fmt.Errorf("tabletask %q: %w", t.Name, err)
+		}
+		if !sorter.IsSorted(kvs) {
+			return nil, fmt.Errorf("tabletask %q: NOP to DRAM requires a key-sorted stream (use SORT)", t.Name)
+		}
+		if _, err := e.DRAM.PutKV(t.Out.Name, kvs, int64(e.Sorter.ElemBytes)); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case OpMask:
+		target, err := e.Store.Table(t.Op.MaskTable)
+		if err != nil {
+			return nil, err
+		}
+		m := bitvec.New(target.NumRows)
+		for _, v := range outputs[0] {
+			if v < 0 || int(v) >= target.NumRows {
+				return nil, fmt.Errorf("tabletask %q: rowid %d outside %q", t.Name, v, t.Op.MaskTable)
+			}
+			m.Set(int(v))
+		}
+		if _, err := e.DRAM.PutMask(t.Out.Name, m); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case OpSort, OpMerge, OpSortMerge:
+		return e.runSortMerge(t, tab, outputs, tt)
+
+	case OpAggregate:
+		acc, err := swissknife.NewAggregate(t.Op.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]int64, len(outputs))
+		n := len(outputs[0])
+		for r := 0; r < n; r++ {
+			for c := range outputs {
+				row[c] = outputs[c][r]
+			}
+			if err := acc.Consume(row); err != nil {
+				return nil, err
+			}
+		}
+		aggs, _ := acc.Result()
+		cols := make([][]int64, len(aggs))
+		for i, v := range aggs {
+			cols[i] = []int64{v}
+		}
+		return &Result{Cols: cols}, nil
+
+	case OpGroupBy:
+		acc, err := swissknife.NewGroupBy(t.Op.GroupCfg, t.Op.Keys, t.Op.Attrs, t.Op.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		n := len(outputs[0])
+		keys := make([]int64, t.Op.Keys)
+		attrs := make([]int64, t.Op.Attrs)
+		vals := make([]int64, len(t.Op.Aggs))
+		for r := 0; r < n; r++ {
+			for i := 0; i < t.Op.Keys; i++ {
+				keys[i] = outputs[i][r]
+			}
+			for i := 0; i < t.Op.Attrs; i++ {
+				attrs[i] = outputs[t.Op.Keys+i][r]
+			}
+			for i := range vals {
+				vals[i] = outputs[t.Op.Keys+t.Op.Attrs+i][r]
+			}
+			if err := acc.Consume(keys, attrs, vals); err != nil {
+				return nil, fmt.Errorf("tabletask %q: %w", t.Name, err)
+			}
+		}
+		st := acc.Stats()
+		tt.Groups = st.Groups
+		tt.SpilledRows = st.SpilledRows
+		tt.SpilledGroups = st.SpilledGroups
+		rows := acc.Results()
+		width := t.Op.Keys + t.Op.Attrs + len(t.Op.Aggs)
+		cols := make([][]int64, width)
+		for _, row := range rows {
+			for c := 0; c < width; c++ {
+				cols[c] = append(cols[c], row[c])
+			}
+		}
+		return &Result{Cols: cols}, nil
+
+	case OpTopK:
+		tk := swissknife.NewTopK(t.Op.K, sorter.VecElems)
+		n := len(outputs[0])
+		for r := 0; r < n; r++ {
+			tk.Push(sorter.KV{Key: outputs[0][r], Val: outputs[1][r]})
+		}
+		top := tk.Results()
+		cols := make([][]int64, 2)
+		for _, kv := range top {
+			cols[0] = append(cols[0], kv.Key)
+			cols[1] = append(cols[1], kv.Val)
+		}
+		return &Result{Cols: cols}, nil
+
+	default:
+		return nil, fmt.Errorf("tabletask %q: unknown operator %d", t.Name, t.Op.Kind)
+	}
+}
+
+func (e *Executor) runSortMerge(t *Task, tab *col.Table, outputs [][]int64, tt *TaskTrace) (*Result, error) {
+	kvs, err := toKVs(outputs)
+	if err != nil {
+		return nil, fmt.Errorf("tabletask %q: %w", t.Name, err)
+	}
+	ss := sorter.NewStreaming(e.Sorter)
+	var runs [][]sorter.KV
+	if t.Op.Kind == OpMerge {
+		if !sorter.IsSorted(kvs) {
+			return nil, fmt.Errorf("tabletask %q: MERGE input not sorted", t.Name)
+		}
+		runs = [][]sorter.KV{kvs}
+	} else {
+		runs = ss.SortRuns(kvs)
+	}
+	tt.SorterElems += int64(len(kvs))
+
+	if t.Op.Kind == OpSort {
+		sorted := ss.MergeRuns(runs)
+		st := ss.Stats()
+		tt.SorterDRAMBytes += st.DRAMBytes
+		tt.SorterSRAMBytes += st.SRAMBytes
+		if t.Out.Kind == ToHost {
+			cols := make([][]int64, 2)
+			for _, kv := range sorted {
+				cols[0] = append(cols[0], kv.Key)
+				cols[1] = append(cols[1], kv.Val)
+			}
+			return &Result{Cols: cols}, nil
+		}
+		if _, err := e.DRAM.PutKV(t.Out.Name, sorted, int64(e.Sorter.ElemBytes)); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	}
+
+	// MERGE / SORT_MERGE against the DRAM object. The DRAM side is
+	// re-streamed once per run (Sec. VI-C: "at the cost of re-streaming
+	// the first one for every 1GB of data stream").
+	obj, err := e.DRAM.Get(t.Op.With)
+	if err != nil {
+		return nil, err
+	}
+	if obj.Kind != mem.KindKV {
+		return nil, fmt.Errorf("tabletask %q: With %q is not a KV table", t.Name, t.Op.With)
+	}
+	var matched []sorter.KV
+	for _, run := range runs {
+		matched = append(matched, swissknife.SemiJoinSorted(run, obj.KVs)...)
+		tt.MergeElems += int64(len(run)) + int64(len(obj.KVs))
+		tt.SorterDRAMBytes += int64(len(obj.KVs)) * int64(e.Sorter.ElemBytes)
+	}
+	st := ss.Stats()
+	tt.SorterDRAMBytes += st.DRAMBytes
+	tt.SorterSRAMBytes += st.SRAMBytes
+	if t.Op.FreeWith {
+		e.DRAM.Free(t.Op.With)
+	}
+	switch t.Out.Kind {
+	case ToHost:
+		cols := make([][]int64, 2)
+		for _, kv := range matched {
+			cols[0] = append(cols[0], kv.Key)
+			cols[1] = append(cols[1], kv.Val)
+		}
+		return &Result{Cols: cols}, nil
+	default:
+		// The matched values are RowIDs of this task's table; leave them
+		// as a mask for the next task's maskSrc.
+		m := bitvec.New(tab.NumRows)
+		for _, kv := range matched {
+			if kv.Val < 0 || int(kv.Val) >= tab.NumRows {
+				return nil, fmt.Errorf("tabletask %q: matched rowid %d outside %q",
+					t.Name, kv.Val, t.Table)
+			}
+			m.Set(int(kv.Val))
+		}
+		if _, err := e.DRAM.PutMask(t.Out.Name, m); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	}
+}
+
+func toKVs(outputs [][]int64) ([]sorter.KV, error) {
+	if len(outputs) != 2 {
+		return nil, fmt.Errorf("expected (key,value) stream, got %d columns", len(outputs))
+	}
+	kvs := make([]sorter.KV, len(outputs[0]))
+	for i := range kvs {
+		kvs[i] = sorter.KV{Key: outputs[0][i], Val: outputs[1][i]}
+	}
+	return kvs, nil
+}

@@ -1,0 +1,222 @@
+// Package tabletask implements AQUOMAN's programming model (Sec. V): the
+// Table Task — one streaming pass over a base table through the fixed
+// Row Selector → Row Transformer → SQL Swissknife pipeline — and the
+// sequential executor that runs a query's Table Tasks against the flash
+// device and AQUOMAN DRAM, collecting the trace the timing model consumes.
+package tabletask
+
+import (
+	"fmt"
+
+	"aquoman/internal/rowsel"
+	"aquoman/internal/swissknife"
+	"aquoman/internal/systolic"
+)
+
+// Program re-exports the Row Selection Program type for task authors.
+type Program = rowsel.Program
+
+// NoFilter marks a task without a transformer-computed sub-predicate.
+// Hand-authored tasks must set FilterOut to NoFilter explicitly (the zero
+// value selects output 0 as the filter).
+const NoFilter = -1
+
+// MaskKind selects where a task's row-processing mask comes from.
+type MaskKind int
+
+const (
+	// MaskFull processes every row (no incoming mask).
+	MaskFull MaskKind = iota
+	// MaskDRAM reads the mask left in AQUOMAN DRAM by a previous task.
+	MaskDRAM
+)
+
+// MaskSource is the task's maskSrc field.
+type MaskSource struct {
+	Kind MaskKind
+	Name string // DRAM object name for MaskDRAM
+	// Negate inverts the mask (anti-join hand-off).
+	Negate bool
+}
+
+// RegexFilter is one string predicate for the regex accelerator.
+type RegexFilter struct {
+	Column  string
+	Pattern string
+	Negate  bool
+}
+
+// GatherHop is one step of a RowID chase: read Column of Table at the
+// current row index. Intermediate hops read materialized RowID columns;
+// the final hop reads the value column.
+type GatherHop struct {
+	Table  string
+	Column string
+}
+
+// Gather fetches one extra transformer input per selected row by chasing
+// materialized RowID columns from the base table — the paper's
+// "constructing the join result using the materialized RowIDs on flash"
+// (Sec. VI-D). BaseCol is a RowID column on the task's table.
+type Gather struct {
+	Name    string
+	BaseCol string
+	Hops    []GatherHop
+}
+
+// OpKind selects the SQL Swissknife operator (Sec. V lists TOPK, SORT,
+// AGGREGATE_GROUPBY, AGGREGATE, NOP, MERGE and SORT_MERGE; OpMask is the
+// NOP variant that materializes an output RowID column as a row mask of
+// another table, the maskSrc hand-off of Fig. 5).
+type OpKind int
+
+const (
+	OpNop OpKind = iota
+	OpMask
+	OpSort
+	OpMerge
+	OpSortMerge
+	OpAggregate
+	OpGroupBy
+	OpTopK
+)
+
+func (k OpKind) String() string {
+	return [...]string{"NOP", "MASK", "SORT", "MERGE", "SORT_MERGE",
+		"AGGREGATE", "AGGREGATE_GROUPBY", "TOPK"}[k]
+}
+
+// OpSpec configures the Swissknife for one task.
+type OpSpec struct {
+	Kind OpKind
+	// MaskTable names the table whose rows output column 0 indexes
+	// (OpMask).
+	MaskTable string
+	// With names the DRAM object consumed by MERGE / SORT_MERGE.
+	With string
+	// FreeWith garbage-collects With after consumption (the paper frees
+	// sort intermediates immediately; default true via NewMergeSpec).
+	FreeWith bool
+	// Keys/Attrs split the transformer outputs for AGGREGATE_GROUPBY:
+	// the first Keys outputs are the group identifier, the next Attrs are
+	// functionally dependent carried attributes, the rest are aggregate
+	// inputs matching Aggs.
+	Keys  int
+	Attrs int
+	Aggs  []swissknife.AggKind
+	// K is the TOPK count.
+	K int
+	// GroupCfg overrides the group-by hardware geometry (ablations).
+	GroupCfg swissknife.GroupByConfig
+}
+
+// OutKind selects the task output destination.
+type OutKind int
+
+const (
+	// ToHost DMAs the result to the host.
+	ToHost OutKind = iota
+	// ToDRAM leaves an intermediate object in AQUOMAN DRAM.
+	ToDRAM
+)
+
+// Output is the task's output field.
+type Output struct {
+	Kind OutKind
+	Name string // DRAM object name for ToDRAM
+}
+
+// Task is one Table Task.
+type Task struct {
+	Name  string
+	Table string
+	// MaskSrc seeds the row-processing mask.
+	MaskSrc MaskSource
+	// MaskAnd intersects additional DRAM masks into the seed (composing a
+	// merge-produced chain with semi/anti-join masks).
+	MaskAnd []MaskSource
+	// RowSel is the Row Selection Program (nil = select all).
+	RowSel *Program
+	// RegexFilters are evaluated by the Table Reader's regular-expression
+	// accelerator (Sec. VI-B): each pre-processes a variable-sized string
+	// column into a one-bit column that refines the row mask. Only legal
+	// when the column's heap fits the accelerator's 1 MB cache; the
+	// executor enforces this (Sec. VI-E condition 2).
+	RegexFilters []RegexFilter
+	// Stream lists base-table columns streamed to the Row Transformer,
+	// in leftmost-to-rightmost order.
+	Stream []string
+	// Gathers are RowID-chased extra inputs appended after Stream.
+	Gathers []Gather
+	// Transform maps inputs (Stream then Gathers, by index) to output
+	// columns; nil streams the inputs through unchanged.
+	Transform []systolic.Expr
+	// FilterOut, if >= 0, names a transform output holding a 0/1
+	// sub-predicate the Row Selector could not evaluate; rows with 0 are
+	// dropped and the column is removed before the Swissknife.
+	FilterOut int
+	Op        OpSpec
+	Out       Output
+}
+
+// Validate checks structural consistency.
+func (t *Task) Validate() error {
+	if t.Table == "" {
+		return fmt.Errorf("tabletask %q: no table", t.Name)
+	}
+	nIn := len(t.Stream) + len(t.Gathers)
+	if nIn == 0 {
+		return fmt.Errorf("tabletask %q: no inputs", t.Name)
+	}
+	if t.Transform != nil {
+		if mi := systolic.MaxColIndex(t.Transform); mi >= nIn {
+			return fmt.Errorf("tabletask %q: transform references input %d of %d", t.Name, mi, nIn)
+		}
+	}
+	nOut := nIn
+	if t.Transform != nil {
+		nOut = len(t.Transform)
+	}
+	if t.FilterOut >= nOut {
+		return fmt.Errorf("tabletask %q: filter output %d of %d", t.Name, t.FilterOut, nOut)
+	}
+	dataCols := nOut
+	if t.FilterOut >= 0 {
+		dataCols--
+	}
+	switch t.Op.Kind {
+	case OpMask:
+		if t.Op.MaskTable == "" {
+			return fmt.Errorf("tabletask %q: MASK without MaskTable", t.Name)
+		}
+		if dataCols != 1 {
+			return fmt.Errorf("tabletask %q: MASK wants 1 output column, has %d", t.Name, dataCols)
+		}
+	case OpSort, OpMerge, OpSortMerge:
+		if dataCols != 2 {
+			return fmt.Errorf("tabletask %q: %s wants (key,value) outputs, has %d",
+				t.Name, t.Op.Kind, dataCols)
+		}
+		if (t.Op.Kind == OpMerge || t.Op.Kind == OpSortMerge) && t.Op.With == "" {
+			return fmt.Errorf("tabletask %q: %s without With object", t.Name, t.Op.Kind)
+		}
+	case OpAggregate:
+		if len(t.Op.Aggs) != dataCols {
+			return fmt.Errorf("tabletask %q: %d aggregates for %d columns", t.Name,
+				len(t.Op.Aggs), dataCols)
+		}
+	case OpGroupBy:
+		if t.Op.Keys+t.Op.Attrs+len(t.Op.Aggs) != dataCols {
+			return fmt.Errorf("tabletask %q: group-by shape %d+%d+%d != %d columns",
+				t.Name, t.Op.Keys, t.Op.Attrs, len(t.Op.Aggs), dataCols)
+		}
+	case OpTopK:
+		if t.Op.K <= 0 || dataCols != 2 {
+			return fmt.Errorf("tabletask %q: TOPK wants K>0 and (key,value) outputs", t.Name)
+		}
+	}
+	if t.Out.Kind == ToDRAM && t.Out.Name == "" {
+		return fmt.Errorf("tabletask %q: DRAM output without name", t.Name)
+	}
+	return nil
+}

@@ -1,0 +1,493 @@
+// Package tpch implements the TPC-H substrate: a from-scratch dbgen
+// producing all eight tables at a configurable scale factor with the
+// spec's value distributions and key relationships, plus the 22 benchmark
+// queries expressed as plan trees (queries.go).
+//
+// The paper evaluates AQUOMAN on SF-1000 (1 TB); this box generates small
+// scale factors functionally and the timing model extrapolates traces —
+// TPC-H selectivities and cardinality ratios are scale-invariant, the same
+// property the paper's own trace-based simulator relies on.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"aquoman/internal/col"
+)
+
+// Scale-factor-1 base cardinalities from the TPC-H specification.
+const (
+	SuppliersPerSF  = 10_000
+	PartsPerSF      = 200_000
+	CustomersPerSF  = 150_000
+	OrdersPerSF     = 1_500_000
+	PartSuppPerPart = 4
+)
+
+// Config controls generation.
+type Config struct {
+	// SF is the scale factor (1.0 = ~1 GB of raw data, 1000 in the paper).
+	SF float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Gen generates all eight tables into the store, including the
+// MonetDB-style materialized foreign-key RowID columns AQUOMAN exploits.
+func Gen(store *col.Store, cfg Config) error {
+	if cfg.SF <= 0 {
+		cfg.SF = 0.01
+	}
+	g := &gen{
+		store: store,
+		cfg:   cfg,
+		nSupp: scaled(SuppliersPerSF, cfg.SF),
+		nPart: scaled(PartsPerSF, cfg.SF),
+		nCust: scaled(CustomersPerSF, cfg.SF),
+		nOrd:  scaled(OrdersPerSF, cfg.SF),
+	}
+	steps := []func() error{
+		g.genRegion, g.genNation, g.genSupplier, g.genPart, g.genPartSupp,
+		g.genCustomer, g.genOrdersAndLineitem, g.materialize,
+	}
+	for _, s := range steps {
+		if err := s(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+type gen struct {
+	store *col.Store
+	cfg   Config
+
+	nSupp, nPart, nCust, nOrd int
+
+	region, nation, supplier, part, partsupp *col.Table
+	customer, orders, lineitem               *col.Table
+
+	retailPrice []int64 // per part, for extendedprice
+}
+
+func (g *gen) rng(table string) *rand.Rand {
+	h := int64(0)
+	for _, c := range table {
+		h = h*131 + int64(c)
+	}
+	return rand.New(rand.NewSource(g.cfg.Seed*1_000_003 + h))
+}
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nations with their region indices, from the spec.
+var nationDefs = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var words = strings.Fields(`the of quick furious slow ironic bold even
+regular unusual express silent final pending daring brave careful
+deposits requests accounts packages theodolites pinto beans foxes
+instructions dependencies platelets excuses realms dolphins sauternes
+warhorses sheaves hockey players sentiments asymptotes courts ideas
+dugouts waters packages sleep nag haggle boost engage wake cajole
+detect integrate use maintain believe doze hang impress print among
+across above against along beside beneath alongside quickly carefully
+blithely furiously slyly quietly ruthlessly special requests customer
+complaints`)
+
+func (g *gen) comment(rng *rand.Rand, minWords, maxWords int) string {
+	n := minWords + rng.Intn(maxWords-minWords+1)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = words[rng.Intn(len(words))]
+	}
+	return strings.Join(parts, " ")
+}
+
+// specialComment injects the q13 "%special%requests%" pattern with the
+// spec's rough frequency when inject is true.
+func (g *gen) orderComment(rng *rand.Rand) string {
+	c := g.comment(rng, 4, 10)
+	if rng.Intn(100) == 0 {
+		c = c + " special pending requests " + g.comment(rng, 1, 3)
+	}
+	return c
+}
+
+// supplierComment injects q16's "%Customer%Complaints%" pattern (~0.05%).
+func (g *gen) supplierComment(rng *rand.Rand) string {
+	c := g.comment(rng, 4, 10)
+	if rng.Intn(2000) == 0 {
+		c = c + " Customer even Complaints"
+	}
+	return c
+}
+
+var colors = strings.Fields(`almond antique aquamarine azure beige bisque
+black blanched blue blush brown burlywood burnished chartreuse chiffon
+chocolate coral cornflower cornsilk cream cyan dark deep dim dodger drab
+firebrick floral forest frosted gainsboro ghost goldenrod green grey
+honeydew hot indian ivory khaki lace lavender lawn lemon light lime
+linen magenta maroon medium metallic midnight mint misty moccasin navajo
+navy olive orange orchid pale papaya peach peru pink plum powder puff
+purple red rose rosy royal saddle salmon sandy seashell sienna sky slate
+smoke snow spring steel tan thistle tomato turquoise violet wheat white
+yellow`)
+
+var (
+	typeSyllable1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyllable2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyllable3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	containerSyl1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containerSyl2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	segments      = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities    = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	instructs     = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	shipmodes     = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+)
+
+// Date window from the spec.
+var (
+	startDate = col.MustParseDate("1992-01-01")
+	endDate   = col.MustParseDate("1998-12-01")
+	// currentDate is the spec's reference date (used by query predicates).
+	CurrentDate = col.MustParseDate("1995-06-17")
+)
+
+func (g *gen) genRegion() error {
+	b := g.store.NewTable(col.Schema{Name: "region", Cols: []col.ColDef{
+		{Name: "r_regionkey", Typ: col.Int32},
+		{Name: "r_name", Typ: col.Dict},
+		{Name: "r_comment", Typ: col.Text},
+	}})
+	rng := g.rng("region")
+	for i, n := range regionNames {
+		b.Append(i, n, g.comment(rng, 4, 10))
+	}
+	var err error
+	g.region, err = b.Finalize()
+	return err
+}
+
+func (g *gen) genNation() error {
+	b := g.store.NewTable(col.Schema{Name: "nation", Cols: []col.ColDef{
+		{Name: "n_nationkey", Typ: col.Int32},
+		{Name: "n_name", Typ: col.Dict},
+		{Name: "n_regionkey", Typ: col.Int32},
+		{Name: "n_comment", Typ: col.Text},
+	}})
+	rng := g.rng("nation")
+	for i, n := range nationDefs {
+		b.Append(i, n.name, n.region, g.comment(rng, 4, 10))
+	}
+	var err error
+	g.nation, err = b.Finalize()
+	return err
+}
+
+func (g *gen) genSupplier() error {
+	b := g.store.NewTable(col.Schema{Name: "supplier", Cols: []col.ColDef{
+		{Name: "s_suppkey", Typ: col.Int32},
+		{Name: "s_name", Typ: col.Text},
+		{Name: "s_address", Typ: col.Text},
+		{Name: "s_nationkey", Typ: col.Int32},
+		{Name: "s_phone", Typ: col.Text},
+		{Name: "s_acctbal", Typ: col.Decimal},
+		{Name: "s_comment", Typ: col.Text},
+	}})
+	rng := g.rng("supplier")
+	for i := 1; i <= g.nSupp; i++ {
+		nat := rng.Intn(len(nationDefs))
+		b.Append(i,
+			fmt.Sprintf("Supplier#%09d", i),
+			g.comment(rng, 2, 4),
+			nat,
+			phone(nat, rng),
+			int64(rng.Intn(1_099_999))-100_000, // -1000.00 .. 9999.99
+			g.supplierComment(rng),
+		)
+	}
+	var err error
+	g.supplier, err = b.Finalize()
+	return err
+}
+
+func phone(nationkey int, rng *rand.Rand) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", nationkey+10,
+		100+rng.Intn(900), 100+rng.Intn(900), 1000+rng.Intn(9000))
+}
+
+// partRetailPrice is the spec formula, in cents.
+func partRetailPrice(partkey int64) int64 {
+	return 90_000 + (partkey/10)%20_001 + 100*(partkey%1_000)
+}
+
+func (g *gen) genPart() error {
+	b := g.store.NewTable(col.Schema{Name: "part", Cols: []col.ColDef{
+		{Name: "p_partkey", Typ: col.Int32},
+		{Name: "p_name", Typ: col.Text},
+		{Name: "p_mfgr", Typ: col.Dict},
+		{Name: "p_brand", Typ: col.Dict},
+		{Name: "p_type", Typ: col.Dict},
+		{Name: "p_size", Typ: col.Int32},
+		{Name: "p_container", Typ: col.Dict},
+		{Name: "p_retailprice", Typ: col.Decimal},
+		{Name: "p_comment", Typ: col.Text},
+	}})
+	rng := g.rng("part")
+	g.retailPrice = make([]int64, g.nPart+1)
+	for i := 1; i <= g.nPart; i++ {
+		mfgr := 1 + rng.Intn(5)
+		brand := mfgr*10 + 1 + rng.Intn(5)
+		nameWords := make([]string, 5)
+		for j := range nameWords {
+			nameWords[j] = colors[rng.Intn(len(colors))]
+		}
+		price := partRetailPrice(int64(i))
+		g.retailPrice[i] = price
+		b.Append(i,
+			strings.Join(nameWords, " "),
+			fmt.Sprintf("Manufacturer#%d", mfgr),
+			fmt.Sprintf("Brand#%d", brand),
+			typeSyllable1[rng.Intn(6)]+" "+typeSyllable2[rng.Intn(5)]+" "+typeSyllable3[rng.Intn(5)],
+			1+rng.Intn(50),
+			containerSyl1[rng.Intn(5)]+" "+containerSyl2[rng.Intn(8)],
+			price,
+			g.comment(rng, 2, 5),
+		)
+	}
+	var err error
+	g.part, err = b.Finalize()
+	return err
+}
+
+// suppForPart returns the s-th (0..3) supplier of a part, per the spec's
+// distribution formula.
+func (g *gen) suppForPart(partkey int64, s int) int64 {
+	S := int64(g.nSupp)
+	return (partkey+int64(s)*(S/4+(partkey-1)/S))%S + 1
+}
+
+func (g *gen) genPartSupp() error {
+	b := g.store.NewTable(col.Schema{Name: "partsupp", Cols: []col.ColDef{
+		{Name: "ps_partkey", Typ: col.Int32},
+		{Name: "ps_suppkey", Typ: col.Int32},
+		{Name: "ps_availqty", Typ: col.Int32},
+		{Name: "ps_supplycost", Typ: col.Decimal},
+		{Name: "ps_comment", Typ: col.Text},
+	}})
+	rng := g.rng("partsupp")
+	for p := 1; p <= g.nPart; p++ {
+		for s := 0; s < PartSuppPerPart; s++ {
+			b.Append(p, g.suppForPart(int64(p), s),
+				1+rng.Intn(9999),
+				int64(100+rng.Intn(99_901)), // 1.00 .. 1000.00
+				g.comment(rng, 4, 10))
+		}
+	}
+	var err error
+	g.partsupp, err = b.Finalize()
+	return err
+}
+
+func (g *gen) genCustomer() error {
+	b := g.store.NewTable(col.Schema{Name: "customer", Cols: []col.ColDef{
+		{Name: "c_custkey", Typ: col.Int32},
+		{Name: "c_name", Typ: col.Text},
+		{Name: "c_address", Typ: col.Text},
+		{Name: "c_nationkey", Typ: col.Int32},
+		{Name: "c_phone", Typ: col.Text},
+		{Name: "c_acctbal", Typ: col.Decimal},
+		{Name: "c_mktsegment", Typ: col.Dict},
+		{Name: "c_comment", Typ: col.Text},
+	}})
+	rng := g.rng("customer")
+	for i := 1; i <= g.nCust; i++ {
+		nat := rng.Intn(len(nationDefs))
+		b.Append(i,
+			fmt.Sprintf("Customer#%09d", i),
+			g.comment(rng, 2, 4),
+			nat,
+			phone(nat, rng),
+			int64(rng.Intn(1_099_999))-100_000,
+			segments[rng.Intn(len(segments))],
+			g.comment(rng, 4, 10),
+		)
+	}
+	var err error
+	g.customer, err = b.Finalize()
+	return err
+}
+
+// orderKey produces the spec's sparse order keys: 8 used keys per 32.
+func orderKey(i int64) int64 {
+	return (i/8)*32 + i%8 + 1
+}
+
+func (g *gen) genOrdersAndLineitem() error {
+	ob := g.store.NewTable(col.Schema{Name: "orders", Cols: []col.ColDef{
+		{Name: "o_orderkey", Typ: col.Int32},
+		{Name: "o_custkey", Typ: col.Int32},
+		{Name: "o_orderstatus", Typ: col.Dict},
+		{Name: "o_totalprice", Typ: col.Decimal},
+		{Name: "o_orderdate", Typ: col.Date},
+		{Name: "o_orderpriority", Typ: col.Dict},
+		{Name: "o_clerk", Typ: col.Text},
+		{Name: "o_shippriority", Typ: col.Int32},
+		{Name: "o_comment", Typ: col.Text},
+	}})
+	lb := g.store.NewTable(col.Schema{Name: "lineitem", Cols: []col.ColDef{
+		{Name: "l_orderkey", Typ: col.Int32},
+		{Name: "l_partkey", Typ: col.Int32},
+		{Name: "l_suppkey", Typ: col.Int32},
+		{Name: "l_linenumber", Typ: col.Int32},
+		{Name: "l_quantity", Typ: col.Decimal},
+		{Name: "l_extendedprice", Typ: col.Decimal},
+		{Name: "l_discount", Typ: col.Decimal},
+		{Name: "l_tax", Typ: col.Decimal},
+		{Name: "l_returnflag", Typ: col.Dict},
+		{Name: "l_linestatus", Typ: col.Dict},
+		{Name: "l_shipdate", Typ: col.Date},
+		{Name: "l_commitdate", Typ: col.Date},
+		{Name: "l_receiptdate", Typ: col.Date},
+		{Name: "l_shipinstruct", Typ: col.Dict},
+		{Name: "l_shipmode", Typ: col.Dict},
+		{Name: "l_comment", Typ: col.Text},
+	}})
+	rng := g.rng("orders")
+	maxOrderDate := endDate - 151 // so receiptdate stays inside the window
+	for i := int64(0); i < int64(g.nOrd); i++ {
+		okey := orderKey(i)
+		// Customers with custkey % 3 == 0 have no orders (spec).
+		ckey := int64(1 + rng.Intn(g.nCust))
+		for ckey%3 == 0 {
+			ckey = int64(1 + rng.Intn(g.nCust))
+		}
+		odate := startDate + int64(rng.Intn(int(maxOrderDate-startDate+1)))
+		nLines := 1 + rng.Intn(7)
+		var total int64
+		allF, allO := true, true
+		for ln := 1; ln <= nLines; ln++ {
+			pkey := int64(1 + rng.Intn(g.nPart))
+			skey := g.suppForPart(pkey, rng.Intn(4))
+			qty := int64(1 + rng.Intn(50))
+			eprice := qty * g.retailPrice[pkey]
+			disc := int64(rng.Intn(11))
+			tax := int64(rng.Intn(9))
+			ship := odate + 1 + int64(rng.Intn(121))
+			commit := odate + 30 + int64(rng.Intn(61))
+			receipt := ship + 1 + int64(rng.Intn(30))
+			rf := "N"
+			if receipt <= CurrentDate {
+				if rng.Intn(2) == 0 {
+					rf = "R"
+				} else {
+					rf = "A"
+				}
+			}
+			ls := "O"
+			if ship <= CurrentDate {
+				ls = "F"
+				allO = false
+			} else {
+				allF = false
+			}
+			lb.Append(okey, pkey, skey, ln, qty*100, eprice, disc, tax,
+				rf, ls, ship, commit, receipt,
+				instructs[rng.Intn(4)], shipmodes[rng.Intn(7)],
+				g.comment(rng, 2, 6))
+			total += eprice * (100 - disc) / 100 * (100 + tax) / 100
+		}
+		status := "P"
+		if allF {
+			status = "F"
+		} else if allO {
+			status = "O"
+		}
+		ob.Append(okey, ckey, status, total, odate,
+			priorities[rng.Intn(5)],
+			fmt.Sprintf("Clerk#%09d", 1+rng.Intn(g.nOrd/100+1)),
+			0,
+			g.orderComment(rng))
+	}
+	var err error
+	if g.orders, err = ob.Finalize(); err != nil {
+		return err
+	}
+	g.lineitem, err = lb.Finalize()
+	return err
+}
+
+// materialize builds the MonetDB-style FK RowID companion columns.
+func (g *gen) materialize() error {
+	type fk struct {
+		fact  *col.Table
+		col   string
+		dim   *col.Table
+		pkCol string
+	}
+	fks := []fk{
+		{g.nation, "n_regionkey", g.region, "r_regionkey"},
+		{g.supplier, "s_nationkey", g.nation, "n_nationkey"},
+		{g.customer, "c_nationkey", g.nation, "n_nationkey"},
+		{g.partsupp, "ps_partkey", g.part, "p_partkey"},
+		{g.partsupp, "ps_suppkey", g.supplier, "s_suppkey"},
+		{g.orders, "o_custkey", g.customer, "c_custkey"},
+		{g.lineitem, "l_orderkey", g.orders, "o_orderkey"},
+		{g.lineitem, "l_partkey", g.part, "p_partkey"},
+		{g.lineitem, "l_suppkey", g.supplier, "s_suppkey"},
+	}
+	for _, f := range fks {
+		if err := col.MaterializeFK(f.fact, f.col, f.dim, f.pkCol); err != nil {
+			return err
+		}
+	}
+	// Composite FK lineitem(partkey, suppkey) -> partsupp for q9.
+	return MaterializePartSuppIndex(g.lineitem, g.partsupp)
+}
+
+// PartSuppRowIDCol is the composite join-index column name on lineitem.
+const PartSuppRowIDCol = "l_partsupp@rowid"
+
+// MaterializePartSuppIndex builds the composite join index; exported for
+// repartitioning (internal/distrib).
+func MaterializePartSuppIndex(lineitem, partsupp *col.Table) error {
+	pk := partsupp.MustColumn("ps_partkey").ReadAll(0)
+	sk := partsupp.MustColumn("ps_suppkey").ReadAll(0)
+	idx := make(map[[2]int64]int64, len(pk))
+	for i := range pk {
+		idx[[2]int64{pk[i], sk[i]}] = int64(i)
+	}
+	lp := lineitem.MustColumn("l_partkey").ReadAll(0)
+	ls := lineitem.MustColumn("l_suppkey").ReadAll(0)
+	rowids := make([]int64, len(lp))
+	for i := range lp {
+		r, ok := idx[[2]int64{lp[i], ls[i]}]
+		if !ok {
+			return fmt.Errorf("tpch: lineitem row %d references missing partsupp (%d,%d)",
+				i, lp[i], ls[i])
+		}
+		rowids[i] = r
+	}
+	return lineitem.AddRowIDColumn(PartSuppRowIDCol, rowids)
+}

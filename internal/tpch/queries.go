@@ -1,0 +1,796 @@
+package tpch
+
+import (
+	"fmt"
+
+	"aquoman/internal/col"
+	p "aquoman/internal/plan"
+)
+
+// Query is one TPC-H benchmark query: a number, a short description, and
+// a builder producing a fresh (unbound) plan tree with the specification's
+// validation parameters.
+type Query struct {
+	Num   int
+	Name  string
+	Build func() p.Node
+}
+
+// Queries returns all 22 queries in order.
+func Queries() []Query {
+	return []Query{
+		{1, "pricing summary report", Q1},
+		{2, "minimum cost supplier", Q2},
+		{3, "shipping priority", Q3},
+		{4, "order priority checking", Q4},
+		{5, "local supplier volume", Q5},
+		{6, "forecasting revenue change", Q6},
+		{7, "volume shipping", Q7},
+		{8, "national market share", Q8},
+		{9, "product type profit measure", Q9},
+		{10, "returned item reporting", Q10},
+		{11, "important stock identification", Q11},
+		{12, "shipping modes and order priority", Q12},
+		{13, "customer distribution", Q13},
+		{14, "promotion effect", Q14},
+		{15, "top supplier", Q15},
+		{16, "parts/supplier relationship", Q16},
+		{17, "small-quantity-order revenue", Q17},
+		{18, "large volume customer", Q18},
+		{19, "discounted revenue", Q19},
+		{20, "potential part promotion", Q20},
+		{21, "suppliers who kept orders waiting", Q21},
+		{22, "global sales opportunity", Q22},
+	}
+}
+
+// Get returns query q (1-based).
+func Get(q int) (Query, error) {
+	all := Queries()
+	if q < 1 || q > len(all) {
+		return Query{}, fmt.Errorf("tpch: no query %d", q)
+	}
+	return all[q-1], nil
+}
+
+func scan(table string, cols ...string) *p.Scan {
+	return &p.Scan{Table: table, Cols: cols}
+}
+
+// discPrice is l_extendedprice * (1 - l_discount) at ×100 scale.
+func discPrice() p.Expr {
+	return p.DecMul(p.C("l_extendedprice"), p.Sub(p.I(100), p.C("l_discount")))
+}
+
+// rename projects columns under new names (for self-joins and output
+// collision avoidance).
+func rename(in p.Node, pairs ...string) *p.Project {
+	var exprs []p.NamedExpr
+	for i := 0; i+1 < len(pairs); i += 2 {
+		exprs = append(exprs, p.NamedExpr{Name: pairs[i+1], E: p.C(pairs[i])})
+	}
+	return &p.Project{Input: in, Exprs: exprs}
+}
+
+// Q1 — Pricing Summary Report.
+func Q1() p.Node {
+	charge := p.DecMul(discPrice(), p.Add(p.I(100), p.C("l_tax")))
+	return &p.OrderBy{
+		Keys: []p.OrderKey{{Name: "l_returnflag"}, {Name: "l_linestatus"}},
+		Input: &p.GroupBy{
+			Input: &p.Filter{
+				Input: scan("lineitem", "l_returnflag", "l_linestatus", "l_quantity",
+					"l_extendedprice", "l_discount", "l_tax", "l_shipdate"),
+				Pred: p.LE(p.C("l_shipdate"), p.Date("1998-09-02")),
+			},
+			Keys: []string{"l_returnflag", "l_linestatus"},
+			Aggs: []p.AggSpec{
+				{Func: p.AggSum, Name: "sum_qty", E: p.C("l_quantity"), Typ: col.Decimal},
+				{Func: p.AggSum, Name: "sum_base_price", E: p.C("l_extendedprice"), Typ: col.Decimal},
+				{Func: p.AggSum, Name: "sum_disc_price", E: discPrice(), Typ: col.Decimal},
+				{Func: p.AggSum, Name: "sum_charge", E: charge, Typ: col.Decimal},
+				{Func: p.AggAvg, Name: "avg_qty", E: p.C("l_quantity"), Typ: col.Decimal},
+				{Func: p.AggAvg, Name: "avg_price", E: p.C("l_extendedprice"), Typ: col.Decimal},
+				{Func: p.AggAvg, Name: "avg_disc", E: p.C("l_discount"), Typ: col.Decimal},
+				{Func: p.AggCount, Name: "count_order"},
+			},
+		},
+	}
+}
+
+// euroPartsupp joins partsupp through supplier/nation to a region filter —
+// the shared subtree of Q2's outer query and its MIN subquery.
+func euroPartsupp(region string) p.Node {
+	nations := &p.Join{Kind: p.InnerJoin,
+		L:     scan("nation", "n_nationkey", "n_name", "n_regionkey"),
+		R:     &p.Filter{Input: scan("region", "r_regionkey", "r_name"), Pred: p.EQ(p.C("r_name"), p.S(region))},
+		LKeys: []string{"n_regionkey"}, RKeys: []string{"r_regionkey"},
+	}
+	supp := &p.Join{Kind: p.InnerJoin,
+		L: scan("supplier", "s_suppkey", "s_name", "s_address", "s_phone",
+			"s_acctbal", "s_comment", "s_nationkey"),
+		R:     nations,
+		LKeys: []string{"s_nationkey"}, RKeys: []string{"n_nationkey"},
+	}
+	return &p.Join{Kind: p.InnerJoin,
+		L:     scan("partsupp", "ps_partkey", "ps_suppkey", "ps_supplycost"),
+		R:     supp,
+		LKeys: []string{"ps_suppkey"}, RKeys: []string{"s_suppkey"},
+	}
+}
+
+// Q2 — Minimum Cost Supplier (correlated MIN decorrelated to a group-by).
+func Q2() p.Node {
+	minCost := rename(&p.GroupBy{
+		Input: euroPartsupp("EUROPE"),
+		Keys:  []string{"ps_partkey"},
+		Aggs: []p.AggSpec{{Func: p.AggMin, Name: "min_cost",
+			E: p.C("ps_supplycost"), Typ: col.Decimal}},
+	}, "ps_partkey", "mc_partkey", "min_cost", "mc_cost")
+	part := &p.Filter{
+		Input: scan("part", "p_partkey", "p_mfgr", "p_type", "p_size"),
+		Pred: p.And(
+			p.EQ(p.C("p_size"), p.I(15)),
+			p.Like{Col: "p_type", Pattern: "%BRASS"},
+		),
+	}
+	joined := &p.Join{Kind: p.InnerJoin,
+		L:     euroPartsupp("EUROPE"),
+		R:     part,
+		LKeys: []string{"ps_partkey"}, RKeys: []string{"p_partkey"},
+	}
+	withMin := &p.Join{Kind: p.InnerJoin,
+		L:     joined,
+		R:     minCost,
+		LKeys: []string{"ps_partkey", "ps_supplycost"},
+		RKeys: []string{"mc_partkey", "mc_cost"},
+	}
+	out := &p.Project{Input: withMin, Exprs: []p.NamedExpr{
+		{Name: "s_acctbal", E: p.C("s_acctbal")},
+		{Name: "s_name", E: p.C("s_name")},
+		{Name: "n_name", E: p.C("n_name")},
+		{Name: "p_partkey", E: p.C("p_partkey")},
+		{Name: "p_mfgr", E: p.C("p_mfgr")},
+		{Name: "s_address", E: p.C("s_address")},
+		{Name: "s_phone", E: p.C("s_phone")},
+		{Name: "s_comment", E: p.C("s_comment")},
+	}}
+	return &p.Limit{N: 100, Input: &p.OrderBy{Input: out, Keys: []p.OrderKey{
+		{Name: "s_acctbal", Desc: true}, {Name: "n_name"}, {Name: "s_name"}, {Name: "p_partkey"},
+	}}}
+}
+
+// Q3 — Shipping Priority.
+func Q3() p.Node {
+	cust := &p.Filter{
+		Input: scan("customer", "c_custkey", "c_mktsegment"),
+		Pred:  p.EQ(p.C("c_mktsegment"), p.S("BUILDING")),
+	}
+	ord := &p.Filter{
+		Input: scan("orders", "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"),
+		Pred:  p.LT(p.C("o_orderdate"), p.Date("1995-03-15")),
+	}
+	co := &p.Join{Kind: p.InnerJoin, L: ord, R: cust,
+		LKeys: []string{"o_custkey"}, RKeys: []string{"c_custkey"}}
+	li := &p.Filter{
+		Input: scan("lineitem", "l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"),
+		Pred:  p.GT(p.C("l_shipdate"), p.Date("1995-03-15")),
+	}
+	j := &p.Join{Kind: p.InnerJoin, L: li, R: co,
+		LKeys: []string{"l_orderkey"}, RKeys: []string{"o_orderkey"}}
+	g := &p.GroupBy{Input: j,
+		Keys: []string{"l_orderkey", "o_orderdate", "o_shippriority"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "revenue", E: discPrice(), Typ: col.Decimal}},
+	}
+	return &p.Limit{N: 10, Input: &p.OrderBy{Input: g, Keys: []p.OrderKey{
+		{Name: "revenue", Desc: true}, {Name: "o_orderdate"},
+	}}}
+}
+
+// Q4 — Order Priority Checking.
+func Q4() p.Node {
+	late := &p.Filter{
+		Input: scan("lineitem", "l_orderkey", "l_commitdate", "l_receiptdate"),
+		Pred:  p.LT(p.C("l_commitdate"), p.C("l_receiptdate")),
+	}
+	ord := &p.Filter{
+		Input: scan("orders", "o_orderkey", "o_orderdate", "o_orderpriority"),
+		Pred: p.And(
+			p.GE(p.C("o_orderdate"), p.Date("1993-07-01")),
+			p.LT(p.C("o_orderdate"), p.Date("1993-10-01")),
+		),
+	}
+	semi := &p.Join{Kind: p.SemiJoin, L: ord, R: late,
+		LKeys: []string{"o_orderkey"}, RKeys: []string{"l_orderkey"}}
+	return &p.OrderBy{
+		Keys: []p.OrderKey{{Name: "o_orderpriority"}},
+		Input: &p.GroupBy{Input: semi, Keys: []string{"o_orderpriority"},
+			Aggs: []p.AggSpec{{Func: p.AggCount, Name: "order_count"}}},
+	}
+}
+
+// Q5 — Local Supplier Volume.
+func Q5() p.Node {
+	nations := &p.Join{Kind: p.InnerJoin,
+		L: scan("nation", "n_nationkey", "n_name", "n_regionkey"),
+		R: &p.Filter{Input: scan("region", "r_regionkey", "r_name"),
+			Pred: p.EQ(p.C("r_name"), p.S("ASIA"))},
+		LKeys: []string{"n_regionkey"}, RKeys: []string{"r_regionkey"},
+	}
+	supp := &p.Join{Kind: p.InnerJoin,
+		L:     scan("supplier", "s_suppkey", "s_nationkey"),
+		R:     nations,
+		LKeys: []string{"s_nationkey"}, RKeys: []string{"n_nationkey"},
+	}
+	ord := &p.Filter{
+		Input: scan("orders", "o_orderkey", "o_custkey", "o_orderdate"),
+		Pred: p.And(
+			p.GE(p.C("o_orderdate"), p.Date("1994-01-01")),
+			p.LT(p.C("o_orderdate"), p.Date("1995-01-01")),
+		),
+	}
+	oc := &p.Join{Kind: p.InnerJoin, L: ord,
+		R:     scan("customer", "c_custkey", "c_nationkey"),
+		LKeys: []string{"o_custkey"}, RKeys: []string{"c_custkey"}}
+	li := &p.Join{Kind: p.InnerJoin,
+		L:     scan("lineitem", "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"),
+		R:     oc,
+		LKeys: []string{"l_orderkey"}, RKeys: []string{"o_orderkey"}}
+	// Local suppliers only: the customer and supplier share a nation.
+	j := &p.Join{Kind: p.InnerJoin, L: li, R: supp,
+		LKeys: []string{"l_suppkey"}, RKeys: []string{"s_suppkey"},
+		Extra: p.EQ(p.C("c_nationkey"), p.C("s_nationkey"))}
+	g := &p.GroupBy{Input: j, Keys: []string{"n_name"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "revenue", E: discPrice(), Typ: col.Decimal}}}
+	return &p.OrderBy{Input: g, Keys: []p.OrderKey{{Name: "revenue", Desc: true}}}
+}
+
+// Q6 — Forecasting Revenue Change.
+func Q6() p.Node {
+	return &p.GroupBy{
+		Input: &p.Filter{
+			Input: scan("lineitem", "l_extendedprice", "l_discount", "l_shipdate", "l_quantity"),
+			Pred: p.And(
+				p.GE(p.C("l_shipdate"), p.Date("1994-01-01")),
+				p.LT(p.C("l_shipdate"), p.Date("1995-01-01")),
+				p.Between(p.C("l_discount"), p.Dec("0.05"), p.Dec("0.07")),
+				p.LT(p.C("l_quantity"), p.Dec("24")),
+			),
+		},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "revenue",
+			E: p.DecMul(p.C("l_extendedprice"), p.C("l_discount")), Typ: col.Decimal}},
+	}
+}
+
+// Q7 — Volume Shipping (nation self-join via renames).
+func Q7() p.Node {
+	suppNation := rename(scan("nation", "n_nationkey", "n_name"),
+		"n_nationkey", "n1_key", "n_name", "supp_nation")
+	custNation := rename(scan("nation", "n_nationkey", "n_name"),
+		"n_nationkey", "n2_key", "n_name", "cust_nation")
+	supp := &p.Join{Kind: p.InnerJoin,
+		L:     scan("supplier", "s_suppkey", "s_nationkey"),
+		R:     suppNation,
+		LKeys: []string{"s_nationkey"}, RKeys: []string{"n1_key"}}
+	cust := &p.Join{Kind: p.InnerJoin,
+		L:     scan("customer", "c_custkey", "c_nationkey"),
+		R:     custNation,
+		LKeys: []string{"c_nationkey"}, RKeys: []string{"n2_key"}}
+	ord := &p.Join{Kind: p.InnerJoin,
+		L:     scan("orders", "o_orderkey", "o_custkey"),
+		R:     cust,
+		LKeys: []string{"o_custkey"}, RKeys: []string{"c_custkey"}}
+	li := &p.Filter{
+		Input: scan("lineitem", "l_orderkey", "l_suppkey", "l_extendedprice",
+			"l_discount", "l_shipdate"),
+		Pred: p.Between(p.C("l_shipdate"), p.Date("1995-01-01"), p.Date("1996-12-31")),
+	}
+	lo := &p.Join{Kind: p.InnerJoin, L: li, R: ord,
+		LKeys: []string{"l_orderkey"}, RKeys: []string{"o_orderkey"}}
+	j := &p.Join{Kind: p.InnerJoin, L: lo, R: supp,
+		LKeys: []string{"l_suppkey"}, RKeys: []string{"s_suppkey"},
+		Extra: p.Or(
+			p.And(p.EQ(p.C("supp_nation"), p.S("FRANCE")), p.EQ(p.C("cust_nation"), p.S("GERMANY"))),
+			p.And(p.EQ(p.C("supp_nation"), p.S("GERMANY")), p.EQ(p.C("cust_nation"), p.S("FRANCE"))),
+		)}
+	proj := &p.Project{Input: j, Exprs: []p.NamedExpr{
+		{Name: "supp_nation", E: p.C("supp_nation")},
+		{Name: "cust_nation", E: p.C("cust_nation")},
+		{Name: "l_year", E: p.YearOf{E: p.C("l_shipdate")}},
+		{Name: "volume", E: discPrice(), Typ: col.Decimal},
+	}}
+	g := &p.GroupBy{Input: proj,
+		Keys: []string{"supp_nation", "cust_nation", "l_year"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "revenue", E: p.C("volume"), Typ: col.Decimal}}}
+	return &p.OrderBy{Input: g, Keys: []p.OrderKey{
+		{Name: "supp_nation"}, {Name: "cust_nation"}, {Name: "l_year"}}}
+}
+
+// Q8 — National Market Share.
+func Q8() p.Node {
+	custNation := &p.Join{Kind: p.InnerJoin,
+		L: rename(scan("nation", "n_nationkey", "n_regionkey"),
+			"n_nationkey", "n1_key", "n_regionkey", "n1_region"),
+		R: &p.Filter{Input: scan("region", "r_regionkey", "r_name"),
+			Pred: p.EQ(p.C("r_name"), p.S("AMERICA"))},
+		LKeys: []string{"n1_region"}, RKeys: []string{"r_regionkey"},
+	}
+	cust := &p.Join{Kind: p.InnerJoin,
+		L:     scan("customer", "c_custkey", "c_nationkey"),
+		R:     custNation,
+		LKeys: []string{"c_nationkey"}, RKeys: []string{"n1_key"}}
+	ord := &p.Filter{
+		Input: scan("orders", "o_orderkey", "o_custkey", "o_orderdate"),
+		Pred:  p.Between(p.C("o_orderdate"), p.Date("1995-01-01"), p.Date("1996-12-31")),
+	}
+	oc := &p.Join{Kind: p.InnerJoin, L: ord, R: cust,
+		LKeys: []string{"o_custkey"}, RKeys: []string{"c_custkey"}}
+	part := &p.Filter{
+		Input: scan("part", "p_partkey", "p_type"),
+		Pred:  p.EQ(p.C("p_type"), p.S("ECONOMY ANODIZED STEEL")),
+	}
+	li := &p.Join{Kind: p.InnerJoin,
+		L:     scan("lineitem", "l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice", "l_discount"),
+		R:     part,
+		LKeys: []string{"l_partkey"}, RKeys: []string{"p_partkey"}}
+	lo := &p.Join{Kind: p.InnerJoin, L: li, R: oc,
+		LKeys: []string{"l_orderkey"}, RKeys: []string{"o_orderkey"}}
+	suppNation := rename(scan("nation", "n_nationkey", "n_name"),
+		"n_nationkey", "n2_key", "n_name", "supp_nation")
+	supp := &p.Join{Kind: p.InnerJoin,
+		L:     scan("supplier", "s_suppkey", "s_nationkey"),
+		R:     suppNation,
+		LKeys: []string{"s_nationkey"}, RKeys: []string{"n2_key"}}
+	j := &p.Join{Kind: p.InnerJoin, L: lo, R: supp,
+		LKeys: []string{"l_suppkey"}, RKeys: []string{"s_suppkey"}}
+	proj := &p.Project{Input: j, Exprs: []p.NamedExpr{
+		{Name: "o_year", E: p.YearOf{E: p.C("o_orderdate")}},
+		{Name: "volume", E: discPrice(), Typ: col.Decimal},
+		{Name: "brazil_volume", Typ: col.Decimal,
+			E: p.Case{Cond: p.EQ(p.C("supp_nation"), p.S("BRAZIL")),
+				Then: discPrice(), Else: p.I(0)}},
+	}}
+	g := &p.GroupBy{Input: proj, Keys: []string{"o_year"},
+		Aggs: []p.AggSpec{
+			{Func: p.AggSum, Name: "sum_brazil", E: p.C("brazil_volume"), Typ: col.Decimal},
+			{Func: p.AggSum, Name: "sum_volume", E: p.C("volume"), Typ: col.Decimal},
+		}}
+	share := &p.Project{Input: g, Exprs: []p.NamedExpr{
+		{Name: "o_year", E: p.C("o_year")},
+		{Name: "mkt_share", Typ: col.Decimal,
+			E: p.DivE(p.Mul(p.C("sum_brazil"), p.I(100)), p.C("sum_volume"))},
+	}}
+	return &p.OrderBy{Input: share, Keys: []p.OrderKey{{Name: "o_year"}}}
+}
+
+// Q9 — Product Type Profit Measure.
+func Q9() p.Node {
+	part := &p.Filter{
+		Input: scan("part", "p_partkey", "p_name"),
+		Pred:  p.Like{Col: "p_name", Pattern: "%green%"},
+	}
+	li := &p.Join{Kind: p.InnerJoin,
+		L: scan("lineitem", "l_orderkey", "l_partkey", "l_suppkey",
+			"l_quantity", "l_extendedprice", "l_discount"),
+		R:     part,
+		LKeys: []string{"l_partkey"}, RKeys: []string{"p_partkey"}}
+	ps := rename(scan("partsupp", "ps_partkey", "ps_suppkey", "ps_supplycost"),
+		"ps_partkey", "psj_partkey", "ps_suppkey", "psj_suppkey", "ps_supplycost", "ps_supplycost")
+	lps := &p.Join{Kind: p.InnerJoin, L: li, R: ps,
+		LKeys: []string{"l_partkey", "l_suppkey"},
+		RKeys: []string{"psj_partkey", "psj_suppkey"}}
+	supp := &p.Join{Kind: p.InnerJoin,
+		L:     scan("supplier", "s_suppkey", "s_nationkey"),
+		R:     scan("nation", "n_nationkey", "n_name"),
+		LKeys: []string{"s_nationkey"}, RKeys: []string{"n_nationkey"}}
+	lsup := &p.Join{Kind: p.InnerJoin, L: lps, R: supp,
+		LKeys: []string{"l_suppkey"}, RKeys: []string{"s_suppkey"}}
+	lord := &p.Join{Kind: p.InnerJoin, L: lsup,
+		R:     scan("orders", "o_orderkey", "o_orderdate"),
+		LKeys: []string{"l_orderkey"}, RKeys: []string{"o_orderkey"}}
+	proj := &p.Project{Input: lord, Exprs: []p.NamedExpr{
+		{Name: "nation", E: p.C("n_name")},
+		{Name: "o_year", E: p.YearOf{E: p.C("o_orderdate")}},
+		{Name: "amount", Typ: col.Decimal,
+			E: p.Sub(discPrice(), p.DecMul(p.C("ps_supplycost"), p.C("l_quantity")))},
+	}}
+	g := &p.GroupBy{Input: proj, Keys: []string{"nation", "o_year"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "sum_profit", E: p.C("amount"), Typ: col.Decimal}}}
+	return &p.OrderBy{Input: g, Keys: []p.OrderKey{
+		{Name: "nation"}, {Name: "o_year", Desc: true}}}
+}
+
+// Q10 — Returned Item Reporting.
+func Q10() p.Node {
+	ord := &p.Filter{
+		Input: scan("orders", "o_orderkey", "o_custkey", "o_orderdate"),
+		Pred: p.And(
+			p.GE(p.C("o_orderdate"), p.Date("1993-10-01")),
+			p.LT(p.C("o_orderdate"), p.Date("1994-01-01")),
+		),
+	}
+	li := &p.Filter{
+		Input: scan("lineitem", "l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"),
+		Pred:  p.EQ(p.C("l_returnflag"), p.S("R")),
+	}
+	lo := &p.Join{Kind: p.InnerJoin, L: li, R: ord,
+		LKeys: []string{"l_orderkey"}, RKeys: []string{"o_orderkey"}}
+	cust := &p.Join{Kind: p.InnerJoin,
+		L: scan("customer", "c_custkey", "c_name", "c_acctbal", "c_address",
+			"c_phone", "c_comment", "c_nationkey"),
+		R:     scan("nation", "n_nationkey", "n_name"),
+		LKeys: []string{"c_nationkey"}, RKeys: []string{"n_nationkey"}}
+	j := &p.Join{Kind: p.InnerJoin, L: lo, R: cust,
+		LKeys: []string{"o_custkey"}, RKeys: []string{"c_custkey"}}
+	g := &p.GroupBy{Input: j,
+		Keys: []string{"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name",
+			"c_address", "c_comment"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "revenue", E: discPrice(), Typ: col.Decimal}}}
+	return &p.Limit{N: 20, Input: &p.OrderBy{Input: g,
+		Keys: []p.OrderKey{{Name: "revenue", Desc: true}}}}
+}
+
+// germanPartsupp is Q11's shared join.
+func germanPartsupp() p.Node {
+	supp := &p.Join{Kind: p.InnerJoin,
+		L: scan("supplier", "s_suppkey", "s_nationkey"),
+		R: &p.Filter{Input: scan("nation", "n_nationkey", "n_name"),
+			Pred: p.EQ(p.C("n_name"), p.S("GERMANY"))},
+		LKeys: []string{"s_nationkey"}, RKeys: []string{"n_nationkey"}}
+	return &p.Join{Kind: p.InnerJoin,
+		L:     scan("partsupp", "ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"),
+		R:     supp,
+		LKeys: []string{"ps_suppkey"}, RKeys: []string{"s_suppkey"}}
+}
+
+// Q11 — Important Stock Identification.
+func Q11() p.Node {
+	value := p.DecMul(p.C("ps_supplycost"), p.Mul(p.C("ps_availqty"), p.I(100)))
+	byPart := &p.GroupBy{Input: germanPartsupp(), Keys: []string{"ps_partkey"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "value", E: value, Typ: col.Decimal}}}
+	total := &p.GroupBy{Input: germanPartsupp(),
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "total", E: value, Typ: col.Decimal}}}
+	having := &p.Filter{
+		Input: &p.ScalarJoin{Input: byPart, Sub: total, Name: "total"},
+		// value > total * 0.0001  <=>  value * 10000 > total
+		Pred: p.GT(p.Mul(p.C("value"), p.I(10_000)), p.C("total")),
+	}
+	out := rename(having, "ps_partkey", "ps_partkey", "value", "value")
+	return &p.OrderBy{Input: out, Keys: []p.OrderKey{{Name: "value", Desc: true}}}
+}
+
+// Q12 — Shipping Modes and Order Priority.
+func Q12() p.Node {
+	li := &p.Filter{
+		Input: scan("lineitem", "l_orderkey", "l_shipmode", "l_commitdate",
+			"l_receiptdate", "l_shipdate"),
+		Pred: p.And(
+			p.InStrs{Col: "l_shipmode", Vs: []string{"MAIL", "SHIP"}},
+			p.LT(p.C("l_commitdate"), p.C("l_receiptdate")),
+			p.LT(p.C("l_shipdate"), p.C("l_commitdate")),
+			p.GE(p.C("l_receiptdate"), p.Date("1994-01-01")),
+			p.LT(p.C("l_receiptdate"), p.Date("1995-01-01")),
+		),
+	}
+	j := &p.Join{Kind: p.InnerJoin, L: li,
+		R:     scan("orders", "o_orderkey", "o_orderpriority"),
+		LKeys: []string{"l_orderkey"}, RKeys: []string{"o_orderkey"}}
+	high := p.InStrs{Col: "o_orderpriority", Vs: []string{"1-URGENT", "2-HIGH"}}
+	g := &p.GroupBy{Input: j, Keys: []string{"l_shipmode"},
+		Aggs: []p.AggSpec{
+			{Func: p.AggSum, Name: "high_line_count",
+				E: p.Case{Cond: high, Then: p.I(1), Else: p.I(0)}},
+			{Func: p.AggSum, Name: "low_line_count",
+				E: p.Case{Cond: high, Then: p.I(0), Else: p.I(1)}},
+		}}
+	return &p.OrderBy{Input: g, Keys: []p.OrderKey{{Name: "l_shipmode"}}}
+}
+
+// Q13 — Customer Distribution.
+func Q13() p.Node {
+	ord := &p.Filter{
+		Input: scan("orders", "o_orderkey", "o_custkey", "o_comment"),
+		Pred:  p.Like{Col: "o_comment", Pattern: "%special%requests%", Negate: true},
+	}
+	j := &p.Join{Kind: p.LeftMarkJoin,
+		L:     scan("customer", "c_custkey"),
+		R:     ord,
+		LKeys: []string{"c_custkey"}, RKeys: []string{"o_custkey"}}
+	perCust := &p.GroupBy{Input: j, Keys: []string{"c_custkey"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "c_count", E: p.C(p.MatchedCol)}}}
+	dist := &p.GroupBy{Input: perCust, Keys: []string{"c_count"},
+		Aggs: []p.AggSpec{{Func: p.AggCount, Name: "custdist"}}}
+	return &p.OrderBy{Input: dist, Keys: []p.OrderKey{
+		{Name: "custdist", Desc: true}, {Name: "c_count", Desc: true}}}
+}
+
+// Q14 — Promotion Effect.
+func Q14() p.Node {
+	li := &p.Filter{
+		Input: scan("lineitem", "l_partkey", "l_extendedprice", "l_discount", "l_shipdate"),
+		Pred: p.And(
+			p.GE(p.C("l_shipdate"), p.Date("1995-09-01")),
+			p.LT(p.C("l_shipdate"), p.Date("1995-10-01")),
+		),
+	}
+	j := &p.Join{Kind: p.InnerJoin, L: li,
+		R:     scan("part", "p_partkey", "p_type"),
+		LKeys: []string{"l_partkey"}, RKeys: []string{"p_partkey"}}
+	g := &p.GroupBy{Input: j, Aggs: []p.AggSpec{
+		{Func: p.AggSum, Name: "promo", Typ: col.Decimal,
+			E: p.Case{Cond: p.Like{Col: "p_type", Pattern: "PROMO%"},
+				Then: discPrice(), Else: p.I(0)}},
+		{Func: p.AggSum, Name: "total", E: discPrice(), Typ: col.Decimal},
+	}}
+	return &p.Project{Input: g, Exprs: []p.NamedExpr{
+		{Name: "promo_revenue", Typ: col.Decimal,
+			E: p.DivE(p.Mul(p.C("promo"), p.I(10_000)), p.C("total"))},
+	}}
+}
+
+// revenueView is Q15's revenue0 view.
+func revenueView() p.Node {
+	li := &p.Filter{
+		Input: scan("lineitem", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate"),
+		Pred: p.And(
+			p.GE(p.C("l_shipdate"), p.Date("1996-01-01")),
+			p.LT(p.C("l_shipdate"), p.Date("1996-04-01")),
+		),
+	}
+	return &p.GroupBy{Input: li, Keys: []string{"l_suppkey"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "total_revenue", E: discPrice(), Typ: col.Decimal}}}
+}
+
+// Q15 — Top Supplier.
+func Q15() p.Node {
+	maxRev := &p.GroupBy{Input: revenueView(),
+		Aggs: []p.AggSpec{{Func: p.AggMax, Name: "max_revenue",
+			E: p.C("total_revenue"), Typ: col.Decimal}}}
+	best := &p.Filter{
+		Input: &p.ScalarJoin{Input: revenueView(), Sub: maxRev, Name: "max_revenue"},
+		Pred:  p.EQ(p.C("total_revenue"), p.C("max_revenue")),
+	}
+	j := &p.Join{Kind: p.InnerJoin,
+		L:     scan("supplier", "s_suppkey", "s_name", "s_address", "s_phone"),
+		R:     best,
+		LKeys: []string{"s_suppkey"}, RKeys: []string{"l_suppkey"}}
+	out := rename(j, "s_suppkey", "s_suppkey", "s_name", "s_name",
+		"s_address", "s_address", "s_phone", "s_phone", "total_revenue", "total_revenue")
+	return &p.OrderBy{Input: out, Keys: []p.OrderKey{{Name: "s_suppkey"}}}
+}
+
+// Q16 — Parts/Supplier Relationship.
+func Q16() p.Node {
+	part := &p.Filter{
+		Input: scan("part", "p_partkey", "p_brand", "p_type", "p_size"),
+		Pred: p.And(
+			p.NE(p.C("p_brand"), p.S("Brand#45")),
+			p.Like{Col: "p_type", Pattern: "MEDIUM POLISHED%", Negate: true},
+			p.InInts{E: p.C("p_size"), Vs: []int64{49, 14, 23, 45, 19, 3, 36, 9}},
+		),
+	}
+	complaining := &p.Filter{
+		Input: scan("supplier", "s_suppkey", "s_comment"),
+		Pred:  p.Like{Col: "s_comment", Pattern: "%Customer%Complaints%"},
+	}
+	ps := &p.Join{Kind: p.AntiJoin,
+		L:     scan("partsupp", "ps_partkey", "ps_suppkey"),
+		R:     complaining,
+		LKeys: []string{"ps_suppkey"}, RKeys: []string{"s_suppkey"}}
+	j := &p.Join{Kind: p.InnerJoin, L: ps, R: part,
+		LKeys: []string{"ps_partkey"}, RKeys: []string{"p_partkey"}}
+	g := &p.GroupBy{Input: j, Keys: []string{"p_brand", "p_type", "p_size"},
+		Aggs: []p.AggSpec{{Func: p.AggCountDistinct, Name: "supplier_cnt", E: p.C("ps_suppkey")}}}
+	return &p.OrderBy{Input: g, Keys: []p.OrderKey{
+		{Name: "supplier_cnt", Desc: true}, {Name: "p_brand"}, {Name: "p_type"}, {Name: "p_size"}}}
+}
+
+// Q17 — Small-Quantity-Order Revenue.
+func Q17() p.Node {
+	avgQty := rename(&p.GroupBy{
+		Input: scan("lineitem", "l_partkey", "l_quantity"),
+		Keys:  []string{"l_partkey"},
+		Aggs:  []p.AggSpec{{Func: p.AggAvg, Name: "aq", E: p.C("l_quantity"), Typ: col.Decimal}},
+	}, "l_partkey", "aq_partkey", "aq", "avg_qty")
+	part := &p.Filter{
+		Input: scan("part", "p_partkey", "p_brand", "p_container"),
+		Pred: p.And(
+			p.EQ(p.C("p_brand"), p.S("Brand#23")),
+			p.EQ(p.C("p_container"), p.S("MED BOX")),
+		),
+	}
+	li := &p.Join{Kind: p.InnerJoin,
+		L:     scan("lineitem", "l_partkey", "l_quantity", "l_extendedprice"),
+		R:     part,
+		LKeys: []string{"l_partkey"}, RKeys: []string{"p_partkey"}}
+	j := &p.Join{Kind: p.InnerJoin, L: li, R: avgQty,
+		LKeys: []string{"l_partkey"}, RKeys: []string{"aq_partkey"},
+		Extra: p.LT(p.Mul(p.C("l_quantity"), p.I(10)), p.Mul(p.C("avg_qty"), p.I(2)))}
+	g := &p.GroupBy{Input: j, Aggs: []p.AggSpec{
+		{Func: p.AggSum, Name: "sum_price", E: p.C("l_extendedprice"), Typ: col.Decimal}}}
+	return &p.Project{Input: g, Exprs: []p.NamedExpr{
+		{Name: "avg_yearly", Typ: col.Decimal, E: p.DivE(p.C("sum_price"), p.I(7))}}}
+}
+
+// Q18 — Large Volume Customer.
+func Q18() p.Node {
+	big := &p.Filter{
+		Input: &p.GroupBy{
+			Input: scan("lineitem", "l_orderkey", "l_quantity"),
+			Keys:  []string{"l_orderkey"},
+			Aggs:  []p.AggSpec{{Func: p.AggSum, Name: "sum_qty", E: p.C("l_quantity"), Typ: col.Decimal}},
+		},
+		Pred: p.GT(p.C("sum_qty"), p.Dec("300")),
+	}
+	bigKeys := rename(big, "l_orderkey", "big_orderkey")
+	ord := &p.Join{Kind: p.SemiJoin,
+		L:     scan("orders", "o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"),
+		R:     bigKeys,
+		LKeys: []string{"o_orderkey"}, RKeys: []string{"big_orderkey"}}
+	oc := &p.Join{Kind: p.InnerJoin, L: ord,
+		R:     scan("customer", "c_custkey", "c_name"),
+		LKeys: []string{"o_custkey"}, RKeys: []string{"c_custkey"}}
+	li := rename(scan("lineitem", "l_orderkey", "l_quantity"),
+		"l_orderkey", "li_orderkey", "l_quantity", "li_quantity")
+	j := &p.Join{Kind: p.InnerJoin, L: oc, R: li,
+		LKeys: []string{"o_orderkey"}, RKeys: []string{"li_orderkey"}}
+	g := &p.GroupBy{Input: j,
+		Keys: []string{"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "sum_qty", E: p.C("li_quantity"), Typ: col.Decimal}}}
+	return &p.Limit{N: 100, Input: &p.OrderBy{Input: g, Keys: []p.OrderKey{
+		{Name: "o_totalprice", Desc: true}, {Name: "o_orderdate"}}}}
+}
+
+// Q19 — Discounted Revenue (disjunctive multi-column predicate).
+func Q19() p.Node {
+	li := &p.Filter{
+		Input: scan("lineitem", "l_partkey", "l_quantity", "l_extendedprice",
+			"l_discount", "l_shipinstruct", "l_shipmode"),
+		Pred: p.And(
+			p.InStrs{Col: "l_shipmode", Vs: []string{"AIR", "REG AIR"}},
+			p.EQ(p.C("l_shipinstruct"), p.S("DELIVER IN PERSON")),
+		),
+	}
+	j := &p.Join{Kind: p.InnerJoin, L: li,
+		R:     scan("part", "p_partkey", "p_brand", "p_container", "p_size"),
+		LKeys: []string{"l_partkey"}, RKeys: []string{"p_partkey"}}
+	branch := func(brand string, containers []string, qlo, qhi int64, smax int64) p.Expr {
+		return p.And(
+			p.EQ(p.C("p_brand"), p.S(brand)),
+			p.InStrs{Col: "p_container", Vs: containers},
+			p.Between(p.C("l_quantity"), p.I(qlo*100), p.I(qhi*100)),
+			p.Between(p.C("p_size"), p.I(1), p.I(smax)),
+		)
+	}
+	f := &p.Filter{Input: j, Pred: p.Or(
+		branch("Brand#12", []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11, 5),
+		branch("Brand#23", []string{"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10, 20, 10),
+		branch("Brand#34", []string{"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30, 15),
+	)}
+	return &p.GroupBy{Input: f, Aggs: []p.AggSpec{
+		{Func: p.AggSum, Name: "revenue", E: discPrice(), Typ: col.Decimal}}}
+}
+
+// Q20 — Potential Part Promotion.
+func Q20() p.Node {
+	forest := &p.Filter{
+		Input: scan("part", "p_partkey", "p_name"),
+		Pred:  p.Like{Col: "p_name", Pattern: "forest%"},
+	}
+	shipped := &p.GroupBy{
+		Input: &p.Filter{
+			Input: scan("lineitem", "l_partkey", "l_suppkey", "l_quantity", "l_shipdate"),
+			Pred: p.And(
+				p.GE(p.C("l_shipdate"), p.Date("1994-01-01")),
+				p.LT(p.C("l_shipdate"), p.Date("1995-01-01")),
+			),
+		},
+		Keys: []string{"l_partkey", "l_suppkey"},
+		Aggs: []p.AggSpec{{Func: p.AggSum, Name: "sum_qty", E: p.C("l_quantity"), Typ: col.Decimal}},
+	}
+	ps := &p.Join{Kind: p.SemiJoin,
+		L:     scan("partsupp", "ps_partkey", "ps_suppkey", "ps_availqty"),
+		R:     forest,
+		LKeys: []string{"ps_partkey"}, RKeys: []string{"p_partkey"}}
+	withQty := &p.Join{Kind: p.InnerJoin, L: ps, R: shipped,
+		LKeys: []string{"ps_partkey", "ps_suppkey"},
+		RKeys: []string{"l_partkey", "l_suppkey"},
+		// ps_availqty > 0.5 * sum(qty): availqty*200 > sum_qty (×100).
+		Extra: p.GT(p.Mul(p.C("ps_availqty"), p.I(200)), p.C("sum_qty"))}
+	suppKeys := rename(withQty, "ps_suppkey", "q_suppkey")
+	supp := &p.Join{Kind: p.InnerJoin,
+		L: scan("supplier", "s_suppkey", "s_name", "s_address", "s_nationkey"),
+		R: &p.Filter{Input: scan("nation", "n_nationkey", "n_name"),
+			Pred: p.EQ(p.C("n_name"), p.S("CANADA"))},
+		LKeys: []string{"s_nationkey"}, RKeys: []string{"n_nationkey"}}
+	j := &p.Join{Kind: p.SemiJoin, L: supp, R: suppKeys,
+		LKeys: []string{"s_suppkey"}, RKeys: []string{"q_suppkey"}}
+	out := rename(j, "s_name", "s_name", "s_address", "s_address")
+	return &p.OrderBy{Input: out, Keys: []p.OrderKey{{Name: "s_name"}}}
+}
+
+// Q21 — Suppliers Who Kept Orders Waiting.
+func Q21() p.Node {
+	l1 := &p.Project{Input: &p.Filter{
+		Input: scan("lineitem", "l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"),
+		Pred:  p.GT(p.C("l_receiptdate"), p.C("l_commitdate")),
+	}, Exprs: []p.NamedExpr{
+		{Name: "l1_orderkey", E: p.C("l_orderkey")},
+		{Name: "l1_suppkey", E: p.C("l_suppkey")},
+	}}
+	l2 := rename(scan("lineitem", "l_orderkey", "l_suppkey"),
+		"l_orderkey", "l2_orderkey", "l_suppkey", "l2_suppkey")
+	l3 := &p.Project{Input: &p.Filter{
+		Input: scan("lineitem", "l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate"),
+		Pred:  p.GT(p.C("l_receiptdate"), p.C("l_commitdate")),
+	}, Exprs: []p.NamedExpr{
+		{Name: "l3_orderkey", E: p.C("l_orderkey")},
+		{Name: "l3_suppkey", E: p.C("l_suppkey")},
+	}}
+	withOther := &p.Join{Kind: p.SemiJoin, L: l1, R: l2,
+		LKeys: []string{"l1_orderkey"}, RKeys: []string{"l2_orderkey"},
+		Extra: p.NE(p.C("l1_suppkey"), p.C("l2_suppkey"))}
+	onlyLate := &p.Join{Kind: p.AntiJoin, L: withOther, R: l3,
+		LKeys: []string{"l1_orderkey"}, RKeys: []string{"l3_orderkey"},
+		Extra: p.NE(p.C("l1_suppkey"), p.C("l3_suppkey"))}
+	ordF := &p.Filter{
+		Input: scan("orders", "o_orderkey", "o_orderstatus"),
+		Pred:  p.EQ(p.C("o_orderstatus"), p.S("F")),
+	}
+	lo := &p.Join{Kind: p.InnerJoin, L: onlyLate, R: ordF,
+		LKeys: []string{"l1_orderkey"}, RKeys: []string{"o_orderkey"}}
+	supp := &p.Join{Kind: p.InnerJoin,
+		L: scan("supplier", "s_suppkey", "s_name", "s_nationkey"),
+		R: &p.Filter{Input: scan("nation", "n_nationkey", "n_name"),
+			Pred: p.EQ(p.C("n_name"), p.S("SAUDI ARABIA"))},
+		LKeys: []string{"s_nationkey"}, RKeys: []string{"n_nationkey"}}
+	j := &p.Join{Kind: p.InnerJoin, L: lo, R: supp,
+		LKeys: []string{"l1_suppkey"}, RKeys: []string{"s_suppkey"}}
+	g := &p.GroupBy{Input: j, Keys: []string{"s_name"},
+		Aggs: []p.AggSpec{{Func: p.AggCount, Name: "numwait"}}}
+	return &p.Limit{N: 100, Input: &p.OrderBy{Input: g, Keys: []p.OrderKey{
+		{Name: "numwait", Desc: true}, {Name: "s_name"}}}}
+}
+
+// Q22 — Global Sales Opportunity.
+var q22Codes = []string{"13", "31", "23", "29", "30", "18", "17"}
+
+func Q22() p.Node {
+	inCodes := func() p.Expr {
+		var vs []int64
+		for _, c := range q22Codes {
+			vs = append(vs, p.PackString(c))
+		}
+		return p.InInts{E: p.SubstrCode{Col: "c_phone", Start: 1, Len: 2}, Vs: vs}
+	}
+	avgBal := &p.GroupBy{
+		Input: &p.Filter{
+			Input: scan("customer", "c_acctbal", "c_phone"),
+			Pred:  p.And(p.GT(p.C("c_acctbal"), p.I(0)), inCodes()),
+		},
+		Aggs: []p.AggSpec{{Func: p.AggAvg, Name: "avg_bal", E: p.C("c_acctbal"), Typ: col.Decimal}},
+	}
+	cust := &p.Filter{
+		Input: &p.ScalarJoin{
+			Input: &p.Filter{
+				Input: scan("customer", "c_custkey", "c_acctbal", "c_phone"),
+				Pred:  inCodes(),
+			},
+			Sub: avgBal, Name: "avg_bal",
+		},
+		Pred: p.GT(p.C("c_acctbal"), p.C("avg_bal")),
+	}
+	noOrders := &p.Join{Kind: p.AntiJoin, L: cust,
+		R:     scan("orders", "o_custkey"),
+		LKeys: []string{"c_custkey"}, RKeys: []string{"o_custkey"}}
+	proj := &p.Project{Input: noOrders, Exprs: []p.NamedExpr{
+		{Name: "cntrycode", E: p.SubstrCode{Col: "c_phone", Start: 1, Len: 2}},
+		{Name: "c_acctbal", E: p.C("c_acctbal")},
+	}}
+	g := &p.GroupBy{Input: proj, Keys: []string{"cntrycode"},
+		Aggs: []p.AggSpec{
+			{Func: p.AggCount, Name: "numcust"},
+			{Func: p.AggSum, Name: "totacctbal", E: p.C("c_acctbal"), Typ: col.Decimal},
+		}}
+	return &p.OrderBy{Input: g, Keys: []p.OrderKey{{Name: "cntrycode"}}}
+}
