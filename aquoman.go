@@ -30,6 +30,7 @@ import (
 	"aquoman/internal/engine"
 	"aquoman/internal/flash"
 	"aquoman/internal/mem"
+	"aquoman/internal/obs"
 	"aquoman/internal/perf"
 	"aquoman/internal/plan"
 	"aquoman/internal/sql"
@@ -52,6 +53,16 @@ type (
 	Report = core.Report
 	// Device is one AQUOMAN-augmented SSD plus host runtime.
 	Device = core.Device
+	// Observer bundles the metrics registry and the query tracer.
+	Observer = obs.Observer
+	// Registry is the metrics registry (counters/gauges/histograms).
+	Registry = obs.Registry
+	// Tracer records per-stage query spans.
+	Tracer = obs.Tracer
+	// Span is one traced pipeline stage.
+	Span = obs.Span
+	// MetricsSnapshot is a point-in-time registry capture.
+	MetricsSnapshot = obs.Snapshot
 )
 
 // Column type constants.
@@ -81,6 +92,10 @@ type DB struct {
 	// HeapScale scales string-heap sizes for offload decisions to the
 	// modeled deployment scale (see internal/compiler).
 	HeapScale float64
+
+	// Obs (optional, see EnableObservability) collects per-stage spans and
+	// metrics for every query this DB runs.
+	Obs *obs.Observer
 }
 
 // Open creates an empty in-memory AQUOMAN-augmented SSD.
@@ -99,6 +114,25 @@ func Open() *DB {
 // RowID columns AQUOMAN exploits).
 func (db *DB) LoadTPCH(sf float64, seed int64) error {
 	return tpch.Gen(db.Store, tpch.Config{SF: sf, Seed: seed})
+}
+
+// EnableObservability attaches a fresh Observer: a metrics registry (with
+// the flash device's per-requester page counters bound in) plus a query
+// tracer. Subsequent Run/Query calls record one span per pipeline stage
+// and fill Report.Metrics with the query's registry delta. Call with the
+// DB idle; returns the observer for export (Prometheus text, Chrome
+// trace, expvar, HTTP handler).
+func (db *DB) EnableObservability() *obs.Observer {
+	o := obs.New()
+	db.Obs = o
+	db.Flash.Observe(o.Reg)
+	return o
+}
+
+// DisableObservability detaches the observer.
+func (db *DB) DisableObservability() {
+	db.Obs = nil
+	db.Flash.Observe(nil)
 }
 
 // Result is a finished query: its rows plus the execution report.
@@ -120,13 +154,33 @@ func (db *DB) Run(p Plan) (*Result, error) {
 	return db.run(p, core.Config{
 		DRAMBytes: db.DRAMBytes,
 		Compiler:  compiler.Config{HeapScale: db.HeapScale},
+		Obs:       db.Obs,
 	})
 }
 
 // RunHostOnly executes a plan entirely on the host engine (the baseline
 // systems of the evaluation).
 func (db *DB) RunHostOnly(p Plan) (*Result, error) {
-	return db.run(p, core.Config{DisableOffload: true})
+	return db.run(p, core.Config{DisableOffload: true, Obs: db.Obs})
+}
+
+// Trace runs a plan with a one-shot tracer (independent of any observer
+// installed by EnableObservability) and returns the result plus the
+// tracer, ready for ChromeTrace() or Tree() export.
+func (db *DB) Trace(p Plan) (*Result, *obs.Tracer, error) {
+	o := &obs.Observer{Tracer: obs.NewTracer()}
+	if db.Obs != nil {
+		o.Reg = db.Obs.Reg
+	}
+	res, err := db.run(p, core.Config{
+		DRAMBytes: db.DRAMBytes,
+		Compiler:  compiler.Config{HeapScale: db.HeapScale},
+		Obs:       o,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, o.Tracer, nil
 }
 
 func (db *DB) run(p Plan, cfg core.Config) (*Result, error) {

@@ -7,6 +7,7 @@
 //	aquoman-bench -report fig17      # Fig 17: trace-model validation
 //	aquoman-bench -report offload    # Sec VIII-B offload census
 //	aquoman-bench -report resources  # Tables III/IV substitution
+//	aquoman-bench -report obsbench   # observability overhead (q1/q6, JSON)
 //	aquoman-bench -report all
 //
 // Data is generated at -sf (default 0.01) and traces are extrapolated to
@@ -14,11 +15,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"aquoman"
 	"aquoman/internal/col"
 	"aquoman/internal/flash"
 	"aquoman/internal/perf"
@@ -29,14 +33,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aquoman-bench: ")
 	var (
-		report = flag.String("report", "all", "fig16a|fig16b|fig16c|tablev|fig17|offload|resources|all")
+		report = flag.String("report", "all", "fig16a|fig16b|fig16c|tablev|fig17|offload|resources|obsbench|all")
 		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor to generate")
 		target = flag.Float64("target", 1000, "modeled deployment scale factor")
 		seed   = flag.Int64("seed", 42, "generator seed")
+		out    = flag.String("out", "", "obsbench: write the JSON report to this file instead of stdout")
 	)
 	flag.Parse()
 
 	need := func(r string) bool { return *report == r || *report == "all" }
+
+	if *report == "obsbench" {
+		runObsBench(*sf, *seed, *out)
+		return
+	}
 
 	if need("tablev") {
 		fmt.Println(perf.FormatTableV(perf.TableV([]int{1 << 14, 1 << 16, 1 << 18, 1 << 20})))
@@ -88,4 +98,75 @@ func main() {
 		}
 	}
 	os.Exit(0)
+}
+
+// runObsBench measures the wall-clock cost of full observability (metrics
+// registry + tracer) on TPC-H q1 and q6, taking the best of several reps
+// per configuration to suppress scheduler noise.
+func runObsBench(sf float64, seed int64, out string) {
+	db := aquoman.Open()
+	db.HeapScale = 1000 / sf
+	log.Printf("generating TPC-H SF %g...", sf)
+	if err := db.LoadTPCH(sf, seed); err != nil {
+		log.Fatal(err)
+	}
+
+	const reps = 9
+	best := func(q int) time.Duration {
+		min := time.Duration(1<<63 - 1)
+		for i := 0; i < reps; i++ {
+			t0 := time.Now()
+			if _, err := db.RunTPCH(q); err != nil {
+				log.Fatal(err)
+			}
+			if d := time.Since(t0); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+
+	type entry struct {
+		Query       string  `json:"query"`
+		BaseNs      int64   `json:"base_ns"`
+		ObsNs       int64   `json:"obs_ns"`
+		OverheadPct float64 `json:"overhead_pct"`
+	}
+	doc := struct {
+		SF      float64 `json:"sf"`
+		Reps    int     `json:"reps"`
+		Queries []entry `json:"queries"`
+	}{SF: sf, Reps: reps}
+
+	for _, q := range []int{1, 6} {
+		if _, err := db.RunTPCH(q); err != nil { // warm-up
+			log.Fatal(err)
+		}
+		base := best(q)
+		db.EnableObservability()
+		withObs := best(q)
+		db.DisableObservability()
+		doc.Queries = append(doc.Queries, entry{
+			Query:       fmt.Sprintf("q%d", q),
+			BaseNs:      base.Nanoseconds(),
+			ObsNs:       withObs.Nanoseconds(),
+			OverheadPct: 100 * (float64(withObs)/float64(base) - 1),
+		})
+		log.Printf("q%d: base %v, with obs %v (%.2f%%)", q, base, withObs,
+			100*(float64(withObs)/float64(base)-1))
+	}
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = append(b, '\n')
+	if out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
 }

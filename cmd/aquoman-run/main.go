@@ -2,13 +2,18 @@
 // AQUOMAN-augmented system and prints the result plus the offload report:
 //
 //	aquoman-run -q 6 -sf 0.01
-//	aquoman-run -q 3 -sf 0.01 -host   # baseline (no offload)
+//	aquoman-run -q 3 -sf 0.01 -host     # baseline (no offload)
+//	aquoman-run -q 6 -trace trace.json  # Chrome trace_event of the pipeline
+//	aquoman-run -q 6 -metrics           # Prometheus-text metrics dump
+//	aquoman-run -q 6 -listen :8080      # serve /metrics and /debug/vars
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
 
 	"aquoman"
 	"aquoman/internal/flash"
@@ -24,6 +29,11 @@ func main() {
 		rows    = flag.Int("rows", 20, "result rows to print")
 		data    = flag.String("data", "", "load a persisted store instead of generating")
 		explain = flag.Bool("explain", false, "print the compiled Table-Task program and exit")
+
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline stages to this file")
+		tree     = flag.Bool("tree", false, "print the span tree of the traced query")
+		metrics  = flag.Bool("metrics", false, "print the query's metrics in Prometheus text format")
+		listen   = flag.String("listen", "", "after the query, serve /metrics and /debug/vars on this address (e.g. :8080)")
 	)
 	flag.Parse()
 
@@ -59,6 +69,12 @@ func main() {
 		return
 	}
 
+	wantObs := *traceOut != "" || *tree || *metrics || *listen != ""
+	var obsv *aquoman.Observer
+	if wantObs {
+		obsv = db.EnableObservability()
+	}
+
 	var res *aquoman.Result
 	var err error
 	if *host {
@@ -87,5 +103,23 @@ func main() {
 	for _, tt := range rep.AquomanTrace.Tasks {
 		fmt.Printf("task %-40s %-12s rows %8d -> %8d, pages %d (+%d skipped)\n",
 			tt.Name, tt.Op, tt.RowsIn, tt.RowsToSwissknife, tt.PagesRead, tt.PagesSkipped)
+	}
+
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, obsv.Tracer.ChromeTrace(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace (%d spans) to %s — open in chrome://tracing or https://ui.perfetto.dev\n",
+			len(obsv.Tracer.Spans()), *traceOut)
+	}
+	if *tree {
+		fmt.Printf("\n=== span tree ===\n%s", obsv.Tracer.Tree())
+	}
+	if *metrics {
+		fmt.Printf("\n=== metrics (Prometheus text) ===\n%s", rep.Metrics.Prometheus())
+	}
+	if *listen != "" {
+		log.Printf("serving /metrics and /debug/vars on %s", *listen)
+		log.Fatal(http.ListenAndServe(*listen, obsv.Reg.Handler()))
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"aquoman/internal/engine"
 	"aquoman/internal/flash"
 	"aquoman/internal/mem"
+	"aquoman/internal/obs"
 	"aquoman/internal/plan"
 	"aquoman/internal/tabletask"
 )
@@ -31,6 +32,12 @@ type Config struct {
 	Compiler compiler.Config
 	// DisableOffload forces pure host execution (the baseline systems).
 	DisableOffload bool
+
+	// Obs (optional) collects per-stage spans and metrics for the query.
+	Obs *obs.Observer
+	// ObsParent, when set, nests the query span under an enclosing span
+	// (e.g. a distrib shard).
+	ObsParent *obs.Span
 }
 
 // Device is one AQUOMAN-augmented SSD plus its host.
@@ -70,6 +77,10 @@ type Report struct {
 	Flash flash.Stats
 	// OffloadFraction is the share of flash bytes read in-storage.
 	OffloadFraction float64
+
+	// Metrics is the registry delta accumulated during this query (nil
+	// when the device runs without an observer).
+	Metrics *obs.Snapshot
 }
 
 // RunQuery executes a bound plan. The returned batch is the query result;
@@ -78,32 +89,60 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 	flashBefore := d.Store.Dev.Stats()
 	rep := &Report{HostStats: engine.NewStats()}
 
-	run := func(root plan.Node) (*engine.Batch, error) {
+	o := d.cfg.Obs
+	var metricsBefore obs.Snapshot
+	if o != nil && o.Reg != nil {
+		metricsBefore = o.Reg.Snapshot()
+	}
+	qSpan := o.SpanUnder(d.cfg.ObsParent, "query", obs.StageQuery)
+	finish := func() {
+		d.finishReport(rep, flashBefore)
+		qSpan.End()
+		if o != nil && o.Reg != nil {
+			delta := o.Reg.Snapshot().Delta(metricsBefore)
+			rep.Metrics = &delta
+		}
+	}
+
+	run := func(stage string, root plan.Node) (*engine.Batch, error) {
+		hostSpan := qSpan.Child(stage, obs.StageHost)
+		defer hostSpan.End()
 		host := engine.New(d.Store)
 		host.Stats = rep.HostStats
+		host.SetObserver(o, hostSpan)
 		return host.Run(root)
 	}
 
 	if d.cfg.DisableOffload {
-		b, err := run(n)
+		b, err := run("host-plan", n)
 		if err != nil {
+			qSpan.End()
 			return nil, nil, err
 		}
-		d.finishReport(rep, flashBefore)
+		finish()
 		return b, rep, nil
 	}
 
+	cSpan := qSpan.Child("compile", obs.StageCompile)
 	res, err := compiler.Compile(n, d.Store, d.cfg.Compiler)
+	cSpan.End()
 	if err != nil {
+		qSpan.End()
 		return nil, nil, err
 	}
 	rep.Notes = res.Notes
 	rep.FullyOffloaded = res.FullyOffloaded()
+	cSpan.SetInt("units", int64(len(res.Units)))
 
 	exec := tabletask.NewExecutor(d.Store, d.DRAM)
+	exec.Obs = o
 	var allObjects []string
 	for _, u := range res.Units {
-		if err := d.runUnit(exec, u); err != nil {
+		uSpan := qSpan.Child("unit "+u.Label, obs.StageUnit)
+		exec.ObsParent = uSpan
+		err := d.runUnit(exec, u)
+		uSpan.End()
+		if err != nil {
 			// Suspension (Sec. VI-E): the unit's intermediate state is
 			// dropped and the host resumes by executing the original
 			// subtree; completed units keep their offloaded results.
@@ -113,8 +152,9 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 			for _, name := range u.DRAMObjects {
 				d.DRAM.Free(name)
 			}
-			hb, herr := run(u.Replaced)
+			hb, herr := run("host-resume "+u.Label, u.Replaced)
 			if herr != nil {
+				qSpan.End()
 				return nil, nil, fmt.Errorf("core: host resume of %s: %w", u.Label, herr)
 			}
 			u.Placeholder.Cols = hb.Cols
@@ -123,17 +163,19 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 		rep.Units = append(rep.Units, u.Label)
 		allObjects = append(allObjects, u.DRAMObjects...)
 	}
+	exec.ObsParent = nil
 	rep.AquomanTrace = exec.Trace
 	rep.DRAMPeak = d.DRAM.Peak()
 	for _, name := range allObjects {
 		d.DRAM.Free(name)
 	}
 
-	b, err := run(res.Root)
+	b, err := run("host-plan", res.Root)
 	if err != nil {
+		qSpan.End()
 		return nil, nil, err
 	}
-	d.finishReport(rep, flashBefore)
+	finish()
 	return b, rep, nil
 }
 
@@ -144,6 +186,16 @@ func (d *Device) finishReport(rep *Report, before flash.Stats) {
 		rep.OffloadFraction = float64(rep.Flash.BytesRead(flash.Aquoman)) / float64(total)
 	}
 	d.DRAM.ResetPeak()
+	if o := d.cfg.Obs; o != nil && o.Reg != nil {
+		rep.HostStats.Each(func(kind string, n int64) {
+			o.Counter("engine_work_total", "kind", kind).Add(n)
+		})
+		o.Gauge("engine_peak_bytes").SetMax(rep.HostStats.Peak())
+		o.Counter("core_queries_total").Inc()
+		if rep.Suspended {
+			o.Counter("core_suspensions_total").Inc()
+		}
+	}
 }
 
 // runUnit streams one unit's Table Tasks and fills its placeholder.

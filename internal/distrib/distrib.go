@@ -20,6 +20,7 @@ package distrib
 
 import (
 	"fmt"
+	"strconv"
 
 	"aquoman/internal/col"
 	"aquoman/internal/compiler"
@@ -27,6 +28,7 @@ import (
 	"aquoman/internal/engine"
 	"aquoman/internal/flash"
 	"aquoman/internal/mem"
+	"aquoman/internal/obs"
 	"aquoman/internal/plan"
 	"aquoman/internal/tpch"
 )
@@ -43,6 +45,10 @@ type Cluster struct {
 	// DRAMBytes per device; HeapScale as in the single-device runtime.
 	DRAMBytes int64
 	HeapScale float64
+
+	// Obs (optional) collects cluster-wide spans and metrics; shard spans
+	// carry one trace lane (tid) per device.
+	Obs *obs.Observer
 }
 
 // NewCluster returns an empty cluster of n devices.
@@ -58,6 +64,17 @@ func NewCluster(n int) *Cluster {
 
 // NumDevices returns the cluster size.
 func (c *Cluster) NumDevices() int { return len(c.Stores) }
+
+// EnableObservability attaches a fresh Observer to the cluster and binds
+// every device's flash counters into its registry under a device label.
+func (c *Cluster) EnableObservability() *obs.Observer {
+	o := obs.New()
+	c.Obs = o
+	for i, dev := range c.Devices {
+		dev.Observe(o.Reg, "device", strconv.Itoa(i))
+	}
+	return o
+}
 
 // LoadTPCH generates a TPC-H data set and partitions it across the
 // cluster: orders row r goes to device r % N, lineitem follows its order,
@@ -263,29 +280,39 @@ func (c *Cluster) RunQuery(build func() plan.Node) (*engine.Batch, *Report, erro
 	if err != nil {
 		return nil, nil, err
 	}
+	root := c.Obs.StartSpan("distrib "+strat.kind.String(), obs.StageQuery)
+	defer root.End()
+	if o := c.Obs; o != nil && o.Reg != nil {
+		o.Counter("distrib_queries_total", "strategy", strat.kind.String()).Inc()
+	}
 	switch strat.kind {
 	case stratSingle:
-		b, rep, err := c.runOn(0, build())
+		b, rep, err := c.runOn(0, build(), root)
 		if err != nil {
 			return nil, nil, err
 		}
 		return b, &Report{PerDevice: []*core.Report{rep}, Strategy: "replicated-only (device 0)"}, nil
 	case stratConcat:
-		return c.scatterGather(build, nil)
+		return c.scatterGather(build, nil, root)
 	case stratMergeAgg:
-		return c.scatterGather(build, strat)
+		return c.scatterGather(build, strat, root)
 	default:
 		return nil, nil, fmt.Errorf("distrib: unreachable")
 	}
 }
 
-func (c *Cluster) runOn(d int, p plan.Node) (*engine.Batch, *core.Report, error) {
+func (c *Cluster) runOn(d int, p plan.Node, parent *obs.Span) (*engine.Batch, *core.Report, error) {
 	if err := plan.Bind(p, c.Stores[d]); err != nil {
 		return nil, nil, err
 	}
+	shard := parent.Child("shard "+strconv.Itoa(d), obs.StageShard)
+	shard.SetTid(d + 2)
+	defer shard.End()
 	dev := core.New(c.Stores[d], core.Config{
 		DRAMBytes: c.DRAMBytes,
 		Compiler:  compiler.Config{HeapScale: c.HeapScale},
+		Obs:       c.Obs,
+		ObsParent: shard,
 	})
 	return dev.RunQuery(p)
 }

@@ -2,10 +2,12 @@ package distrib
 
 import (
 	"fmt"
+	"strconv"
 
 	"aquoman/internal/compiler"
 	"aquoman/internal/core"
 	"aquoman/internal/engine"
+	"aquoman/internal/obs"
 	"aquoman/internal/plan"
 )
 
@@ -166,7 +168,7 @@ func mergePlan(g *plan.GroupBy, partial *plan.Materialized) plan.Node {
 }
 
 // scatterGather runs the per-device core plans and merges.
-func (c *Cluster) scatterGather(build func() plan.Node, strat *strategy) (*engine.Batch, *Report, error) {
+func (c *Cluster) scatterGather(build func() plan.Node, strat *strategy, root *obs.Span) (*engine.Batch, *Report, error) {
 	rep := &Report{PerDevice: make([]*core.Report, c.NumDevices())}
 	if strat == nil {
 		rep.Strategy = stratConcat.String()
@@ -199,11 +201,16 @@ func (c *Cluster) scatterGather(build func() plan.Node, strat *strategy) (*engin
 		if err := plan.Bind(devicePlan, c.Stores[d]); err != nil {
 			return nil, nil, err
 		}
+		shard := root.Child("shard "+strconv.Itoa(d), obs.StageShard)
+		shard.SetTid(d + 2)
 		dev := core.New(c.Stores[d], core.Config{
 			DRAMBytes: c.DRAMBytes,
 			Compiler:  compiler.Config{HeapScale: c.HeapScale},
+			Obs:       c.Obs,
+			ObsParent: shard,
 		})
 		b, r, err := dev.RunQuery(devicePlan)
+		shard.End()
 		if err != nil {
 			return nil, nil, fmt.Errorf("distrib: device %d: %w", d, err)
 		}
@@ -242,7 +249,11 @@ func (c *Cluster) scatterGather(build func() plan.Node, strat *strategy) (*engin
 	if err := plan.Bind(merged, c.Stores[0]); err != nil {
 		return nil, nil, err
 	}
-	out, err := engine.New(c.Stores[0]).Run(merged)
+	mSpan := root.Child("merge", obs.StageMerge)
+	coord := engine.New(c.Stores[0])
+	coord.SetObserver(c.Obs, mSpan)
+	out, err := coord.Run(merged)
+	mSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}

@@ -4,9 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"aquoman/internal/col"
 	"aquoman/internal/flash"
+	"aquoman/internal/obs"
 	"aquoman/internal/plan"
 	"aquoman/internal/systolic"
 )
@@ -14,8 +16,12 @@ import (
 // hostRequester is the controller-switch identity for all engine I/O.
 const hostRequester = flash.Host
 
-// Stats aggregates the work counters the timing model consumes.
+// Stats aggregates the work counters the timing model consumes. All
+// mutators are internally synchronized, so worker goroutines spawned by
+// SetParallelism may account concurrently; readers inspect the fields
+// after the run.
 type Stats struct {
+	mu sync.Mutex
 	// Work counts abstract row operations by kind: "scan", "filter",
 	// "project", "join_build", "join_probe", "agg", "sort" (n·log n
 	// units), "text" (string-heap reads), "output".
@@ -31,26 +37,54 @@ type Stats struct {
 // NewStats returns zeroed counters.
 func NewStats() *Stats { return &Stats{Work: make(map[string]int64)} }
 
-func (s *Stats) work(kind string, n int64) { s.Work[kind] += n }
+func (s *Stats) work(kind string, n int64) {
+	s.mu.Lock()
+	s.Work[kind] += n
+	s.mu.Unlock()
+}
 
 func (s *Stats) alloc(b *Batch) {
+	s.mu.Lock()
 	s.CurBytes += b.Bytes()
 	if s.CurBytes > s.PeakBytes {
 		s.PeakBytes = s.CurBytes
 	}
 	s.SumBytes += b.Bytes()
 	s.Batches++
+	s.mu.Unlock()
 }
 
-func (s *Stats) free(b *Batch) { s.CurBytes -= b.Bytes() }
+func (s *Stats) free(b *Batch) {
+	s.mu.Lock()
+	s.CurBytes -= b.Bytes()
+	s.mu.Unlock()
+}
 
 // TotalWork sums all work counters.
 func (s *Stats) TotalWork() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var t int64
 	for _, v := range s.Work {
 		t += v
 	}
 	return t
+}
+
+// Each visits every work counter under the lock.
+func (s *Stats) Each(fn func(kind string, n int64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.Work {
+		fn(k, v)
+	}
+}
+
+// Peak returns the high-water intermediate footprint.
+func (s *Stats) Peak() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.PeakBytes
 }
 
 // Engine executes bound plans.
@@ -59,11 +93,23 @@ type Engine struct {
 	Stats *Stats
 	// threads is the intra-query parallelism (see SetParallelism).
 	threads int
+
+	// obs/cur trace per-operator spans; cur is the parent of the node
+	// being executed (exec recursion runs on one goroutine).
+	obs *obs.Observer
+	cur *obs.Span
 }
 
 // New returns an engine over the store with fresh counters.
 func New(store *col.Store) *Engine {
 	return &Engine{Store: store, Stats: NewStats(), threads: 1}
+}
+
+// SetObserver attaches an observability handle; per-operator spans nest
+// under parent (which may be nil for root spans).
+func (e *Engine) SetObserver(o *obs.Observer, parent *obs.Span) {
+	e.obs = o
+	e.cur = parent
 }
 
 // Run executes a bound plan tree and returns the result batch.
@@ -76,7 +122,49 @@ func (e *Engine) Run(n plan.Node) (*Batch, error) {
 	return b, nil
 }
 
+// nodeLabel names a plan node for span display.
+func nodeLabel(n plan.Node) string {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return "scan " + t.Table
+	case *plan.Filter:
+		return "filter"
+	case *plan.Project:
+		return "project"
+	case *plan.Join:
+		return "join"
+	case *plan.GroupBy:
+		return "groupby"
+	case *plan.OrderBy:
+		return "orderby"
+	case *plan.Limit:
+		return "limit"
+	case *plan.ScalarJoin:
+		return "scalar-join"
+	case *plan.Materialized:
+		return "materialized " + t.Label
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
 func (e *Engine) exec(n plan.Node) (*Batch, error) {
+	if e.obs == nil && e.cur == nil {
+		return e.execNode(n)
+	}
+	sp := e.obs.SpanUnder(e.cur, nodeLabel(n), obs.StageHost)
+	saved := e.cur
+	e.cur = sp
+	b, err := e.execNode(n)
+	e.cur = saved
+	if b != nil {
+		sp.SetInt("rows_out", int64(b.NumRows()))
+	}
+	sp.End()
+	return b, err
+}
+
+func (e *Engine) execNode(n plan.Node) (*Batch, error) {
 	switch t := n.(type) {
 	case *plan.Scan:
 		return e.execScan(t)

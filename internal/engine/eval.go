@@ -46,9 +46,32 @@ func (e *Engine) evalExpr(b *Batch, ex plan.Expr) ([]int64, error) {
 	return out, nil
 }
 
+// textWork evaluates a string-heap loop over [0, n) rows in parallel
+// morsels. Each worker accumulates its row count privately; the partials
+// merge into a single synchronized Stats.work("text") call after the
+// barrier, so workers never contend on (or race over) the shared map.
+func (e *Engine) textWork(n int, fn func(lo, hi int)) {
+	nWorkers := e.threads
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	counts := make([]int64, nWorkers+1)
+	e.parallelRanges(n, func(w, lo, hi int) {
+		fn(lo, hi)
+		counts[w] += int64(hi - lo)
+	})
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	e.Stats.work("text", total)
+}
+
 // materializeText rewrites Text-dependent subexpressions into references
 // to freshly computed integer columns (appended to a widened copy of the
-// batch), accounting the string-heap reads as "text" work.
+// batch), accounting the string-heap reads as "text" work. The per-row
+// heap lookups run in parallel morsels (the HeapReader is immutable
+// after construction and regexcc patterns are stateless).
 func (e *Engine) materializeText(b *Batch, ex plan.Expr) (*Batch, plan.Expr, error) {
 	wide := &Batch{Schema: append(plan.Schema{}, b.Schema...), Cols: append([][]int64(nil), b.Cols...)}
 	tmp := 0
@@ -92,13 +115,13 @@ func (e *Engine) materializeText(b *Batch, ex plan.Expr) (*Batch, plan.Expr, err
 			heap := src.NewHeapReader(hostRequester)
 			pat := regexcc.Compile(n.Pattern)
 			vals := make([]int64, len(offs))
-			for i, off := range offs {
-				m := pat.Match(heap.Str(off))
-				if m != n.Negate {
-					vals[i] = 1
+			e.textWork(len(offs), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if pat.Match(heap.Str(offs[i])) != n.Negate {
+						vals[i] = 1
+					}
 				}
-			}
-			e.Stats.work("text", int64(len(offs)))
+			})
 			return plan.C(addCol(n.Col, vals)), nil
 		case plan.SubstrCode:
 			src, offs, err := textField(n.Col)
@@ -107,17 +130,17 @@ func (e *Engine) materializeText(b *Batch, ex plan.Expr) (*Batch, plan.Expr, err
 			}
 			heap := src.NewHeapReader(hostRequester)
 			vals := make([]int64, len(offs))
-			for i, off := range offs {
-				s := heap.Str(off)
-				start := n.Start - 1
-				end := start + n.Len
-				if start < 0 || end > len(s) {
-					vals[i] = 0
-					continue
+			e.textWork(len(offs), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					s := heap.Str(offs[i])
+					start := n.Start - 1
+					end := start + n.Len
+					if start < 0 || end > len(s) {
+						continue
+					}
+					vals[i] = plan.PackString(s[start:end])
 				}
-				vals[i] = plan.PackString(s[start:end])
-			}
-			e.Stats.work("text", int64(len(offs)))
+			})
 			return plan.C(addCol(n.Col, vals)), nil
 		case plan.Bin:
 			// Equality of a Text column against a literal.
@@ -130,12 +153,13 @@ func (e *Engine) materializeText(b *Batch, ex plan.Expr) (*Batch, plan.Expr, err
 						}
 						heap := src.NewHeapReader(hostRequester)
 						vals := make([]int64, len(offs))
-						for i, off := range offs {
-							if heap.Str(off) == s.V {
-								vals[i] = 1
+						e.textWork(len(offs), func(lo, hi int) {
+							for i := lo; i < hi; i++ {
+								if heap.Str(offs[i]) == s.V {
+									vals[i] = 1
+								}
 							}
-						}
-						e.Stats.work("text", int64(len(offs)))
+						})
 						eqCol := plan.C(addCol(c.Name, vals))
 						if n.Op == plan.OpNE {
 							return plan.Not{E: eqCol}, nil

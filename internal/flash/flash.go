@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"aquoman/internal/obs"
 )
 
 // Device geometry and rate constants from Sec. VII of the paper.
@@ -65,6 +67,11 @@ type Stats struct {
 	PagesReadRandom [numRequesters]int64
 	// PagesWritten counts page-granular writes per requester.
 	PagesWritten [numRequesters]int64
+	// PagesWrittenRandom counts writes that broke the requester's
+	// sequential write stream on a file — the write-amplification
+	// counterpart of PagesReadRandom (in-place updates land here,
+	// appends stay sequential).
+	PagesWrittenRandom [numRequesters]int64
 }
 
 // BytesRead returns total bytes read by r.
@@ -89,9 +96,13 @@ func (s Stats) Sub(o Stats) Stats {
 		r.PagesRead[i] = s.PagesRead[i] - o.PagesRead[i]
 		r.PagesReadRandom[i] = s.PagesReadRandom[i] - o.PagesReadRandom[i]
 		r.PagesWritten[i] = s.PagesWritten[i] - o.PagesWritten[i]
+		r.PagesWrittenRandom[i] = s.PagesWrittenRandom[i] - o.PagesWrittenRandom[i]
 	}
 	return r
 }
+
+// Delta is Sub with before/after naming: d = after.Delta(before).
+func (s Stats) Delta(before Stats) Stats { return s.Sub(before) }
 
 // Device is a simulated flash drive holding named files. It is safe for
 // concurrent use; the controller switch serializes command accounting.
@@ -99,11 +110,59 @@ type Device struct {
 	mu    sync.Mutex
 	files map[string]*File
 	stats Stats
+
+	// metrics mirrors the traffic counters into an obs registry (nil
+	// counters no-op, so the account path is branch-free when
+	// observability is off).
+	metrics struct {
+		pagesRead          [numRequesters]*obs.Counter
+		pagesReadRandom    [numRequesters]*obs.Counter
+		pagesWritten       [numRequesters]*obs.Counter
+		pagesWrittenRandom [numRequesters]*obs.Counter
+		files              *obs.Gauge
+	}
 }
 
 // NewDevice returns an empty flash device.
 func NewDevice() *Device {
 	return &Device{files: make(map[string]*File)}
+}
+
+// Observe mirrors the device's traffic counters into reg under the
+// flash_* metric families, labeled per requester plus any extra
+// alternating key/value labels (distrib clusters add device=N). Passing
+// a nil registry detaches the device from metrics again.
+func (d *Device) Observe(reg *obs.Registry, extraLabels ...string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for r := Requester(0); r < numRequesters; r++ {
+		labels := append([]string{"requester", r.String()}, extraLabels...)
+		if reg == nil {
+			d.metrics.pagesRead[r] = nil
+			d.metrics.pagesReadRandom[r] = nil
+			d.metrics.pagesWritten[r] = nil
+			d.metrics.pagesWrittenRandom[r] = nil
+			continue
+		}
+		d.metrics.pagesRead[r] = reg.Counter("flash_pages_read_total", labels...)
+		d.metrics.pagesReadRandom[r] = reg.Counter("flash_pages_read_random_total", labels...)
+		d.metrics.pagesWritten[r] = reg.Counter("flash_pages_written_total", labels...)
+		d.metrics.pagesWrittenRandom[r] = reg.Counter("flash_pages_written_random_total", labels...)
+	}
+	if reg == nil {
+		d.metrics.files = nil
+	} else {
+		d.metrics.files = reg.Gauge("flash_files", extraLabels...)
+		d.metrics.files.Set(int64(len(d.files)))
+	}
+	// Seed the counters with the traffic already accounted, so registry
+	// deltas stay consistent with Stats().Sub for in-flight devices.
+	for r := Requester(0); r < numRequesters; r++ {
+		d.metrics.pagesRead[r].Add(d.stats.PagesRead[r] - d.metrics.pagesRead[r].Value())
+		d.metrics.pagesReadRandom[r].Add(d.stats.PagesReadRandom[r] - d.metrics.pagesReadRandom[r].Value())
+		d.metrics.pagesWritten[r].Add(d.stats.PagesWritten[r] - d.metrics.pagesWritten[r].Value())
+		d.metrics.pagesWrittenRandom[r].Add(d.stats.PagesWrittenRandom[r] - d.metrics.pagesWrittenRandom[r].Value())
+	}
 }
 
 // File is a byte-addressable flash-backed file. Content is stored exactly;
@@ -112,9 +171,10 @@ type File struct {
 	dev  *Device
 	name string
 
-	mu       sync.Mutex
-	data     []byte
-	lastRead [numRequesters]int64 // next sequential page per requester, -1 if none
+	mu        sync.Mutex
+	data      []byte
+	lastRead  [numRequesters]int64 // next sequential page per requester, -1 if none
+	lastWrite [numRequesters]int64 // next sequential write page per requester, -1 if none
 }
 
 // Create creates (or truncates) a file.
@@ -124,8 +184,10 @@ func (d *Device) Create(name string) *File {
 	f := &File{dev: d, name: name}
 	for i := range f.lastRead {
 		f.lastRead[i] = -1
+		f.lastWrite[i] = -1
 	}
 	d.files[name] = f
+	d.metrics.files.Set(int64(len(d.files)))
 	return f
 }
 
@@ -153,6 +215,7 @@ func (d *Device) Remove(name string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.files, name)
+	d.metrics.files.Set(int64(len(d.files)))
 }
 
 // Files returns the names of all files in deterministic order.
@@ -203,17 +266,35 @@ func (d *Device) ResetStats() {
 		f.mu.Lock()
 		for i := range f.lastRead {
 			f.lastRead[i] = -1
+			f.lastWrite[i] = -1
 		}
 		f.mu.Unlock()
 	}
 }
 
-func (d *Device) account(who Requester, pagesRead, random, pagesWritten int64) {
+func (d *Device) account(who Requester, pagesRead, readRandom, pagesWritten, writeRandom int64) {
 	d.mu.Lock()
 	d.stats.PagesRead[who] += pagesRead
-	d.stats.PagesReadRandom[who] += random
+	d.stats.PagesReadRandom[who] += readRandom
 	d.stats.PagesWritten[who] += pagesWritten
+	d.stats.PagesWrittenRandom[who] += writeRandom
+	// Counter handles are captured under the lock (Observe may rebind
+	// them); the Adds themselves are atomic and happen outside it.
+	pr, prr := d.metrics.pagesRead[who], d.metrics.pagesReadRandom[who]
+	pw, pwr := d.metrics.pagesWritten[who], d.metrics.pagesWrittenRandom[who]
 	d.mu.Unlock()
+	if pagesRead > 0 {
+		pr.Add(pagesRead)
+	}
+	if readRandom > 0 {
+		prr.Add(readRandom)
+	}
+	if pagesWritten > 0 {
+		pw.Add(pagesWritten)
+	}
+	if writeRandom > 0 {
+		pwr.Add(writeRandom)
+	}
 }
 
 // Name returns the file name.
@@ -231,6 +312,22 @@ func (f *File) NumPages() int64 {
 	return (f.Size() + PageSize - 1) / PageSize
 }
 
+// accountWrite updates the requester's sequential write stream and
+// returns the page count and random-seek count of a write of n bytes at
+// off. Caller holds f.mu.
+func (f *File) accountWrite(who Requester, off, n int64) (pages, random int64) {
+	first, last := off/PageSize, (off+n-1)/PageSize
+	pages = last - first + 1
+	// Re-touching the page the stream last ended on (partial-page appends)
+	// stays sequential; any other jump is one seek, mirroring the read
+	// side's stream model.
+	if f.lastWrite[who] >= 0 && (first > f.lastWrite[who] || first < f.lastWrite[who]-1) {
+		random = 1
+	}
+	f.lastWrite[who] = last + 1
+	return pages, random
+}
+
 // Append writes p at the end of the file, accounted to requester who.
 func (f *File) Append(p []byte, who Requester) {
 	if len(p) == 0 {
@@ -239,8 +336,9 @@ func (f *File) Append(p []byte, who Requester) {
 	f.mu.Lock()
 	off := int64(len(f.data))
 	f.data = append(f.data, p...)
+	pages, random := f.accountWrite(who, off, int64(len(p)))
 	f.mu.Unlock()
-	f.dev.account(who, 0, 0, PagesSpanned(off, int64(len(p))))
+	f.dev.account(who, 0, 0, pages, random)
 }
 
 // WriteAt writes p at offset off (extending the file as needed).
@@ -254,8 +352,9 @@ func (f *File) WriteAt(p []byte, off int64, who Requester) {
 		f.data = append(f.data, make([]byte, end-int64(len(f.data)))...)
 	}
 	copy(f.data[off:end], p)
+	pages, random := f.accountWrite(who, off, int64(len(p)))
 	f.mu.Unlock()
-	f.dev.account(who, 0, 0, PagesSpanned(off, int64(len(p))))
+	f.dev.account(who, 0, 0, pages, random)
 }
 
 // ReadAt fills p from offset off, accounting every touched page to who.
@@ -285,7 +384,7 @@ func (f *File) ReadAt(p []byte, off int64, who Requester) int {
 	}
 	f.mu.Unlock()
 	if n > 0 {
-		f.dev.account(who, pages, random, 0)
+		f.dev.account(who, pages, random, 0, 0)
 	}
 	return n
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"aquoman/internal/obs"
 )
 
 func TestCreateOpenRemove(t *testing.T) {
@@ -207,5 +209,90 @@ func TestQuickWriteReadAt(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestWriteRandomAccounting(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+
+	// Appends are one sequential stream, even across partial pages.
+	f.Append(make([]byte, 3*PageSize), Host)
+	f.Append(make([]byte, 100), Host)
+	f.Append(make([]byte, 100), Host)
+	s := d.Stats()
+	if s.PagesWritten[Host] != 5 || s.PagesWrittenRandom[Host] != 0 {
+		t.Fatalf("append stats = %d written / %d random, want 5/0",
+			s.PagesWritten[Host], s.PagesWrittenRandom[Host])
+	}
+
+	// An in-place update behind the stream is one seek.
+	f.WriteAt(make([]byte, 10), 0, Host)
+	// A forward jump past the stream is one seek too.
+	f.WriteAt(make([]byte, 10), 10*PageSize, Host)
+	s = d.Stats()
+	if s.PagesWritten[Host] != 7 || s.PagesWrittenRandom[Host] != 2 {
+		t.Fatalf("update stats = %d written / %d random, want 7/2",
+			s.PagesWritten[Host], s.PagesWrittenRandom[Host])
+	}
+
+	// Streams are per requester: AQUOMAN's first write is sequential.
+	if s.PagesWrittenRandom[Aquoman] != 0 {
+		t.Fatal("aquoman write stream tainted by host writes")
+	}
+	before := d.Stats()
+	f.Append(make([]byte, PageSize), Aquoman) // file ends mid-page: spans 2 pages
+	diff := d.Stats().Delta(before)
+	if diff.PagesWritten[Aquoman] != 2 || diff.PagesWrittenRandom[Aquoman] != 0 {
+		t.Fatalf("delta = %+v", diff)
+	}
+	if diff.PagesWritten[Host] != 0 {
+		t.Fatal("host pages in aquoman delta")
+	}
+}
+
+func TestObserveMirrorsCounters(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	f.Append(make([]byte, 2*PageSize), Host)
+
+	reg := obs.NewRegistry()
+	d.Observe(reg)
+	// Binding seeds the counters from the accumulated stats.
+	s := reg.Snapshot()
+	if p, ok := s.Get("flash_pages_written_total", "requester", "host"); !ok || p.Value != 2 {
+		t.Fatalf("seeded written = %+v, %v", p, ok)
+	}
+	if p, ok := s.Get("flash_files"); !ok || p.Value != 1 {
+		t.Fatalf("files gauge = %+v, %v", p, ok)
+	}
+
+	buf := make([]byte, PageSize)
+	f.ReadAt(buf, PageSize, Aquoman)
+	f.ReadAt(buf, 0, Aquoman) // backward seek: one random read
+	f.WriteAt(buf, 0, Host)
+	s = reg.Snapshot()
+	checks := []struct {
+		name, req string
+		want      int64
+	}{
+		{"flash_pages_read_total", "aquoman", 2},
+		{"flash_pages_read_random_total", "aquoman", 1},
+		{"flash_pages_read_total", "host", 0},
+		{"flash_pages_written_total", "host", 3},
+		{"flash_pages_written_random_total", "host", 1},
+	}
+	for _, c := range checks {
+		if p, ok := s.Get(c.name, "requester", c.req); !ok || p.Value != c.want {
+			t.Fatalf("%s{requester=%q} = %+v (ok=%v), want %d", c.name, c.req, p, ok, c.want)
+		}
+	}
+
+	// Detaching stops mirroring; the registry keeps its last values.
+	d.Observe(nil)
+	f.ReadAt(buf, 0, Aquoman)
+	after := reg.Snapshot()
+	if p, _ := after.Get("flash_pages_read_total", "requester", "aquoman"); p.Value != 2 {
+		t.Fatalf("detached counter moved to %d", p.Value)
 	}
 }

@@ -1,0 +1,19 @@
+package obs
+
+import "net/http"
+
+// Handler serves the registry over HTTP: /metrics in Prometheus text
+// format and /debug/vars as expvar-style JSON. Mount it with
+// http.ListenAndServe(addr, reg.Handler()).
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Snapshot().Prometheus()))
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write([]byte(r.Snapshot().Expvar()))
+	})
+	return mux
+}

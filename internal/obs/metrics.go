@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; a nil *Counter no-ops, which lets hot paths increment
+// unconditionally whether or not observability is enabled.
+type Counter struct {
+	v atomic.Int64
+	_ [7]int64 // pad to a cache line: counters often live in arrays
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value (DRAM footprint, queue occupancy).
+type Gauge struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// SetMax raises the gauge to n if n is larger (high-water marks).
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the histogram resolution: bucket i counts observations v
+// with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0 takes v <= 0).
+const histBuckets = 65
+
+// Histogram accumulates int64 observations into power-of-two buckets.
+// All updates are atomic; concurrent Observe calls never lock.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+}
+
+// MetricKind distinguishes snapshot points.
+type MetricKind int
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	return [...]string{"counter", "gauge", "histogram"}[k]
+}
+
+// Registry holds named metrics. Metric resolution (Counter/Gauge/
+// Histogram) takes a lock; the returned handles update lock-free, so
+// callers on hot paths resolve once and increment many times.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	kinds    map[string]MetricKind // family name -> kind (consistency check)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		kinds:    make(map[string]MetricKind),
+	}
+}
+
+// Label is one name/value pair of a metric series.
+type Label struct{ K, V string }
+
+// labelKey renders sorted labels as `{k="v",...}` ("" when empty).
+func labelKey(labels []string) (string, []Label) {
+	if len(labels) == 0 {
+		return "", nil
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	ls := make([]Label, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		ls = append(ls, Label{K: labels[i], V: labels[i+1]})
+	}
+	sort.Slice(ls, func(a, b int) bool { return ls[a].K < ls[b].K })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.K, l.V)
+	}
+	sb.WriteByte('}')
+	return sb.String(), ls
+}
+
+func (r *Registry) checkKind(name string, k MetricKind) {
+	if prev, ok := r.kinds[name]; ok && prev != k {
+		panic(fmt.Sprintf("obs: metric %q registered as both %s and %s", name, prev, k))
+	}
+	r.kinds[name] = k
+}
+
+// Counter returns (creating on first use) the counter series name{labels}.
+// labels are alternating key, value strings. Nil registries return nil.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	lk, _ := labelKey(labels)
+	key := name + lk
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, KindCounter)
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge series name{labels}.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	lk, _ := labelKey(labels)
+	key := name + lk
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, KindGauge)
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram series
+// name{labels}.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	lk, _ := labelKey(labels)
+	key := name + lk
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkKind(name, KindHistogram)
+	h, ok := r.hists[key]
+	if !ok {
+		h = &Histogram{}
+		r.hists[key] = h
+	}
+	return h
+}
+
+// splitKey recovers (family, rendered labels) from a series key.
+func splitKey(key string) (string, string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}

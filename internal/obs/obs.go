@@ -1,0 +1,89 @@
+// Package obs is AQUOMAN's zero-dependency observability layer: a
+// metrics registry (counters, gauges, power-of-two histograms — all
+// atomic, safe under engine.SetParallelism and distrib workers) and a
+// span-based query tracer that records one span per pipeline stage per
+// Table Task.
+//
+// The registry renders snapshots as Prometheus text or expvar-style JSON
+// and can serve both over HTTP; the tracer exports Chrome trace_event
+// JSON (load it in chrome://tracing or https://ui.perfetto.dev) and a
+// human-readable tree.
+//
+// Everything is nil-safe: a nil *Observer, *Registry, *Tracer or *Span
+// turns every call into a no-op, so instrumented code needs no "is
+// observability on?" branches.
+package obs
+
+// Pipeline stage names used as span stages (and Chrome trace categories).
+// One query produces at least one span per stage it exercises: flash
+// issue, Row Selector, Row Transformer, SQL Swissknife, host
+// post-processing, and — for clustered runs — distrib shard/merge.
+const (
+	StageQuery      = "query"
+	StageCompile    = "compile"
+	StageUnit       = "unit"
+	StageTask       = "task"
+	StageFlash      = "flash"
+	StageRowSel     = "rowsel"
+	StageTransform  = "transform"
+	StageSwissknife = "swissknife"
+	StageSorter     = "sorter"
+	StageHost       = "host"
+	StageShard      = "shard"
+	StageMerge      = "merge"
+)
+
+// Observer bundles a metrics registry and a tracer; it is the single
+// handle threaded through the stack (flash device, Table-Task executor,
+// host engine, distrib cluster).
+type Observer struct {
+	Reg    *Registry
+	Tracer *Tracer
+}
+
+// New returns an Observer with a fresh registry and tracer.
+func New() *Observer {
+	return &Observer{Reg: NewRegistry(), Tracer: NewTracer()}
+}
+
+// Counter resolves a counter in the registry (nil-safe).
+func (o *Observer) Counter(name string, labels ...string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Counter(name, labels...)
+}
+
+// Gauge resolves a gauge in the registry (nil-safe).
+func (o *Observer) Gauge(name string, labels ...string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Gauge(name, labels...)
+}
+
+// Histogram resolves a histogram in the registry (nil-safe).
+func (o *Observer) Histogram(name string, labels ...string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Histogram(name, labels...)
+}
+
+// StartSpan opens a root span (nil-safe).
+func (o *Observer) StartSpan(name, stage string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.Start(name, stage)
+}
+
+// SpanUnder opens a span as a child of parent when parent is non-nil,
+// and as a root span otherwise. Useful for components that may or may
+// not be handed an enclosing span.
+func (o *Observer) SpanUnder(parent *Span, name, stage string) *Span {
+	if parent != nil {
+		return parent.Child(name, stage)
+	}
+	return o.StartSpan(name, stage)
+}

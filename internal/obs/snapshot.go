@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bucket is one histogram bucket in a snapshot: Count observations with
+// value <= Le and > the previous bucket's Le (non-cumulative).
+type Bucket struct {
+	Le    int64 // inclusive upper bound (2^i - 1); bucket 0 has Le 0
+	Count int64
+}
+
+// Point is one metric series frozen at snapshot time.
+type Point struct {
+	Name   string // family name, without labels
+	Labels string // rendered `{k="v",...}`, "" when unlabeled
+	Kind   MetricKind
+	Value  int64 // counter / gauge value
+	// Histogram fields (Kind == KindHistogram):
+	Count   int64
+	Sum     int64
+	Buckets []Bucket
+}
+
+// Key returns the full series identity (name plus labels).
+func (p Point) Key() string { return p.Name + p.Labels }
+
+// Snapshot is a point-in-time copy of a registry, sorted by series key.
+type Snapshot struct {
+	Points []Point
+}
+
+// Snapshot freezes every series. Safe to call concurrently with updates;
+// each series is read atomically (histogram fields may be mutually
+// slightly torn under concurrent writes, as with any lock-free sampling).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pts := make([]Point, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for key, c := range r.counters {
+		name, labels := splitKey(key)
+		pts = append(pts, Point{Name: name, Labels: labels, Kind: KindCounter, Value: c.Value()})
+	}
+	for key, g := range r.gauges {
+		name, labels := splitKey(key)
+		pts = append(pts, Point{Name: name, Labels: labels, Kind: KindGauge, Value: g.Value()})
+	}
+	for key, h := range r.hists {
+		name, labels := splitKey(key)
+		p := Point{Name: name, Labels: labels, Kind: KindHistogram,
+			Count: h.count.Load(), Sum: h.sum.Load()}
+		for i := 0; i < histBuckets; i++ {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			le := int64(0)
+			if i > 0 {
+				le = 1<<uint(i) - 1
+			}
+			p.Buckets = append(p.Buckets, Bucket{Le: le, Count: n})
+		}
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].Key() < pts[b].Key() })
+	return Snapshot{Points: pts}
+}
+
+// Get looks up one series by family name and alternating label key/value
+// pairs.
+func (s Snapshot) Get(name string, labels ...string) (Point, bool) {
+	lk, _ := labelKey(labels)
+	key := name + lk
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].Key() >= key })
+	if i < len(s.Points) && s.Points[i].Key() == key {
+		return s.Points[i], true
+	}
+	return Point{}, false
+}
+
+// Delta returns s minus prev: counters and histograms subtract the
+// matching series in prev (series absent from prev pass through whole);
+// gauges keep their current value. Use it to scope a long-lived
+// registry's counters to one query.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	old := make(map[string]Point, len(prev.Points))
+	for _, p := range prev.Points {
+		old[p.Key()] = p
+	}
+	out := Snapshot{Points: make([]Point, 0, len(s.Points))}
+	for _, p := range s.Points {
+		q, ok := old[p.Key()]
+		if ok {
+			switch p.Kind {
+			case KindCounter:
+				p.Value -= q.Value
+			case KindHistogram:
+				p.Count -= q.Count
+				p.Sum -= q.Sum
+				p.Buckets = subBuckets(p.Buckets, q.Buckets)
+			}
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out
+}
+
+func subBuckets(cur, prev []Bucket) []Bucket {
+	old := make(map[int64]int64, len(prev))
+	for _, b := range prev {
+		old[b.Le] = b.Count
+	}
+	var out []Bucket
+	for _, b := range cur {
+		b.Count -= old[b.Le]
+		if b.Count != 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4), with # TYPE comments per family and cumulative
+// histogram buckets ending in le="+Inf".
+func (s Snapshot) Prometheus() string {
+	var sb strings.Builder
+	lastFamily := ""
+	for _, p := range s.Points {
+		if p.Name != lastFamily {
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", p.Name, p.Kind)
+			lastFamily = p.Name
+		}
+		switch p.Kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(&sb, "%s%s %d\n", p.Name, p.Labels, p.Value)
+		case KindHistogram:
+			cum := int64(0)
+			for _, b := range p.Buckets {
+				cum += b.Count
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", p.Name, withLabel(p.Labels, "le", fmt.Sprint(b.Le)), cum)
+			}
+			fmt.Fprintf(&sb, "%s_bucket%s %d\n", p.Name, withLabel(p.Labels, "le", "+Inf"), p.Count)
+			fmt.Fprintf(&sb, "%s_sum%s %d\n", p.Name, p.Labels, p.Sum)
+			fmt.Fprintf(&sb, "%s_count%s %d\n", p.Name, p.Labels, p.Count)
+		}
+	}
+	return sb.String()
+}
+
+// withLabel inserts one extra label into an already-rendered label set.
+func withLabel(labels, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// Expvar renders the snapshot as an expvar-style JSON object keyed by
+// series (histograms become {count, sum, buckets} objects). Keys are
+// sorted, so output is deterministic.
+func (s Snapshot) Expvar() string {
+	m := make(map[string]any, len(s.Points))
+	for _, p := range s.Points {
+		switch p.Kind {
+		case KindCounter, KindGauge:
+			m[p.Key()] = p.Value
+		case KindHistogram:
+			bm := make(map[string]int64, len(p.Buckets))
+			for _, b := range p.Buckets {
+				bm[fmt.Sprint(b.Le)] = b.Count
+			}
+			m[p.Key()] = map[string]any{"count": p.Count, "sum": p.Sum, "buckets": bm}
+		}
+	}
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "{}"
+	}
+	return string(out)
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// stepClock returns a deterministic clock advancing 1ms per call.
+func stepClock() func() time.Duration {
+	var ticks time.Duration
+	return func() time.Duration {
+		ticks += time.Millisecond
+		return ticks
+	}
+}
+
+// buildFixture records a small representative trace: a query with a
+// compile stage and a task whose children cover the pipeline stages.
+func buildFixture() *Tracer {
+	tr := NewTracer()
+	tr.SetNow(stepClock())
+	q := tr.Start("query q6", StageQuery)
+	c := q.Child("compile", StageCompile)
+	c.SetInt("units", 1)
+	c.End()
+	u := q.Child("unit u1", StageUnit)
+	task := u.Child("task u1:final", StageTask)
+	sel := task.Child("row-select", StageRowSel)
+	sel.SetInt("rows_in", 60175)
+	sel.SetInt("rows_selected", 1176)
+	sel.End()
+	rd := task.Child("table-read", StageFlash)
+	rd.AddInt("pages_read", 100)
+	rd.AddInt("pages_read", 28)
+	rd.End()
+	task.Child("transform", StageTransform).End()
+	sk := task.Child("swissknife AGGREGATE", StageSwissknife)
+	sk.SetInt("rows_in", 1176)
+	sk.End()
+	task.End()
+	u.End()
+	q.Child("host-plan", StageHost).End()
+	q.End()
+	return tr
+}
+
+func TestTreeRender(t *testing.T) {
+	tree := buildFixture().Tree()
+	want := `query q6 [query] 17ms
+  compile [compile] 1ms units=1
+  unit u1 [unit] 11ms
+    task u1:final [task] 9ms
+      row-select [rowsel] 1ms rows_in=60175 rows_selected=1176
+      table-read [flash] 1ms pages_read=128
+      transform [transform] 1ms
+      swissknife AGGREGATE [swissknife] 1ms rows_in=1176
+  host-plan [host] 1ms
+`
+	if tree != want {
+		t.Fatalf("tree render:\n%s\nwant:\n%s", tree, want)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	got := buildFixture().ChromeTrace()
+	golden := filepath.Join("testdata", "chrome_trace.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("chrome trace diverged from golden:\n%s", got)
+	}
+}
+
+func TestChromeTraceValidity(t *testing.T) {
+	out := buildFixture().ChromeTrace()
+	if !json.Valid(out) {
+		t.Fatalf("ChromeTrace is not valid JSON:\n%s", out)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 9 {
+		t.Fatalf("events = %d, want 9", len(doc.TraceEvents))
+	}
+	lastTs := int64(-1)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Ts < lastTs {
+			t.Fatalf("events not sorted by ts: %d after %d", ev.Ts, lastTs)
+		}
+		lastTs = ev.Ts
+		if ev.Dur < 0 {
+			t.Fatalf("event %q has negative duration %d", ev.Name, ev.Dur)
+		}
+		if ev.Pid != 1 || ev.Tid < 1 {
+			t.Fatalf("event %q pid/tid = %d/%d", ev.Name, ev.Pid, ev.Tid)
+		}
+	}
+}
+
+func TestUnfinishedSpanAndDoubleEnd(t *testing.T) {
+	tr := NewTracer()
+	tr.SetNow(stepClock())
+	a := tr.Start("a", StageQuery) // never ended
+	b := a.Child("b", StageTask)
+	b.End()
+	b.End() // second End keeps the first end time
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	for _, s := range spans {
+		if s.Dur < 0 {
+			t.Fatalf("span %q negative duration %v", s.Name, s.Dur)
+		}
+	}
+	if spans[1].Name != "b" || spans[1].Dur != time.Millisecond {
+		t.Fatalf("b = %+v, want 1ms", spans[1])
+	}
+}
+
+func TestSpanTidInheritance(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("distrib", StageQuery)
+	shard := root.Child("shard 3", StageShard)
+	shard.SetTid(5)
+	child := shard.Child("query", StageQuery)
+	sub := child.Child("task", StageTask)
+	for _, s := range []*Span{child, sub} {
+		if s.Tid != 5 {
+			t.Fatalf("span %q tid = %d, want inherited 5", s.Name, s.Tid)
+		}
+	}
+	if root.Tid != 1 {
+		t.Fatalf("root tid = %d, want 1", root.Tid)
+	}
+}

@@ -47,6 +47,11 @@ type Stats struct {
 	DRAMBytes int64
 	// Runs is the number of sorted runs produced by the cascade.
 	Runs int64
+	// MergePasses counts multi-way merge invocations, split by buffer
+	// tier — together with SRAMBytes/DRAMBytes they give the merge-layer
+	// throughput per pass.
+	SRAMMergePasses int64
+	DRAMMergePasses int64
 }
 
 // StreamingSorter sorts unbounded streams into RunElems-sized sorted runs
@@ -142,8 +147,10 @@ func (s *StreamingSorter) mergeGroup(group [][]KV, layer int) []KV {
 	bytes := int64(total) * int64(s.cfg.ElemBytes)
 	if layer >= s.cfg.Layers {
 		s.stats.DRAMBytes += 2 * bytes // read + write through DDR4
+		s.stats.DRAMMergePasses++
 	} else {
 		s.stats.SRAMBytes += 2 * bytes
+		s.stats.SRAMMergePasses++
 	}
 	return out
 }

@@ -59,6 +59,9 @@ type GroupByStats struct {
 	SpilledRows int64
 	// SpilledGroups is the number of distinct spill-over groups.
 	SpilledGroups int64
+	// ResidentGroups is the number of groups holding a hardware bucket
+	// (bucket occupancy: ResidentGroups / Buckets is the hash-table fill).
+	ResidentGroups int64
 }
 
 // group is one accumulated group (identical layout for resident and
@@ -255,8 +258,12 @@ func (g *GroupByAccel) Stats() GroupByStats {
 	s := g.stats
 	s.Groups = int64(len(g.groups))
 	s.SpilledGroups = int64(len(g.spilled))
+	s.ResidentGroups = int64(len(g.residentBucket))
 	return s
 }
+
+// Buckets returns the configured hash-table size (for occupancy ratios).
+func (g *GroupByAccel) Buckets() int { return g.cfg.Buckets }
 
 // Aggregate is the scalar (group-less) accelerator.
 type Aggregate struct {

@@ -7,6 +7,7 @@ import (
 	"aquoman/internal/col"
 	"aquoman/internal/flash"
 	"aquoman/internal/mem"
+	"aquoman/internal/obs"
 	"aquoman/internal/regexcc"
 	"aquoman/internal/sorter"
 	"aquoman/internal/swissknife"
@@ -20,27 +21,29 @@ const dramCacheRowLimit = 4096
 
 // TaskTrace records one task's behaviour.
 type TaskTrace struct {
-	Name             string
-	Table            string
-	Op               string
-	RowsIn           int64
-	RowsSelected     int64
-	RowsTransformed  int64
-	RowsToSwissknife int64
-	PagesRead        int64
-	PagesSkipped     int64
-	GatherFlashReads int64
-	GatherDRAMReads  int64
-	SorterElems      int64
-	SorterDRAMBytes  int64
-	SorterSRAMBytes  int64
-	MergeElems       int64
-	Groups           int64
-	SpilledRows      int64
-	SpilledGroups    int64
-	HostRows         int64
-	SelectorCPs      int
-	TransformerPEs   int
+	Name              string
+	Table             string
+	Op                string
+	RowsIn            int64
+	RowsSelected      int64
+	RowsTransformed   int64
+	RowsToSwissknife  int64
+	PagesRead         int64
+	PagesSkipped      int64
+	GatherFlashReads  int64
+	GatherDRAMReads   int64
+	SorterElems       int64
+	SorterDRAMBytes   int64
+	SorterSRAMBytes   int64
+	SorterMergePasses int64
+	MergeElems        int64
+	Groups            int64
+	SpilledRows       int64
+	SpilledGroups     int64
+	ResidentGroups    int64
+	HostRows          int64
+	SelectorCPs       int
+	TransformerPEs    int
 	// WidenedRegs marks transformations that exceeded the prototype's
 	// 7-register PEs (see systolic.Config).
 	WidenedRegs bool
@@ -69,6 +72,11 @@ type Executor struct {
 	DRAM   *mem.DRAM
 	Sorter sorter.Config
 	Trace  Trace
+
+	// Obs (optional) receives per-stage spans and metric counters;
+	// ObsParent, when set, is the enclosing span (the offload unit).
+	Obs       *obs.Observer
+	ObsParent *obs.Span
 
 	cached map[string]bool // DRAM-cached gather columns
 }
@@ -99,11 +107,13 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 		return nil, err
 	}
 	tt := TaskTrace{Name: t.Name, Table: t.Table, Op: t.Op.Kind.String()}
+	span := e.Obs.SpanUnder(e.ObsParent, "task "+t.Name, obs.StageTask)
 	defer func() {
 		e.Trace.Tasks = append(e.Trace.Tasks, tt)
 		if p := e.DRAM.Peak(); p > e.Trace.DRAMPeak {
 			e.Trace.DRAMPeak = p
 		}
+		e.finishTask(span, &tt)
 	}()
 
 	tab, err := e.Store.Table(t.Table)
@@ -156,12 +166,14 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	}
 
 	// 2. Row Selector.
+	selSpan := span.Child("row-select", obs.StageRowSel)
 	sel := t.RowSel
 	if sel == nil {
 		sel = &Program{}
 	}
 	mask, selStats, err := sel.Run(tab, mask, flash.Aquoman)
 	if err != nil {
+		selSpan.End()
 		return nil, err
 	}
 	tt.RowsIn = selStats.RowsIn
@@ -175,18 +187,27 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	// the 1 MB cache).
 	for _, rf := range t.RegexFilters {
 		if err := e.runRegexFilter(t, tab, rf, mask, &tt); err != nil {
+			selSpan.End()
 			return nil, err
 		}
 	}
 	tt.RowsSelected = int64(mask.Count())
+	selSpan.SetInt("rows_in", tt.RowsIn)
+	selSpan.SetInt("rows_selected", tt.RowsSelected)
+	selSpan.SetInt("pages_read", tt.PagesRead)
+	selSpan.SetInt("pages_skipped", tt.PagesSkipped)
+	selSpan.End()
 
 	// 3. Table Reader: stream the input columns for selected rows,
 	// skipping fully-masked pages.
+	readSpan := span.Child("table-read", obs.StageFlash)
+	pagesBefore := tt.PagesRead
 	selRows := mask.Rows()
 	inputs := make([][]int64, 0, len(t.Stream)+len(t.Gathers))
 	for _, name := range t.Stream {
 		vals, pr, ps, err := e.streamColumn(tab, name, mask, len(selRows))
 		if err != nil {
+			readSpan.End()
 			return nil, fmt.Errorf("tabletask %q: %w", t.Name, err)
 		}
 		tt.PagesRead += pr
@@ -197,6 +218,7 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	for _, ga := range t.Gathers {
 		base, pr, ps, err := e.streamColumn(tab, ga.BaseCol, mask, len(selRows))
 		if err != nil {
+			readSpan.End()
 			return nil, fmt.Errorf("tabletask %q gather %q: %w", t.Name, ga.Name, err)
 		}
 		tt.PagesRead += pr
@@ -205,25 +227,37 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 		for _, hop := range ga.Hops {
 			vals, err = e.gatherHop(hop, vals, &tt)
 			if err != nil {
+				readSpan.End()
 				return nil, fmt.Errorf("tabletask %q gather %q: %w", t.Name, ga.Name, err)
 			}
 		}
 		inputs = append(inputs, vals)
 	}
+	readSpan.SetInt("columns", int64(len(t.Stream)+len(t.Gathers)))
+	readSpan.SetInt("pages_read", tt.PagesRead-pagesBefore)
+	readSpan.SetInt("gather_dram_reads", tt.GatherDRAMReads)
+	readSpan.SetInt("gather_flash_reads", tt.GatherFlashReads)
+	readSpan.End()
 
 	// 4. Row Transformation Systolic Array.
 	outputs := inputs
 	if t.Transform != nil {
+		trSpan := span.Child("transform", obs.StageTransform)
 		mapped, err := systolic.Compile(t.Transform, len(inputs), systolic.DefaultConfig())
 		if err != nil {
+			trSpan.End()
 			return nil, fmt.Errorf("tabletask %q: transform: %w", t.Name, err)
 		}
 		tt.TransformerPEs = mapped.NumPEs()
 		tt.WidenedRegs = mapped.WidenedRegs
 		outputs, err = systolic.NewMachine(mapped).Transform(inputs)
 		if err != nil {
+			trSpan.End()
 			return nil, fmt.Errorf("tabletask %q: transform run: %w", t.Name, err)
 		}
+		trSpan.SetInt("rows", int64(len(selRows)))
+		trSpan.SetInt("pes", int64(tt.TransformerPEs))
+		trSpan.End()
 	}
 	tt.RowsTransformed = int64(len(selRows))
 
@@ -252,12 +286,57 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	tt.RowsToSwissknife = int64(nRows)
 
 	// 6. SQL Swissknife.
-	res, err := e.runOperator(t, tab, outputs, &tt)
+	skSpan := span.Child("swissknife "+t.Op.Kind.String(), obs.StageSwissknife)
+	res, err := e.runOperator(t, tab, outputs, &tt, skSpan)
 	if err != nil {
+		skSpan.End()
 		return nil, err
 	}
 	tt.HostRows = int64(res.NumRows())
+	skSpan.SetInt("rows_in", tt.RowsToSwissknife)
+	skSpan.SetInt("host_rows", tt.HostRows)
+	if tt.Groups > 0 {
+		skSpan.SetInt("groups", tt.Groups)
+		skSpan.SetInt("spilled_rows", tt.SpilledRows)
+		skSpan.SetInt("spilled_groups", tt.SpilledGroups)
+	}
+	skSpan.End()
 	return res, nil
+}
+
+// finishTask copies the task trace onto its span and mirrors the
+// counters into the metrics registry.
+func (e *Executor) finishTask(span *obs.Span, tt *TaskTrace) {
+	span.SetInt("rows_in", tt.RowsIn)
+	span.SetInt("rows_selected", tt.RowsSelected)
+	span.SetInt("rows_to_swissknife", tt.RowsToSwissknife)
+	span.SetInt("pages_read", tt.PagesRead)
+	span.SetInt("pages_skipped", tt.PagesSkipped)
+	span.SetInt("host_rows", tt.HostRows)
+	span.End()
+	if e.Obs == nil || e.Obs.Reg == nil {
+		return
+	}
+	reg := e.Obs.Reg
+	reg.Counter("tabletask_tasks_total", "op", tt.Op).Inc()
+	reg.Counter("tabletask_rows_in_total").Add(tt.RowsIn)
+	reg.Counter("tabletask_rows_selected_total").Add(tt.RowsSelected)
+	reg.Counter("tabletask_rows_to_swissknife_total").Add(tt.RowsToSwissknife)
+	reg.Counter("tabletask_pages_read_total").Add(tt.PagesRead)
+	reg.Counter("tabletask_pages_skipped_total").Add(tt.PagesSkipped)
+	reg.Counter("tabletask_gather_dram_reads_total").Add(tt.GatherDRAMReads)
+	reg.Counter("tabletask_gather_flash_reads_total").Add(tt.GatherFlashReads)
+	reg.Counter("swissknife_groups_total").Add(tt.Groups)
+	reg.Counter("swissknife_spilled_rows_total").Add(tt.SpilledRows)
+	reg.Counter("swissknife_spilled_groups_total").Add(tt.SpilledGroups)
+	reg.Counter("sorter_elems_total").Add(tt.SorterElems)
+	reg.Counter("sorter_dram_bytes_total").Add(tt.SorterDRAMBytes)
+	reg.Counter("sorter_sram_bytes_total").Add(tt.SorterSRAMBytes)
+	reg.Counter("sorter_merge_passes_total").Add(tt.SorterMergePasses)
+	if tt.Groups > 0 {
+		reg.Histogram("swissknife_bucket_occupancy").Observe(tt.ResidentGroups)
+	}
+	reg.Gauge("aquoman_dram_peak_bytes").SetMax(e.DRAM.Peak())
 }
 
 // runRegexFilter applies one accelerator pattern to the mask in place.
@@ -419,7 +498,7 @@ func (e *Executor) gatherHop(hop GatherHop, rows []int64, tt *TaskTrace) ([]int6
 	return out, nil
 }
 
-func (e *Executor) runOperator(t *Task, tab *col.Table, outputs [][]int64, tt *TaskTrace) (*Result, error) {
+func (e *Executor) runOperator(t *Task, tab *col.Table, outputs [][]int64, tt *TaskTrace, span *obs.Span) (*Result, error) {
 	switch t.Op.Kind {
 	case OpNop:
 		if t.Out.Kind == ToHost {
@@ -455,7 +534,7 @@ func (e *Executor) runOperator(t *Task, tab *col.Table, outputs [][]int64, tt *T
 		return &Result{}, nil
 
 	case OpSort, OpMerge, OpSortMerge:
-		return e.runSortMerge(t, tab, outputs, tt)
+		return e.runSortMerge(t, tab, outputs, tt, span)
 
 	case OpAggregate:
 		acc, err := swissknife.NewAggregate(t.Op.Aggs)
@@ -506,6 +585,7 @@ func (e *Executor) runOperator(t *Task, tab *col.Table, outputs [][]int64, tt *T
 		tt.Groups = st.Groups
 		tt.SpilledRows = st.SpilledRows
 		tt.SpilledGroups = st.SpilledGroups
+		tt.ResidentGroups = st.ResidentGroups
 		rows := acc.Results()
 		width := t.Op.Keys + t.Op.Attrs + len(t.Op.Aggs)
 		cols := make([][]int64, width)
@@ -535,12 +615,23 @@ func (e *Executor) runOperator(t *Task, tab *col.Table, outputs [][]int64, tt *T
 	}
 }
 
-func (e *Executor) runSortMerge(t *Task, tab *col.Table, outputs [][]int64, tt *TaskTrace) (*Result, error) {
+func (e *Executor) runSortMerge(t *Task, tab *col.Table, outputs [][]int64, tt *TaskTrace, parent *obs.Span) (*Result, error) {
 	kvs, err := toKVs(outputs)
 	if err != nil {
 		return nil, fmt.Errorf("tabletask %q: %w", t.Name, err)
 	}
 	ss := sorter.NewStreaming(e.Sorter)
+	sortSpan := parent.Child("streaming-sort", obs.StageSorter)
+	defer func() {
+		st := ss.Stats()
+		tt.SorterMergePasses += st.SRAMMergePasses + st.DRAMMergePasses
+		sortSpan.SetInt("elems", st.ElemsIn)
+		sortSpan.SetInt("runs", st.Runs)
+		sortSpan.SetInt("sram_bytes", st.SRAMBytes)
+		sortSpan.SetInt("dram_bytes", st.DRAMBytes)
+		sortSpan.SetInt("merge_passes", st.SRAMMergePasses+st.DRAMMergePasses)
+		sortSpan.End()
+	}()
 	var runs [][]sorter.KV
 	if t.Op.Kind == OpMerge {
 		if !sorter.IsSorted(kvs) {
