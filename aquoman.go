@@ -28,6 +28,7 @@ import (
 	"aquoman/internal/compiler"
 	"aquoman/internal/core"
 	"aquoman/internal/engine"
+	"aquoman/internal/faults"
 	"aquoman/internal/flash"
 	"aquoman/internal/mem"
 	"aquoman/internal/obs"
@@ -63,6 +64,17 @@ type (
 	Span = obs.Span
 	// MetricsSnapshot is a point-in-time registry capture.
 	MetricsSnapshot = obs.Snapshot
+	// FaultInjector is the deterministic, seedable page-read fault
+	// injector (see internal/faults).
+	FaultInjector = faults.Injector
+	// FaultConfig parameterizes the injector's random fault process.
+	FaultConfig = faults.Config
+	// FaultRule is one scripted fault.
+	FaultRule = faults.Rule
+	// FaultError is the typed error carried by injected read failures.
+	FaultError = faults.Error
+	// RetryPolicy bounds the flash page-read retry loop.
+	RetryPolicy = flash.RetryPolicy
 )
 
 // Column type constants.
@@ -134,6 +146,26 @@ func (db *DB) DisableObservability() {
 	db.Obs = nil
 	db.Flash.Observe(nil)
 }
+
+// WithFaults installs a fault injector on the DB's flash device and
+// returns it for scripting (AddRule, KillDevice, Hook). When an observer
+// is attached the injector's per-kind counters are mirrored into the same
+// registry. Pass a nil injector to make the device fault-free again.
+func (db *DB) WithFaults(inj *faults.Injector) *faults.Injector {
+	if inj == nil {
+		db.Flash.SetFaults(nil)
+		return nil
+	}
+	db.Flash.SetFaults(inj)
+	if db.Obs != nil {
+		inj.Observe(db.Obs.Reg)
+	}
+	return inj
+}
+
+// SetRetryPolicy replaces the flash device's page-read retry policy
+// (budget + exponential backoff; see flash.DefaultRetryPolicy).
+func (db *DB) SetRetryPolicy(p RetryPolicy) { db.Flash.SetRetryPolicy(p) }
 
 // Result is a finished query: its rows plus the execution report.
 type Result struct {

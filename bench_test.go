@@ -184,7 +184,7 @@ func BenchmarkAblationPageSkip(b *testing.B) {
 	ev := benchEvaluator(b)
 	li := ev.Store.MustTable("lineitem")
 	okCol := li.MustColumn("l_orderkey")
-	keys := okCol.ReadAll(flash.Host)
+	keys := okCol.MustReadAll(flash.Host)
 	cutKey := keys[len(keys)*95/100] // top 5% of the clustered key
 	cutDate := col.MustParseDate("1998-06-01")
 	cases := []struct {

@@ -6,6 +6,7 @@
 //	aquoman-run -q 6 -trace trace.json  # Chrome trace_event of the pipeline
 //	aquoman-run -q 6 -metrics           # Prometheus-text metrics dump
 //	aquoman-run -q 6 -listen :8080      # serve /metrics and /debug/vars
+//	aquoman-run -q 6 -faults seed=7,transient=0.001,repeat=2
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 
 	"aquoman"
+	"aquoman/internal/faults"
 	"aquoman/internal/flash"
 )
 
@@ -29,6 +31,9 @@ func main() {
 		rows    = flag.Int("rows", 20, "result rows to print")
 		data    = flag.String("data", "", "load a persisted store instead of generating")
 		explain = flag.Bool("explain", false, "print the compiled Table-Task program and exit")
+
+		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. seed=7,transient=0.001,repeat=2,permanent=0.0001,slow=0.001,stall=2ms")
+		retries   = flag.Int("retry", -1, "page-read retry budget (-1 = default policy)")
 
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline stages to this file")
 		tree     = flag.Bool("tree", false, "print the span tree of the traced query")
@@ -75,6 +80,20 @@ func main() {
 		obsv = db.EnableObservability()
 	}
 
+	var inj *aquoman.FaultInjector
+	if *faultSpec != "" {
+		cfg, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj = db.WithFaults(faults.New(cfg))
+	}
+	if *retries >= 0 {
+		p := flash.DefaultRetryPolicy()
+		p.Budget = *retries
+		db.SetRetryPolicy(p)
+	}
+
 	var res *aquoman.Result
 	var err error
 	if *host {
@@ -99,6 +118,15 @@ func main() {
 	fmt.Printf("AQUOMAN DRAM peak  : %.2f MB\n", float64(rep.DRAMPeak)/1e6)
 	for _, note := range rep.Notes {
 		fmt.Printf("note: %s\n", note)
+	}
+	if inj != nil {
+		c := inj.Counts()
+		fmt.Printf("faults injected    : %d (transient %d, permanent %d, slow %d, stuck %d)\n",
+			c.TotalInjected(), c.Total(faults.Transient), c.Total(faults.Permanent),
+			c.Total(faults.SlowRead), c.Total(faults.DeviceStuck))
+		fmt.Printf("read retries       : %d (failed %d, stall %.2f ms)\n",
+			rep.Flash.TotalReadRetries(), rep.Flash.ReadsFailed[flash.Host]+rep.Flash.ReadsFailed[flash.Aquoman],
+			float64(rep.Flash.StallNanos[flash.Host]+rep.Flash.StallNanos[flash.Aquoman])/1e6)
 	}
 	for _, tt := range rep.AquomanTrace.Tasks {
 		fmt.Printf("task %-40s %-12s rows %8d -> %8d, pages %d (+%d skipped)\n",

@@ -291,12 +291,18 @@ func MaterializeFK(fact *Table, fkCol string, dim *Table, pkCol string) error {
 	if err != nil {
 		return err
 	}
-	pkVals := pk.ReadAll(flash.Host)
+	pkVals, err := pk.ReadAll(flash.Host)
+	if err != nil {
+		return err
+	}
 	idx := make(map[Value]Value, len(pkVals))
 	for i, v := range pkVals {
 		idx[v] = Value(i)
 	}
-	fkVals := fk.ReadAll(flash.Host)
+	fkVals, err := fk.ReadAll(flash.Host)
+	if err != nil {
+		return err
+	}
 	rowids := make([]Value, len(fkVals))
 	for i, v := range fkVals {
 		r, ok := idx[v]

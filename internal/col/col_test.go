@@ -87,13 +87,13 @@ func TestBuildAndReadBack(t *testing.T) {
 	if tab.NumVecs() != 4 {
 		t.Fatalf("NumVecs = %d, want 4", tab.NumVecs())
 	}
-	ids := tab.MustColumn("id").ReadAll(flash.Host)
+	ids := tab.MustColumn("id").MustReadAll(flash.Host)
 	for i, v := range ids {
 		if v != Value(i) {
 			t.Fatalf("id[%d] = %d", i, v)
 		}
 	}
-	prices := tab.MustColumn("price").ReadAll(flash.Host)
+	prices := tab.MustColumn("price").MustReadAll(flash.Host)
 	if prices[3] != 350 {
 		t.Fatalf("price[3] = %d", prices[3])
 	}
@@ -115,9 +115,9 @@ func TestDictCodesSorted(t *testing.T) {
 	if _, ok := dept.Code("absent"); ok {
 		t.Fatal("Code(absent) found")
 	}
-	vals := dept.ReadAll(flash.Host)
-	if dept.Str(vals[0], flash.Host) != "shoes" { // row 0 is dept shoes (i%3==0)
-		t.Fatalf("row0 dept = %q", dept.Str(vals[0], flash.Host))
+	vals := dept.MustReadAll(flash.Host)
+	if dept.MustStr(vals[0], flash.Host) != "shoes" { // row 0 is dept shoes (i%3==0)
+		t.Fatalf("row0 dept = %q", dept.MustStr(vals[0], flash.Host))
 	}
 }
 
@@ -150,8 +150,8 @@ func TestTextHeap(t *testing.T) {
 	s := testStore()
 	tab := buildSample(t, s)
 	note := tab.MustColumn("note")
-	offs := note.ReadAll(flash.Host)
-	if got := note.Str(offs[1], flash.Host); got != "note-books" {
+	offs := note.MustReadAll(flash.Host)
+	if got := note.MustStr(offs[1], flash.Host); got != "note-books" {
 		t.Fatalf("note[1] = %q", got)
 	}
 	if note.HeapBytes() == 0 {
@@ -164,17 +164,17 @@ func TestReadVecAndRange(t *testing.T) {
 	tab := buildSample(t, s)
 	id := tab.MustColumn("id")
 	var out [32]Value
-	if n := id.ReadVec(3, flash.Host, out[:]); n != 4 { // rows 96..99
+	if n, _ := id.ReadVec(3, flash.Host, out[:]); n != 4 { // rows 96..99
 		t.Fatalf("ReadVec(3) = %d rows, want 4", n)
 	}
 	if out[0] != 96 || out[3] != 99 {
 		t.Fatalf("vec3 = %v", out[:4])
 	}
-	if n := id.ReadVec(4, flash.Host, out[:]); n != 0 {
+	if n, _ := id.ReadVec(4, flash.Host, out[:]); n != 0 {
 		t.Fatalf("ReadVec(4) = %d, want 0", n)
 	}
 	buf := make([]Value, 10)
-	if n := id.ReadRange(95, 10, flash.Host, buf); n != 5 {
+	if n, _ := id.ReadRange(95, 10, flash.Host, buf); n != 5 {
 		t.Fatalf("ReadRange = %d, want 5", n)
 	}
 }
@@ -183,7 +183,7 @@ func TestGather(t *testing.T) {
 	s := testStore()
 	tab := buildSample(t, s)
 	id := tab.MustColumn("id")
-	got := id.Gather([]Value{5, 50, 99, 0}, flash.Aquoman)
+	got, _ := id.Gather([]Value{5, 50, 99, 0}, flash.Aquoman)
 	want := []Value{5, 50, 99, 0}
 	for i := range want {
 		if got[i] != want[i] {
@@ -215,7 +215,7 @@ func TestMaterializeFK(t *testing.T) {
 	if err := MaterializeFK(fact, "fk", dim, "k"); err != nil {
 		t.Fatal(err)
 	}
-	rid := fact.MustColumn(RowIDColumnName("fk")).ReadAll(flash.Host)
+	rid := fact.MustColumn(RowIDColumnName("fk")).MustReadAll(flash.Host)
 	want := []Value{1, 1, 3, 0, 2}
 	for i := range want {
 		if rid[i] != want[i] {
@@ -270,7 +270,7 @@ func TestQuickRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		got := tab.MustColumn("a").ReadAll(flash.Host)
+		got := tab.MustColumn("a").MustReadAll(flash.Host)
 		for i := range vals {
 			if got[i] != vals[i] {
 				return false
@@ -299,14 +299,14 @@ func TestQuickDictOrder(t *testing.T) {
 			return false
 		}
 		c := tab.MustColumn("w")
-		codes := c.ReadAll(flash.Host)
+		codes := c.MustReadAll(flash.Host)
 		for i := range words {
 			for j := range words {
 				if (words[i] < words[j]) != (codes[i] < codes[j]) {
 					return false
 				}
 			}
-			if c.Str(codes[i], flash.Host) != words[i] {
+			if c.MustStr(codes[i], flash.Host) != words[i] {
 				return false
 			}
 		}

@@ -37,22 +37,28 @@ func (r *PagedReader) RowsPerPage() int {
 func (r *PagedReader) VecsPerPage() int { return r.RowsPerPage() / bitvec.VecSize }
 
 // ReadVec fills out with Row Vector vec and returns the number of valid
-// rows (0 past the end). Page loads are accounted once per page.
-func (r *PagedReader) ReadVec(vec int, out []Value) int {
+// rows (0 past the end). Page loads are accounted once per page; a page
+// read failing (fault injection, budget exhausted) fails the vector.
+func (r *PagedReader) ReadVec(vec int, out []Value) (int, error) {
 	w := r.ci.Def.Typ.Width()
 	start := vec * bitvec.VecSize
 	if start >= r.ci.numRows {
-		return 0
+		return 0, nil
 	}
 	page := int64(start) * int64(w) / flash.PageSize
 	if page != r.curPage {
-		if page == r.lastSkipped {
+		wasSkipped := page == r.lastSkipped
+		buf, err := r.ci.File.ReadPage(page, r.who)
+		if err != nil {
+			return 0, err
+		}
+		if wasSkipped {
 			// An earlier vector of this page was masked; the page is
 			// being read after all.
 			r.PagesSkipped--
 			r.lastSkipped = -1
 		}
-		r.buf = r.ci.File.ReadPage(page, r.who)
+		r.buf = buf
 		r.curPage = page
 		r.PagesRead++
 	}
@@ -62,7 +68,7 @@ func (r *PagedReader) ReadVec(vec int, out []Value) int {
 	}
 	off := start*w - int(page)*flash.PageSize
 	decode(r.ci.Def.Typ, r.buf[off:off+count*w], out[:count])
-	return count
+	return count, nil
 }
 
 // SkipVec notes that Row Vector vec was masked out. When every vector of

@@ -34,7 +34,7 @@ func TestPagedReaderSequential(t *testing.T) {
 	var out [bitvec.VecSize]Value
 	total := 0
 	for vec := 0; ; vec++ {
-		n := r.ReadVec(vec, out[:])
+		n, _ := r.ReadVec(vec, out[:])
 		if n == 0 {
 			break
 		}
@@ -91,10 +91,10 @@ func TestPagedReaderPastEnd(t *testing.T) {
 	_, ci := buildWide(t, 100)
 	r := NewPagedReader(ci, flash.Aquoman)
 	var out [bitvec.VecSize]Value
-	if n := r.ReadVec(3, out[:]); n != 4 { // rows 96..99
+	if n, _ := r.ReadVec(3, out[:]); n != 4 { // rows 96..99
 		t.Fatalf("tail vec rows = %d, want 4", n)
 	}
-	if n := r.ReadVec(4, out[:]); n != 0 {
+	if n, _ := r.ReadVec(4, out[:]); n != 0 {
 		t.Fatalf("past-end rows = %d", n)
 	}
 }
@@ -108,7 +108,7 @@ func TestGatherPageBuffered(t *testing.T) {
 	for i := range rowids {
 		rowids[i] = Value(i)
 	}
-	got := ci.Gather(rowids, flash.Aquoman)
+	got, _ := ci.Gather(rowids, flash.Aquoman)
 	for i := range rowids {
 		if got[i] != rowids[i] {
 			t.Fatalf("gather[%d] = %d", i, got[i])
@@ -166,9 +166,9 @@ func TestHeapReader(t *testing.T) {
 		t.Fatal(err)
 	}
 	ci := tab.MustColumn("t")
-	offs := ci.ReadAll(flash.Host)
+	offs := ci.MustReadAll(flash.Host)
 	s.Dev.ResetStats()
-	hr := ci.NewHeapReader(flash.Host)
+	hr, _ := ci.NewHeapReader(flash.Host)
 	for i, w := range words {
 		if got := hr.Str(offs[i]); got != w {
 			t.Fatalf("Str(%d) = %q, want %q", offs[i], got, w)

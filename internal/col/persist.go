@@ -81,7 +81,9 @@ func dumpFile(f *flash.File, path string) error {
 		return err
 	}
 	buf := make([]byte, f.Size())
-	f.ReadAt(buf, 0, flash.Host)
+	if _, err := f.ReadAt(buf, 0, flash.Host); err != nil {
+		return err
+	}
 	return os.WriteFile(path, buf, 0o644)
 }
 
@@ -152,7 +154,9 @@ func slurpFile(f *flash.File, path string) error {
 func readDict(ci *ColumnInfo) ([]string, error) {
 	size := ci.Heap.Size()
 	buf := make([]byte, size)
-	ci.Heap.ReadAt(buf, 0, flash.Host)
+	if _, err := ci.Heap.ReadAt(buf, 0, flash.Host); err != nil {
+		return nil, err
+	}
 	var dict []string
 	for off := 0; off+4 <= len(buf); {
 		l := int(uint32(buf[off]) | uint32(buf[off+1])<<8 |

@@ -44,8 +44,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	// Values, dictionary, heap content, and order flags survive.
 	for _, def := range tab.Cols {
-		a := tab.MustColumn(def.Name).ReadAll(flash.Host)
-		b := lt.MustColumn(def.Name).ReadAll(flash.Host)
+		a := tab.MustColumn(def.Name).MustReadAll(flash.Host)
+		b := lt.MustColumn(def.Name).MustReadAll(flash.Host)
 		for i := range a {
 			if a[i] != b[i] {
 				t.Fatalf("column %s row %d: %d vs %d", def.Name, i, a[i], b[i])
@@ -62,12 +62,12 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			t.Fatalf("dict[%d] = %q vs %q", i, od.Dict()[i], ld.Dict()[i])
 		}
 	}
-	if got := ld.Str(1, flash.Host); got != "shoes" {
+	if got := ld.MustStr(1, flash.Host); got != "shoes" {
 		t.Fatalf("dict decode = %q", got)
 	}
 	ln := lt.MustColumn("note")
-	offs := ln.ReadAll(flash.Host)
-	if got := ln.Str(offs[0], flash.Host); got != "note-shoes" {
+	offs := ln.MustReadAll(flash.Host)
+	if got := ln.MustStr(offs[0], flash.Host); got != "note-shoes" {
 		t.Fatalf("heap decode = %q", got)
 	}
 	if !lt.MustColumn("id").Sorted || !lt.MustColumn("id").Unique {

@@ -189,26 +189,43 @@ func (c *ColumnInfo) CodeRangeForPrefix(prefix string) (lo, hi Value) {
 
 // Str decodes a stored value into its string content. For Dict columns it
 // is a dictionary lookup; for Text columns it reads the heap through the
-// given requester (flash traffic is accounted).
-func (c *ColumnInfo) Str(v Value, who flash.Requester) string {
+// given requester (flash traffic is accounted, and a failed heap page read
+// fails the lookup).
+func (c *ColumnInfo) Str(v Value, who flash.Requester) (string, error) {
 	switch c.Def.Typ {
 	case Dict:
 		if v < 0 || int(v) >= len(c.dict) {
-			return ""
+			return "", nil
 		}
-		return c.dict[v]
+		return c.dict[v], nil
 	case Text:
 		var lenBuf [4]byte
-		if n := c.Heap.ReadAt(lenBuf[:], v, who); n < 4 {
-			return ""
+		n, err := c.Heap.ReadAt(lenBuf[:], v, who)
+		if err != nil {
+			return "", err
+		}
+		if n < 4 {
+			return "", nil
 		}
 		l := binary.LittleEndian.Uint32(lenBuf[:])
 		buf := make([]byte, l)
-		c.Heap.ReadAt(buf, v+4, who)
-		return string(buf)
+		if _, err := c.Heap.ReadAt(buf, v+4, who); err != nil {
+			return "", err
+		}
+		return string(buf), nil
 	default:
 		panic(fmt.Sprintf("col: Str on %s column %q", c.Def.Typ, c.Def.Name))
 	}
+}
+
+// MustStr is Str for fault-free contexts (build/test helpers); it panics
+// on a read error.
+func (c *ColumnInfo) MustStr(v Value, who flash.Requester) string {
+	s, err := c.Str(v, who)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // HeapReader reads the whole string heap sequentially once and serves
@@ -220,13 +237,15 @@ type HeapReader struct {
 }
 
 // NewHeapReader loads the column's heap, accounting one sequential read.
-func (c *ColumnInfo) NewHeapReader(who flash.Requester) *HeapReader {
+func (c *ColumnInfo) NewHeapReader(who flash.Requester) (*HeapReader, error) {
 	if c.Heap == nil {
-		return &HeapReader{}
+		return &HeapReader{}, nil
 	}
 	buf := make([]byte, c.Heap.Size())
-	c.Heap.ReadAt(buf, 0, who)
-	return &HeapReader{data: buf}
+	if _, err := c.Heap.ReadAt(buf, 0, who); err != nil {
+		return nil, err
+	}
+	return &HeapReader{data: buf}, nil
 }
 
 // Str decodes the length-prefixed string at offset off.
@@ -255,31 +274,46 @@ func (c *ColumnInfo) HeapBytes() int64 {
 
 // ReadRange reads count values starting at row start into out, accounting
 // flash traffic to who. It returns the number of values read.
-func (c *ColumnInfo) ReadRange(start, count int, who flash.Requester, out []Value) int {
+func (c *ColumnInfo) ReadRange(start, count int, who flash.Requester, out []Value) (int, error) {
 	if start >= c.numRows {
-		return 0
+		return 0, nil
 	}
 	if start+count > c.numRows {
 		count = c.numRows - start
 	}
 	w := c.Def.Typ.Width()
 	buf := make([]byte, count*w)
-	n := c.File.ReadAt(buf, int64(start)*int64(w), who)
+	n, err := c.File.ReadAt(buf, int64(start)*int64(w), who)
+	if err != nil {
+		return 0, err
+	}
 	count = n / w
 	decode(c.Def.Typ, buf[:count*w], out[:count])
-	return count
+	return count, nil
 }
 
 // ReadVec reads Row Vector vec (32 rows) into out and returns how many
 // rows it held (the final vector may be short).
-func (c *ColumnInfo) ReadVec(vec int, who flash.Requester, out []Value) int {
+func (c *ColumnInfo) ReadVec(vec int, who flash.Requester, out []Value) (int, error) {
 	return c.ReadRange(vec*bitvec.VecSize, bitvec.VecSize, who, out)
 }
 
 // ReadAll reads the entire column sequentially.
-func (c *ColumnInfo) ReadAll(who flash.Requester) []Value {
+func (c *ColumnInfo) ReadAll(who flash.Requester) ([]Value, error) {
 	out := make([]Value, c.numRows)
-	c.ReadRange(0, c.numRows, who, out)
+	if _, err := c.ReadRange(0, c.numRows, who, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MustReadAll is ReadAll for fault-free contexts (build/test helpers); it
+// panics on a read error.
+func (c *ColumnInfo) MustReadAll(who flash.Requester) []Value {
+	out, err := c.ReadAll(who)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -287,7 +321,7 @@ func (c *ColumnInfo) ReadAll(who flash.Requester) []Value {
 // consecutive rowids on the same flash page cost a single page read, so
 // clustered gathers (sorted RowID columns) approach sequential cost while
 // scattered ones pay a page per element.
-func (c *ColumnInfo) Gather(rowids []Value, who flash.Requester) []Value {
+func (c *ColumnInfo) Gather(rowids []Value, who flash.Requester) ([]Value, error) {
 	out := make([]Value, len(rowids))
 	w := int64(c.Def.Typ.Width())
 	curPage := int64(-1)
@@ -296,7 +330,11 @@ func (c *ColumnInfo) Gather(rowids []Value, who flash.Requester) []Value {
 		off := r * w
 		p := off / flash.PageSize
 		if p != curPage {
-			page = c.File.ReadPage(p, who)
+			var err error
+			page, err = c.File.ReadPage(p, who)
+			if err != nil {
+				return nil, err
+			}
 			curPage = p
 		}
 		rel := off - p*flash.PageSize
@@ -306,7 +344,7 @@ func (c *ColumnInfo) Gather(rowids []Value, who flash.Requester) []Value {
 		}
 		out[i] = decodeOne(c.Def.Typ, page[rel:rel+w])
 	}
-	return out
+	return out, nil
 }
 
 func decode(t Type, buf []byte, out []Value) {

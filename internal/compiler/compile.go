@@ -396,7 +396,11 @@ func (c *compileCtx) buildTopKUnit(lim *plan.Limit) (*Unit, error) {
 			if err != nil {
 				return nil, err
 			}
-			out[i] = ci.Gather(rowids, flash.Host)
+			vals, err := ci.Gather(rowids, flash.Host)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = vals
 		}
 		return out, nil
 	}

@@ -11,11 +11,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"aquoman/internal/col"
 	"aquoman/internal/compiler"
 	"aquoman/internal/engine"
+	"aquoman/internal/faults"
 	"aquoman/internal/flash"
 	"aquoman/internal/mem"
 	"aquoman/internal/obs"
@@ -145,7 +147,19 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 		if err != nil {
 			// Suspension (Sec. VI-E): the unit's intermediate state is
 			// dropped and the host resumes by executing the original
-			// subtree; completed units keep their offloaded results.
+			// subtree; completed units keep their offloaded results. An
+			// injected device fault takes the same path — the host re-read
+			// may succeed (budget-exhausted transient) or fail again
+			// (permanent fault), in which case the error propagates to the
+			// caller (distrib degrades the shard to its mirror).
+			var fe *faults.Error
+			if errors.As(err, &fe) {
+				rep.Notes = append(rep.Notes, fmt.Sprintf(
+					"unit %s hit a device fault, resuming on host: %v", u.Label, fe))
+				if o != nil && o.Reg != nil {
+					o.Counter("core_unit_faults_total", "kind", fe.Kind.String()).Inc()
+				}
+			}
 			rep.Suspended = true
 			rep.SuspendReason = err.Error()
 			rep.FullyOffloaded = false

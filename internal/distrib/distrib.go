@@ -19,6 +19,7 @@
 package distrib
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 
@@ -26,6 +27,7 @@ import (
 	"aquoman/internal/compiler"
 	"aquoman/internal/core"
 	"aquoman/internal/engine"
+	"aquoman/internal/faults"
 	"aquoman/internal/flash"
 	"aquoman/internal/mem"
 	"aquoman/internal/obs"
@@ -42,6 +44,20 @@ type Cluster struct {
 	Stores  []*col.Store
 	Devices []*flash.Device
 
+	// Mirrors holds per-shard host-side copies of the partitioned data on
+	// separate fault-free devices (built by Partition unless
+	// DisableHostMirror). A shard whose SSD fails permanently re-runs its
+	// work from the mirror — the graceful-degradation path.
+	Mirrors       []*col.Store
+	MirrorDevices []*flash.Device
+	// DisableHostMirror skips mirror construction (halves load cost and
+	// memory; permanent shard faults then fail with a ShardError).
+	DisableHostMirror bool
+
+	// ShardRetryBudget is how many times a fault-failed shard is re-run on
+	// the same device before degrading to the mirror (default 1).
+	ShardRetryBudget int
+
 	// DRAMBytes per device; HeapScale as in the single-device runtime.
 	DRAMBytes int64
 	HeapScale float64
@@ -53,7 +69,7 @@ type Cluster struct {
 
 // NewCluster returns an empty cluster of n devices.
 func NewCluster(n int) *Cluster {
-	c := &Cluster{DRAMBytes: mem.DefaultCapacity, HeapScale: 1}
+	c := &Cluster{DRAMBytes: mem.DefaultCapacity, HeapScale: 1, ShardRetryBudget: 1}
 	for i := 0; i < n; i++ {
 		dev := flash.NewDevice()
 		c.Devices = append(c.Devices, dev)
@@ -101,9 +117,25 @@ func (c *Cluster) Partition(src *col.Store) error {
 	if err != nil {
 		return err
 	}
-	liOrderRow := li.MustColumn(col.RowIDColumnName("l_orderkey")).ReadAll(flash.Host)
+	liOrderRow, err := li.MustColumn(col.RowIDColumnName("l_orderkey")).ReadAll(flash.Host)
+	if err != nil {
+		return err
+	}
+
+	if !c.DisableHostMirror {
+		c.Mirrors = make([]*col.Store, n)
+		c.MirrorDevices = make([]*flash.Device, n)
+		for d := 0; d < n; d++ {
+			c.MirrorDevices[d] = flash.NewDevice()
+			c.Mirrors[d] = col.NewStore(c.MirrorDevices[d])
+		}
+	}
 
 	for d := 0; d < n; d++ {
+		targets := []*col.Store{c.Stores[d]}
+		if c.Mirrors != nil {
+			targets = append(targets, c.Mirrors[d])
+		}
 		for _, name := range src.Tables() {
 			tab := src.MustTable(name)
 			var keep []int
@@ -123,12 +155,16 @@ func (c *Cluster) Partition(src *col.Store) error {
 			default:
 				keep = nil // replicate all rows
 			}
-			if err := copyTable(c.Stores[d], tab, keep); err != nil {
-				return fmt.Errorf("distrib: device %d table %s: %w", d, name, err)
+			for _, dst := range targets {
+				if err := copyTable(dst, tab, keep); err != nil {
+					return fmt.Errorf("distrib: device %d table %s: %w", d, name, err)
+				}
 			}
 		}
-		if err := rematerialize(c.Stores[d]); err != nil {
-			return fmt.Errorf("distrib: device %d: %w", d, err)
+		for _, dst := range targets {
+			if err := rematerialize(dst); err != nil {
+				return fmt.Errorf("distrib: device %d: %w", d, err)
+			}
 		}
 	}
 	_ = orders
@@ -161,11 +197,17 @@ func copyTable(dst *col.Store, tab *col.Table, keep []int) error {
 	for _, cd := range defs {
 		ci := tab.MustColumn(cd.Name)
 		if cd.Typ.IsString() {
-			offs := ci.ReadAll(flash.Host)
+			offs, err := ci.ReadAll(flash.Host)
+			if err != nil {
+				return err
+			}
 			var heap *col.HeapReader
 			var dict []string
 			if cd.Typ == col.Text {
-				heap = ci.NewHeapReader(flash.Host)
+				heap, err = ci.NewHeapReader(flash.Host)
+				if err != nil {
+					return err
+				}
 			} else {
 				dict = ci.Dict()
 			}
@@ -189,7 +231,10 @@ func copyTable(dst *col.Store, tab *col.Table, keep []int) error {
 			b.AppendColumnStrings(cd.Name, strs)
 			continue
 		}
-		vals := ci.ReadAll(flash.Host)
+		vals, err := ci.ReadAll(flash.Host)
+		if err != nil {
+			return err
+		}
 		if keep == nil {
 			b.AppendColumnValues(cd.Name, vals)
 		} else {
@@ -251,6 +296,47 @@ type Report struct {
 	PerDevice []*core.Report
 	// Strategy describes how the query was distributed.
 	Strategy string
+	// ShardRetries counts fault-triggered same-device re-runs per shard.
+	ShardRetries []int
+	// DegradedShards lists shards whose work was re-run from the host-side
+	// mirror after the device kept failing.
+	DegradedShards []int
+}
+
+// Degraded reports whether shard d completed via the host-side mirror.
+func (r *Report) Degraded(d int) bool {
+	for _, s := range r.DegradedShards {
+		if s == d {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardError is the typed failure of one shard after retry and (if
+// available) mirror degradation were exhausted.
+type ShardError struct {
+	Device int
+	Err    error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("distrib: shard %d failed: %v", e.Device, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// isFault reports whether err stems from an injected device fault (the
+// recoverable class; plan/compile errors are not retried).
+func isFault(err error) bool {
+	var fe *faults.Error
+	return errors.As(err, &fe)
+}
+
+func (c *Cluster) shardCounter(name string, d int) {
+	if c.Obs != nil && c.Obs.Reg != nil {
+		c.Obs.Counter(name, "device", strconv.Itoa(d)).Inc()
+	}
 }
 
 // OffloadFraction returns the cluster-wide in-storage traffic share.
@@ -287,11 +373,24 @@ func (c *Cluster) RunQuery(build func() plan.Node) (*engine.Batch, *Report, erro
 	}
 	switch strat.kind {
 	case stratSingle:
-		b, rep, err := c.runOn(0, build(), root)
+		rep := &Report{
+			PerDevice:    make([]*core.Report, 1),
+			ShardRetries: make([]int, 1),
+			Strategy:     "replicated-only (device 0)",
+		}
+		mk := func(s *col.Store) (plan.Node, error) {
+			p := build()
+			if err := plan.Bind(p, s); err != nil {
+				return nil, err
+			}
+			return p, nil
+		}
+		b, r, err := c.runShard(0, mk, root, rep)
 		if err != nil {
 			return nil, nil, err
 		}
-		return b, &Report{PerDevice: []*core.Report{rep}, Strategy: "replicated-only (device 0)"}, nil
+		rep.PerDevice[0] = r
+		return b, rep, nil
 	case stratConcat:
 		return c.scatterGather(build, nil, root)
 	case stratMergeAgg:
@@ -301,18 +400,65 @@ func (c *Cluster) RunQuery(build func() plan.Node) (*engine.Batch, *Report, erro
 	}
 }
 
-func (c *Cluster) runOn(d int, p plan.Node, parent *obs.Span) (*engine.Batch, *core.Report, error) {
-	if err := plan.Bind(p, c.Stores[d]); err != nil {
-		return nil, nil, err
+// runShard executes the plan produced by mkPlan (which must build and bind
+// a fresh tree against the given store on every call) on shard d, with
+// fault recovery: fault-typed failures re-run on the same device up to
+// ShardRetryBudget times, then the shard degrades to its host-side mirror
+// (recorded in rep.DegradedShards and the device report's Notes). A
+// non-fault error propagates untouched; an unrecoverable fault returns a
+// typed *ShardError.
+func (c *Cluster) runShard(d int, mkPlan func(s *col.Store) (plan.Node, error), parent *obs.Span, rep *Report) (*engine.Batch, *core.Report, error) {
+	run := func(s *col.Store, label string) (*engine.Batch, *core.Report, error) {
+		p, err := mkPlan(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		shard := parent.Child(label, obs.StageShard)
+		shard.SetTid(d + 2)
+		defer shard.End()
+		dev := core.New(s, core.Config{
+			DRAMBytes: c.DRAMBytes,
+			Compiler:  compiler.Config{HeapScale: c.HeapScale},
+			Obs:       c.Obs,
+			ObsParent: shard,
+		})
+		return dev.RunQuery(p)
 	}
-	shard := parent.Child("shard "+strconv.Itoa(d), obs.StageShard)
-	shard.SetTid(d + 2)
-	defer shard.End()
-	dev := core.New(c.Stores[d], core.Config{
-		DRAMBytes: c.DRAMBytes,
-		Compiler:  compiler.Config{HeapScale: c.HeapScale},
-		Obs:       c.Obs,
-		ObsParent: shard,
-	})
-	return dev.RunQuery(p)
+
+	budget := c.ShardRetryBudget
+	if budget < 0 {
+		budget = 0
+	}
+	var lastErr error
+	for try := 0; try <= budget; try++ {
+		label := "shard " + strconv.Itoa(d)
+		if try > 0 {
+			label += " retry " + strconv.Itoa(try)
+			rep.ShardRetries[d]++
+			c.shardCounter("distrib_shard_retries_total", d)
+		}
+		b, r, err := run(c.Stores[d], label)
+		if err == nil {
+			return b, r, nil
+		}
+		if !isFault(err) {
+			return nil, nil, err
+		}
+		lastErr = err
+	}
+
+	if c.Mirrors != nil && c.Mirrors[d] != nil {
+		rep.DegradedShards = append(rep.DegradedShards, d)
+		c.shardCounter("distrib_shard_degradations_total", d)
+		b, r, err := run(c.Mirrors[d], "shard "+strconv.Itoa(d)+" (host mirror)")
+		if err != nil {
+			return nil, nil, &ShardError{Device: d, Err: err}
+		}
+		if r != nil {
+			r.Notes = append(r.Notes, fmt.Sprintf(
+				"shard %d degraded to host-side mirror after device fault: %v", d, lastErr))
+		}
+		return b, r, nil
+	}
+	return nil, nil, &ShardError{Device: d, Err: lastErr}
 }

@@ -70,9 +70,9 @@ func TestCoPartitioning(t *testing.T) {
 		s := c.Stores[d]
 		li := s.MustTable("lineitem")
 		orders := s.MustTable("orders")
-		rid := li.MustColumn(col.RowIDColumnName("l_orderkey")).ReadAll(flash.Host)
-		lok := li.MustColumn("l_orderkey").ReadAll(flash.Host)
-		ook := orders.MustColumn("o_orderkey").ReadAll(flash.Host)
+		rid := li.MustColumn(col.RowIDColumnName("l_orderkey")).MustReadAll(flash.Host)
+		lok := li.MustColumn("l_orderkey").MustReadAll(flash.Host)
+		ook := orders.MustColumn("o_orderkey").MustReadAll(flash.Host)
 		for i := 0; i < len(rid); i += 53 {
 			if ook[rid[i]] != lok[i] {
 				t.Fatalf("device %d row %d: local rowid broken", d, i)

@@ -1,0 +1,74 @@
+//go:build faultmatrix
+
+package distrib
+
+import (
+	"fmt"
+	"testing"
+
+	"aquoman/internal/engine"
+	"aquoman/internal/faults"
+	"aquoman/internal/tpch"
+)
+
+// TestClusterFaultMatrix rotates a dead device around a 4-device cluster
+// while the remaining devices run under seeded background transients, and
+// checks that q1/q3/q6 stay byte-identical to the fault-free baseline in
+// every cell — the dead shard recovering through its host-side mirror,
+// the noisy shards through page-read retries. Gated behind the
+// faultmatrix tag: each cell re-runs three full distributed queries.
+func TestClusterFaultMatrix(t *testing.T) {
+	c := newFaultCluster(t)
+
+	queries := []int{1, 3, 6}
+	clean := make(map[int]*engine.Batch)
+	for _, q := range queries {
+		def, err := tpch.Get(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := c.RunQuery(def.Build)
+		if err != nil {
+			t.Fatalf("fault-free q%d: %v", q, err)
+		}
+		clean[q] = b
+	}
+
+	for _, seed := range []int64{3, 21} {
+		for dead := 1; dead < len(c.Devices); dead++ {
+			t.Run(fmt.Sprintf("seed%d/dead%d", seed, dead), func(t *testing.T) {
+				for d := 1; d < len(c.Devices); d++ {
+					inj := faults.New(faults.Config{
+						Seed: seed + int64(d), PTransient: 0.02, TransientRepeat: 1,
+					})
+					if d == dead {
+						inj = faults.New(faults.Config{})
+						inj.KillDevice()
+					}
+					c.Devices[d].SetFaults(inj)
+				}
+				defer func() {
+					for _, d := range c.Devices {
+						d.SetFaults(nil)
+					}
+				}()
+				for _, q := range queries {
+					def, _ := tpch.Get(q)
+					b, rep, err := c.RunQuery(def.Build)
+					if err != nil {
+						t.Fatalf("q%d: %v", q, err)
+					}
+					sameBatch(t, fmt.Sprintf("q%d", q), b, clean[q])
+					if !rep.Degraded(dead) {
+						t.Fatalf("q%d: dead device %d did not degrade", q, dead)
+					}
+					for d := 1; d < len(c.Devices); d++ {
+						if d != dead && rep.Degraded(d) {
+							t.Fatalf("q%d: noisy device %d degraded instead of retrying", q, d)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -2,9 +2,8 @@ package distrib
 
 import (
 	"fmt"
-	"strconv"
 
-	"aquoman/internal/compiler"
+	"aquoman/internal/col"
 	"aquoman/internal/core"
 	"aquoman/internal/engine"
 	"aquoman/internal/obs"
@@ -167,9 +166,13 @@ func mergePlan(g *plan.GroupBy, partial *plan.Materialized) plan.Node {
 	return &plan.Project{Input: merged, Exprs: exprs}
 }
 
-// scatterGather runs the per-device core plans and merges.
+// scatterGather runs the per-device core plans (each through the shard
+// retry/degradation path) and merges.
 func (c *Cluster) scatterGather(build func() plan.Node, strat *strategy, root *obs.Span) (*engine.Batch, *Report, error) {
-	rep := &Report{PerDevice: make([]*core.Report, c.NumDevices())}
+	rep := &Report{
+		PerDevice:    make([]*core.Report, c.NumDevices()),
+		ShardRetries: make([]int, c.NumDevices()),
+	}
 	if strat == nil {
 		rep.Strategy = stratConcat.String()
 	} else {
@@ -182,37 +185,34 @@ func (c *Cluster) scatterGather(build func() plan.Node, strat *strategy, root *o
 	var probeGroup *plan.GroupBy
 
 	for d := 0; d < c.NumDevices(); d++ {
-		tree := build()
-		if err := plan.Bind(tree, c.Stores[d]); err != nil {
-			return nil, nil, err
-		}
-		chain, coreNode := peel(tree)
-		var devicePlan plan.Node = coreNode
-		if strat != nil {
+		d := d
+		var chain []plan.Node
+		mk := func(s *col.Store) (plan.Node, error) {
+			tree := build()
+			if err := plan.Bind(tree, s); err != nil {
+				return nil, err
+			}
+			var coreNode plan.Node
+			chain, coreNode = peel(tree)
+			if strat == nil {
+				return coreNode, nil
+			}
 			g, ok := coreNode.(*plan.GroupBy)
 			if !ok {
-				return nil, nil, fmt.Errorf("distrib: merge strategy on non-group-by core %T", coreNode)
+				return nil, fmt.Errorf("distrib: merge strategy on non-group-by core %T", coreNode)
 			}
-			devicePlan = &plan.GroupBy{Input: g.Input, Keys: g.Keys, Aggs: partialAggs(g)}
 			if d == 0 {
 				probeGroup = g
 			}
+			devicePlan := &plan.GroupBy{Input: g.Input, Keys: g.Keys, Aggs: partialAggs(g)}
+			if err := plan.Bind(devicePlan, s); err != nil {
+				return nil, err
+			}
+			return devicePlan, nil
 		}
-		if err := plan.Bind(devicePlan, c.Stores[d]); err != nil {
-			return nil, nil, err
-		}
-		shard := root.Child("shard "+strconv.Itoa(d), obs.StageShard)
-		shard.SetTid(d + 2)
-		dev := core.New(c.Stores[d], core.Config{
-			DRAMBytes: c.DRAMBytes,
-			Compiler:  compiler.Config{HeapScale: c.HeapScale},
-			Obs:       c.Obs,
-			ObsParent: shard,
-		})
-		b, r, err := dev.RunQuery(devicePlan)
-		shard.End()
+		b, r, err := c.runShard(d, mk, root, rep)
 		if err != nil {
-			return nil, nil, fmt.Errorf("distrib: device %d: %w", d, err)
+			return nil, nil, err
 		}
 		rep.PerDevice[d] = r
 		parts = append(parts, b)

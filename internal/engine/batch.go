@@ -91,13 +91,17 @@ func (b *Batch) Render(maxRows int) string {
 	return sb.String()
 }
 
-// RenderValue formats a single value according to its field.
+// RenderValue formats a single value according to its field. A failed
+// string-heap read renders as an error placeholder rather than failing
+// the whole render (rendering is display-only).
 func RenderValue(f plan.Field, v int64) string {
 	switch {
-	case f.Typ == col.Dict && f.Src != nil:
-		return f.Src.Str(v, hostRequester)
-	case f.Typ == col.Text && f.Src != nil:
-		return f.Src.Str(v, hostRequester)
+	case (f.Typ == col.Dict || f.Typ == col.Text) && f.Src != nil:
+		s, err := f.Src.Str(v, hostRequester)
+		if err != nil {
+			return "<read error>"
+		}
+		return s
 	default:
 		return col.FormatValue(f.Typ, v)
 	}

@@ -212,7 +212,11 @@ func (e *Engine) execScan(t *plan.Scan) (*Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		b.Cols[i] = ci.ReadAll(hostRequester)
+		vals, err := ci.ReadAll(hostRequester)
+		if err != nil {
+			return nil, err
+		}
+		b.Cols[i] = vals
 	}
 	e.Stats.work("scan", int64(t.Tab.NumRows)*int64(len(t.Cols)))
 	e.Stats.alloc(b)
@@ -310,12 +314,23 @@ func (e *Engine) execOrderBy(t *plan.OrderBy) (*Batch, error) {
 			keys[i].text = f.Src
 		}
 	}
+	// Text keys resolve through flash per comparison; the sort comparator
+	// cannot fail, so the first read error is latched and reported after.
+	var sortErr error
 	sort.SliceStable(idx, func(a, b int) bool {
 		ra, rb := idx[a], idx[b]
 		for _, k := range keys {
 			va, vb := k.col[ra], k.col[rb]
 			if k.text != nil {
-				sa, sb := k.text.Str(va, hostRequester), k.text.Str(vb, hostRequester)
+				sa, errA := k.text.Str(va, hostRequester)
+				sb, errB := k.text.Str(vb, hostRequester)
+				if sortErr == nil {
+					if errA != nil {
+						sortErr = errA
+					} else if errB != nil {
+						sortErr = errB
+					}
+				}
 				if sa == sb {
 					continue
 				}
@@ -334,6 +349,9 @@ func (e *Engine) execOrderBy(t *plan.OrderBy) (*Batch, error) {
 		}
 		return false
 	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
 	logN := int64(1)
 	for m := n; m > 1; m >>= 1 {
 		logN++

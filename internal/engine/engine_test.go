@@ -163,7 +163,7 @@ func TestAggregateGroupBy(t *testing.T) {
 	nets, _ := b.Col("netsale")
 	f, _ := b.Schema.Field("dept")
 	for i := range depts {
-		got[f.Src.Str(depts[i], flash.Host)] = nets[i]
+		got[f.Src.MustStr(depts[i], flash.Host)] = nets[i]
 	}
 	if got["east"] != 6550 || got["west"] != 1700 {
 		t.Fatalf("sums = %v", got)
@@ -398,7 +398,7 @@ func TestCountDistinctAndAvg(t *testing.T) {
 	minp, _ := b.Col("minp")
 	maxp, _ := b.Col("maxp")
 	for i := range depts {
-		switch f.Src.Str(depts[i], flash.Host) {
+		switch f.Src.MustStr(depts[i], flash.Host) {
 		case "east": // invt 100,101,104,103 => 4 distinct
 			if items[i] != 4 || minp[i] != 800 || maxp[i] != 3000 {
 				t.Fatalf("east = %d/%d/%d", items[i], minp[i], maxp[i])

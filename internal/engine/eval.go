@@ -112,7 +112,10 @@ func (e *Engine) materializeText(b *Batch, ex plan.Expr) (*Batch, plan.Expr, err
 			if err != nil {
 				return nil, err
 			}
-			heap := src.NewHeapReader(hostRequester)
+			heap, err := src.NewHeapReader(hostRequester)
+			if err != nil {
+				return nil, err
+			}
 			pat := regexcc.Compile(n.Pattern)
 			vals := make([]int64, len(offs))
 			e.textWork(len(offs), func(lo, hi int) {
@@ -128,7 +131,10 @@ func (e *Engine) materializeText(b *Batch, ex plan.Expr) (*Batch, plan.Expr, err
 			if err != nil {
 				return nil, err
 			}
-			heap := src.NewHeapReader(hostRequester)
+			heap, err := src.NewHeapReader(hostRequester)
+			if err != nil {
+				return nil, err
+			}
 			vals := make([]int64, len(offs))
 			e.textWork(len(offs), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
@@ -151,7 +157,10 @@ func (e *Engine) materializeText(b *Batch, ex plan.Expr) (*Batch, plan.Expr, err
 						if err != nil {
 							return nil, err
 						}
-						heap := src.NewHeapReader(hostRequester)
+						heap, err := src.NewHeapReader(hostRequester)
+						if err != nil {
+							return nil, err
+						}
 						vals := make([]int64, len(offs))
 						e.textWork(len(offs), func(lo, hi int) {
 							for i := lo; i < hi; i++ {

@@ -1,0 +1,380 @@
+// Package faults is a deterministic, seedable fault injector for the
+// simulated flash device. Production pushdown systems (Farview-style
+// disaggregated operators, cloud pushdown over S3) treat storage faults as
+// first-class events: page reads fail transiently and are retried, pages
+// go latently bad, devices stall or die. This package reproduces that
+// failure model so the execution layers above internal/flash can be tested
+// under exact, replayable fault schedules.
+//
+// An Injector plugs into flash.Device via Device.SetFaults. On every page
+// read the device consults the injector, which decides — from an explicit
+// scripted schedule (Rules / Hook) or from a seeded pseudo-random process
+// (Config probabilities) — whether the read stalls, fails transiently,
+// fails permanently, or the whole device is stuck. All state is guarded by
+// one mutex and all randomness flows from Config.Seed, so a single-threaded
+// query replays the identical fault schedule on every run.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"aquoman/internal/flash"
+	"aquoman/internal/obs"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// Transient is a latent page-read error that clears after a bounded
+	// number of failures (ECC retry succeeds); the retry layer absorbs it.
+	Transient Kind = iota
+	// Permanent marks a page unreadable forever (a bad block).
+	Permanent
+	// SlowRead stalls the read (latency spike) but returns the data.
+	SlowRead
+	// DeviceStuck fails every read on the device until Revive is called —
+	// the stalled/dead-device scenario multi-SSD execution must survive.
+	DeviceStuck
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case SlowRead:
+		return "slow"
+	case DeviceStuck:
+		return "stuck"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Error is the typed error attached to every injected read failure. It
+// unwraps from any error returned by the read path, so callers can
+// errors.As to learn which page failed and whether a retry may help.
+type Error struct {
+	File string
+	Page int64
+	Who  flash.Requester
+	Kind Kind
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("injected %s fault: file %q page %d (%s)", e.Kind, e.File, e.Page, e.Who)
+}
+
+// Transient reports whether the failure may clear on retry. The flash
+// retry layer checks this via an interface assertion, keeping flash free
+// of a dependency on this package.
+func (e *Error) Transient() bool { return e.Kind == Transient }
+
+// Rule is one scripted fault: it fires on reads matching File/Page/Who.
+// Scripted rules make schedules exact — the differential harness uses them
+// to place a fault on a specific page of a specific column file.
+type Rule struct {
+	// File matches the flash file name; "" matches any file, and a
+	// trailing '*' matches by prefix ("tpch/lineitem/*").
+	File string
+	// Page matches one page; -1 matches any page.
+	Page int64
+	// Who limits the rule to one requester; -1 matches both.
+	Who int
+	// Kind is the fault to inject.
+	Kind Kind
+	// Count bounds how many reads the rule fires on (0 = every read).
+	// A Transient rule that keeps firing behaves permanently, so bound
+	// transient rules by the retry budget to model a clearing fault.
+	Count int
+	// Stall is the added latency for SlowRead rules.
+	Stall time.Duration
+}
+
+func (r *Rule) matches(file string, page int64, who flash.Requester) bool {
+	if r.File != "" {
+		if p, ok := strings.CutSuffix(r.File, "*"); ok {
+			if !strings.HasPrefix(file, p) {
+				return false
+			}
+		} else if file != r.File {
+			return false
+		}
+	}
+	if r.Page >= 0 && r.Page != page {
+		return false
+	}
+	if r.Who >= 0 && flash.Requester(r.Who) != who {
+		return false
+	}
+	return true
+}
+
+// Config parameterizes the seeded pseudo-random fault process. All
+// probabilities are per page-read attempt.
+type Config struct {
+	// Seed drives the deterministic random source.
+	Seed int64
+	// PTransient is the probability a read starts a transient fault.
+	PTransient float64
+	// TransientRepeat is how many consecutive attempts a transient fault
+	// fails before clearing (default 1).
+	TransientRepeat int
+	// PPermanent is the probability a read latches its page bad forever.
+	PPermanent float64
+	// PSlow is the probability of a latency spike; Stall is its length.
+	PSlow float64
+	Stall time.Duration
+}
+
+// ParseSpec parses the aquoman-run -faults flag syntax: comma-separated
+// key=value pairs, e.g. "seed=7,transient=0.001,repeat=2,slow=0.0005,
+// stall=2ms,permanent=0.0001". Unknown keys are errors.
+func ParseSpec(spec string) (Config, error) {
+	cfg := Config{TransientRepeat: 1}
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return cfg, fmt.Errorf("faults: bad spec term %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "transient":
+			cfg.PTransient, err = strconv.ParseFloat(v, 64)
+		case "repeat":
+			cfg.TransientRepeat, err = strconv.Atoi(v)
+		case "permanent":
+			cfg.PPermanent, err = strconv.ParseFloat(v, 64)
+		case "slow":
+			cfg.PSlow, err = strconv.ParseFloat(v, 64)
+		case "stall":
+			cfg.Stall, err = time.ParseDuration(v)
+		default:
+			return cfg, fmt.Errorf("faults: unknown spec key %q", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faults: bad value for %q: %v", k, err)
+		}
+	}
+	if cfg.TransientRepeat < 1 {
+		cfg.TransientRepeat = 1
+	}
+	return cfg, nil
+}
+
+// Counts is a snapshot of the injector's per-requester fault accounting.
+type Counts struct {
+	// Injected counts injected faults by kind and requester.
+	Injected [numKinds][flash.NumRequesters]int64
+	// Reads counts every read attempt the injector examined.
+	Reads [flash.NumRequesters]int64
+}
+
+// Total sums injected faults of kind k over requesters.
+func (c Counts) Total(k Kind) int64 {
+	var t int64
+	for _, v := range c.Injected[k] {
+		t += v
+	}
+	return t
+}
+
+// TotalInjected sums every injected fault.
+func (c Counts) TotalInjected() int64 {
+	var t int64
+	for k := Kind(0); k < numKinds; k++ {
+		t += c.Total(k)
+	}
+	return t
+}
+
+type pageKey struct {
+	file string
+	page int64
+}
+
+// Injector implements flash.FaultInjector. The zero value injects nothing;
+// construct with New.
+type Injector struct {
+	mu  sync.Mutex
+	cfg Config
+	rng *rand.Rand
+
+	rules []Rule
+	fired map[int]int // rule index -> times fired (for Count bounds)
+
+	// Hook, when non-nil, is consulted first and overrides everything
+	// else: return a Kind and true to inject, false to pass the read
+	// through. attempt is 0 for the first try of a page, 1.. for retries —
+	// the deterministic handle the test harness uses to drive exact
+	// schedules ("fail page 3 twice, then succeed").
+	Hook func(file string, page int64, who flash.Requester, attempt int) (Kind, bool)
+
+	transientLeft map[pageKey]int
+	badPages      map[pageKey]bool
+	stuck         bool
+
+	counts  Counts
+	metrics struct {
+		injected [numKinds][flash.NumRequesters]*obs.Counter
+	}
+}
+
+// New returns an injector running the seeded random process of cfg (plus
+// any rules added with AddRule).
+func New(cfg Config) *Injector {
+	if cfg.TransientRepeat < 1 {
+		cfg.TransientRepeat = 1
+	}
+	return &Injector{
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		fired:         make(map[int]int),
+		transientLeft: make(map[pageKey]int),
+		badPages:      make(map[pageKey]bool),
+	}
+}
+
+// AddRule appends a scripted fault rule (consulted in insertion order,
+// after Hook and before the random process).
+func (in *Injector) AddRule(r Rule) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, r)
+	return in
+}
+
+// KillDevice makes every subsequent read fail with DeviceStuck.
+func (in *Injector) KillDevice() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stuck = true
+}
+
+// Revive clears a stuck device.
+func (in *Injector) Revive() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stuck = false
+}
+
+// Counts returns a snapshot of the fault accounting.
+func (in *Injector) Counts() Counts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts
+}
+
+// Observe mirrors the injector's per-requester fault counters into reg
+// under the faults_injected_total family, labeled by kind and requester
+// plus any extra alternating key/value labels. A nil registry detaches.
+func (in *Injector) Observe(reg *obs.Registry, extraLabels ...string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for k := Kind(0); k < numKinds; k++ {
+		for r := 0; r < flash.NumRequesters; r++ {
+			if reg == nil {
+				in.metrics.injected[k][r] = nil
+				continue
+			}
+			labels := append([]string{"kind", k.String(), "requester", flash.Requester(r).String()}, extraLabels...)
+			c := reg.Counter("faults_injected_total", labels...)
+			c.Add(in.counts.Injected[k][r] - c.Value())
+			in.metrics.injected[k][r] = c
+		}
+	}
+}
+
+func (in *Injector) account(k Kind, who flash.Requester) {
+	in.counts.Injected[k][who]++
+	if c := in.metrics.injected[k][who]; c != nil {
+		c.Inc()
+	}
+}
+
+// ReadFault implements flash.FaultInjector: it is consulted once per page
+// per read attempt and returns an added stall plus an error if the read
+// fails. It never touches page content — faults are whole-page events, as
+// on a real device, so a read either fails or returns exact bytes.
+func (in *Injector) ReadFault(file string, page int64, who flash.Requester, attempt int) (time.Duration, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts.Reads[who]++
+	fail := func(k Kind) (time.Duration, error) {
+		in.account(k, who)
+		return 0, &Error{File: file, Page: page, Who: who, Kind: k}
+	}
+	if in.stuck {
+		return fail(DeviceStuck)
+	}
+	if in.Hook != nil {
+		if k, ok := in.Hook(file, page, who, attempt); ok {
+			if k == SlowRead {
+				in.account(SlowRead, who)
+				return in.cfg.Stall, nil
+			}
+			return fail(k)
+		}
+		return 0, nil
+	}
+	key := pageKey{file, page}
+	if in.badPages[key] {
+		return fail(Permanent)
+	}
+	if left := in.transientLeft[key]; left > 0 {
+		in.transientLeft[key] = left - 1
+		return fail(Transient)
+	}
+	for i := range in.rules {
+		r := &in.rules[i]
+		if !r.matches(file, page, who) {
+			continue
+		}
+		if r.Count > 0 && in.fired[i] >= r.Count {
+			continue
+		}
+		in.fired[i]++
+		switch r.Kind {
+		case SlowRead:
+			in.account(SlowRead, who)
+			return r.Stall, nil
+		case Permanent:
+			in.badPages[key] = true
+			return fail(Permanent)
+		case DeviceStuck:
+			in.stuck = true
+			return fail(DeviceStuck)
+		default:
+			return fail(Transient)
+		}
+	}
+	if in.cfg.PTransient > 0 && in.rng.Float64() < in.cfg.PTransient {
+		// The fault fails this attempt and TransientRepeat-1 more.
+		if in.cfg.TransientRepeat > 1 {
+			in.transientLeft[key] = in.cfg.TransientRepeat - 1
+		}
+		return fail(Transient)
+	}
+	if in.cfg.PPermanent > 0 && in.rng.Float64() < in.cfg.PPermanent {
+		in.badPages[key] = true
+		return fail(Permanent)
+	}
+	if in.cfg.PSlow > 0 && in.rng.Float64() < in.cfg.PSlow {
+		in.account(SlowRead, who)
+		return in.cfg.Stall, nil
+	}
+	return 0, nil
+}

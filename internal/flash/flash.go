@@ -11,12 +11,20 @@
 // (pages read sequentially vs. randomly, per requester) is what the timing
 // model in internal/perf converts into simulated seconds, mirroring the
 // paper's trace-based simulator.
+//
+// Reads are fallible: an optional FaultInjector (see internal/faults) can
+// fail, stall, or permanently poison page reads, and the device absorbs
+// transient failures with a budgeted exponential-backoff retry loop before
+// surfacing an error to the read path. Backoff time is accounted (Stats
+// StallNanos), not slept, so fault schedules replay deterministically.
 package flash
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"aquoman/internal/obs"
 )
@@ -47,6 +55,10 @@ const (
 	numRequesters
 )
 
+// NumRequesters is the number of controller-switch requesters (exported
+// for per-requester accounting in other packages, e.g. internal/faults).
+const NumRequesters = int(numRequesters)
+
 func (r Requester) String() string {
 	switch r {
 	case Host:
@@ -56,6 +68,56 @@ func (r Requester) String() string {
 	default:
 		return fmt.Sprintf("requester(%d)", int(r))
 	}
+}
+
+// FaultInjector decides the fate of individual page-read attempts. It is
+// consulted once per touched page per attempt; returning a non-nil error
+// fails the attempt, and a positive stall models a latency spike on a
+// successful read. Implementations whose errors expose a
+// `Transient() bool` method (internal/faults.Error does) participate in
+// the device's retry loop; other errors fail immediately.
+type FaultInjector interface {
+	ReadFault(file string, page int64, who Requester, attempt int) (stall time.Duration, err error)
+}
+
+// RetryPolicy bounds the device's page-read retry loop. A transient fault
+// is retried up to Budget times with exponential backoff (BaseDelay
+// doubled per attempt, capped at MaxDelay); backoff time is accounted in
+// Stats.StallNanos rather than slept.
+type RetryPolicy struct {
+	// Budget is the maximum retries per page read (0 = fail on first error).
+	Budget int
+	// BaseDelay is the first backoff; it doubles each retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy mirrors firmware ECC retry behaviour: a handful of
+// re-reads with microsecond-scale backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Budget: 4, BaseDelay: 100 * time.Microsecond, MaxDelay: 10 * time.Millisecond}
+}
+
+// backoff returns the delay before retry number attempt (0-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 0; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// transienter is the marker interface retryable fault errors implement.
+type transienter interface{ Transient() bool }
+
+// isTransient reports whether err may clear on retry.
+func isTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
 }
 
 // Stats is a snapshot of traffic through the controller switch.
@@ -72,6 +134,20 @@ type Stats struct {
 	// counterpart of PagesReadRandom (in-place updates land here,
 	// appends stay sequential).
 	PagesWrittenRandom [numRequesters]int64
+
+	// ReadFaults counts injected page-read failures observed (each failed
+	// attempt, including ones later absorbed by a retry).
+	ReadFaults [numRequesters]int64
+	// ReadRetries counts retry attempts issued by the backoff loop.
+	ReadRetries [numRequesters]int64
+	// ReadsFailed counts page reads abandoned after exhausting the retry
+	// budget or hitting a non-transient fault.
+	ReadsFailed [numRequesters]int64
+	// SlowReads counts reads that hit an injected latency spike.
+	SlowReads [numRequesters]int64
+	// StallNanos accumulates simulated stall time: injected read latency
+	// plus retry backoff.
+	StallNanos [numRequesters]int64
 }
 
 // BytesRead returns total bytes read by r.
@@ -89,6 +165,24 @@ func (s Stats) TotalPagesRead() int64 {
 	return t
 }
 
+// TotalReadFaults returns injected read failures summed over requesters.
+func (s Stats) TotalReadFaults() int64 {
+	var t int64
+	for _, v := range s.ReadFaults {
+		t += v
+	}
+	return t
+}
+
+// TotalReadRetries returns retry attempts summed over requesters.
+func (s Stats) TotalReadRetries() int64 {
+	var t int64
+	for _, v := range s.ReadRetries {
+		t += v
+	}
+	return t
+}
+
 // Sub returns s - o, counter-wise (used to extract a per-query trace).
 func (s Stats) Sub(o Stats) Stats {
 	var r Stats
@@ -97,6 +191,11 @@ func (s Stats) Sub(o Stats) Stats {
 		r.PagesReadRandom[i] = s.PagesReadRandom[i] - o.PagesReadRandom[i]
 		r.PagesWritten[i] = s.PagesWritten[i] - o.PagesWritten[i]
 		r.PagesWrittenRandom[i] = s.PagesWrittenRandom[i] - o.PagesWrittenRandom[i]
+		r.ReadFaults[i] = s.ReadFaults[i] - o.ReadFaults[i]
+		r.ReadRetries[i] = s.ReadRetries[i] - o.ReadRetries[i]
+		r.ReadsFailed[i] = s.ReadsFailed[i] - o.ReadsFailed[i]
+		r.SlowReads[i] = s.SlowReads[i] - o.SlowReads[i]
+		r.StallNanos[i] = s.StallNanos[i] - o.StallNanos[i]
 	}
 	return r
 }
@@ -107,9 +206,13 @@ func (s Stats) Delta(before Stats) Stats { return s.Sub(before) }
 // Device is a simulated flash drive holding named files. It is safe for
 // concurrent use; the controller switch serializes command accounting.
 type Device struct {
-	mu    sync.Mutex
-	files map[string]*File
-	stats Stats
+	mu        sync.Mutex
+	files     map[string]*File
+	stats     Stats
+	fileStats map[string]*Stats
+
+	faults FaultInjector
+	retry  RetryPolicy
 
 	// metrics mirrors the traffic counters into an obs registry (nil
 	// counters no-op, so the account path is branch-free when
@@ -119,13 +222,52 @@ type Device struct {
 		pagesReadRandom    [numRequesters]*obs.Counter
 		pagesWritten       [numRequesters]*obs.Counter
 		pagesWrittenRandom [numRequesters]*obs.Counter
+		readFaults         [numRequesters]*obs.Counter
+		readRetries        [numRequesters]*obs.Counter
+		readsFailed        [numRequesters]*obs.Counter
+		slowReads          [numRequesters]*obs.Counter
+		stallNanos         [numRequesters]*obs.Counter
 		files              *obs.Gauge
 	}
 }
 
-// NewDevice returns an empty flash device.
+// NewDevice returns an empty flash device with the default retry policy
+// and no fault injector.
 func NewDevice() *Device {
-	return &Device{files: make(map[string]*File)}
+	return &Device{
+		files:     make(map[string]*File),
+		fileStats: make(map[string]*Stats),
+		retry:     DefaultRetryPolicy(),
+	}
+}
+
+// SetFaults plugs a fault injector into the device's read path (nil
+// detaches it). Call with the device idle.
+func (d *Device) SetFaults(fi FaultInjector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faults = fi
+}
+
+// Faults returns the installed fault injector (nil when fault-free).
+func (d *Device) Faults() FaultInjector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults
+}
+
+// SetRetryPolicy replaces the page-read retry policy.
+func (d *Device) SetRetryPolicy(p RetryPolicy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.retry = p
+}
+
+// RetryPolicy returns the active page-read retry policy.
+func (d *Device) RetryPolicy() RetryPolicy {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.retry
 }
 
 // Observe mirrors the device's traffic counters into reg under the
@@ -142,18 +284,31 @@ func (d *Device) Observe(reg *obs.Registry, extraLabels ...string) {
 			d.metrics.pagesReadRandom[r] = nil
 			d.metrics.pagesWritten[r] = nil
 			d.metrics.pagesWrittenRandom[r] = nil
+			d.metrics.readFaults[r] = nil
+			d.metrics.readRetries[r] = nil
+			d.metrics.readsFailed[r] = nil
+			d.metrics.slowReads[r] = nil
+			d.metrics.stallNanos[r] = nil
 			continue
 		}
 		d.metrics.pagesRead[r] = reg.Counter("flash_pages_read_total", labels...)
 		d.metrics.pagesReadRandom[r] = reg.Counter("flash_pages_read_random_total", labels...)
 		d.metrics.pagesWritten[r] = reg.Counter("flash_pages_written_total", labels...)
 		d.metrics.pagesWrittenRandom[r] = reg.Counter("flash_pages_written_random_total", labels...)
+		d.metrics.readFaults[r] = reg.Counter("flash_read_faults_total", labels...)
+		d.metrics.readRetries[r] = reg.Counter("flash_read_retries_total", labels...)
+		d.metrics.readsFailed[r] = reg.Counter("flash_reads_failed_total", labels...)
+		d.metrics.slowReads[r] = reg.Counter("flash_slow_reads_total", labels...)
+		d.metrics.stallNanos[r] = reg.Counter("flash_stall_nanos_total", labels...)
 	}
 	if reg == nil {
 		d.metrics.files = nil
 	} else {
 		d.metrics.files = reg.Gauge("flash_files", extraLabels...)
 		d.metrics.files.Set(int64(len(d.files)))
+	}
+	if reg == nil {
+		return
 	}
 	// Seed the counters with the traffic already accounted, so registry
 	// deltas stay consistent with Stats().Sub for in-flight devices.
@@ -162,6 +317,11 @@ func (d *Device) Observe(reg *obs.Registry, extraLabels ...string) {
 		d.metrics.pagesReadRandom[r].Add(d.stats.PagesReadRandom[r] - d.metrics.pagesReadRandom[r].Value())
 		d.metrics.pagesWritten[r].Add(d.stats.PagesWritten[r] - d.metrics.pagesWritten[r].Value())
 		d.metrics.pagesWrittenRandom[r].Add(d.stats.PagesWrittenRandom[r] - d.metrics.pagesWrittenRandom[r].Value())
+		d.metrics.readFaults[r].Add(d.stats.ReadFaults[r] - d.metrics.readFaults[r].Value())
+		d.metrics.readRetries[r].Add(d.stats.ReadRetries[r] - d.metrics.readRetries[r].Value())
+		d.metrics.readsFailed[r].Add(d.stats.ReadsFailed[r] - d.metrics.readsFailed[r].Value())
+		d.metrics.slowReads[r].Add(d.stats.SlowReads[r] - d.metrics.slowReads[r].Value())
+		d.metrics.stallNanos[r].Add(d.stats.StallNanos[r] - d.metrics.stallNanos[r].Value())
 	}
 }
 
@@ -177,7 +337,9 @@ type File struct {
 	lastWrite [numRequesters]int64 // next sequential write page per requester, -1 if none
 }
 
-// Create creates (or truncates) a file.
+// Create creates (or truncates) a file. Any stats previously attributed to
+// a file of the same name are discarded — a re-created file starts with a
+// clean per-file ledger.
 func (d *Device) Create(name string) *File {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -187,6 +349,7 @@ func (d *Device) Create(name string) *File {
 		f.lastWrite[i] = -1
 	}
 	d.files[name] = f
+	delete(d.fileStats, name)
 	d.metrics.files.Set(int64(len(d.files)))
 	return f
 }
@@ -210,11 +373,14 @@ func (d *Device) Exists(name string) bool {
 	return ok
 }
 
-// Remove deletes a file. Removing a missing file is a no-op.
+// Remove deletes a file and drops its per-file stats attribution, so a
+// later file of the same name starts from zero counters. Removing a
+// missing file is a no-op.
 func (d *Device) Remove(name string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.files, name)
+	delete(d.fileStats, name)
 	d.metrics.files.Set(int64(len(d.files)))
 }
 
@@ -252,11 +418,23 @@ func (d *Device) Stats() Stats {
 	return d.stats
 }
 
-// ResetStats zeroes the traffic counters and sequential-read state (used
-// between experiments).
+// FileStats returns the traffic attributed to the named file (zero for
+// unknown files). Attribution follows the name: Remove/Create reset it.
+func (d *Device) FileStats(name string) Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.fileStats[name]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// ResetStats zeroes the traffic counters (device-wide and per-file) and
+// sequential-read state (used between experiments).
 func (d *Device) ResetStats() {
 	d.mu.Lock()
 	d.stats = Stats{}
+	d.fileStats = make(map[string]*Stats)
 	files := make([]*File, 0, len(d.files))
 	for _, f := range d.files {
 		files = append(files, f)
@@ -272,12 +450,27 @@ func (d *Device) ResetStats() {
 	}
 }
 
-func (d *Device) account(who Requester, pagesRead, readRandom, pagesWritten, writeRandom int64) {
+// fileStatsLocked returns the per-file ledger for name. Caller holds d.mu.
+func (d *Device) fileStatsLocked(name string) *Stats {
+	s, ok := d.fileStats[name]
+	if !ok {
+		s = &Stats{}
+		d.fileStats[name] = s
+	}
+	return s
+}
+
+func (d *Device) account(file string, who Requester, pagesRead, readRandom, pagesWritten, writeRandom int64) {
 	d.mu.Lock()
 	d.stats.PagesRead[who] += pagesRead
 	d.stats.PagesReadRandom[who] += readRandom
 	d.stats.PagesWritten[who] += pagesWritten
 	d.stats.PagesWrittenRandom[who] += writeRandom
+	fs := d.fileStatsLocked(file)
+	fs.PagesRead[who] += pagesRead
+	fs.PagesReadRandom[who] += readRandom
+	fs.PagesWritten[who] += pagesWritten
+	fs.PagesWrittenRandom[who] += writeRandom
 	// Counter handles are captured under the lock (Observe may rebind
 	// them); the Adds themselves are atomic and happen outside it.
 	pr, prr := d.metrics.pagesRead[who], d.metrics.pagesReadRandom[who]
@@ -295,6 +488,85 @@ func (d *Device) account(who Requester, pagesRead, readRandom, pagesWritten, wri
 	if writeRandom > 0 {
 		pwr.Add(writeRandom)
 	}
+}
+
+// faultEvent classifies fault-path accounting updates.
+type faultEvent int
+
+const (
+	evFault faultEvent = iota
+	evRetry
+	evFailed
+	evSlow
+)
+
+func (d *Device) accountFault(file string, who Requester, ev faultEvent, stall time.Duration) {
+	d.mu.Lock()
+	fs := d.fileStatsLocked(file)
+	var c *obs.Counter
+	switch ev {
+	case evFault:
+		d.stats.ReadFaults[who]++
+		fs.ReadFaults[who]++
+		c = d.metrics.readFaults[who]
+	case evRetry:
+		d.stats.ReadRetries[who]++
+		fs.ReadRetries[who]++
+		c = d.metrics.readRetries[who]
+	case evFailed:
+		d.stats.ReadsFailed[who]++
+		fs.ReadsFailed[who]++
+		c = d.metrics.readsFailed[who]
+	case evSlow:
+		d.stats.SlowReads[who]++
+		fs.SlowReads[who]++
+		c = d.metrics.slowReads[who]
+	}
+	var sc *obs.Counter
+	if stall > 0 {
+		d.stats.StallNanos[who] += int64(stall)
+		fs.StallNanos[who] += int64(stall)
+		sc = d.metrics.stallNanos[who]
+	}
+	d.mu.Unlock()
+	c.Inc()
+	if stall > 0 {
+		sc.Add(int64(stall))
+	}
+}
+
+// checkRead passes every page of [first, last] through the fault injector,
+// absorbing transient failures with the retry policy. It returns nil when
+// all pages are readable; the returned error wraps the injector's typed
+// fault error.
+func (d *Device) checkRead(file string, first, last int64, who Requester) error {
+	d.mu.Lock()
+	inj := d.faults
+	pol := d.retry
+	d.mu.Unlock()
+	if inj == nil {
+		return nil
+	}
+	for page := first; page <= last; page++ {
+		attempt := 0
+		for {
+			stall, err := inj.ReadFault(file, page, who, attempt)
+			if stall > 0 {
+				d.accountFault(file, who, evSlow, stall)
+			}
+			if err == nil {
+				break
+			}
+			d.accountFault(file, who, evFault, 0)
+			if !isTransient(err) || attempt >= pol.Budget {
+				d.accountFault(file, who, evFailed, 0)
+				return fmt.Errorf("flash: read %s page %d (attempt %d): %w", file, page, attempt+1, err)
+			}
+			d.accountFault(file, who, evRetry, pol.backoff(attempt))
+			attempt++
+		}
+	}
+	return nil
 }
 
 // Name returns the file name.
@@ -338,7 +610,7 @@ func (f *File) Append(p []byte, who Requester) {
 	f.data = append(f.data, p...)
 	pages, random := f.accountWrite(who, off, int64(len(p)))
 	f.mu.Unlock()
-	f.dev.account(who, 0, 0, pages, random)
+	f.dev.account(f.name, who, 0, 0, pages, random)
 }
 
 // WriteAt writes p at offset off (extending the file as needed).
@@ -354,15 +626,30 @@ func (f *File) WriteAt(p []byte, off int64, who Requester) {
 	copy(f.data[off:end], p)
 	pages, random := f.accountWrite(who, off, int64(len(p)))
 	f.mu.Unlock()
-	f.dev.account(who, 0, 0, pages, random)
+	f.dev.account(f.name, who, 0, 0, pages, random)
 }
 
 // ReadAt fills p from offset off, accounting every touched page to who.
 // It returns the number of bytes read; reading past EOF returns the
-// available prefix.
-func (f *File) ReadAt(p []byte, off int64, who Requester) int {
+// available prefix. When a fault injector is installed, every touched page
+// is checked first (with transient failures retried under the device's
+// retry policy); a failed page fails the whole read with a wrapped
+// faults-typed error and no bytes are delivered.
+func (f *File) ReadAt(p []byte, off int64, who Requester) (int, error) {
 	if len(p) == 0 || off < 0 {
-		return 0
+		return 0, nil
+	}
+	f.mu.Lock()
+	size := int64(len(f.data))
+	f.mu.Unlock()
+	if off < size {
+		n := int64(len(p))
+		if n > size-off {
+			n = size - off
+		}
+		if err := f.dev.checkRead(f.name, off/PageSize, (off+n-1)/PageSize, who); err != nil {
+			return 0, err
+		}
 	}
 	f.mu.Lock()
 	n := 0
@@ -384,18 +671,21 @@ func (f *File) ReadAt(p []byte, off int64, who Requester) int {
 	}
 	f.mu.Unlock()
 	if n > 0 {
-		f.dev.account(who, pages, random, 0, 0)
+		f.dev.account(f.name, who, pages, random, 0, 0)
 	}
-	return n
+	return n, nil
 }
 
 // ReadPage reads one whole page (the last page may be short). It is the
 // primitive AQUOMAN's Table Reader uses; page skipping simply avoids the
 // call.
-func (f *File) ReadPage(page int64, who Requester) []byte {
+func (f *File) ReadPage(page int64, who Requester) ([]byte, error) {
 	buf := make([]byte, PageSize)
-	n := f.ReadAt(buf, page*PageSize, who)
-	return buf[:n]
+	n, err := f.ReadAt(buf, page*PageSize, who)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
 }
 
 // PagesSpanned reports how many pages the byte range [off, off+n) touches.

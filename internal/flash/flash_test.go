@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"aquoman/internal/obs"
 )
@@ -40,14 +41,14 @@ func TestReadWriteRoundTrip(t *testing.T) {
 		t.Fatalf("Size = %d, want %d", f.Size(), len(payload))
 	}
 	buf := make([]byte, len(payload))
-	if n := f.ReadAt(buf, 0, Host); n != len(payload) {
+	if n, _ := f.ReadAt(buf, 0, Host); n != len(payload) {
 		t.Fatalf("ReadAt = %d", n)
 	}
 	if !bytes.Equal(buf, payload) {
 		t.Fatal("content mismatch")
 	}
 	// Partial read past EOF returns available prefix.
-	n := f.ReadAt(buf, int64(len(payload))-10, Host)
+	n, _ := f.ReadAt(buf, int64(len(payload))-10, Host)
 	if n != 10 {
 		t.Fatalf("tail read = %d, want 10", n)
 	}
@@ -294,5 +295,178 @@ func TestObserveMirrorsCounters(t *testing.T) {
 	after := reg.Snapshot()
 	if p, _ := after.Get("flash_pages_read_total", "requester", "aquoman"); p.Value != 2 {
 		t.Fatalf("detached counter moved to %d", p.Value)
+	}
+}
+
+// scriptErr is a minimal transient/permanent fault error for driving the
+// retry loop without importing internal/faults (which imports this pkg).
+type scriptErr struct{ transient bool }
+
+func (e *scriptErr) Error() string   { return "scripted fault" }
+func (e *scriptErr) Transient() bool { return e.transient }
+
+// scriptInjector fails the first failN attempts on every page.
+type scriptInjector struct {
+	failN     int
+	transient bool
+	stall     int64 // nanoseconds of SlowRead stall per attempt, 0 = none
+	attempts  map[int64]int
+}
+
+func (s *scriptInjector) ReadFault(file string, page int64, who Requester, attempt int) (stall time.Duration, err error) {
+	if s.attempts == nil {
+		s.attempts = make(map[int64]int)
+	}
+	if s.stall > 0 {
+		return time.Duration(s.stall), nil
+	}
+	if s.attempts[page] < s.failN {
+		s.attempts[page]++
+		return 0, &scriptErr{transient: s.transient}
+	}
+	return 0, nil
+}
+
+func TestRetryAbsorbsTransientFaults(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	payload := bytes.Repeat([]byte("x"), 2*PageSize)
+	f.Append(payload, Host)
+	// 3 transient failures per page < default budget of 4.
+	d.SetFaults(&scriptInjector{failN: 3, transient: true})
+	buf := make([]byte, len(payload))
+	n, err := f.ReadAt(buf, 0, Host)
+	if err != nil || n != len(payload) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("content mismatch after retries")
+	}
+	st := d.Stats()
+	if st.ReadFaults[Host] != 6 || st.ReadRetries[Host] != 6 {
+		t.Fatalf("faults/retries = %d/%d, want 6/6", st.ReadFaults[Host], st.ReadRetries[Host])
+	}
+	if st.ReadsFailed[Host] != 0 {
+		t.Fatalf("ReadsFailed = %d", st.ReadsFailed[Host])
+	}
+	if st.StallNanos[Host] == 0 {
+		t.Fatal("backoff stall not accounted")
+	}
+	if st.PagesRead[Host] != 2 {
+		t.Fatalf("PagesRead = %d, want 2 (retries must not double-count)", st.PagesRead[Host])
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	f.Append(bytes.Repeat([]byte("x"), PageSize), Host)
+	d.SetRetryPolicy(RetryPolicy{Budget: 2, BaseDelay: time.Microsecond, MaxDelay: time.Millisecond})
+	d.SetFaults(&scriptInjector{failN: 10, transient: true})
+	if _, err := f.ReadAt(make([]byte, 8), 0, Host); err == nil {
+		t.Fatal("read succeeded past exhausted budget")
+	}
+	st := d.Stats()
+	if st.ReadsFailed[Host] != 1 || st.ReadRetries[Host] != 2 || st.ReadFaults[Host] != 3 {
+		t.Fatalf("failed/retries/faults = %d/%d/%d, want 1/2/3",
+			st.ReadsFailed[Host], st.ReadRetries[Host], st.ReadFaults[Host])
+	}
+}
+
+func TestPermanentFaultNotRetried(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	f.Append(bytes.Repeat([]byte("x"), PageSize), Host)
+	d.SetFaults(&scriptInjector{failN: 1, transient: false})
+	if _, err := f.ReadAt(make([]byte, 8), 0, Host); err == nil {
+		t.Fatal("permanent fault did not fail the read")
+	}
+	st := d.Stats()
+	if st.ReadRetries[Host] != 0 {
+		t.Fatalf("permanent fault was retried %d times", st.ReadRetries[Host])
+	}
+	if st.ReadsFailed[Host] != 1 {
+		t.Fatalf("ReadsFailed = %d", st.ReadsFailed[Host])
+	}
+}
+
+func TestSlowReadAccounted(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	f.Append(bytes.Repeat([]byte("x"), PageSize), Host)
+	d.SetFaults(&scriptInjector{stall: int64(2 * time.Millisecond)})
+	buf := make([]byte, PageSize)
+	if n, err := f.ReadAt(buf, 0, Aquoman); err != nil || n != PageSize {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	st := d.Stats()
+	if st.SlowReads[Aquoman] != 1 {
+		t.Fatalf("SlowReads = %d", st.SlowReads[Aquoman])
+	}
+	if st.StallNanos[Aquoman] != int64(2*time.Millisecond) {
+		t.Fatalf("StallNanos = %d", st.StallNanos[Aquoman])
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := RetryPolicy{Budget: 10, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond}
+	want := []time.Duration{
+		100 * time.Microsecond, 200 * time.Microsecond, 400 * time.Microsecond,
+		800 * time.Microsecond, time.Millisecond, time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.backoff(i); got != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRemoveResetsFileStats(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("tbl/col0")
+	f.Append(bytes.Repeat([]byte("x"), 3*PageSize), Host)
+	buf := make([]byte, 3*PageSize)
+	if _, err := f.ReadAt(buf, 0, Host); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.FileStats("tbl/col0").PagesRead[Host]; got != 3 {
+		t.Fatalf("FileStats PagesRead = %d, want 3", got)
+	}
+	d.Remove("tbl/col0")
+	if got := d.FileStats("tbl/col0"); got != (Stats{}) {
+		t.Fatalf("stale stats survive Remove: %+v", got)
+	}
+	// A re-created file of the same name starts from a clean ledger.
+	f2 := d.Create("tbl/col0")
+	f2.Append(bytes.Repeat([]byte("y"), PageSize), Host)
+	if _, err := f2.ReadAt(buf[:PageSize], 0, Host); err != nil {
+		t.Fatal(err)
+	}
+	fs := d.FileStats("tbl/col0")
+	if fs.PagesRead[Host] != 1 || fs.PagesWritten[Host] != 1 {
+		t.Fatalf("re-created file inherited stale counts: %+v", fs)
+	}
+	// Create over a live file also resets attribution.
+	d.Create("tbl/col0")
+	if got := d.FileStats("tbl/col0"); got != (Stats{}) {
+		t.Fatalf("stale stats survive Create: %+v", got)
+	}
+}
+
+func TestFaultMetricsObserved(t *testing.T) {
+	d := NewDevice()
+	f := d.Create("a")
+	f.Append(bytes.Repeat([]byte("x"), PageSize), Host)
+	reg := obs.NewRegistry()
+	d.Observe(reg)
+	d.SetFaults(&scriptInjector{failN: 2, transient: true})
+	if _, err := f.ReadAt(make([]byte, 8), 0, Host); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("flash_read_retries_total", "requester", "host").Value(); got != 2 {
+		t.Fatalf("flash_read_retries_total = %d, want 2", got)
+	}
+	if got := reg.Counter("flash_read_faults_total", "requester", "host").Value(); got != 2 {
+		t.Fatalf("flash_read_faults_total = %d, want 2", got)
 	}
 }

@@ -104,7 +104,10 @@ func (p *Program) Run(tab *col.Table, in *bitvec.Mask, who flash.Requester) (*bi
 		}
 		base := vec * bitvec.VecSize
 		for pi, cp := range p.Preds {
-			n := readers[pi].ReadVec(vec, vals[:])
+			n, err := readers[pi].ReadVec(vec, vals[:])
+			if err != nil {
+				return nil, st, err
+			}
 			for j := 0; j < n; j++ {
 				row := base + j
 				if !mask.Get(row) {

@@ -180,8 +180,8 @@ func TestShortCircuitSkipsLaterColumns(t *testing.T) {
 // predicates.
 func TestQuickSelectorMatchesScan(t *testing.T) {
 	_, tab := buildTable(t, 3000)
-	a := tab.MustColumn("a").ReadAll(flash.Host)
-	b := tab.MustColumn("b").ReadAll(flash.Host)
+	a := tab.MustColumn("a").MustReadAll(flash.Host)
+	b := tab.MustColumn("b").MustReadAll(flash.Host)
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		lo := int64(rng.Intn(3000))

@@ -1,0 +1,153 @@
+package sorter
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// decodeKVs turns fuzz bytes into key/value pairs (4-byte key, 4-byte
+// value, signed).
+func decodeKVs(data []byte) []KV {
+	var kvs []KV
+	for i := 0; i+8 <= len(data) && len(kvs) < 1<<14; i += 8 {
+		kvs = append(kvs, KV{
+			Key: int64(int32(binary.LittleEndian.Uint32(data[i:]))),
+			Val: int64(int32(binary.LittleEndian.Uint32(data[i+4:]))),
+		})
+	}
+	return kvs
+}
+
+// multiset counts occurrences so permutation checks survive duplicates.
+func multiset(v []KV) map[KV]int {
+	m := make(map[KV]int, len(v))
+	for _, kv := range v {
+		m[kv]++
+	}
+	return m
+}
+
+func sameMultiset(a, b map[KV]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// keySorted reports non-decreasing key order — the contract of the merger
+// tree, whose 2-to-1 mergers alternate on key ties (the
+// intersection-friendly schedule) and therefore do not order ties by
+// value the way the bitonic base sorter does.
+func keySorted(v []KV) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i].Key < v[i-1].Key {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSorterMerge drives the streaming-sorter cascade (bitonic base
+// vectors, merger-tree layers, folded run merging) with arbitrary
+// key/value data and checks the invariants the join machinery relies on:
+// every run and the merged output are key-ordered, the output is an exact
+// permutation of the input, and the key sequence matches an independent
+// reference sort.
+func FuzzSorterMerge(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 9, 0, 0, 0})
+	// Two vectors' worth of descending keys.
+	seed := make([]byte, 16*8)
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(seed[i*8:], uint32(100-i))
+		binary.LittleEndian.PutUint32(seed[i*8+4:], uint32(i))
+	}
+	f.Add(seed)
+	// All-equal keys exercise the mergers' tie alternation.
+	eq := make([]byte, 12*8)
+	for i := 0; i < 12; i++ {
+		binary.LittleEndian.PutUint32(eq[i*8:], 7)
+		binary.LittleEndian.PutUint32(eq[i*8+4:], uint32(11-i))
+	}
+	f.Add(eq)
+	// Negative keys (sign extension through the uint32 round trip).
+	neg := make([]byte, 8*8)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint32(neg[i*8:], uint32(int32(-i*3)))
+		binary.LittleEndian.PutUint32(neg[i*8+4:], uint32(i))
+	}
+	f.Add(neg)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		input := decodeKVs(data)
+		want := multiset(input)
+
+		// Reference key order from an independent sort.
+		refKeys := make([]int64, len(input))
+		for i, kv := range input {
+			refKeys[i] = kv.Key
+		}
+		sort.Slice(refKeys, func(i, j int) bool { return refKeys[i] < refKeys[j] })
+
+		// The bitonic base sorter alone IS a total (key, value) order.
+		base := append([]KV(nil), input...)
+		if len(base) > VecElems {
+			base = base[:VecElems]
+		}
+		ref := append([]KV(nil), base...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i].Less(ref[j]) })
+		BitonicSort(base)
+		for i := range base {
+			if base[i] != ref[i] {
+				t.Fatalf("BitonicSort differs from reference at %d: %v, want %v", i, base[i], ref[i])
+			}
+		}
+
+		// A tiny config forces multiple runs and folded merge passes even
+		// on small inputs.
+		s := NewStreaming(Config{VecElems: 4, FanIn: 2, Layers: 2, ElemBytes: 8})
+		runs := s.SortRuns(append([]KV(nil), input...))
+		totalLen := 0
+		for ri, run := range runs {
+			totalLen += len(run)
+			if !keySorted(run) {
+				t.Fatalf("run %d has descending keys", ri)
+			}
+			if maxRun := s.Config().RunElems(); len(run) > maxRun {
+				t.Fatalf("run %d has %d elements, config caps runs at %d", ri, len(run), maxRun)
+			}
+		}
+		if totalLen != len(input) {
+			t.Fatalf("runs hold %d elements, input had %d", totalLen, len(input))
+		}
+
+		out := s.MergeRuns(runs)
+		if len(out) != len(input) {
+			t.Fatalf("merged output has %d elements, want %d", len(out), len(input))
+		}
+		if !IsSorted(out) {
+			t.Fatal("merged output keys not ascending")
+		}
+		for i := range out {
+			if out[i].Key != refKeys[i] {
+				t.Fatalf("key %d = %d, reference sort has %d", i, out[i].Key, refKeys[i])
+			}
+		}
+		if !sameMultiset(multiset(out), want) {
+			t.Fatal("output is not a permutation of the input")
+		}
+
+		// The one-shot Sort entry point upholds the same invariants.
+		s2 := NewStreaming(Config{VecElems: 8, FanIn: 4, Layers: 1, ElemBytes: 8})
+		out2 := s2.Sort(append([]KV(nil), input...))
+		if !IsSorted(out2) || !sameMultiset(multiset(out2), want) {
+			t.Fatal("Sort output unsorted or not a permutation")
+		}
+	})
+}

@@ -353,7 +353,10 @@ func (e *Executor) runRegexFilter(t *Task, tab *col.Table, rf RegexFilter, mask 
 	// Stream the offset column (page-skipped) and the heap (once, into
 	// the accelerator cache).
 	reader := col.NewPagedReader(ci, flash.Aquoman)
-	heap := ci.NewHeapReader(flash.Aquoman)
+	heap, err := ci.NewHeapReader(flash.Aquoman)
+	if err != nil {
+		return err
+	}
 	var vals [bitvec.VecSize]int64
 	nVecs := mask.NumVecs()
 	for vec := 0; vec < nVecs; vec++ {
@@ -361,7 +364,10 @@ func (e *Executor) runRegexFilter(t *Task, tab *col.Table, rf RegexFilter, mask 
 			reader.SkipVec(vec)
 			continue
 		}
-		n := reader.ReadVec(vec, vals[:])
+		n, err := reader.ReadVec(vec, vals[:])
+		if err != nil {
+			return err
+		}
 		base := vec * bitvec.VecSize
 		for j := 0; j < n; j++ {
 			row := base + j
@@ -404,7 +410,10 @@ func (e *Executor) streamColumn(tab *col.Table, name string, mask *bitvec.Mask, 
 			r.SkipVec(vec)
 			continue
 		}
-		n := r.ReadVec(vec, vals[:])
+		n, err := r.ReadVec(vec, vals[:])
+		if err != nil {
+			return nil, 0, 0, err
+		}
 		bits := mask.VecBits(vec)
 		for j := 0; j < n; j++ {
 			if bits&(1<<uint(j)) != 0 {
@@ -434,7 +443,10 @@ func (e *Executor) gatherHop(hop GatherHop, rows []int64, tt *TaskTrace) ([]int6
 	cacheName := "cache:" + hop.Table + "/" + hop.Column
 	if tab.NumRows <= dramCacheRowLimit {
 		if !e.cached[cacheName] {
-			vals := ci.ReadAll(flash.Aquoman)
+			vals, err := ci.ReadAll(flash.Aquoman)
+			if err != nil {
+				return nil, err
+			}
 			if _, err := e.DRAM.PutColumn(cacheName, vals); err != nil {
 				return nil, err
 			}
@@ -472,7 +484,10 @@ func (e *Executor) gatherHop(hop GatherHop, rows []int64, tt *TaskTrace) ([]int6
 			reader.SkipVec(vec)
 			continue
 		}
-		n := reader.ReadVec(vec, vals[:])
+		n, err := reader.ReadVec(vec, vals[:])
+		if err != nil {
+			return nil, err
+		}
 		bits := refMask.VecBits(vec)
 		base := vec * bitvec.VecSize
 		for j := 0; j < n; j++ {

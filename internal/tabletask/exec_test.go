@@ -237,7 +237,7 @@ func TestGroupByTaskWithGather(t *testing.T) {
 	catCol := inv.MustColumn("category")
 	byCat := map[string]int64{}
 	for i := range res.Cols[0] {
-		byCat[catCol.Str(res.Cols[0][i], flash.Host)] = res.Cols[1][i]
+		byCat[catCol.MustStr(res.Cols[0][i], flash.Host)] = res.Cols[1][i]
 	}
 	if byCat["Shoes"] != 1000+3000+4000 || byCat["Books"] != 2000+6000 || byCat["Games"] != 5000 {
 		t.Fatalf("byCat = %v", byCat)

@@ -1,0 +1,79 @@
+//go:build faultmatrix
+
+package tpch
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aquoman/internal/faults"
+	"aquoman/internal/flash"
+)
+
+// TestFaultMatrix sweeps a grid of seeded fault profiles × seeds, running
+// all 22 TPC-H queries under each schedule and diffing every result
+// against the fault-free oracle. Light profiles must be absorbed entirely
+// by flash-level page-read retries (no read ever fails outright); heavy
+// profiles may occasionally stack a fresh transient onto a clearing one
+// and exhaust the page budget, in which case the next recovery layer (the
+// host-resume path in core) must still deliver a byte-identical result.
+//
+// The sweep is behind the faultmatrix build tag because it executes
+// 22 queries × |profiles| × |seeds| pipeline runs; CI runs it in a
+// dedicated job rather than on every `go test ./...`.
+func TestFaultMatrix(t *testing.T) {
+	want := oracleResults(t)
+	s := sharedStore(t)
+
+	profiles := []struct {
+		name string
+		cfg  func(seed int64) faults.Config
+		// strict asserts no page read exhausts its retry budget; heavier
+		// profiles can stack transients past the budget, which the
+		// host-resume layer absorbs instead.
+		strict bool
+	}{
+		{"transient-light", func(seed int64) faults.Config {
+			return faults.Config{Seed: seed, PTransient: 0.0005, TransientRepeat: 1}
+		}, true},
+		{"transient-heavy", func(seed int64) faults.Config {
+			return faults.Config{Seed: seed, PTransient: 0.005, TransientRepeat: 3}
+		}, false},
+		{"transient-budget-edge", func(seed int64) faults.Config {
+			// Fails every attempt but the last one the budget allows.
+			return faults.Config{Seed: seed, PTransient: 0.002,
+				TransientRepeat: flash.DefaultRetryPolicy().Budget}
+		}, false},
+		{"slow", func(seed int64) faults.Config {
+			return faults.Config{Seed: seed, PSlow: 0.01, Stall: 100 * time.Microsecond}
+		}, true},
+		{"mixed", func(seed int64) faults.Config {
+			return faults.Config{Seed: seed, PTransient: 0.002, TransientRepeat: 2,
+				PSlow: 0.005, Stall: 50 * time.Microsecond}
+		}, false},
+	}
+	seeds := []int64{1, 2, 17, 99}
+
+	for _, p := range profiles {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", p.name, seed), func(t *testing.T) {
+				inj := faults.New(p.cfg(seed))
+				s.Dev.SetFaults(inj)
+				defer s.Dev.SetFaults(nil)
+				before := s.Dev.Stats()
+				for _, q := range Queries() {
+					b, _ := pipelineRun(t, q.Num)
+					diffBatches(t, fmt.Sprintf("q%d", q.Num), b, want[q.Num])
+				}
+				delta := s.Dev.Stats().Sub(before)
+				if n := delta.ReadsFailed[flash.Host] + delta.ReadsFailed[flash.Aquoman]; p.strict && n != 0 {
+					t.Fatalf("%d reads failed outright under an absorbable schedule", n)
+				}
+				if inj.Counts().TotalInjected() == 0 {
+					t.Fatal("schedule injected no faults; the cell tested nothing")
+				}
+			})
+		}
+	}
+}

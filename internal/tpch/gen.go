@@ -472,14 +472,14 @@ const PartSuppRowIDCol = "l_partsupp@rowid"
 // MaterializePartSuppIndex builds the composite join index; exported for
 // repartitioning (internal/distrib).
 func MaterializePartSuppIndex(lineitem, partsupp *col.Table) error {
-	pk := partsupp.MustColumn("ps_partkey").ReadAll(0)
-	sk := partsupp.MustColumn("ps_suppkey").ReadAll(0)
+	pk := partsupp.MustColumn("ps_partkey").MustReadAll(0)
+	sk := partsupp.MustColumn("ps_suppkey").MustReadAll(0)
 	idx := make(map[[2]int64]int64, len(pk))
 	for i := range pk {
 		idx[[2]int64{pk[i], sk[i]}] = int64(i)
 	}
-	lp := lineitem.MustColumn("l_partkey").ReadAll(0)
-	ls := lineitem.MustColumn("l_suppkey").ReadAll(0)
+	lp := lineitem.MustColumn("l_partkey").MustReadAll(0)
+	ls := lineitem.MustColumn("l_suppkey").MustReadAll(0)
 	rowids := make([]int64, len(lp))
 	for i := range lp {
 		r, ok := idx[[2]int64{lp[i], ls[i]}]

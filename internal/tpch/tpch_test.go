@@ -69,8 +69,8 @@ func TestGenDeterministic(t *testing.T) {
 		if t1.NumRows != t2.NumRows {
 			t.Fatalf("%s row counts differ", tab)
 		}
-		c1 := t1.MustColumn(t1.Cols[0].Name).ReadAll(flash.Host)
-		c2 := t2.MustColumn(t2.Cols[0].Name).ReadAll(flash.Host)
+		c1 := t1.MustColumn(t1.Cols[0].Name).MustReadAll(flash.Host)
+		c2 := t2.MustColumn(t2.Cols[0].Name).MustReadAll(flash.Host)
 		for i := range c1 {
 			if c1[i] != c2[i] {
 				t.Fatalf("%s col0 row %d differs", tab, i)
@@ -84,9 +84,9 @@ func TestGenKeyRelationships(t *testing.T) {
 	li := s.MustTable("lineitem")
 	orders := s.MustTable("orders")
 	// Materialized rowid columns exist and point at matching keys.
-	rid := li.MustColumn(col.RowIDColumnName("l_orderkey")).ReadAll(flash.Host)
-	lok := li.MustColumn("l_orderkey").ReadAll(flash.Host)
-	ook := orders.MustColumn("o_orderkey").ReadAll(flash.Host)
+	rid := li.MustColumn(col.RowIDColumnName("l_orderkey")).MustReadAll(flash.Host)
+	lok := li.MustColumn("l_orderkey").MustReadAll(flash.Host)
+	ook := orders.MustColumn("o_orderkey").MustReadAll(flash.Host)
 	for i := 0; i < len(rid); i += 997 {
 		if ook[rid[i]] != lok[i] {
 			t.Fatalf("lineitem row %d: rowid %d points at order %d, want %d",
@@ -94,12 +94,12 @@ func TestGenKeyRelationships(t *testing.T) {
 		}
 	}
 	// Composite partsupp join index.
-	psrid := li.MustColumn(PartSuppRowIDCol).ReadAll(flash.Host)
+	psrid := li.MustColumn(PartSuppRowIDCol).MustReadAll(flash.Host)
 	ps := s.MustTable("partsupp")
-	pspk := ps.MustColumn("ps_partkey").ReadAll(flash.Host)
-	pssk := ps.MustColumn("ps_suppkey").ReadAll(flash.Host)
-	lpk := li.MustColumn("l_partkey").ReadAll(flash.Host)
-	lsk := li.MustColumn("l_suppkey").ReadAll(flash.Host)
+	pspk := ps.MustColumn("ps_partkey").MustReadAll(flash.Host)
+	pssk := ps.MustColumn("ps_suppkey").MustReadAll(flash.Host)
+	lpk := li.MustColumn("l_partkey").MustReadAll(flash.Host)
+	lsk := li.MustColumn("l_suppkey").MustReadAll(flash.Host)
 	for i := 0; i < len(psrid); i += 997 {
 		r := psrid[i]
 		if pspk[r] != lpk[i] || pssk[r] != lsk[i] {
@@ -107,7 +107,7 @@ func TestGenKeyRelationships(t *testing.T) {
 		}
 	}
 	// Customers with custkey %3 == 0 have no orders.
-	ock := orders.MustColumn("o_custkey").ReadAll(flash.Host)
+	ock := orders.MustColumn("o_custkey").MustReadAll(flash.Host)
 	for i, ck := range ock {
 		if ck%3 == 0 {
 			t.Fatalf("order %d has custkey %d (multiple of 3)", i, ck)
@@ -118,11 +118,11 @@ func TestGenKeyRelationships(t *testing.T) {
 func TestGenValueDomains(t *testing.T) {
 	s := sharedStore(t)
 	li := s.MustTable("lineitem")
-	qty := li.MustColumn("l_quantity").ReadAll(flash.Host)
-	disc := li.MustColumn("l_discount").ReadAll(flash.Host)
-	tax := li.MustColumn("l_tax").ReadAll(flash.Host)
-	ship := li.MustColumn("l_shipdate").ReadAll(flash.Host)
-	rcpt := li.MustColumn("l_receiptdate").ReadAll(flash.Host)
+	qty := li.MustColumn("l_quantity").MustReadAll(flash.Host)
+	disc := li.MustColumn("l_discount").MustReadAll(flash.Host)
+	tax := li.MustColumn("l_tax").MustReadAll(flash.Host)
+	ship := li.MustColumn("l_shipdate").MustReadAll(flash.Host)
+	rcpt := li.MustColumn("l_receiptdate").MustReadAll(flash.Host)
 	lo, hi := col.MustParseDate("1992-01-02"), col.MustParseDate("1998-12-31")
 	for i := range qty {
 		if qty[i] < 100 || qty[i] > 5000 {
@@ -140,9 +140,9 @@ func TestGenValueDomains(t *testing.T) {
 	}
 	// Returnflag consistency with receiptdate.
 	rf := li.MustColumn("l_returnflag")
-	rfv := rf.ReadAll(flash.Host)
+	rfv := rf.MustReadAll(flash.Host)
 	for i := range rfv {
-		isN := rf.Str(rfv[i], flash.Host) == "N"
+		isN := rf.MustStr(rfv[i], flash.Host) == "N"
 		if (rcpt[i] > CurrentDate) != isN {
 			t.Fatalf("returnflag inconsistent at row %d", i)
 		}
@@ -153,10 +153,10 @@ func TestGenPhonePrefixMatchesNation(t *testing.T) {
 	s := sharedStore(t)
 	c := s.MustTable("customer")
 	phones := c.MustColumn("c_phone")
-	offs := phones.ReadAll(flash.Host)
-	nats := c.MustColumn("c_nationkey").ReadAll(flash.Host)
+	offs := phones.MustReadAll(flash.Host)
+	nats := c.MustColumn("c_nationkey").MustReadAll(flash.Host)
 	for i := 0; i < len(offs); i += 101 {
-		ph := phones.Str(offs[i], flash.Host)
+		ph := phones.MustStr(offs[i], flash.Host)
 		w0 := byte('0' + (nats[i]+10)/10)
 		w1 := byte('0' + (nats[i]+10)%10)
 		if ph[0] != w0 || ph[1] != w1 {
@@ -228,10 +228,10 @@ func TestQ1Consistency(t *testing.T) {
 func TestQ6Reference(t *testing.T) {
 	s := sharedStore(t)
 	li := s.MustTable("lineitem")
-	ship := li.MustColumn("l_shipdate").ReadAll(flash.Host)
-	disc := li.MustColumn("l_discount").ReadAll(flash.Host)
-	qty := li.MustColumn("l_quantity").ReadAll(flash.Host)
-	price := li.MustColumn("l_extendedprice").ReadAll(flash.Host)
+	ship := li.MustColumn("l_shipdate").MustReadAll(flash.Host)
+	disc := li.MustColumn("l_discount").MustReadAll(flash.Host)
+	qty := li.MustColumn("l_quantity").MustReadAll(flash.Host)
+	price := li.MustColumn("l_extendedprice").MustReadAll(flash.Host)
 	lo, hi := col.MustParseDate("1994-01-01"), col.MustParseDate("1995-01-01")
 	var want int64
 	for i := range ship {
