@@ -23,6 +23,7 @@ package aquoman
 
 import (
 	"fmt"
+	"sync"
 
 	"aquoman/internal/col"
 	"aquoman/internal/compiler"
@@ -34,6 +35,7 @@ import (
 	"aquoman/internal/obs"
 	"aquoman/internal/perf"
 	"aquoman/internal/plan"
+	"aquoman/internal/sched"
 	"aquoman/internal/sql"
 	"aquoman/internal/tpch"
 )
@@ -75,6 +77,22 @@ type (
 	FaultError = faults.Error
 	// RetryPolicy bounds the flash page-read retry loop.
 	RetryPolicy = flash.RetryPolicy
+	// SchedulerConfig sizes the concurrent query scheduler (max in-flight
+	// queries and pending-queue depth; see internal/sched).
+	SchedulerConfig = sched.Config
+	// PageCache is the shared single-flight LRU flash-page cache.
+	PageCache = sched.PageCache
+	// CacheStats snapshots page-cache effectiveness.
+	CacheStats = sched.CacheStats
+)
+
+// Scheduler backpressure errors (see DB.Submit).
+var (
+	// ErrQueueFull is returned by Submit when the pending queue is at its
+	// configured depth.
+	ErrQueueFull = sched.ErrQueueFull
+	// ErrSchedulerClosed is returned by Submit after DB.Close.
+	ErrSchedulerClosed = sched.ErrClosed
 )
 
 // Column type constants.
@@ -108,6 +126,11 @@ type DB struct {
 	// Obs (optional, see EnableObservability) collects per-stage spans and
 	// metrics for every query this DB runs.
 	Obs *obs.Observer
+
+	// mu guards the lazily created scheduler and cache.
+	mu    sync.Mutex
+	sched *sched.Scheduler
+	cache *sched.PageCache
 }
 
 // Open creates an empty in-memory AQUOMAN-augmented SSD.
@@ -138,6 +161,14 @@ func (db *DB) EnableObservability() *obs.Observer {
 	o := obs.New()
 	db.Obs = o
 	db.Flash.Observe(o.Reg)
+	db.mu.Lock()
+	if db.cache != nil {
+		db.cache.Observe(o.Reg)
+	}
+	if db.sched != nil {
+		db.sched.Observe(o.Reg)
+	}
+	db.mu.Unlock()
 	return o
 }
 
@@ -166,6 +197,178 @@ func (db *DB) WithFaults(inj *faults.Injector) *faults.Injector {
 // SetRetryPolicy replaces the flash device's page-read retry policy
 // (budget + exponential backoff; see flash.DefaultRetryPolicy).
 func (db *DB) SetRetryPolicy(p RetryPolicy) { db.Flash.SetRetryPolicy(p) }
+
+// ConfigureScheduler replaces the DB's query scheduler (closing any
+// previous one after draining its queue). Zero-value fields take the
+// defaults (4 in-flight, queue depth 64). Call with no queries in flight.
+func (db *DB) ConfigureScheduler(cfg SchedulerConfig) {
+	db.mu.Lock()
+	old := db.sched
+	db.sched = sched.NewScheduler(cfg)
+	if db.Obs != nil {
+		db.sched.Observe(db.Obs.Reg)
+	}
+	db.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// scheduler returns the DB's scheduler, creating a default one on first use.
+func (db *DB) scheduler() *sched.Scheduler {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.sched == nil {
+		db.sched = sched.NewScheduler(SchedulerConfig{})
+		if db.Obs != nil {
+			db.sched.Observe(db.Obs.Reg)
+		}
+	}
+	return db.sched
+}
+
+// Close drains and stops the scheduler (if one was ever created). Queries
+// already queued still run to completion; new Submits fail with
+// ErrSchedulerClosed.
+func (db *DB) Close() {
+	db.mu.Lock()
+	s := db.sched
+	db.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+}
+
+// EnableCache installs a shared single-flight LRU page cache of maxBytes
+// in front of the DB's flash device and returns it. Page reads served
+// from the cache cost no device I/O (and, under fault injection, consume
+// no injected faults). Safe to call before queries start.
+func (db *DB) EnableCache(maxBytes int64) *PageCache {
+	c := sched.NewPageCache(maxBytes)
+	db.mu.Lock()
+	db.cache = c
+	if db.Obs != nil {
+		c.Observe(db.Obs.Reg)
+	}
+	db.mu.Unlock()
+	db.Flash.SetPageCache(c)
+	return c
+}
+
+// DisableCache detaches the page cache; subsequent reads go straight to
+// the device.
+func (db *DB) DisableCache() {
+	db.mu.Lock()
+	db.cache = nil
+	db.mu.Unlock()
+	db.Flash.SetPageCache(nil)
+}
+
+// Cache returns the installed page cache, or nil.
+func (db *DB) Cache() *PageCache {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.cache
+}
+
+// CacheStats snapshots the page cache's hit/miss/eviction counters (zero
+// value when no cache is installed).
+func (db *DB) CacheStats() CacheStats {
+	db.mu.Lock()
+	c := db.cache
+	db.mu.Unlock()
+	if c == nil {
+		return CacheStats{}
+	}
+	return c.Stats()
+}
+
+// Ticket tracks one query submitted to the scheduler.
+type Ticket struct {
+	t *sched.Ticket
+}
+
+// Wait blocks until the query has run and returns its result.
+func (t *Ticket) Wait() (*Result, error) {
+	v, err := t.t.Wait()
+	if err != nil {
+		return nil, err
+	}
+	res, _ := v.(*Result)
+	return res, nil
+}
+
+// Done returns a channel closed when the query has completed.
+func (t *Ticket) Done() <-chan struct{} { return t.t.Done() }
+
+// Round reports the scheduling round at which the query began executing.
+func (t *Ticket) Round() int64 { return t.t.Round() }
+
+// Submit enqueues a plan for concurrent execution and returns immediately
+// with a Ticket. It fails fast with ErrQueueFull when the scheduler's
+// pending queue is at capacity (backpressure) and ErrSchedulerClosed
+// after Close. Results carry no per-query flash traffic or metrics delta:
+// the device is shared, so attribution would be wrong — use FlashStats
+// and CacheStats for whole-device accounting.
+func (db *DB) Submit(p Plan) (*Ticket, error) {
+	t, err := db.scheduler().Submit(db.job(p))
+	if err != nil {
+		return nil, err
+	}
+	return &Ticket{t: t}, nil
+}
+
+// SubmitWait is Submit with blocking admission: when the queue is full it
+// stalls the caller instead of returning ErrQueueFull.
+func (db *DB) SubmitWait(p Plan) (*Ticket, error) {
+	t, err := db.scheduler().SubmitWait(db.job(p))
+	if err != nil {
+		return nil, err
+	}
+	return &Ticket{t: t}, nil
+}
+
+// job wraps one plan execution for the scheduler.
+func (db *DB) job(p Plan) sched.Job {
+	return func() (interface{}, error) {
+		return db.run(p, core.Config{
+			DRAMBytes:    db.DRAMBytes,
+			Compiler:     compiler.Config{HeapScale: db.HeapScale},
+			Obs:          db.Obs,
+			SharedDevice: true,
+		})
+	}
+}
+
+// RunConcurrent submits all plans through the scheduler (blocking
+// admission) and waits for every one. results[i] corresponds to plans[i];
+// the first error (if any) is returned, with the remaining results intact.
+func (db *DB) RunConcurrent(plans []Plan) ([]*Result, error) {
+	tickets := make([]*Ticket, len(plans))
+	var firstErr error
+	for i, p := range plans {
+		t, err := db.SubmitWait(p)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("submit plan %d: %w", i, err)
+			}
+			continue
+		}
+		tickets[i] = t
+	}
+	results := make([]*Result, len(plans))
+	for i, t := range tickets {
+		if t == nil {
+			continue
+		}
+		res, err := t.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("plan %d: %w", i, err)
+		}
+		results[i] = res
+	}
+	return results, firstErr
+}
 
 // Result is a finished query: its rows plus the execution report.
 type Result struct {

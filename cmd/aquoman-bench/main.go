@@ -8,6 +8,7 @@
 //	aquoman-bench -report offload    # Sec VIII-B offload census
 //	aquoman-bench -report resources  # Tables III/IV substitution
 //	aquoman-bench -report obsbench   # observability overhead (q1/q6, JSON)
+//	aquoman-bench -report concbench  # concurrent-stream throughput (q1/q6, JSON)
 //	aquoman-bench -report all
 //
 // Data is generated at -sf (default 0.01) and traces are extrapolated to
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync"
 	"time"
 
 	"aquoman"
@@ -33,11 +35,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aquoman-bench: ")
 	var (
-		report = flag.String("report", "all", "fig16a|fig16b|fig16c|tablev|fig17|offload|resources|obsbench|all")
-		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor to generate")
-		target = flag.Float64("target", 1000, "modeled deployment scale factor")
-		seed   = flag.Int64("seed", 42, "generator seed")
-		out    = flag.String("out", "", "obsbench: write the JSON report to this file instead of stdout")
+		report  = flag.String("report", "all", "fig16a|fig16b|fig16c|tablev|fig17|offload|resources|obsbench|concbench|all")
+		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor to generate")
+		target  = flag.Float64("target", 1000, "modeled deployment scale factor")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		out     = flag.String("out", "", "obsbench/concbench: write the JSON report to this file instead of stdout")
+		cacheMB = flag.Int("cache", 64, "concbench: shared page cache size in MiB")
+		pageLat = flag.Duration("pagelat", 400*time.Microsecond, "concbench: simulated NAND read latency per 8 KB page")
 	)
 	flag.Parse()
 
@@ -45,6 +49,10 @@ func main() {
 
 	if *report == "obsbench" {
 		runObsBench(*sf, *seed, *out)
+		return
+	}
+	if *report == "concbench" {
+		runConcBench(*sf, *seed, *out, int64(*cacheMB)<<20, *pageLat)
 		return
 	}
 
@@ -98,6 +106,118 @@ func main() {
 		}
 	}
 	os.Exit(0)
+}
+
+// runConcBench measures query throughput at 1/4/16 concurrent streams on
+// a q1/q6 mix, with the shared page cache and a simulated per-page NAND
+// read latency (tR) on the flash device. Each stream issues its queries
+// serially, like a client session; streams overlap their device time and
+// share hot pages through the cache (single-flight turns S concurrent
+// scans of one file into one device pass), which is where the throughput
+// scaling comes from on a CPU-bound simulator.
+func runConcBench(sf float64, seed int64, out string, cacheBytes int64, pageLat time.Duration) {
+	db := aquoman.Open()
+	db.HeapScale = 1000 / sf
+	log.Printf("generating TPC-H SF %g...", sf)
+	if err := db.LoadTPCH(sf, seed); err != nil {
+		log.Fatal(err)
+	}
+	// Latency is enabled only after load so generation stays fast.
+	db.Flash.SetReadLatency(pageLat)
+	defer db.Close()
+
+	mix := []int{1, 6}
+	const reps = 3
+	type entry struct {
+		Streams      int     `json:"streams"`
+		Queries      int     `json:"queries"`
+		WallNs       int64   `json:"wall_ns"`
+		QPS          float64 `json:"queries_per_sec"`
+		CacheHitRate float64 `json:"cache_hit_rate"`
+		CacheHits    int64   `json:"cache_hits"`
+		CacheMisses  int64   `json:"cache_misses"`
+		DevicePages  int64   `json:"device_pages_read"`
+	}
+	doc := struct {
+		SF          float64 `json:"sf"`
+		PageLatNs   int64   `json:"page_latency_ns"`
+		CacheBytes  int64   `json:"cache_bytes"`
+		Mix         []int   `json:"mix"`
+		Reps        int     `json:"reps"`
+		Entries     []entry `json:"streams"`
+		Speedup4vs1 float64 `json:"speedup_4_vs_1"`
+	}{SF: sf, PageLatNs: pageLat.Nanoseconds(), CacheBytes: cacheBytes, Mix: mix, Reps: reps}
+
+	for _, streams := range []int{1, 4, 16} {
+		db.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: streams, QueueDepth: 2 * streams * len(mix)})
+		best := entry{Streams: streams, Queries: streams * len(mix)}
+		for rep := 0; rep < reps; rep++ {
+			// A fresh cache per rep: every configuration starts cold, so
+			// single-stream runs don't inherit residency from earlier reps.
+			cache := db.EnableCache(cacheBytes)
+			db.ResetFlashStats()
+			var wg sync.WaitGroup
+			errs := make(chan error, streams)
+			start := time.Now()
+			for s := 0; s < streams; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for _, q := range mix {
+						p, err := aquoman.TPCHQuery(q)
+						if err != nil {
+							errs <- err
+							return
+						}
+						ticket, err := db.SubmitWait(p)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if _, err := ticket.Wait(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			close(errs)
+			for err := range errs {
+				log.Fatal(err)
+			}
+			st := cache.Stats()
+			qps := float64(streams*len(mix)) / wall.Seconds()
+			if best.WallNs == 0 || qps > best.QPS {
+				best.WallNs = wall.Nanoseconds()
+				best.QPS = qps
+				best.CacheHitRate = st.HitRate()
+				best.CacheHits = st.Hits
+				best.CacheMisses = st.Misses
+				best.DevicePages = db.FlashStats().TotalPagesRead()
+			}
+		}
+		log.Printf("%2d streams: %6.2f q/s, %4.1f%% cache hits, %d device pages",
+			streams, best.QPS, 100*best.CacheHitRate, best.DevicePages)
+		doc.Entries = append(doc.Entries, best)
+	}
+	doc.Speedup4vs1 = doc.Entries[1].QPS / doc.Entries[0].QPS
+	log.Printf("speedup at 4 streams vs 1: %.2fx", doc.Speedup4vs1)
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = append(b, '\n')
+	if out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
 }
 
 // runObsBench measures the wall-clock cost of full observability (metrics

@@ -7,6 +7,7 @@
 //	aquoman-run -q 6 -metrics           # Prometheus-text metrics dump
 //	aquoman-run -q 6 -listen :8080      # serve /metrics and /debug/vars
 //	aquoman-run -q 6 -faults seed=7,transient=0.001,repeat=2
+//	aquoman-run -q 6 -jobs 8 -cache 64   # 8 concurrent streams, 64 MiB page cache
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"aquoman"
 	"aquoman/internal/faults"
@@ -34,6 +36,9 @@ func main() {
 
 		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. seed=7,transient=0.001,repeat=2,permanent=0.0001,slow=0.001,stall=2ms")
 		retries   = flag.Int("retry", -1, "page-read retry budget (-1 = default policy)")
+
+		jobs    = flag.Int("jobs", 1, "concurrent streams: run the query this many times through the scheduler")
+		cacheMB = flag.Int("cache", 0, "shared page cache size in MiB (0 = no cache)")
 
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the pipeline stages to this file")
 		tree     = flag.Bool("tree", false, "print the span tree of the traced query")
@@ -93,12 +98,43 @@ func main() {
 		p.Budget = *retries
 		db.SetRetryPolicy(p)
 	}
+	if *cacheMB > 0 {
+		db.EnableCache(int64(*cacheMB) << 20)
+	}
 
 	var res *aquoman.Result
 	var err error
-	if *host {
+	switch {
+	case *jobs > 1:
+		if *host {
+			log.Fatal("-jobs and -host are mutually exclusive")
+		}
+		db.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: *jobs, QueueDepth: 2 * *jobs})
+		defer db.Close()
+		plans := make([]aquoman.Plan, *jobs)
+		for i := range plans {
+			if plans[i], err = aquoman.TPCHQuery(*q); err != nil {
+				log.Fatal(err)
+			}
+		}
+		start := time.Now()
+		results, rcErr := db.RunConcurrent(plans)
+		wall := time.Since(start)
+		if rcErr != nil {
+			log.Fatal(rcErr)
+		}
+		res = results[0]
+		fmt.Printf("=== %d concurrent streams of q%d: %.2f queries/sec (wall %v) ===\n",
+			*jobs, *q, float64(*jobs)/wall.Seconds(), wall.Round(time.Millisecond))
+		if *cacheMB > 0 {
+			st := db.CacheStats()
+			fmt.Printf("cache: %.1f%% hit rate (%d hits / %d misses, %d evictions, %.2f MB resident)\n",
+				100*st.HitRate(), st.Hits, st.Misses, st.Evictions, float64(st.Bytes)/1e6)
+		}
+		fmt.Println("note: per-query flash attribution is disabled for concurrent runs; see aggregate FlashStats")
+	case *host:
 		res, err = db.RunTPCHHostOnly(*q)
-	} else {
+	default:
 		res, err = db.RunTPCH(*q)
 	}
 	if err != nil {

@@ -34,6 +34,11 @@ type Config struct {
 	Compiler compiler.Config
 	// DisableOffload forces pure host execution (the baseline systems).
 	DisableOffload bool
+	// SharedDevice marks the flash device as shared with concurrently
+	// running queries (the sched package). Per-query flash traffic deltas
+	// and registry deltas would misattribute the other queries' work, so
+	// Report.Flash/OffloadFraction/Metrics stay zero when set.
+	SharedDevice bool
 
 	// Obs (optional) collects per-stage spans and metrics for the query.
 	Obs *obs.Observer
@@ -100,7 +105,7 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 	finish := func() {
 		d.finishReport(rep, flashBefore)
 		qSpan.End()
-		if o != nil && o.Reg != nil {
+		if o != nil && o.Reg != nil && !d.cfg.SharedDevice {
 			delta := o.Reg.Snapshot().Delta(metricsBefore)
 			rep.Metrics = &delta
 		}
@@ -194,10 +199,12 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 }
 
 func (d *Device) finishReport(rep *Report, before flash.Stats) {
-	rep.Flash = d.Store.Dev.Stats().Sub(before)
-	total := rep.Flash.BytesRead(flash.Host) + rep.Flash.BytesRead(flash.Aquoman)
-	if total > 0 {
-		rep.OffloadFraction = float64(rep.Flash.BytesRead(flash.Aquoman)) / float64(total)
+	if !d.cfg.SharedDevice {
+		rep.Flash = d.Store.Dev.Stats().Sub(before)
+		total := rep.Flash.BytesRead(flash.Host) + rep.Flash.BytesRead(flash.Aquoman)
+		if total > 0 {
+			rep.OffloadFraction = float64(rep.Flash.BytesRead(flash.Aquoman)) / float64(total)
+		}
 	}
 	d.DRAM.ResetPeak()
 	if o := d.cfg.Obs; o != nil && o.Reg != nil {

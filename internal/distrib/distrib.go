@@ -32,6 +32,7 @@ import (
 	"aquoman/internal/mem"
 	"aquoman/internal/obs"
 	"aquoman/internal/plan"
+	"aquoman/internal/sched"
 	"aquoman/internal/tpch"
 )
 
@@ -65,6 +66,10 @@ type Cluster struct {
 	// Obs (optional) collects cluster-wide spans and metrics; shard spans
 	// carry one trace lane (tid) per device.
 	Obs *obs.Observer
+
+	// cache (optional, see EnableCache) is shared by every shard device
+	// through per-device partitions of one byte budget.
+	cache *sched.PageCache
 }
 
 // NewCluster returns an empty cluster of n devices.
@@ -90,6 +95,55 @@ func (c *Cluster) EnableObservability() *obs.Observer {
 		dev.Observe(o.Reg, "device", strconv.Itoa(i))
 	}
 	return o
+}
+
+// EnableCache installs one shared single-flight LRU page cache of
+// maxBytes across all shard devices (and host mirrors). Every device gets
+// its own partition of the shared budget, so identically named column
+// files on different shards cannot alias each other's pages. Mirrors
+// created by a later Partition call join the same cache automatically.
+func (c *Cluster) EnableCache(maxBytes int64) *sched.PageCache {
+	c.cache = sched.NewPageCache(maxBytes)
+	if c.Obs != nil {
+		c.cache.Observe(c.Obs.Reg)
+	}
+	c.applyCache()
+	return c.cache
+}
+
+// DisableCache detaches the shared page cache from every device.
+func (c *Cluster) DisableCache() {
+	c.cache = nil
+	for _, dev := range c.Devices {
+		dev.SetPageCache(nil)
+	}
+	for _, dev := range c.MirrorDevices {
+		if dev != nil {
+			dev.SetPageCache(nil)
+		}
+	}
+}
+
+// CacheStats snapshots the shared cache (zero value when none installed).
+func (c *Cluster) CacheStats() sched.CacheStats {
+	if c.cache == nil {
+		return sched.CacheStats{}
+	}
+	return c.cache.Stats()
+}
+
+func (c *Cluster) applyCache() {
+	if c.cache == nil {
+		return
+	}
+	for i, dev := range c.Devices {
+		dev.SetPageCache(c.cache.Partition("dev" + strconv.Itoa(i)))
+	}
+	for i, dev := range c.MirrorDevices {
+		if dev != nil {
+			dev.SetPageCache(c.cache.Partition("mirror" + strconv.Itoa(i)))
+		}
+	}
 }
 
 // LoadTPCH generates a TPC-H data set and partitions it across the
@@ -168,6 +222,9 @@ func (c *Cluster) Partition(src *col.Store) error {
 		}
 	}
 	_ = orders
+	// Mirror devices created above join the shared cache (no-op when no
+	// cache is installed).
+	c.applyCache()
 	return nil
 }
 

@@ -311,25 +311,41 @@ func (in *Injector) account(k Kind, who flash.Requester) {
 // on a real device, so a read either fails or returns exact bytes.
 func (in *Injector) ReadFault(file string, page int64, who flash.Requester, attempt int) (time.Duration, error) {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	in.counts.Reads[who]++
+	hook := in.Hook
+	stuck := in.stuck
+	in.mu.Unlock()
+	// fail must be called with in.mu held.
 	fail := func(k Kind) (time.Duration, error) {
 		in.account(k, who)
 		return 0, &Error{File: file, Page: page, Who: who, Kind: k}
 	}
-	if in.stuck {
-		return fail(DeviceStuck)
+	failNow := func(k Kind) (time.Duration, error) {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		return fail(k)
 	}
-	if in.Hook != nil {
-		if k, ok := in.Hook(file, page, who, attempt); ok {
+	if stuck {
+		return failNow(DeviceStuck)
+	}
+	if hook != nil {
+		// The hook runs outside the injector lock: scripted hooks may
+		// block (to park one query deterministically) or call back into
+		// the injector without wedging unrelated reads.
+		if k, ok := hook(file, page, who, attempt); ok {
 			if k == SlowRead {
+				in.mu.Lock()
 				in.account(SlowRead, who)
-				return in.cfg.Stall, nil
+				stall := in.cfg.Stall
+				in.mu.Unlock()
+				return stall, nil
 			}
-			return fail(k)
+			return failNow(k)
 		}
 		return 0, nil
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	key := pageKey{file, page}
 	if in.badPages[key] {
 		return fail(Permanent)

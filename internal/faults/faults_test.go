@@ -221,3 +221,49 @@ func TestEndToEndThroughDevice(t *testing.T) {
 		t.Fatalf("err = %v, want permanent fault on page 2", err)
 	}
 }
+
+// The hook runs outside the injector lock: a hook that re-enters the
+// injector (Counts) or blocks must not deadlock, and reads of other
+// files must proceed while a hooked read is parked. Regression for the
+// lock-across-callback hazard fixed for the sched gating tests.
+func TestHookRunsOutsideLock(t *testing.T) {
+	in := New(Config{})
+	gate := make(chan struct{})
+	in.Hook = func(file string, page int64, who flash.Requester, attempt int) (Kind, bool) {
+		if file == "blocked" {
+			in.Counts() // re-entrant call: self-deadlock before the fix
+			<-gate
+		}
+		return 0, false
+	}
+	parked := make(chan struct{})
+	go func() {
+		if _, err := in.ReadFault("blocked", 0, flash.Host, 0); err != nil {
+			t.Error(err)
+		}
+		close(parked)
+	}()
+	// While "blocked" is parked inside its hook, unrelated reads and
+	// accounting must flow.
+	deadline := time.After(2 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			if _, err := in.ReadFault("other", int64(i), flash.Aquoman, 0); err != nil {
+				t.Error(err)
+			}
+		}
+		in.Counts()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatal("reads wedged behind a blocking hook")
+	}
+	close(gate)
+	<-parked
+	if got := in.Counts().Reads[flash.Aquoman]; got != 100 {
+		t.Fatalf("aquoman reads = %d, want 100", got)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aquoman/internal/obs"
@@ -78,6 +79,27 @@ func (r Requester) String() string {
 // the device's retry loop; other errors fail immediately.
 type FaultInjector interface {
 	ReadFault(file string, page int64, who Requester, attempt int) (stall time.Duration, err error)
+}
+
+// PageCacher is the seam where a shared page cache (internal/sched's
+// LRU PageCache) plugs in front of the device. When one is installed via
+// SetPageCache, every File read is served page-wise through it: a cached
+// page costs no device I/O — no traffic accounting, no fault-injector
+// consultation, no read latency — while a miss calls read, which performs
+// exactly one real device page read. Implementations must coalesce
+// concurrent misses on the same page into a single read call and must not
+// cache the result of a failed read.
+type PageCacher interface {
+	// GetPage returns the content of page `page` of the named file. On a
+	// miss it calls read (exactly once per coalesced group of concurrent
+	// misses) and caches the result only if read returned nil error. The
+	// returned slice is shared — callers must copy, not mutate.
+	GetPage(file string, page int64, read func() ([]byte, error)) ([]byte, error)
+	// InvalidatePages drops the cached pages [first, last] of file after
+	// the underlying bytes changed.
+	InvalidatePages(file string, first, last int64)
+	// InvalidateFile drops every cached page of file (Create/Remove).
+	InvalidateFile(file string)
 }
 
 // RetryPolicy bounds the device's page-read retry loop. A transient fault
@@ -213,6 +235,13 @@ type Device struct {
 
 	faults FaultInjector
 	retry  RetryPolicy
+	cache  PageCacher
+
+	// readLatencyNs, when positive, is slept per device page read — an
+	// opt-in wall-clock pacing of NAND read latency (tR) that makes
+	// concurrency benchmarks overlap I/O the way a real device does.
+	// Off (0) by default so tests and simulations stay deterministic.
+	readLatencyNs atomic.Int64
 
 	// metrics mirrors the traffic counters into an obs registry (nil
 	// counters no-op, so the account path is branch-free when
@@ -254,6 +283,43 @@ func (d *Device) Faults() FaultInjector {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.faults
+}
+
+// SetPageCache installs a page cache in front of the device's read path
+// (nil detaches it). Install with the device idle: pages already being
+// read bypass the cache. Traffic accounting changes meaning under a
+// cache — Stats counts only device reads (misses), which is exactly what
+// the single-flight and offload models want.
+func (d *Device) SetPageCache(c PageCacher) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cache = c
+}
+
+// PageCache returns the installed page cache (nil when none).
+func (d *Device) PageCache() PageCacher {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cache
+}
+
+// SetReadLatency sets the wall-clock latency slept per device page read
+// (0, the default, sleeps never). Cached page hits skip it — they never
+// reach the device.
+func (d *Device) SetReadLatency(perPage time.Duration) {
+	d.readLatencyNs.Store(int64(perPage))
+}
+
+// ReadLatency returns the per-page read latency.
+func (d *Device) ReadLatency() time.Duration {
+	return time.Duration(d.readLatencyNs.Load())
+}
+
+// throttle sleeps the configured read latency for n device page reads.
+func (d *Device) throttle(n int64) {
+	if lat := d.readLatencyNs.Load(); lat > 0 && n > 0 {
+		time.Sleep(time.Duration(lat * n))
+	}
 }
 
 // SetRetryPolicy replaces the page-read retry policy.
@@ -342,7 +408,6 @@ type File struct {
 // clean per-file ledger.
 func (d *Device) Create(name string) *File {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	f := &File{dev: d, name: name}
 	for i := range f.lastRead {
 		f.lastRead[i] = -1
@@ -351,6 +416,11 @@ func (d *Device) Create(name string) *File {
 	d.files[name] = f
 	delete(d.fileStats, name)
 	d.metrics.files.Set(int64(len(d.files)))
+	cache := d.cache
+	d.mu.Unlock()
+	if cache != nil {
+		cache.InvalidateFile(name)
+	}
 	return f
 }
 
@@ -378,10 +448,14 @@ func (d *Device) Exists(name string) bool {
 // missing file is a no-op.
 func (d *Device) Remove(name string) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	delete(d.files, name)
 	delete(d.fileStats, name)
 	d.metrics.files.Set(int64(len(d.files)))
+	cache := d.cache
+	d.mu.Unlock()
+	if cache != nil {
+		cache.InvalidateFile(name)
+	}
 }
 
 // Files returns the names of all files in deterministic order.
@@ -600,6 +674,16 @@ func (f *File) accountWrite(who Requester, off, n int64) (pages, random int64) {
 	return pages, random
 }
 
+// invalidateWritten drops any cached pages the byte range [off, off+n)
+// overlaps. Called after the content mutation is visible, so a racing
+// reader either sees the new bytes or has its stale cache fill rejected
+// by the cache's generation check.
+func (f *File) invalidateWritten(off, n int64) {
+	if cache := f.dev.PageCache(); cache != nil {
+		cache.InvalidatePages(f.name, off/PageSize, (off+n-1)/PageSize)
+	}
+}
+
 // Append writes p at the end of the file, accounted to requester who.
 func (f *File) Append(p []byte, who Requester) {
 	if len(p) == 0 {
@@ -611,6 +695,7 @@ func (f *File) Append(p []byte, who Requester) {
 	pages, random := f.accountWrite(who, off, int64(len(p)))
 	f.mu.Unlock()
 	f.dev.account(f.name, who, 0, 0, pages, random)
+	f.invalidateWritten(off, int64(len(p)))
 }
 
 // WriteAt writes p at offset off (extending the file as needed).
@@ -627,6 +712,7 @@ func (f *File) WriteAt(p []byte, off int64, who Requester) {
 	pages, random := f.accountWrite(who, off, int64(len(p)))
 	f.mu.Unlock()
 	f.dev.account(f.name, who, 0, 0, pages, random)
+	f.invalidateWritten(off, int64(len(p)))
 }
 
 // ReadAt fills p from offset off, accounting every touched page to who.
@@ -638,6 +724,9 @@ func (f *File) WriteAt(p []byte, off int64, who Requester) {
 func (f *File) ReadAt(p []byte, off int64, who Requester) (int, error) {
 	if len(p) == 0 || off < 0 {
 		return 0, nil
+	}
+	if cache := f.dev.PageCache(); cache != nil {
+		return f.readCached(cache, p, off, who)
 	}
 	f.mu.Lock()
 	size := int64(len(f.data))
@@ -672,8 +761,75 @@ func (f *File) ReadAt(p []byte, off int64, who Requester) (int, error) {
 	f.mu.Unlock()
 	if n > 0 {
 		f.dev.account(f.name, who, pages, random, 0, 0)
+		f.dev.throttle(pages)
 	}
 	return n, nil
+}
+
+// readCached serves the byte range page-wise through the installed cache.
+// Hits cost no device I/O; each miss performs exactly one real device
+// page read (fault check, accounting, latency) via devicePageRead.
+func (f *File) readCached(cache PageCacher, p []byte, off int64, who Requester) (int, error) {
+	f.mu.Lock()
+	size := int64(len(f.data))
+	f.mu.Unlock()
+	if off >= size {
+		return 0, nil
+	}
+	n := int64(len(p))
+	if n > size-off {
+		n = size - off
+	}
+	total := 0
+	for page := off / PageSize; page <= (off+n-1)/PageSize; page++ {
+		data, err := cache.GetPage(f.name, page, func() ([]byte, error) {
+			return f.devicePageRead(page, who)
+		})
+		if err != nil {
+			return 0, err
+		}
+		pageStart := page * PageSize
+		lo := off - pageStart
+		if lo < 0 {
+			lo = 0
+		}
+		hi := off + n - pageStart
+		if hi > int64(len(data)) {
+			hi = int64(len(data))
+		}
+		if hi <= lo {
+			continue
+		}
+		total += copy(p[pageStart+lo-off:], data[lo:hi])
+	}
+	return total, nil
+}
+
+// devicePageRead is the cache's miss path: one real page read with fault
+// check, traffic accounting, and read latency. The returned slice is a
+// private copy (the cache shares it with future hits).
+func (f *File) devicePageRead(page int64, who Requester) ([]byte, error) {
+	if err := f.dev.checkRead(f.name, page, page, who); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	var data []byte
+	if lo := page * PageSize; lo < int64(len(f.data)) {
+		hi := lo + PageSize
+		if hi > int64(len(f.data)) {
+			hi = int64(len(f.data))
+		}
+		data = append([]byte(nil), f.data[lo:hi]...)
+	}
+	var random int64
+	if f.lastRead[who] >= 0 && (page > f.lastRead[who] || page < f.lastRead[who]-1) {
+		random = 1
+	}
+	f.lastRead[who] = page + 1
+	f.mu.Unlock()
+	f.dev.account(f.name, who, 1, random, 0, 0)
+	f.dev.throttle(1)
+	return data, nil
 }
 
 // ReadPage reads one whole page (the last page may be short). It is the

@@ -1,0 +1,279 @@
+// Package sched layers concurrent query execution on top of the single-query
+// core: an admission-controlled scheduler (sched.go) and a shared,
+// size-bounded LRU flash-page cache (this file). The cache sits in front of
+// flash.Device via the flash.PageCacher seam, so every byte a query reads can
+// be served to the next query without touching the simulated NAND again.
+package sched
+
+import (
+	"container/list"
+	"sync"
+
+	"aquoman/internal/obs"
+)
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      int64 // page requests served from memory
+	Misses    int64 // page requests that performed a device read
+	Evictions int64 // pages dropped to stay within the byte budget
+	Bytes     int64 // bytes currently resident
+	Entries   int64 // pages currently resident
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any traffic.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// pageKey identifies one cached page. Partition isolates devices that reuse
+// file names (distrib shards all store "lineitem/l_qty.dat").
+type pageKey struct {
+	part string
+	file string
+	page int64
+}
+
+type fileKey struct {
+	part string
+	file string
+}
+
+// entry is one resident page; it lives in both the lookup map and the LRU
+// list (front = most recently used).
+type entry struct {
+	key  pageKey
+	data []byte
+	elem *list.Element
+}
+
+// flight is an in-progress device read. Concurrent misses on the same page
+// find the flight and wait on done instead of issuing duplicate reads.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// PageCache is a shared, size-bounded, single-flight LRU cache of flash
+// pages. It is safe for concurrent use. It implements flash.PageCacher
+// (for the default partition ""); per-device views come from Partition.
+//
+// Correctness properties (asserted by cache_test.go):
+//   - resident bytes never exceed MaxBytes;
+//   - a faulted read never populates the cache (and the error is returned
+//     to every waiter of that flight);
+//   - a write or invalidation that races with an in-flight read wins: the
+//     stale fill is discarded (generation counters per file).
+type PageCache struct {
+	mu      sync.Mutex
+	max     int64
+	bytes   int64
+	entries map[pageKey]*entry
+	lru     *list.List
+	flights map[pageKey]*flight
+	gens    map[fileKey]uint64
+
+	hits, misses, evictions int64
+
+	// Optional observability handles; nil-safe.
+	cHits, cMisses, cEvictions *obs.Counter
+	gBytes, gEntries           *obs.Gauge
+}
+
+// NewPageCache returns a cache bounded to maxBytes of page data.
+// maxBytes <= 0 disables residency entirely (every read is a miss), but
+// single-flight deduplication still applies.
+func NewPageCache(maxBytes int64) *PageCache {
+	return &PageCache{
+		max:     maxBytes,
+		entries: make(map[pageKey]*entry),
+		lru:     list.New(),
+		flights: make(map[pageKey]*flight),
+		gens:    make(map[fileKey]uint64),
+	}
+}
+
+// Observe binds hit/miss/eviction counters and residency gauges into reg.
+func (c *PageCache) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cHits = reg.Counter("sched_cache_hits_total")
+	c.cMisses = reg.Counter("sched_cache_misses_total")
+	c.cEvictions = reg.Counter("sched_cache_evictions_total")
+	c.gBytes = reg.Gauge("sched_cache_bytes")
+	c.gEntries = reg.Gauge("sched_cache_entries")
+}
+
+// Stats snapshots the cache counters.
+func (c *PageCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   int64(len(c.entries)),
+	}
+}
+
+// MaxBytes reports the configured byte budget.
+func (c *PageCache) MaxBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.max
+}
+
+// GetPage implements flash.PageCacher for the default partition.
+func (c *PageCache) GetPage(file string, page int64, read func() ([]byte, error)) ([]byte, error) {
+	return c.getPage("", file, page, read)
+}
+
+// InvalidatePages implements flash.PageCacher for the default partition.
+func (c *PageCache) InvalidatePages(file string, first, last int64) {
+	c.invalidatePages("", file, first, last)
+}
+
+// InvalidateFile implements flash.PageCacher for the default partition.
+func (c *PageCache) InvalidateFile(file string) {
+	c.invalidateFile("", file)
+}
+
+// Partition returns a view of the cache whose keys are isolated under name.
+// All partitions share one byte budget and one LRU. The returned view
+// implements flash.PageCacher.
+func (c *PageCache) Partition(name string) *Partition {
+	return &Partition{c: c, name: name}
+}
+
+// Partition is a named view of a shared PageCache (see PageCache.Partition).
+type Partition struct {
+	c    *PageCache
+	name string
+}
+
+// GetPage implements flash.PageCacher.
+func (p *Partition) GetPage(file string, page int64, read func() ([]byte, error)) ([]byte, error) {
+	return p.c.getPage(p.name, file, page, read)
+}
+
+// InvalidatePages implements flash.PageCacher.
+func (p *Partition) InvalidatePages(file string, first, last int64) {
+	p.c.invalidatePages(p.name, file, first, last)
+}
+
+// InvalidateFile implements flash.PageCacher.
+func (p *Partition) InvalidateFile(file string) {
+	p.c.invalidateFile(p.name, file)
+}
+
+// getPage serves one page, coalescing concurrent misses into a single
+// device read. Callers must treat the returned slice as read-only.
+func (c *PageCache) getPage(part, file string, page int64, read func() ([]byte, error)) ([]byte, error) {
+	key := pageKey{part, file, page}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.hits++
+		c.mu.Unlock()
+		c.cHits.Inc()
+		return e.data, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		// Another goroutine is already reading this page: wait for it.
+		// Followers count as hits — they cost no device I/O.
+		c.hits++
+		c.mu.Unlock()
+		c.cHits.Inc()
+		<-f.done
+		return f.data, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	gen := c.gens[fileKey{part, file}]
+	c.misses++
+	c.mu.Unlock()
+	c.cMisses.Inc()
+
+	f.data, f.err = read()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	// Insert only if the read succeeded and no write/invalidation landed on
+	// the file while the read was in flight (the fill would be stale).
+	if f.err == nil && f.data != nil && gen == c.gens[fileKey{part, file}] {
+		c.insertLocked(key, f.data)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.data, f.err
+}
+
+// insertLocked adds a page and evicts from the LRU tail until the budget
+// holds. Pages larger than the whole budget are not cached.
+func (c *PageCache) insertLocked(key pageKey, data []byte) {
+	size := int64(len(data))
+	if size == 0 || size > c.max {
+		return
+	}
+	if old, ok := c.entries[key]; ok {
+		c.bytes -= int64(len(old.data))
+		c.lru.Remove(old.elem)
+		delete(c.entries, key)
+	}
+	for c.bytes+size > c.max {
+		tail := c.lru.Back()
+		if tail == nil {
+			return
+		}
+		c.removeLocked(tail.Value.(*entry), true)
+	}
+	e := &entry{key: key, data: data}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.bytes += size
+	c.gBytes.Set(c.bytes)
+	c.gEntries.Set(int64(len(c.entries)))
+}
+
+func (c *PageCache) removeLocked(e *entry, evicted bool) {
+	c.lru.Remove(e.elem)
+	delete(c.entries, e.key)
+	c.bytes -= int64(len(e.data))
+	if evicted {
+		c.evictions++
+		c.cEvictions.Inc()
+	}
+	c.gBytes.Set(c.bytes)
+	c.gEntries.Set(int64(len(c.entries)))
+}
+
+func (c *PageCache) invalidatePages(part, file string, first, last int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[fileKey{part, file}]++
+	for page := first; page <= last; page++ {
+		if e, ok := c.entries[pageKey{part, file, page}]; ok {
+			c.removeLocked(e, false)
+		}
+	}
+}
+
+func (c *PageCache) invalidateFile(part, file string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[fileKey{part, file}]++
+	for key, e := range c.entries {
+		if key.part == part && key.file == file {
+			c.removeLocked(e, false)
+		}
+	}
+}

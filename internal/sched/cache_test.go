@@ -1,0 +1,298 @@
+package sched
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+const testPage = 8192
+
+// mirror is the oracle backing store for cache property tests: a plain
+// map the tests mutate directly, standing in for the flash device.
+type mirror struct {
+	mu    sync.Mutex
+	pages map[string][]byte // key: file#page
+	reads atomic.Int64
+}
+
+func newMirror() *mirror { return &mirror{pages: make(map[string][]byte)} }
+
+func (m *mirror) key(file string, page int64) string {
+	return fmt.Sprintf("%s#%d", file, page)
+}
+
+func (m *mirror) set(file string, page int64, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pages[m.key(file, page)] = data
+}
+
+func (m *mirror) read(file string, page int64) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		m.reads.Add(1)
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.pages[m.key(file, page)], nil
+	}
+}
+
+// The cache must never hold more bytes than its budget, across a
+// randomized trace of reads over a working set much larger than the
+// budget, and every eviction must be accounted.
+func TestCacheBudgetNeverExceeded(t *testing.T) {
+	const budget = 10 * testPage
+	c := NewPageCache(budget)
+	m := newMirror()
+	rng := rand.New(rand.NewSource(7))
+	for file := 0; file < 4; file++ {
+		for page := int64(0); page < 32; page++ {
+			data := make([]byte, testPage)
+			rng.Read(data)
+			m.set(fmt.Sprintf("f%d", file), page, data)
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		file := fmt.Sprintf("f%d", rng.Intn(4))
+		page := int64(rng.Intn(32))
+		if _, err := c.getPage("", file, page, m.read(file, page)); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.Stats(); st.Bytes > budget {
+			t.Fatalf("op %d: resident %d bytes exceeds budget %d", i, st.Bytes, budget)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("working set 8x the budget produced no evictions")
+	}
+	if st.Entries*testPage != st.Bytes {
+		t.Fatalf("entries %d inconsistent with bytes %d", st.Entries, st.Bytes)
+	}
+}
+
+// For a randomized trace of reads interleaved with writes (mutate the
+// backing store, then invalidate — the flash ordering), every cached read
+// must return exactly the bytes an uncached read would.
+func TestCacheReadEquivalence(t *testing.T) {
+	c := NewPageCache(6 * testPage)
+	m := newMirror()
+	rng := rand.New(rand.NewSource(42))
+	const files, pages = 3, 16
+	fill := func(file string, page int64) {
+		data := make([]byte, testPage)
+		rng.Read(data)
+		m.set(file, page, data)
+	}
+	for f := 0; f < files; f++ {
+		for p := int64(0); p < pages; p++ {
+			fill(fmt.Sprintf("f%d", f), p)
+		}
+	}
+	for i := 0; i < 8000; i++ {
+		file := fmt.Sprintf("f%d", rng.Intn(files))
+		page := int64(rng.Intn(pages))
+		switch rng.Intn(10) {
+		case 0: // overwrite one page
+			fill(file, page)
+			c.invalidatePages("", file, page, page)
+		case 1: // rewrite a whole file
+			for p := int64(0); p < pages; p++ {
+				fill(file, p)
+			}
+			c.invalidateFile("", file)
+		default:
+			got, err := c.getPage("", file, page, m.read(file, page))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := m.read(file, page)()
+			if !bytes.Equal(got, want) {
+				t.Fatalf("op %d: %s page %d: cached bytes diverge from backing store", i, file, page)
+			}
+		}
+	}
+	if st := c.Stats(); st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("trace exercised no cache activity: %+v", st)
+	}
+}
+
+// Concurrent misses on one page must coalesce into exactly one backing
+// read (single-flight), with every waiter receiving the same bytes.
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewPageCache(4 * testPage)
+	want := bytes.Repeat([]byte{0xab}, testPage)
+	gate := make(chan struct{})
+	var reads atomic.Int64
+	read := func() ([]byte, error) {
+		reads.Add(1)
+		<-gate // hold the flight open until all goroutines have piled in
+		return want, nil
+	}
+	const workers = 16
+	var ready, done sync.WaitGroup
+	ready.Add(workers)
+	done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer done.Done()
+			ready.Done()
+			got, err := c.getPage("", "f", 3, read)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("waiter got wrong bytes")
+			}
+		}()
+	}
+	ready.Wait()
+	close(gate)
+	done.Wait()
+	if n := reads.Load(); n != 1 {
+		t.Fatalf("%d backing reads for one page, want 1", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != workers-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", st.Hits, st.Misses, workers-1)
+	}
+}
+
+// A failed read must propagate its error to every flight waiter and must
+// not populate the cache: the next read retries the device.
+func TestCacheFailedReadNotCached(t *testing.T) {
+	c := NewPageCache(4 * testPage)
+	boom := errors.New("injected")
+	var reads atomic.Int64
+	fail := func() ([]byte, error) { reads.Add(1); return nil, boom }
+	if _, err := c.getPage("", "f", 0, fail); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed read left %d entries resident", st.Entries)
+	}
+	// The page is readable once the device recovers.
+	want := bytes.Repeat([]byte{1}, testPage)
+	got, err := c.getPage("", "f", 0, func() ([]byte, error) { return want, nil })
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("recovered read: %v", err)
+	}
+	if reads.Load() != 1 {
+		t.Fatalf("fail path read %d times, want 1", reads.Load())
+	}
+	// And now it is cached.
+	if _, err := c.getPage("", "f", 0, fail); err != nil {
+		t.Fatalf("cached read consulted the failing device: %v", err)
+	}
+}
+
+// An invalidation that lands while a read is in flight must win: the
+// flight's data is returned to its waiters but not inserted (it may
+// predate the write that triggered the invalidation).
+func TestCacheStaleFillDiscarded(t *testing.T) {
+	c := NewPageCache(4 * testPage)
+	stale := bytes.Repeat([]byte{0xde}, testPage)
+	inFlight := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan []byte, 1)
+	go func() {
+		got, _ := c.getPage("", "f", 0, func() ([]byte, error) {
+			close(inFlight)
+			<-gate
+			return stale, nil
+		})
+		done <- got
+	}()
+	<-inFlight
+	c.invalidatePages("", "f", 0, 0) // a write races with the read
+	close(gate)
+	if got := <-done; !bytes.Equal(got, stale) {
+		t.Fatal("flight waiter must still see the read's bytes")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatal("stale fill was inserted despite invalidation")
+	}
+	// The next read must go to the device (and may cache the fresh copy).
+	fresh := bytes.Repeat([]byte{0xf0}, testPage)
+	var reads atomic.Int64
+	got, err := c.getPage("", "f", 0, func() ([]byte, error) { reads.Add(1); return fresh, nil })
+	if err != nil || !bytes.Equal(got, fresh) || reads.Load() != 1 {
+		t.Fatalf("post-invalidation read: err=%v reads=%d", err, reads.Load())
+	}
+}
+
+// Partitions share the budget but never alias: the same file/page name in
+// two partitions holds independent data.
+func TestCachePartitionIsolation(t *testing.T) {
+	c := NewPageCache(8 * testPage)
+	a, b := c.Partition("dev0"), c.Partition("dev1")
+	da := bytes.Repeat([]byte{0xaa}, testPage)
+	db := bytes.Repeat([]byte{0xbb}, testPage)
+	if got, _ := a.GetPage("lineitem/l_qty.dat", 0, func() ([]byte, error) { return da, nil }); !bytes.Equal(got, da) {
+		t.Fatal("partition dev0 read wrong bytes")
+	}
+	if got, _ := b.GetPage("lineitem/l_qty.dat", 0, func() ([]byte, error) { return db, nil }); !bytes.Equal(got, db) {
+		t.Fatal("partition dev1 aliased dev0's page")
+	}
+	// Both reside under one budget.
+	if st := c.Stats(); st.Entries != 2 || st.Misses != 2 {
+		t.Fatalf("stats %+v, want 2 entries / 2 misses", st)
+	}
+	// Invalidating dev0's file must not touch dev1's.
+	a.InvalidateFile("lineitem/l_qty.dat")
+	if got, _ := b.GetPage("lineitem/l_qty.dat", 0, func() ([]byte, error) { t.Fatal("dev1 page was invalidated"); return nil, nil }); !bytes.Equal(got, db) {
+		t.Fatal("dev1 lost its page")
+	}
+}
+
+// LRU order: the least recently used page is evicted first.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewPageCache(2 * testPage)
+	read := func(b byte) func() ([]byte, error) {
+		return func() ([]byte, error) { return bytes.Repeat([]byte{b}, testPage), nil }
+	}
+	mustGet := func(file string, fn func() ([]byte, error)) {
+		t.Helper()
+		if _, err := c.getPage("", file, 0, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet("a", read(1))
+	mustGet("b", read(2))
+	mustGet("a", read(1)) // touch a: b becomes LRU
+	mustGet("c", read(3)) // evicts b
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	mustGet("a", read(1)) // still resident
+	if got := c.Stats(); got.Hits != st.Hits+1 {
+		t.Fatal("a was evicted instead of b")
+	}
+	mustGet("b", read(2)) // must miss
+	if got := c.Stats(); got.Misses != st.Misses+1 {
+		t.Fatal("b survived eviction")
+	}
+}
+
+// A cache with a zero budget still deduplicates concurrent reads but
+// keeps nothing resident.
+func TestCacheZeroBudget(t *testing.T) {
+	c := NewPageCache(0)
+	data := bytes.Repeat([]byte{9}, testPage)
+	for i := 0; i < 3; i++ {
+		got, err := c.getPage("", "f", 0, func() ([]byte, error) { return data, nil })
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatal("read through zero-budget cache failed")
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Misses != 3 {
+		t.Fatalf("zero-budget cache retained state: %+v", st)
+	}
+}

@@ -1,0 +1,207 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"aquoman/internal/obs"
+)
+
+// ErrQueueFull is returned by Submit when the pending queue is at its
+// configured depth; the caller should back off or shed load.
+var ErrQueueFull = errors.New("sched: queue full")
+
+// ErrClosed is returned by Submit after Close has been called.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// Config sizes the scheduler's admission control.
+type Config struct {
+	// MaxInFlight is the number of queries executed concurrently
+	// (worker goroutines). Values < 1 default to 4.
+	MaxInFlight int
+	// QueueDepth is the capacity of the pending queue behind the
+	// in-flight slots. Values < 1 default to 64.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 4
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Job is one unit of admitted work: typically a full query, executed on a
+// worker goroutine. The returned value is handed to Ticket.Wait verbatim.
+type Job func() (interface{}, error)
+
+// Ticket tracks one submitted job through the scheduler.
+type Ticket struct {
+	done   chan struct{}
+	result interface{}
+	err    error
+	round  atomic.Int64
+}
+
+// Wait blocks until the job has run (or the scheduler rejected it) and
+// returns its result. Wait may be called from multiple goroutines.
+func (t *Ticket) Wait() (interface{}, error) {
+	<-t.done
+	return t.result, t.err
+}
+
+// Done returns a channel closed when the job has completed.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Round reports the scheduling round (global grant sequence number,
+// starting at 1) at which the job began executing; 0 while it is still
+// queued. Fairness tests assert that short queries' rounds stay bounded
+// even while long queries occupy in-flight slots.
+func (t *Ticket) Round() int64 { return t.round.Load() }
+
+// Scheduler is an admission-controlled concurrent executor: at most
+// MaxInFlight jobs run at once, at most QueueDepth wait behind them, and
+// anything beyond that is rejected with ErrQueueFull.
+type Scheduler struct {
+	cfg   Config
+	queue chan *submission
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	rounds atomic.Int64
+
+	inflight  *obs.Gauge
+	queued    *obs.Gauge
+	submitted *obs.Counter
+	rejected  *obs.Counter
+	completed *obs.Counter
+	panicked  *obs.Counter
+}
+
+type submission struct {
+	job    Job
+	ticket *Ticket
+}
+
+// NewScheduler starts cfg.MaxInFlight worker goroutines and returns the
+// scheduler. Call Close to drain and stop them.
+func NewScheduler(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		cfg:   cfg,
+		queue: make(chan *submission, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.MaxInFlight)
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Config reports the effective (defaulted) configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Observe binds queue/in-flight gauges and admission counters into reg.
+func (s *Scheduler) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight = reg.Gauge("sched_inflight")
+	s.queued = reg.Gauge("sched_queued")
+	s.submitted = reg.Counter("sched_submitted_total")
+	s.rejected = reg.Counter("sched_rejected_total")
+	s.completed = reg.Counter("sched_completed_total")
+	s.panicked = reg.Counter("sched_panics_total")
+}
+
+// Submit enqueues job without blocking. It returns ErrQueueFull when the
+// pending queue is at capacity and ErrClosed after Close.
+func (s *Scheduler) Submit(job Job) (*Ticket, error) {
+	sub := &submission{job: job, ticket: &Ticket{done: make(chan struct{})}}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- sub:
+		s.submitted.Inc()
+		s.queued.Add(1)
+		return sub.ticket, nil
+	default:
+		s.rejected.Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// SubmitWait enqueues job, blocking while the queue is full. It only
+// fails with ErrClosed. Used by convenience paths (DB.RunConcurrent)
+// where backpressure should stall the producer rather than shed load.
+func (s *Scheduler) SubmitWait(job Job) (*Ticket, error) {
+	sub := &submission{job: job, ticket: &Ticket{done: make(chan struct{})}}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	// A blocking send is safe here: Close needs the write lock to close the
+	// channel, so the channel cannot close under us, and workers keep
+	// draining (they take no locks), so the send eventually completes.
+	s.queue <- sub
+	s.submitted.Inc()
+	s.queued.Add(1)
+	return sub.ticket, nil
+}
+
+// Rounds reports the global grant sequence: the number of jobs that have
+// begun executing.
+func (s *Scheduler) Rounds() int64 { return s.rounds.Load() }
+
+// Close stops admission, drains already-queued jobs, and waits for all
+// workers to exit. Safe to call once.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for sub := range s.queue {
+		s.queued.Add(-1)
+		s.inflight.Add(1)
+		sub.ticket.round.Store(s.rounds.Add(1))
+		s.run(sub)
+		s.inflight.Add(-1)
+		s.completed.Inc()
+		close(sub.ticket.done)
+	}
+}
+
+// run executes one job, converting a panic into an error on the ticket so
+// a misbehaving query cannot take down the scheduler's worker pool.
+func (s *Scheduler) run(sub *submission) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicked.Inc()
+			sub.ticket.err = fmt.Errorf("sched: query panicked: %v", r)
+		}
+	}()
+	sub.ticket.result, sub.ticket.err = sub.job()
+}

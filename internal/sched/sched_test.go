@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedJob returns a job that signals started and then blocks until
+// release is closed.
+func gatedJob(started chan<- struct{}, release <-chan struct{}) Job {
+	return func() (interface{}, error) {
+		if started != nil {
+			started <- struct{}{}
+		}
+		<-release
+		return "done", nil
+	}
+}
+
+// With one in-flight slot occupied and the queue at capacity, Submit must
+// reject deterministically with ErrQueueFull; SubmitWait must block and
+// then get through once the slot frees.
+func TestSubmitQueueFull(t *testing.T) {
+	s := NewScheduler(Config{MaxInFlight: 1, QueueDepth: 1})
+	defer s.Close()
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+
+	t1, err := s.Submit(gatedJob(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker is now blocked inside job 1: the queue is empty
+	t2, err := s.Submit(gatedJob(nil, release))
+	if err != nil {
+		t.Fatal(err) // fills the queue's single slot
+	}
+	if _, err := s.Submit(gatedJob(nil, release)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
+	}
+
+	// SubmitWait blocks instead of shedding; let everything drain.
+	waited := make(chan *Ticket)
+	go func() {
+		ticket, err := s.SubmitWait(gatedJob(nil, release))
+		if err != nil {
+			t.Error(err)
+		}
+		waited <- ticket
+	}()
+	select {
+	case <-waited:
+		t.Fatal("SubmitWait returned while the queue was full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	t3 := <-waited
+	for _, ticket := range []*Ticket{t1, t2, t3} {
+		if v, err := ticket.Wait(); err != nil || v != "done" {
+			t.Fatalf("ticket: %v %v", v, err)
+		}
+	}
+}
+
+// Close must drain already-admitted jobs before the workers exit, and
+// reject new submissions afterwards.
+func TestCloseDrains(t *testing.T) {
+	s := NewScheduler(Config{MaxInFlight: 1, QueueDepth: 8})
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var tickets []*Ticket
+	t0, err := s.Submit(gatedJob(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 5; i++ {
+		ticket, err := s.Submit(func() (interface{}, error) { return "queued", nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, ticket)
+	}
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	select {
+	case <-closed:
+		t.Fatal("Close returned with a job still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-closed
+	if _, err := t0.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ticket := range tickets {
+		if v, err := ticket.Wait(); err != nil || v != "queued" {
+			t.Fatalf("queued job %d was not drained: %v %v", i, v, err)
+		}
+	}
+	if _, err := s.Submit(func() (interface{}, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if _, err := s.SubmitWait(func() (interface{}, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submitwait after close: %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+// A panicking job surfaces as a ticket error and must not kill the
+// worker: subsequent jobs still run.
+func TestPanicRecovered(t *testing.T) {
+	s := NewScheduler(Config{MaxInFlight: 1, QueueDepth: 4})
+	defer s.Close()
+	bad, err := s.Submit(func() (interface{}, error) { panic("kaboom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Wait(); err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	good, err := s.Submit(func() (interface{}, error) { return 7, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := good.Wait(); err != nil || v != 7 {
+		t.Fatalf("worker died after panic: %v %v", v, err)
+	}
+}
+
+// Fairness: with two in-flight slots and one hog pinned in the first,
+// short jobs flow through the second slot — each short job's grant round
+// stays within the number of jobs admitted before it, so nothing starves
+// behind the hog.
+func TestFairnessBoundedRounds(t *testing.T) {
+	s := NewScheduler(Config{MaxInFlight: 2, QueueDepth: 64})
+	defer s.Close()
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	hog, err := s.Submit(gatedJob(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	const shorts = 20
+	var tickets []*Ticket
+	for i := 0; i < shorts; i++ {
+		ticket, err := s.Submit(func() (interface{}, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, ticket)
+	}
+	for i, ticket := range tickets {
+		if _, err := ticket.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		// The hog is round 1; short i can be granted at most after the
+		// shorts admitted before it.
+		if r := ticket.Round(); r < 2 || r > int64(i)+2 {
+			t.Fatalf("short %d granted at round %d, want within [2, %d]", i, r, i+2)
+		}
+	}
+	if r := hog.Round(); r != 1 {
+		t.Fatalf("hog round = %d, want 1", r)
+	}
+	if got := s.Rounds(); got != shorts+1 {
+		t.Fatalf("rounds = %d, want %d", got, shorts+1)
+	}
+	close(release)
+	if _, err := hog.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Hammer the scheduler from many producers under -race.
+func TestSchedulerConcurrentSubmitters(t *testing.T) {
+	s := NewScheduler(Config{MaxInFlight: 4, QueueDepth: 8})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	sum := 0
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ticket, err := s.SubmitWait(func() (interface{}, error) {
+					mu.Lock()
+					sum++
+					mu.Unlock()
+					return nil, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ticket.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	s.Close()
+	if sum != 8*50 {
+		t.Fatalf("ran %d jobs, want %d", sum, 8*50)
+	}
+	if s.Rounds() != 8*50 {
+		t.Fatalf("rounds = %d, want %d", s.Rounds(), 8*50)
+	}
+}
