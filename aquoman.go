@@ -22,6 +22,7 @@
 package aquoman
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -84,6 +85,9 @@ type (
 	PageCache = sched.PageCache
 	// CacheStats snapshots page-cache effectiveness.
 	CacheStats = sched.CacheStats
+	// CompileError marks a SQL statement that failed to parse, plan or
+	// bind (as opposed to an execution failure); detect with errors.As.
+	CompileError = sql.CompileError
 )
 
 // Scheduler backpressure errors (see DB.Submit).
@@ -328,15 +332,53 @@ func (db *DB) SubmitWait(p Plan) (*Ticket, error) {
 	return &Ticket{t: t}, nil
 }
 
+// SubmitCtx is Submit with end-to-end cancellation: ctx is threaded into
+// the query's execution (page-read and morsel checkpoints stop its
+// simulated flash traffic shortly after ctx dies), and a query cancelled
+// while still queued is skipped without occupying an in-flight slot. A
+// nil ctx never cancels.
+func (db *DB) SubmitCtx(ctx context.Context, p Plan) (*Ticket, error) {
+	t, err := db.scheduler().SubmitCtx(ctx, db.jobCtx(p))
+	if err != nil {
+		return nil, err
+	}
+	return &Ticket{t: t}, nil
+}
+
+// SubmitWaitCtx is SubmitCtx with blocking admission: a caller stalled on
+// a full queue unblocks with ctx's error when ctx dies.
+func (db *DB) SubmitWaitCtx(ctx context.Context, p Plan) (*Ticket, error) {
+	t, err := db.scheduler().SubmitWaitCtx(ctx, db.jobCtx(p))
+	if err != nil {
+		return nil, err
+	}
+	return &Ticket{t: t}, nil
+}
+
 // job wraps one plan execution for the scheduler.
 func (db *DB) job(p Plan) sched.Job {
 	return func() (interface{}, error) {
-		return db.run(p, core.Config{
-			DRAMBytes:    db.DRAMBytes,
-			Compiler:     compiler.Config{HeapScale: db.HeapScale},
-			Obs:          db.Obs,
-			SharedDevice: true,
-		})
+		return db.run(p, db.sharedConfig(nil))
+	}
+}
+
+// jobCtx wraps one cancellable plan execution for the scheduler.
+func (db *DB) jobCtx(p Plan) sched.JobCtx {
+	return func(ctx context.Context) (interface{}, error) {
+		return db.run(p, db.sharedConfig(ctx))
+	}
+}
+
+// sharedConfig is the core configuration for scheduler-run queries: the
+// device is shared with concurrent queries, so per-query flash/metrics
+// attribution is disabled.
+func (db *DB) sharedConfig(ctx context.Context) core.Config {
+	return core.Config{
+		DRAMBytes:    db.DRAMBytes,
+		Compiler:     compiler.Config{HeapScale: db.HeapScale},
+		Obs:          db.Obs,
+		SharedDevice: true,
+		Ctx:          ctx,
 	}
 }
 
@@ -393,10 +435,27 @@ func (db *DB) Run(p Plan) (*Result, error) {
 	})
 }
 
+// RunCtx is Run with cooperative cancellation: the query stops — and
+// stops consuming simulated flash bandwidth — shortly after ctx dies,
+// returning ctx's error. A nil ctx never cancels.
+func (db *DB) RunCtx(ctx context.Context, p Plan) (*Result, error) {
+	return db.run(p, core.Config{
+		DRAMBytes: db.DRAMBytes,
+		Compiler:  compiler.Config{HeapScale: db.HeapScale},
+		Obs:       db.Obs,
+		Ctx:       ctx,
+	})
+}
+
 // RunHostOnly executes a plan entirely on the host engine (the baseline
 // systems of the evaluation).
 func (db *DB) RunHostOnly(p Plan) (*Result, error) {
 	return db.run(p, core.Config{DisableOffload: true, Obs: db.Obs})
+}
+
+// RunHostOnlyCtx is RunHostOnly with cooperative cancellation.
+func (db *DB) RunHostOnlyCtx(ctx context.Context, p Plan) (*Result, error) {
+	return db.run(p, core.Config{DisableOffload: true, Obs: db.Obs, Ctx: ctx})
 }
 
 // Trace runs a plan with a one-shot tracer (independent of any observer
@@ -438,6 +497,16 @@ func (db *DB) Query(src string) (*Result, error) {
 		return nil, err
 	}
 	return db.Run(p)
+}
+
+// QueryCtx is Query with cooperative cancellation (see RunCtx). Compile
+// failures are reported as *CompileError; context errors propagate as-is.
+func (db *DB) QueryCtx(ctx context.Context, src string) (*Result, error) {
+	p, err := sql.Plan(src, db.Store)
+	if err != nil {
+		return nil, err
+	}
+	return db.RunCtx(ctx, p)
 }
 
 // QueryHostOnly compiles a SQL statement and executes it on the host

@@ -1,0 +1,105 @@
+// Command aquoman-serve runs the AQUOMAN network query service: an
+// HTTP/JSON front end over a TPC-H (or persisted) store, with the
+// concurrent scheduler admitting queries and request contexts threaded
+// end to end — a disconnecting client or an expired deadline cancels the
+// query at its next page-read/morsel checkpoint.
+//
+//	aquoman-serve -listen :8080 -sf 0.01
+//	aquoman-serve -listen :8080 -store /data/tpch-sf1
+//	curl 'localhost:8080/query?q=select+count(*)+from+lineitem'
+//	curl 'localhost:8080/tpch?q=6'
+//	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
+//
+// SIGTERM/SIGINT drains gracefully: new queries are rejected with 503,
+// in-flight queries run to completion (bounded by -drain-timeout), then
+// the listener and the scheduler shut down.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aquoman"
+	"aquoman/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		listen = flag.String("listen", ":8080", "HTTP listen address")
+		store  = flag.String("store", "", "load a persisted store (see tpch-gen) instead of generating")
+		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor when generating")
+		seed   = flag.Int64("seed", 42, "generator seed")
+
+		jobs    = flag.Int("jobs", 4, "max in-flight queries (scheduler slots)")
+		queue   = flag.Int("queue", 16, "pending-queue depth behind the in-flight slots")
+		cacheMB = flag.Int("cache", 0, "shared page cache size in MiB (0 = no cache)")
+		pagelat = flag.Duration("pagelat", 0, "simulated per-page NAND read latency (e.g. 50us)")
+
+		defTimeout   = flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
+		maxTimeout   = flag.Duration("max-timeout", 0, "cap on per-query deadlines (0 = no cap)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
+	)
+	flag.Parse()
+
+	var db *aquoman.DB
+	if *store != "" {
+		log.Printf("loading store from %s...", *store)
+		var err error
+		db, err = aquoman.OpenDir(*store)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		db = aquoman.Open()
+		log.Printf("generating TPC-H SF %g (seed %d)...", *sf, *seed)
+		if err := db.LoadTPCH(*sf, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db.EnableObservability()
+	db.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: *jobs, QueueDepth: *queue})
+	if *cacheMB > 0 {
+		db.EnableCache(int64(*cacheMB) << 20)
+	}
+	if *pagelat > 0 {
+		db.Flash.SetReadLatency(*pagelat)
+	}
+
+	srv := server.New(server.Config{
+		DB:             db,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+
+	go func() {
+		log.Printf("aquoman-serve listening on %s (%d slots, queue %d)", *listen, *jobs, *queue)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("received %v, draining (up to %v)...", s, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	db.Close()
+	log.Print("aquoman-serve stopped")
+}

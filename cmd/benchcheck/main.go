@@ -1,0 +1,138 @@
+// Command benchcheck compares a freshly measured concurrent-stream
+// benchmark report (cmd/aquoman-bench -report concbench) against the
+// committed baseline with tolerance bands, instead of hard-coding
+// absolute thresholds in CI:
+//
+//	benchcheck -baseline BENCH_conc.json -fresh BENCH_fresh.json
+//
+// Deterministic metrics get tight bands; wall-clock-derived ones are
+// warn-only (CI runners are noisy):
+//
+//   - speedup_4_vs_1: relative band (default 25% below baseline fails) —
+//     a ratio of two wall clocks on the same machine, so much more stable
+//     than either wall clock alone.
+//   - cache_hit_rate per stream count: absolute band (default 0.05 below
+//     baseline fails) — deterministic given the access pattern.
+//   - device_pages_read per stream count: relative band (default 10%
+//     above baseline fails) — more device reads means the single-flight
+//     cache stopped coalescing.
+//   - queries_per_sec: warn-only, printed for the log.
+//
+// On regression it prints a diff of every out-of-band metric and exits 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type streamEntry struct {
+	Streams         int     `json:"streams"`
+	Queries         int     `json:"queries"`
+	WallNS          int64   `json:"wall_ns"`
+	QueriesPerSec   float64 `json:"queries_per_sec"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	DevicePagesRead int64   `json:"device_pages_read"`
+}
+
+type report struct {
+	SF          float64       `json:"sf"`
+	Speedup4Vs1 float64       `json:"speedup_4_vs_1"`
+	Streams     []streamEntry `json:"streams"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_conc.json", "committed baseline report")
+		freshPath    = flag.String("fresh", "", "freshly measured report (required)")
+		speedupRel   = flag.Float64("speedup-rel", 0.25, "allowed relative drop in speedup_4_vs_1")
+		hitAbs       = flag.Float64("hit-abs", 0.05, "allowed absolute drop in cache_hit_rate")
+		pagesRel     = flag.Float64("pages-rel", 0.10, "allowed relative growth in device_pages_read")
+	)
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -fresh is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	var regressed []string
+	fail := func(format string, args ...interface{}) {
+		regressed = append(regressed, fmt.Sprintf(format, args...))
+	}
+
+	// Speedup ratio: wall-clock based but self-normalizing.
+	floor := base.Speedup4Vs1 * (1 - *speedupRel)
+	if fresh.Speedup4Vs1 < floor {
+		fail("speedup_4_vs_1: %.3f < %.3f (baseline %.3f - %.0f%%)",
+			fresh.Speedup4Vs1, floor, base.Speedup4Vs1, *speedupRel*100)
+	}
+	fmt.Printf("speedup_4_vs_1: fresh %.3f vs baseline %.3f (floor %.3f)\n",
+		fresh.Speedup4Vs1, base.Speedup4Vs1, floor)
+
+	baseByStreams := make(map[int]streamEntry, len(base.Streams))
+	for _, e := range base.Streams {
+		baseByStreams[e.Streams] = e
+	}
+	for _, f := range fresh.Streams {
+		b, ok := baseByStreams[f.Streams]
+		if !ok {
+			fmt.Printf("streams=%d: no baseline entry, skipping\n", f.Streams)
+			continue
+		}
+		hitFloor := b.CacheHitRate - *hitAbs
+		if f.CacheHitRate < hitFloor {
+			fail("streams=%d cache_hit_rate: %.4f < %.4f (baseline %.4f - %.2f)",
+				f.Streams, f.CacheHitRate, hitFloor, b.CacheHitRate, *hitAbs)
+		}
+		pagesCeil := float64(b.DevicePagesRead) * (1 + *pagesRel)
+		if float64(f.DevicePagesRead) > pagesCeil {
+			fail("streams=%d device_pages_read: %d > %.0f (baseline %d + %.0f%%)",
+				f.Streams, f.DevicePagesRead, pagesCeil, b.DevicePagesRead, *pagesRel*100)
+		}
+		// Wall-clock throughput is warn-only: absolute q/s varies with
+		// runner load, and the speedup ratio above already gates scaling.
+		note := ""
+		if f.QueriesPerSec < b.QueriesPerSec*0.5 {
+			note = "  (WARN: less than half of baseline)"
+		}
+		fmt.Printf("streams=%d: hit_rate %.4f (baseline %.4f), pages %d (baseline %d), %.1f q/s (baseline %.1f)%s\n",
+			f.Streams, f.CacheHitRate, b.CacheHitRate, f.DevicePagesRead, b.DevicePagesRead,
+			f.QueriesPerSec, b.QueriesPerSec, note)
+	}
+
+	if len(regressed) > 0 {
+		fmt.Println("\nREGRESSED METRICS:")
+		for _, r := range regressed {
+			fmt.Println("  -", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all metrics within tolerance")
+}

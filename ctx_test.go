@@ -1,0 +1,162 @@
+package aquoman
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aquoman/internal/faults"
+	"aquoman/internal/flash"
+)
+
+// ctxSlackPages bounds how many Aquoman page reads may land after the
+// cancellation point: the in-flight bulk-read chunk (64 pages) plus the
+// per-page checkpoints of readers already past their last check.
+const ctxSlackPages = 80
+
+// TestCancelStopsFlashTraffic cancels a query after exactly N in-storage
+// page reads (driven deterministically by the fault injector's Hook,
+// which the device consults on every page read) and asserts the query
+// stops consuming simulated flash bandwidth within the documented slack.
+func TestCancelStopsFlashTraffic(t *testing.T) {
+	db := Open()
+	if err := db.LoadTPCH(0.01, 42); err != nil {
+		t.Fatal(err)
+	}
+	p, err := TPCHQuery(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Calibrate: how many Aquoman pages does the full query read?
+	db.ResetFlashStats()
+	if _, err := db.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	total := db.FlashStats().PagesRead[flash.Aquoman]
+
+	const cancelAfter = 20
+	if total <= cancelAfter+ctxSlackPages {
+		t.Fatalf("query too small to observe cancellation: %d total Aquoman pages", total)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var reads atomic.Int64
+	inj := faults.New(faults.Config{})
+	inj.Hook = func(_ string, _ int64, who flash.Requester, attempt int) (faults.Kind, bool) {
+		if who == flash.Aquoman && attempt == 0 {
+			if reads.Add(1) == cancelAfter {
+				cancel()
+			}
+		}
+		return 0, false
+	}
+	db.WithFaults(inj)
+	db.ResetFlashStats()
+
+	p2, err := TPCHQuery(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.RunCtx(ctx, p2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	got := db.FlashStats().PagesRead[flash.Aquoman]
+	if got > cancelAfter+ctxSlackPages {
+		t.Fatalf("cancelled query kept reading: %d Aquoman pages after cancel at %d (slack %d, full query %d)",
+			got, cancelAfter, ctxSlackPages, total)
+	}
+
+	// The query returned: its flash traffic must be frozen.
+	time.Sleep(20 * time.Millisecond)
+	if after := db.FlashStats().PagesRead[flash.Aquoman]; after != got {
+		t.Fatalf("flash stats still growing after return: %d -> %d", got, after)
+	}
+}
+
+// TestPreCancelledRunsNothing verifies a dead context stops the query
+// before it touches the device at all.
+func TestPreCancelledRunsNothing(t *testing.T) {
+	db := Open()
+	if err := db.LoadTPCH(0.005, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := TPCHQuery(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	db.ResetFlashStats()
+	if _, err := db.RunCtx(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := db.FlashStats().PagesRead[flash.Aquoman] + db.FlashStats().PagesRead[flash.Host]; n != 0 {
+		t.Fatalf("pre-cancelled query read %d pages", n)
+	}
+}
+
+// TestDeadlineCancels verifies context.WithTimeout flows through RunCtx
+// and surfaces as DeadlineExceeded.
+func TestDeadlineCancels(t *testing.T) {
+	db := Open()
+	if err := db.LoadTPCH(0.01, 42); err != nil {
+		t.Fatal(err)
+	}
+	// A per-page latency makes the query long enough that a short
+	// deadline reliably fires mid-flight; the interruptible throttle
+	// returns promptly once it does.
+	db.Flash.SetReadLatency(200 * time.Microsecond)
+	p, err := TPCHQuery(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = db.RunCtx(ctx, p)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("deadline honoured too slowly: %v", wall)
+	}
+}
+
+// TestHostOnlyCancel covers the pure-host path (no offload units).
+func TestHostOnlyCancel(t *testing.T) {
+	db := Open()
+	if err := db.LoadTPCH(0.005, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := TPCHQuery(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.RunHostOnlyCtx(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestQueryCtxCompileError verifies QueryCtx reports bad SQL as a
+// CompileError (not a context error) even with a dead context.
+func TestQueryCtxCompileError(t *testing.T) {
+	db := Open()
+	if err := db.LoadTPCH(0.005, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.QueryCtx(ctx, "select nonsense from nowhere")
+	var ce *CompileError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CompileError, got %v", err)
+	}
+}

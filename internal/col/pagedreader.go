@@ -1,6 +1,8 @@
 package col
 
 import (
+	"context"
+
 	"aquoman/internal/bitvec"
 	"aquoman/internal/flash"
 )
@@ -13,6 +15,7 @@ import (
 type PagedReader struct {
 	ci  *ColumnInfo
 	who flash.Requester
+	ctx context.Context // nil = never cancelled
 
 	curPage int64 // -1 = empty
 	buf     []byte
@@ -27,6 +30,11 @@ type PagedReader struct {
 func NewPagedReader(ci *ColumnInfo, who flash.Requester) *PagedReader {
 	return &PagedReader{ci: ci, who: who, curPage: -1, lastSkipped: -1}
 }
+
+// SetContext attaches a cancellation context to the pass: every page load
+// checks ctx first, so a cancelled query stops issuing flash page reads
+// at the next page boundary. A nil ctx (the default) never cancels.
+func (r *PagedReader) SetContext(ctx context.Context) { r.ctx = ctx }
 
 // RowsPerPage returns how many rows one flash page of this column holds.
 func (r *PagedReader) RowsPerPage() int {
@@ -48,7 +56,7 @@ func (r *PagedReader) ReadVec(vec int, out []Value) (int, error) {
 	page := int64(start) * int64(w) / flash.PageSize
 	if page != r.curPage {
 		wasSkipped := page == r.lastSkipped
-		buf, err := r.ci.File.ReadPage(page, r.who)
+		buf, err := r.ci.File.ReadPageCtx(r.ctx, page, r.who)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package col
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -238,11 +239,17 @@ type HeapReader struct {
 
 // NewHeapReader loads the column's heap, accounting one sequential read.
 func (c *ColumnInfo) NewHeapReader(who flash.Requester) (*HeapReader, error) {
+	return c.NewHeapReaderCtx(nil, who)
+}
+
+// NewHeapReaderCtx is NewHeapReader with cooperative cancellation: the
+// heap stream checks ctx at page-aligned chunk boundaries.
+func (c *ColumnInfo) NewHeapReaderCtx(ctx context.Context, who flash.Requester) (*HeapReader, error) {
 	if c.Heap == nil {
 		return &HeapReader{}, nil
 	}
 	buf := make([]byte, c.Heap.Size())
-	if _, err := c.Heap.ReadAt(buf, 0, who); err != nil {
+	if _, err := c.Heap.ReadAtCtx(ctx, buf, 0, who); err != nil {
 		return nil, err
 	}
 	return &HeapReader{data: buf}, nil
@@ -275,6 +282,14 @@ func (c *ColumnInfo) HeapBytes() int64 {
 // ReadRange reads count values starting at row start into out, accounting
 // flash traffic to who. It returns the number of values read.
 func (c *ColumnInfo) ReadRange(start, count int, who flash.Requester, out []Value) (int, error) {
+	return c.ReadRangeCtx(nil, start, count, who, out)
+}
+
+// ReadRangeCtx is ReadRange with cooperative cancellation: the underlying
+// bulk read checks ctx at page-aligned chunk boundaries, so a cancelled
+// query stops issuing flash page reads mid-column. A nil ctx never
+// cancels.
+func (c *ColumnInfo) ReadRangeCtx(ctx context.Context, start, count int, who flash.Requester, out []Value) (int, error) {
 	if start >= c.numRows {
 		return 0, nil
 	}
@@ -283,7 +298,7 @@ func (c *ColumnInfo) ReadRange(start, count int, who flash.Requester, out []Valu
 	}
 	w := c.Def.Typ.Width()
 	buf := make([]byte, count*w)
-	n, err := c.File.ReadAt(buf, int64(start)*int64(w), who)
+	n, err := c.File.ReadAtCtx(ctx, buf, int64(start)*int64(w), who)
 	if err != nil {
 		return 0, err
 	}
@@ -300,8 +315,13 @@ func (c *ColumnInfo) ReadVec(vec int, who flash.Requester, out []Value) (int, er
 
 // ReadAll reads the entire column sequentially.
 func (c *ColumnInfo) ReadAll(who flash.Requester) ([]Value, error) {
+	return c.ReadAllCtx(nil, who)
+}
+
+// ReadAllCtx is ReadAll with cooperative cancellation (see ReadRangeCtx).
+func (c *ColumnInfo) ReadAllCtx(ctx context.Context, who flash.Requester) ([]Value, error) {
 	out := make([]Value, c.numRows)
-	if _, err := c.ReadRange(0, c.numRows, who, out); err != nil {
+	if _, err := c.ReadRangeCtx(ctx, 0, c.numRows, who, out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -40,6 +41,13 @@ type Config struct {
 	// Report.Flash/OffloadFraction/Metrics stay zero when set.
 	SharedDevice bool
 
+	// Ctx (optional) cancels the query cooperatively: checkpoints at unit,
+	// stage, page-read and morsel boundaries stop the query — and its
+	// simulated flash traffic — shortly after Ctx is done. Cancellation is
+	// NOT a suspension: a context error propagates to the caller instead
+	// of triggering the host-resume fallback. Nil never cancels.
+	Ctx context.Context
+
 	// Obs (optional) collects per-stage spans and metrics for the query.
 	Obs *obs.Observer
 	// ObsParent, when set, nests the query span under an enclosing span
@@ -57,6 +65,14 @@ type Device struct {
 // New builds a device over an existing store.
 func New(store *col.Store, cfg Config) *Device {
 	return &Device{Store: store, DRAM: mem.New(cfg.DRAMBytes), cfg: cfg}
+}
+
+// ctxErr returns the configured context's error, if any.
+func (d *Device) ctxErr() error {
+	if d.cfg.Ctx == nil {
+		return nil
+	}
+	return d.cfg.Ctx.Err()
 }
 
 // Report describes one query execution.
@@ -117,7 +133,13 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 		host := engine.New(d.Store)
 		host.Stats = rep.HostStats
 		host.SetObserver(o, hostSpan)
+		host.SetContext(d.cfg.Ctx)
 		return host.Run(root)
+	}
+
+	if err := d.ctxErr(); err != nil {
+		qSpan.End()
+		return nil, nil, err
 	}
 
 	if d.cfg.DisableOffload {
@@ -143,6 +165,7 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 
 	exec := tabletask.NewExecutor(d.Store, d.DRAM)
 	exec.Obs = o
+	exec.Ctx = d.cfg.Ctx
 	var allObjects []string
 	for _, u := range res.Units {
 		uSpan := qSpan.Child("unit "+u.Label, obs.StageUnit)
@@ -150,6 +173,14 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 		err := d.runUnit(exec, u)
 		uSpan.End()
 		if err != nil {
+			// Cancellation is not a suspension: a dead context propagates
+			// instead of re-running the unit's subtree on the host (which
+			// would keep consuming flash bandwidth for a query nobody is
+			// waiting on).
+			if cerr := d.ctxErr(); cerr != nil {
+				qSpan.End()
+				return nil, nil, cerr
+			}
 			// Suspension (Sec. VI-E): the unit's intermediate state is
 			// dropped and the host resumes by executing the original
 			// subtree; completed units keep their offloaded results. An

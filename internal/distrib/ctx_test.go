@@ -1,0 +1,58 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"aquoman/internal/tpch"
+)
+
+// TestRunQueryCtxPreCancelled verifies a dead context stops a distributed
+// query before any shard runs, and that the context error is not treated
+// as a device fault (no retries, no mirror degradation).
+func TestRunQueryCtxPreCancelled(t *testing.T) {
+	_, c := setup(t)
+	def, err := tpch.Get(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int64, c.NumDevices())
+	for d := 0; d < c.NumDevices(); d++ {
+		st := c.Devices[d].Stats()
+		before[d] = st.PagesRead[0] + st.PagesRead[1]
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = c.RunQueryCtx(ctx, def.Build)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for d := 0; d < c.NumDevices(); d++ {
+		st := c.Devices[d].Stats()
+		if got := st.PagesRead[0] + st.PagesRead[1]; got != before[d] {
+			t.Fatalf("device %d read %d pages for a pre-cancelled query", d, got-before[d])
+		}
+	}
+}
+
+// TestRunQueryCtxNilMatchesRunQuery keeps the legacy path intact: a nil
+// context runs identically to RunQuery.
+func TestRunQueryCtxNilMatchesRunQuery(t *testing.T) {
+	_, c := setup(t)
+	def, err := tpch.Get(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := c.RunQuery(def.Build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.RunQueryCtx(nil, def.Build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() || got.Cols[0][0] != want.Cols[0][0] {
+		t.Fatalf("nil-ctx result differs: %v vs %v", got.Cols[0][0], want.Cols[0][0])
+	}
+}

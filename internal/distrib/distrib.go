@@ -19,6 +19,7 @@
 package distrib
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -415,6 +416,16 @@ func (r *Report) OffloadFraction() float64 {
 // RunQuery executes the plan produced by build across the cluster. build
 // must return a fresh tree per call (each device binds its own copy).
 func (c *Cluster) RunQuery(build func() plan.Node) (*engine.Batch, *Report, error) {
+	return c.RunQueryCtx(nil, build)
+}
+
+// RunQueryCtx is RunQuery with cooperative cancellation: ctx is threaded
+// into every shard's execution (page-read and morsel checkpoints), and is
+// checked between shards, so a cancelled distributed query stops issuing
+// flash page reads on every device. A context error propagates as-is —
+// it is not a device fault, so it triggers neither shard retries nor
+// mirror degradation. A nil ctx never cancels.
+func (c *Cluster) RunQueryCtx(ctx context.Context, build func() plan.Node) (*engine.Batch, *Report, error) {
 	probe := build()
 	if err := plan.Bind(probe, c.Stores[0]); err != nil {
 		return nil, nil, err
@@ -442,16 +453,16 @@ func (c *Cluster) RunQuery(build func() plan.Node) (*engine.Batch, *Report, erro
 			}
 			return p, nil
 		}
-		b, r, err := c.runShard(0, mk, root, rep)
+		b, r, err := c.runShard(ctx, 0, mk, root, rep)
 		if err != nil {
 			return nil, nil, err
 		}
 		rep.PerDevice[0] = r
 		return b, rep, nil
 	case stratConcat:
-		return c.scatterGather(build, nil, root)
+		return c.scatterGather(ctx, build, nil, root)
 	case stratMergeAgg:
-		return c.scatterGather(build, strat, root)
+		return c.scatterGather(ctx, build, strat, root)
 	default:
 		return nil, nil, fmt.Errorf("distrib: unreachable")
 	}
@@ -464,7 +475,7 @@ func (c *Cluster) RunQuery(build func() plan.Node) (*engine.Batch, *Report, erro
 // (recorded in rep.DegradedShards and the device report's Notes). A
 // non-fault error propagates untouched; an unrecoverable fault returns a
 // typed *ShardError.
-func (c *Cluster) runShard(d int, mkPlan func(s *col.Store) (plan.Node, error), parent *obs.Span, rep *Report) (*engine.Batch, *core.Report, error) {
+func (c *Cluster) runShard(ctx context.Context, d int, mkPlan func(s *col.Store) (plan.Node, error), parent *obs.Span, rep *Report) (*engine.Batch, *core.Report, error) {
 	run := func(s *col.Store, label string) (*engine.Batch, *core.Report, error) {
 		p, err := mkPlan(s)
 		if err != nil {
@@ -478,6 +489,7 @@ func (c *Cluster) runShard(d int, mkPlan func(s *col.Store) (plan.Node, error), 
 			Compiler:  compiler.Config{HeapScale: c.HeapScale},
 			Obs:       c.Obs,
 			ObsParent: shard,
+			Ctx:       ctx,
 		})
 		return dev.RunQuery(p)
 	}
@@ -488,6 +500,13 @@ func (c *Cluster) runShard(d int, mkPlan func(s *col.Store) (plan.Node, error), 
 	}
 	var lastErr error
 	for try := 0; try <= budget; try++ {
+		// A dead context ends the shard immediately — fault retries must
+		// not keep a cancelled query's device busy.
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		label := "shard " + strconv.Itoa(d)
 		if try > 0 {
 			label += " retry " + strconv.Itoa(try)

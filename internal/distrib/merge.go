@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"context"
 	"fmt"
 
 	"aquoman/internal/col"
@@ -168,7 +169,7 @@ func mergePlan(g *plan.GroupBy, partial *plan.Materialized) plan.Node {
 
 // scatterGather runs the per-device core plans (each through the shard
 // retry/degradation path) and merges.
-func (c *Cluster) scatterGather(build func() plan.Node, strat *strategy, root *obs.Span) (*engine.Batch, *Report, error) {
+func (c *Cluster) scatterGather(ctx context.Context, build func() plan.Node, strat *strategy, root *obs.Span) (*engine.Batch, *Report, error) {
 	rep := &Report{
 		PerDevice:    make([]*core.Report, c.NumDevices()),
 		ShardRetries: make([]int, c.NumDevices()),
@@ -185,6 +186,11 @@ func (c *Cluster) scatterGather(build func() plan.Node, strat *strategy, root *o
 	var probeGroup *plan.GroupBy
 
 	for d := 0; d < c.NumDevices(); d++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		d := d
 		var chain []plan.Node
 		mk := func(s *col.Store) (plan.Node, error) {
@@ -210,7 +216,7 @@ func (c *Cluster) scatterGather(build func() plan.Node, strat *strategy, root *o
 			}
 			return devicePlan, nil
 		}
-		b, r, err := c.runShard(d, mk, root, rep)
+		b, r, err := c.runShard(ctx, d, mk, root, rep)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -94,6 +95,11 @@ type Engine struct {
 	// threads is the intra-query parallelism (see SetParallelism).
 	threads int
 
+	// ctx (optional, see SetContext) cancels execution cooperatively: it
+	// is checked before every operator, at scan page-chunk boundaries, and
+	// at morsel boundaries of parallel sections.
+	ctx context.Context
+
 	// obs/cur trace per-operator spans; cur is the parent of the node
 	// being executed (exec recursion runs on one goroutine).
 	obs *obs.Observer
@@ -110,6 +116,19 @@ func New(store *col.Store) *Engine {
 func (e *Engine) SetObserver(o *obs.Observer, parent *obs.Span) {
 	e.obs = o
 	e.cur = parent
+}
+
+// SetContext attaches a cancellation context: a cancelled query stops
+// between operators and within scans at page-chunk granularity, ending
+// its flash traffic promptly. A nil ctx (the default) never cancels.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// ctxErr returns the engine context's error, if any.
+func (e *Engine) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // Run executes a bound plan tree and returns the result batch.
@@ -149,18 +168,31 @@ func nodeLabel(n plan.Node) string {
 }
 
 func (e *Engine) exec(n plan.Node) (*Batch, error) {
+	if err := e.ctxErr(); err != nil {
+		return nil, err
+	}
+	var b *Batch
+	var err error
 	if e.obs == nil && e.cur == nil {
-		return e.execNode(n)
+		b, err = e.execNode(n)
+	} else {
+		sp := e.obs.SpanUnder(e.cur, nodeLabel(n), obs.StageHost)
+		saved := e.cur
+		e.cur = sp
+		b, err = e.execNode(n)
+		e.cur = saved
+		if b != nil {
+			sp.SetInt("rows_out", int64(b.NumRows()))
+		}
+		sp.End()
 	}
-	sp := e.obs.SpanUnder(e.cur, nodeLabel(n), obs.StageHost)
-	saved := e.cur
-	e.cur = sp
-	b, err := e.execNode(n)
-	e.cur = saved
-	if b != nil {
-		sp.SetInt("rows_out", int64(b.NumRows()))
+	if err == nil {
+		// Re-check after the node: a cancellation that landed mid-operator
+		// (e.g. skipped parallel morsels) must not leak a truncated batch.
+		if cerr := e.ctxErr(); cerr != nil {
+			return nil, cerr
+		}
 	}
-	sp.End()
 	return b, err
 }
 
@@ -212,7 +244,7 @@ func (e *Engine) execScan(t *plan.Scan) (*Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		vals, err := ci.ReadAll(hostRequester)
+		vals, err := ci.ReadAllCtx(e.ctx, hostRequester)
 		if err != nil {
 			return nil, err
 		}

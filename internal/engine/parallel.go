@@ -25,6 +25,9 @@ func (e *Engine) SetParallelism(threads int) {
 
 // parallelRanges splits [0, n) into one contiguous range per worker and
 // runs fn(worker, lo, hi) concurrently. With one thread it runs inline.
+// A cancelled engine context skips ranges not yet started (workers
+// already inside fn run their morsel to completion — the caller's next
+// exec() checkpoint surfaces the cancellation).
 func (e *Engine) parallelRanges(n int, fn func(worker, lo, hi int)) int {
 	threads := e.threads
 	if threads <= 1 || n < 4096 {
@@ -38,6 +41,9 @@ func (e *Engine) parallelRanges(n int, fn func(worker, lo, hi int)) int {
 	per := (n + threads - 1) / threads
 	workers := 0
 	for lo := 0; lo < n; lo += per {
+		if e.ctxErr() != nil {
+			break
+		}
 		hi := lo + per
 		if hi > n {
 			hi = n

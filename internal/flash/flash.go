@@ -20,6 +20,7 @@
 package flash
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -317,9 +318,7 @@ func (d *Device) ReadLatency() time.Duration {
 
 // throttle sleeps the configured read latency for n device page reads.
 func (d *Device) throttle(n int64) {
-	if lat := d.readLatencyNs.Load(); lat > 0 && n > 0 {
-		time.Sleep(time.Duration(lat * n))
-	}
+	_ = d.throttleCtx(nil, n)
 }
 
 // SetRetryPolicy replaces the page-read retry policy.
@@ -728,6 +727,14 @@ func (f *File) ReadAt(p []byte, off int64, who Requester) (int, error) {
 	if cache := f.dev.PageCache(); cache != nil {
 		return f.readCached(cache, p, off, who)
 	}
+	return f.readDirect(nil, p, off, who)
+}
+
+// readDirect performs an uncached read. A non-nil cancellable ctx makes
+// the latency throttle interruptible; the read itself (and its
+// accounting) is already committed by then, so a cut-short throttle
+// returns the bytes read alongside the context error.
+func (f *File) readDirect(ctx context.Context, p []byte, off int64, who Requester) (int, error) {
 	f.mu.Lock()
 	size := int64(len(f.data))
 	f.mu.Unlock()
@@ -761,7 +768,9 @@ func (f *File) ReadAt(p []byte, off int64, who Requester) (int, error) {
 	f.mu.Unlock()
 	if n > 0 {
 		f.dev.account(f.name, who, pages, random, 0, 0)
-		f.dev.throttle(pages)
+		if err := f.dev.throttleCtx(ctx, pages); err != nil {
+			return n, err
+		}
 	}
 	return n, nil
 }
@@ -809,6 +818,14 @@ func (f *File) readCached(cache PageCacher, p []byte, off int64, who Requester) 
 // check, traffic accounting, and read latency. The returned slice is a
 // private copy (the cache shares it with future hits).
 func (f *File) devicePageRead(page int64, who Requester) ([]byte, error) {
+	return f.devicePageReadCtx(nil, page, who)
+}
+
+// devicePageReadCtx is devicePageRead with an interruptible latency
+// throttle. The page content is still returned (and cached) when only
+// the throttle was cut short — a concurrent reader coalesced on the same
+// miss must not lose the page to another query's cancellation.
+func (f *File) devicePageReadCtx(ctx context.Context, page int64, who Requester) ([]byte, error) {
 	if err := f.dev.checkRead(f.name, page, page, who); err != nil {
 		return nil, err
 	}
@@ -828,7 +845,7 @@ func (f *File) devicePageRead(page int64, who Requester) ([]byte, error) {
 	f.lastRead[who] = page + 1
 	f.mu.Unlock()
 	f.dev.account(f.name, who, 1, random, 0, 0)
-	f.dev.throttle(1)
+	_ = f.dev.throttleCtx(ctx, 1)
 	return data, nil
 }
 

@@ -3,7 +3,8 @@ package obs
 import "net/http"
 
 // Handler serves the registry over HTTP: /metrics in Prometheus text
-// format and /debug/vars as expvar-style JSON. Mount it with
+// format, /debug/vars as expvar-style JSON, and an index page on / that
+// lists the mounted endpoints. Mount it with
 // http.ListenAndServe(addr, reg.Handler()).
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -14,6 +15,21 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_, _ = w.Write([]byte(r.Snapshot().Expvar()))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(`<html><head><title>aquoman metrics</title></head><body>
+<h1>aquoman metrics</h1>
+<ul>
+<li><a href="/metrics">/metrics</a> &mdash; Prometheus text format</li>
+<li><a href="/debug/vars">/debug/vars</a> &mdash; expvar-style JSON</li>
+</ul>
+</body></html>
+`))
 	})
 	return mux
 }

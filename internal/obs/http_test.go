@@ -47,3 +47,33 @@ func TestHandlerEndpoints(t *testing.T) {
 		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
 	}
 }
+
+// TestHandlerIndex covers the / index page (it lists the mounted
+// endpoints) and the 404 for unknown paths.
+func TestHandlerIndex(t *testing.T) {
+	r := NewRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET / = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "/metrics") || !strings.Contains(string(body), "/debug/vars") {
+		t.Fatalf("index does not list mounted endpoints:\n%s", body)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+}

@@ -9,6 +9,7 @@
 package rowsel
 
 import (
+	"context"
 	"fmt"
 
 	"aquoman/internal/bitvec"
@@ -68,6 +69,13 @@ type Stats struct {
 // mask (nil = all rows), and returns the refined mask. Column pages whose
 // vectors are already fully masked out are skipped.
 func (p *Program) Run(tab *col.Table, in *bitvec.Mask, who flash.Requester) (*bitvec.Mask, Stats, error) {
+	return p.RunCtx(nil, tab, in, who)
+}
+
+// RunCtx is Run with cooperative cancellation: every predicate-column
+// page load checks ctx first, so a cancelled selector pass stops issuing
+// flash page reads at the next page boundary. A nil ctx never cancels.
+func (p *Program) RunCtx(ctx context.Context, tab *col.Table, in *bitvec.Mask, who flash.Requester) (*bitvec.Mask, Stats, error) {
 	var st Stats
 	mask := in
 	if mask == nil {
@@ -91,6 +99,7 @@ func (p *Program) Run(tab *col.Table, in *bitvec.Mask, who flash.Requester) (*bi
 			return nil, st, err
 		}
 		readers[i] = col.NewPagedReader(ci, who)
+		readers[i].SetContext(ctx)
 	}
 	var vals [bitvec.VecSize]int64
 	var lane [1]int64

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -39,6 +40,13 @@ func (c Config) withDefaults() Config {
 // Job is one unit of admitted work: typically a full query, executed on a
 // worker goroutine. The returned value is handed to Ticket.Wait verbatim.
 type Job func() (interface{}, error)
+
+// JobCtx is a Job that receives the submission's context so the work can
+// honour cancellation cooperatively. The scheduler itself also uses the
+// context: a job whose context dies while still queued is skipped (its
+// ticket fails with the context error) without ever occupying an
+// in-flight slot.
+type JobCtx func(ctx context.Context) (interface{}, error)
 
 // Ticket tracks one submitted job through the scheduler.
 type Ticket struct {
@@ -83,10 +91,13 @@ type Scheduler struct {
 	rejected  *obs.Counter
 	completed *obs.Counter
 	panicked  *obs.Counter
+	canceled  *obs.Counter
 }
 
 type submission struct {
 	job    Job
+	jobCtx JobCtx
+	ctx    context.Context // nil = never cancels
 	ticket *Ticket
 }
 
@@ -121,12 +132,30 @@ func (s *Scheduler) Observe(reg *obs.Registry) {
 	s.rejected = reg.Counter("sched_rejected_total")
 	s.completed = reg.Counter("sched_completed_total")
 	s.panicked = reg.Counter("sched_panics_total")
+	s.canceled = reg.Counter("sched_canceled_total")
 }
 
 // Submit enqueues job without blocking. It returns ErrQueueFull when the
 // pending queue is at capacity and ErrClosed after Close.
 func (s *Scheduler) Submit(job Job) (*Ticket, error) {
-	sub := &submission{job: job, ticket: &Ticket{done: make(chan struct{})}}
+	return s.enqueue(&submission{job: job, ticket: &Ticket{done: make(chan struct{})}})
+}
+
+// SubmitCtx is Submit with a context: the job receives ctx when it runs,
+// and if ctx dies while the job is still queued the worker skips it (the
+// ticket fails with the context error, and no in-flight slot is spent).
+// A nil ctx never cancels. Admission itself does not block, so ctx only
+// gates queue-wait and execution, not the Submit call.
+func (s *Scheduler) SubmitCtx(ctx context.Context, job JobCtx) (*Ticket, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return s.enqueue(&submission{jobCtx: job, ctx: ctx, ticket: &Ticket{done: make(chan struct{})}})
+}
+
+func (s *Scheduler) enqueue(sub *submission) (*Ticket, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -147,7 +176,22 @@ func (s *Scheduler) Submit(job Job) (*Ticket, error) {
 // fails with ErrClosed. Used by convenience paths (DB.RunConcurrent)
 // where backpressure should stall the producer rather than shed load.
 func (s *Scheduler) SubmitWait(job Job) (*Ticket, error) {
-	sub := &submission{job: job, ticket: &Ticket{done: make(chan struct{})}}
+	return s.enqueueWait(&submission{job: job, ticket: &Ticket{done: make(chan struct{})}})
+}
+
+// SubmitWaitCtx is SubmitWait with a context: a caller stalled on a full
+// queue unblocks with ctx's error when ctx dies, and a job still queued
+// when ctx dies is skipped by the workers. A nil ctx never cancels.
+func (s *Scheduler) SubmitWaitCtx(ctx context.Context, job JobCtx) (*Ticket, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return s.enqueueWait(&submission{jobCtx: job, ctx: ctx, ticket: &Ticket{done: make(chan struct{})}})
+}
+
+func (s *Scheduler) enqueueWait(sub *submission) (*Ticket, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -156,10 +200,21 @@ func (s *Scheduler) SubmitWait(job Job) (*Ticket, error) {
 	// A blocking send is safe here: Close needs the write lock to close the
 	// channel, so the channel cannot close under us, and workers keep
 	// draining (they take no locks), so the send eventually completes.
-	s.queue <- sub
-	s.submitted.Inc()
-	s.queued.Add(1)
-	return sub.ticket, nil
+	// A nil submission context leaves done nil, and a receive from a nil
+	// channel blocks forever — exactly the "never cancels" semantics.
+	var done <-chan struct{}
+	if sub.ctx != nil {
+		done = sub.ctx.Done()
+	}
+	select {
+	case s.queue <- sub:
+		s.submitted.Inc()
+		s.queued.Add(1)
+		return sub.ticket, nil
+	case <-done:
+		s.rejected.Inc()
+		return nil, sub.ctx.Err()
+	}
 }
 
 // Rounds reports the global grant sequence: the number of jobs that have
@@ -185,6 +240,17 @@ func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for sub := range s.queue {
 		s.queued.Add(-1)
+		// A job whose context died while queued never runs: it would only
+		// burn an in-flight slot (and simulated flash bandwidth) producing
+		// a result nobody is waiting on.
+		if sub.ctx != nil {
+			if err := sub.ctx.Err(); err != nil {
+				sub.ticket.err = err
+				s.canceled.Inc()
+				close(sub.ticket.done)
+				continue
+			}
+		}
 		s.inflight.Add(1)
 		sub.ticket.round.Store(s.rounds.Add(1))
 		s.run(sub)
@@ -203,5 +269,9 @@ func (s *Scheduler) run(sub *submission) {
 			sub.ticket.err = fmt.Errorf("sched: query panicked: %v", r)
 		}
 	}()
+	if sub.jobCtx != nil {
+		sub.ticket.result, sub.ticket.err = sub.jobCtx(sub.ctx)
+		return
+	}
 	sub.ticket.result, sub.ticket.err = sub.job()
 }

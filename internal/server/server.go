@@ -1,0 +1,397 @@
+// Package server exposes an AQUOMAN DB as a network query service: an
+// HTTP/JSON front end that compiles SQL (or picks a TPC-H query), admits
+// the work through the concurrent scheduler, and streams results back as
+// NDJSON — with the request's context threaded end-to-end, so a client
+// that disconnects (or a deadline that fires) stops the query at its next
+// page-read or morsel checkpoint and frees the scheduler slot.
+//
+// Endpoints:
+//
+//	/            index (JSON listing of the mounted endpoints)
+//	/query       GET ?q=<sql> or POST {"sql": ..., "timeout_ms": ...}
+//	/tpch        GET ?q=1..22 — the Table-Task offload path
+//	/healthz     liveness (503 while draining)
+//	/metrics     Prometheus text (when the DB has an observer)
+//	/debug/vars  expvar JSON (when the DB has an observer)
+//
+// Backpressure is explicit: a full scheduler queue returns 503 with a
+// Retry-After header instead of queueing unboundedly. Drain puts the
+// server into a mode where new queries are rejected but in-flight ones
+// finish, for graceful shutdown.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aquoman"
+	"aquoman/internal/col"
+	"aquoman/internal/engine"
+	"aquoman/internal/plan"
+	"aquoman/internal/sql"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DB is the backing AQUOMAN instance (required).
+	DB *aquoman.DB
+	// DefaultTimeout bounds queries that specify no timeout_ms. Zero
+	// means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps every query's deadline, including requests that
+	// specify none or a larger timeout_ms. Zero means no cap.
+	MaxTimeout time.Duration
+	// ChunkRows is the number of result rows written between flushes of
+	// the NDJSON stream. Values < 1 default to 256.
+	ChunkRows int
+}
+
+// Server is the HTTP query service. It implements http.Handler.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server over cfg.DB.
+func New(cfg Config) *Server {
+	if cfg.ChunkRows < 1 {
+		cfg.ChunkRows = 256
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.instrument("query", true, s.handleQuery))
+	s.mux.HandleFunc("/tpch", s.instrument("tpch", true, s.handleTPCH))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", false, s.handleHealthz))
+	if obs := cfg.DB.Obs; obs != nil && obs.Reg != nil {
+		reg := obs.Reg
+		s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_, _ = w.Write([]byte(reg.Snapshot().Prometheus()))
+		})
+		s.mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_, _ = w.Write([]byte(reg.Snapshot().Expvar()))
+		})
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	return s
+}
+
+// ServeHTTP dispatches to the mounted endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops admitting queries (they get 503) and blocks until every
+// in-flight request has finished or ctx expires. Health checks flip to
+// 503 immediately so load balancers route away. Call before shutting the
+// listener down.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// statusWriter records the response code and forwards Flush so NDJSON
+// streaming keeps working through the instrumentation layer.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps an endpoint with inflight tracking, request/latency
+// metrics, and (for query endpoints) the drain gate.
+func (s *Server) instrument(endpoint string, gated bool, h http.HandlerFunc) http.HandlerFunc {
+	o := s.cfg.DB.Obs // nil-safe: obs metrics accept a nil receiver
+	return func(w http.ResponseWriter, r *http.Request) {
+		if gated && s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			o.Counter("server_requests_total", "endpoint", endpoint, "code", "503").Inc()
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		o.Gauge("server_inflight").Add(1)
+		defer o.Gauge("server_inflight").Add(-1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		o.Counter("server_requests_total", "endpoint", endpoint, "code", strconv.Itoa(sw.code)).Inc()
+		o.Histogram("server_request_ms", "endpoint", endpoint).Observe(time.Since(start).Milliseconds())
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(map[string]interface{}{
+		"service": "aquoman-serve",
+		"version": aquoman.Version,
+		"endpoints": []string{
+			"/query?q=<sql> (GET) or POST {\"sql\": ..., \"timeout_ms\": ...}",
+			"/tpch?q=1..22",
+			"/healthz",
+			"/metrics",
+			"/debug/vars",
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL       string `json:"sql"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.SQL = r.URL.Query().Get("q")
+		if v := r.URL.Query().Get("timeout_ms"); v != "" {
+			ms, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || ms < 0 {
+				writeError(w, http.StatusBadRequest, "invalid timeout_ms")
+				return
+			}
+			req.TimeoutMS = ms
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, http.StatusMethodNotAllowed, "use GET ?q= or POST JSON")
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "missing SQL statement (q parameter or \"sql\" field)")
+		return
+	}
+
+	p, err := sql.Plan(req.SQL, s.cfg.DB.Store)
+	if err != nil {
+		// A statement that fails to compile is the client's fault; an
+		// execution failure below is the server's.
+		var ce *sql.CompileError
+		if errors.As(err, &ce) {
+			writeError(w, http.StatusBadRequest, "compile: "+ce.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.runAndStream(w, r, p, time.Duration(req.TimeoutMS)*time.Millisecond)
+}
+
+func (s *Server) handleTPCH(w http.ResponseWriter, r *http.Request) {
+	q, err := strconv.Atoi(r.URL.Query().Get("q"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid q parameter (want 1..22)")
+		return
+	}
+	p, err := aquoman.TPCHQuery(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var timeout time.Duration
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		ms, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, "invalid timeout_ms")
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	s.runAndStream(w, r, p, timeout)
+}
+
+// deadline resolves a request's effective timeout from the client's ask
+// and the server's default/cap.
+func (s *Server) deadline(asked time.Duration) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if asked > 0 {
+		d = asked
+	}
+	if s.cfg.MaxTimeout > 0 && (d == 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// runAndStream admits the plan through the scheduler under the request's
+// context and streams the result as NDJSON. The context is cancelled when
+// the client disconnects, so an abandoned query stops consuming flash
+// bandwidth at its next checkpoint and its scheduler slot frees up.
+func (s *Server) runAndStream(w http.ResponseWriter, r *http.Request, p aquoman.Plan, asked time.Duration) {
+	ctx := r.Context()
+	if d := s.deadline(asked); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	start := time.Now()
+	t, err := s.cfg.DB.SubmitCtx(ctx, p)
+	if err != nil {
+		switch {
+		case errors.Is(err, aquoman.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "scheduler queue full, retry later")
+		case errors.Is(err, aquoman.ErrSchedulerClosed):
+			writeError(w, http.StatusServiceUnavailable, "scheduler closed")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	res, err := t.Wait()
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			// The client is gone; there is nobody to write an error to.
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.stream(ctx, w, res.Batch, time.Since(start))
+}
+
+// stream writes the batch as NDJSON: a schema header line, one JSON array
+// per row, and a trailer with the row count. Chunks of ChunkRows rows are
+// flushed so clients see results incrementally; a dead context stops the
+// stream at the next chunk boundary.
+func (s *Server) stream(ctx context.Context, w http.ResponseWriter, b *engine.Batch, elapsed time.Duration) {
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	type schemaField struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	}
+	header := struct {
+		Schema []schemaField `json:"schema"`
+	}{}
+	for _, f := range b.Schema {
+		header.Schema = append(header.Schema, schemaField{Name: f.Name, Type: f.Typ.String()})
+	}
+	if err := enc.Encode(&header); err != nil {
+		return
+	}
+
+	n := b.NumRows()
+	written := 0
+	row := make([]interface{}, len(b.Schema))
+	for r := 0; r < n; r++ {
+		for c, f := range b.Schema {
+			row[c] = jsonValue(f, b.Cols[c][r])
+		}
+		if err := enc.Encode(row); err != nil {
+			return
+		}
+		written++
+		if written%s.cfg.ChunkRows == 0 {
+			if ctx.Err() != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	trailer := struct {
+		Done      bool    `json:"done"`
+		Rows      int     `json:"rows"`
+		ElapsedMS float64 `json:"elapsed_ms"`
+	}{Done: true, Rows: n, ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+	_ = enc.Encode(&trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// jsonValue converts one stored value to its JSON representation:
+// integers stay numeric, booleans become true/false, and dates, decimals
+// and strings render through the engine's display path.
+func jsonValue(f plan.Field, v int64) interface{} {
+	switch f.Typ {
+	case col.Int64, col.Int32:
+		return v
+	case col.Bool:
+		return v != 0
+	default:
+		return engine.RenderValue(f, v)
+	}
+}
+
+// String implements fmt.Stringer for debugging.
+func (s *Server) String() string {
+	return fmt.Sprintf("server.Server{draining: %v}", s.draining.Load())
+}

@@ -1,0 +1,496 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aquoman"
+	"aquoman/internal/flash"
+)
+
+var (
+	dbOnce sync.Once
+	testDB *aquoman.DB
+)
+
+// sharedDB is a small TPC-H instance reused across tests (generation
+// dominates test time). Tests that mutate device latency restore it.
+func sharedDB(t *testing.T) *aquoman.DB {
+	t.Helper()
+	dbOnce.Do(func() {
+		testDB = aquoman.Open()
+		if err := testDB.LoadTPCH(0.005, 1); err != nil {
+			t.Fatalf("LoadTPCH: %v", err)
+		}
+		testDB.EnableObservability()
+		testDB.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: 2, QueueDepth: 4})
+	})
+	return testDB
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.DB == nil {
+		cfg.DB = sharedDB(t)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// ndjson splits a response body into decoded JSON lines.
+func ndjson(t *testing.T, body io.Reader) []map[string]interface{} {
+	t.Helper()
+	var out []map[string]interface{}
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			// Row lines are arrays; wrap them.
+			var arr []interface{}
+			if err2 := json.Unmarshal([]byte(line), &arr); err2 != nil {
+				t.Fatalf("bad NDJSON line %q: %v", line, err)
+			}
+			m = map[string]interface{}{"_row": arr}
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestQueryNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/query?q=" + strings.ReplaceAll(
+		"select count(*) as n from lineitem", " ", "+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/x-ndjson") {
+		t.Fatalf("content-type %q", ct)
+	}
+	lines := ndjson(t, resp.Body)
+	if len(lines) != 3 { // header, one row, trailer
+		t.Fatalf("got %d NDJSON lines, want 3: %v", len(lines), lines)
+	}
+	schema := lines[0]["schema"].([]interface{})
+	if f := schema[0].(map[string]interface{}); f["name"] != "n" {
+		t.Fatalf("schema %v", schema)
+	}
+	want, err := sharedDB(t).Query("select count(*) as n from lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lines[1]["_row"].([]interface{})[0].(float64)
+	if int64(got) != want.Batch.Cols[0][0] {
+		t.Fatalf("count = %v, want %d", got, want.Batch.Cols[0][0])
+	}
+	trailer := lines[2]
+	if trailer["done"] != true || trailer["rows"].(float64) != 1 {
+		t.Fatalf("trailer %v", trailer)
+	}
+}
+
+func TestQueryPost(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"sql": "select count(*) as n from orders", "timeout_ms": 30000}`
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	lines := ndjson(t, resp.Body)
+	if lines[len(lines)-1]["done"] != true {
+		t.Fatalf("missing done trailer: %v", lines)
+	}
+}
+
+func TestBadSQLIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/query?q=selectt+nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var e map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e["error"] == "" {
+		t.Fatalf("error body: %v, %v", e, err)
+	}
+}
+
+func TestMissingSQLIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestTPCHEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/tpch?q=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	lines := ndjson(t, resp.Body)
+	if lines[len(lines)-1]["done"] != true {
+		t.Fatalf("missing done trailer")
+	}
+
+	resp, err = http.Get(ts.URL + "/tpch?q=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("q=99 status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndIndex(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h map[string]string
+	_ = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || h["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, h)
+	}
+
+	resp, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(b), "/query") {
+		t.Fatalf("index = %d %s", resp.StatusCode, b)
+	}
+
+	resp, err = http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Generate one request so the server counters exist.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	for _, want := range []string{"server_requests_total", "sched_inflight"} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("metrics missing %s:\n%s", want, b)
+		}
+	}
+}
+
+// TestQueueFull503 fills every scheduler slot and the whole queue with
+// slow queries, then asserts the next request is shed with 503 +
+// Retry-After instead of queueing unboundedly.
+func TestQueueFull503(t *testing.T) {
+	db := aquoman.Open()
+	if err := db.LoadTPCH(0.005, 1); err != nil {
+		t.Fatal(err)
+	}
+	o := db.EnableObservability()
+	db.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: 1, QueueDepth: 1})
+	defer db.Close()
+	db.Flash.SetReadLatency(500 * time.Microsecond) // queries take ~100ms+
+	_, ts := newTestServer(t, Config{DB: db})
+
+	// Occupy the slot and the queue directly through the scheduler so the
+	// occupancy is deterministic before the HTTP request fires: submit one
+	// query, wait for it to hold the in-flight slot, then fill the queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	submit := func() *aquoman.Ticket {
+		p, err := aquoman.TPCHQuery(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk, err := db.SubmitCtx(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tk
+	}
+	tickets := []*aquoman.Ticket{submit()}
+	inflight := o.Reg.Gauge("sched_inflight")
+	deadline := time.Now().Add(5 * time.Second)
+	for inflight.Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first query never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tickets = append(tickets, submit())
+
+	resp, err := http.Get(ts.URL + "/tpch?q=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	cancel()
+	for _, tk := range tickets {
+		_, _ = tk.Wait()
+	}
+}
+
+// TestCancelFreesSchedulerSlot is the end-to-end cancellation assertion:
+// a client that disconnects mid-flight frees its scheduler slot (the
+// sched_inflight gauge returns to 0) and the query's simulated flash
+// traffic stops growing.
+func TestCancelFreesSchedulerSlot(t *testing.T) {
+	db := aquoman.Open()
+	if err := db.LoadTPCH(0.01, 7); err != nil {
+		t.Fatal(err)
+	}
+	o := db.EnableObservability()
+	db.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: 1, QueueDepth: 4})
+	defer db.Close()
+	// Per-page latency stretches the query to seconds so the cancel lands
+	// mid-flight; the interruptible throttle makes the abort prompt.
+	db.Flash.SetReadLatency(2 * time.Millisecond)
+	_, ts := newTestServer(t, Config{DB: db})
+
+	inflight := o.Reg.Gauge("sched_inflight")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/tpch?q=6", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	// Wait for the query to occupy the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for inflight.Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel() // client disconnects mid-query
+	<-done
+
+	// The slot must free up promptly (not after the seconds the full
+	// query would have taken).
+	deadline = time.Now().Add(2 * time.Second)
+	for inflight.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sched_inflight stuck at %d after client cancel", inflight.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// And the cancelled query must stop consuming flash bandwidth.
+	s1 := db.FlashStats().PagesRead[flash.Aquoman]
+	time.Sleep(50 * time.Millisecond)
+	if s2 := db.FlashStats().PagesRead[flash.Aquoman]; s2 != s1 {
+		t.Fatalf("flash traffic still growing after cancel: %d -> %d", s1, s2)
+	}
+}
+
+// TestDeadline504 verifies the server's per-request deadline surfaces as
+// 504 Gateway Timeout.
+func TestDeadline504(t *testing.T) {
+	db := aquoman.Open()
+	if err := db.LoadTPCH(0.005, 1); err != nil {
+		t.Fatal(err)
+	}
+	db.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: 1, QueueDepth: 1})
+	defer db.Close()
+	db.Flash.SetReadLatency(2 * time.Millisecond)
+	_, ts := newTestServer(t, Config{DB: db})
+
+	resp, err := http.Get(ts.URL + "/tpch?q=6&timeout_ms=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, b)
+	}
+}
+
+// TestMaxTimeoutCaps verifies the server clamps client deadlines to
+// MaxTimeout.
+func TestMaxTimeoutCaps(t *testing.T) {
+	db := aquoman.Open()
+	if err := db.LoadTPCH(0.005, 1); err != nil {
+		t.Fatal(err)
+	}
+	db.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: 1, QueueDepth: 1})
+	defer db.Close()
+	db.Flash.SetReadLatency(2 * time.Millisecond)
+	_, ts := newTestServer(t, Config{DB: db, MaxTimeout: 5 * time.Millisecond})
+
+	// The client asks for a minute; the cap must fire within the test.
+	resp, err := http.Get(ts.URL + "/tpch?q=6&timeout_ms=60000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (MaxTimeout cap)", resp.StatusCode)
+	}
+}
+
+// TestDrain verifies drain mode: queries and health checks flip to 503,
+// in-flight requests finish, and Drain returns.
+func TestDrain(t *testing.T) {
+	db := aquoman.Open()
+	if err := db.LoadTPCH(0.005, 1); err != nil {
+		t.Fatal(err)
+	}
+	db.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: 2, QueueDepth: 2})
+	defer db.Close()
+	s, ts := newTestServer(t, Config{DB: db})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+
+	resp, err := http.Get(ts.URL + "/tpch?q=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query while draining = %d, want 503", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h map[string]string
+	_ = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h["status"] != "draining" {
+		t.Fatalf("healthz while draining = %d %v", resp.StatusCode, h)
+	}
+}
+
+// TestStreamChunks checks a multi-row result streams complete NDJSON with
+// a correct row count.
+func TestStreamChunks(t *testing.T) {
+	_, ts := newTestServer(t, Config{ChunkRows: 8})
+	q := "select l_orderkey, l_quantity from lineitem where l_quantity < 10"
+	resp, err := http.Get(ts.URL + "/query?q=" + strings.ReplaceAll(q, " ", "+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	lines := ndjson(t, resp.Body)
+	trailer := lines[len(lines)-1]
+	if trailer["done"] != true {
+		t.Fatalf("missing done trailer: %v", trailer)
+	}
+	rows := int(trailer["rows"].(float64))
+	if got := len(lines) - 2; got != rows {
+		t.Fatalf("streamed %d rows, trailer says %d", got, rows)
+	}
+	want, err := sharedDB(t).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != want.NumRows() {
+		t.Fatalf("rows = %d, want %d", rows, want.NumRows())
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/query", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /query = %d, want 405", resp.StatusCode)
+	}
+}

@@ -9,20 +9,38 @@ import (
 	"aquoman/internal/plan"
 )
 
+// CompileError marks a failure to turn SQL text into a bound plan —
+// parse errors, unknown tables/columns, type mismatches. It lets callers
+// (e.g. the HTTP server) distinguish a bad statement (the client's fault,
+// 400) from an execution failure (the system's fault, 500). Error()
+// returns the underlying message unchanged; use errors.As to detect it.
+type CompileError struct {
+	// Src is the offending SQL statement.
+	Src string
+	// Err is the underlying parse/plan/bind failure.
+	Err error
+}
+
+func (e *CompileError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *CompileError) Unwrap() error { return e.Err }
+
 // Plan compiles a SQL statement against the store's catalog into a bound
-// plan tree ready for the engine or the AQUOMAN offload path.
+// plan tree ready for the engine or the AQUOMAN offload path. All
+// failures are reported as *CompileError.
 func Plan(src string, store *col.Store) (plan.Node, error) {
 	st, err := Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, &CompileError{Src: src, Err: err}
 	}
 	pl := &planner{store: store, st: st}
 	root, err := pl.plan()
 	if err != nil {
-		return nil, err
+		return nil, &CompileError{Src: src, Err: err}
 	}
 	if err := plan.Bind(root, store); err != nil {
-		return nil, err
+		return nil, &CompileError{Src: src, Err: err}
 	}
 	return root, nil
 }

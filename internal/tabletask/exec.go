@@ -1,6 +1,7 @@
 package tabletask
 
 import (
+	"context"
 	"fmt"
 
 	"aquoman/internal/bitvec"
@@ -73,12 +74,26 @@ type Executor struct {
 	Sorter sorter.Config
 	Trace  Trace
 
+	// Ctx (optional) cancels in-flight tasks cooperatively: it is checked
+	// at stage boundaries and before every flash page load, so a cancelled
+	// task stops consuming flash bandwidth within one page boundary. Nil
+	// never cancels.
+	Ctx context.Context
+
 	// Obs (optional) receives per-stage spans and metric counters;
 	// ObsParent, when set, is the enclosing span (the offload unit).
 	Obs       *obs.Observer
 	ObsParent *obs.Span
 
 	cached map[string]bool // DRAM-cached gather columns
+}
+
+// ctxErr returns the executor context's error, if any.
+func (e *Executor) ctxErr() error {
+	if e.Ctx == nil {
+		return nil
+	}
+	return e.Ctx.Err()
 }
 
 // NewExecutor returns an executor over the store using the given AQUOMAN
@@ -104,6 +119,9 @@ func (r *Result) NumRows() int {
 // Run executes one task.
 func (e *Executor) Run(t *Task) (*Result, error) {
 	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if err := e.ctxErr(); err != nil {
 		return nil, err
 	}
 	tt := TaskTrace{Name: t.Name, Table: t.Table, Op: t.Op.Kind.String()}
@@ -171,7 +189,7 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	if sel == nil {
 		sel = &Program{}
 	}
-	mask, selStats, err := sel.Run(tab, mask, flash.Aquoman)
+	mask, selStats, err := sel.RunCtx(e.Ctx, tab, mask, flash.Aquoman)
 	if err != nil {
 		selSpan.End()
 		return nil, err
@@ -240,6 +258,9 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	readSpan.End()
 
 	// 4. Row Transformation Systolic Array.
+	if err := e.ctxErr(); err != nil {
+		return nil, err
+	}
 	outputs := inputs
 	if t.Transform != nil {
 		trSpan := span.Child("transform", obs.StageTransform)
@@ -286,6 +307,9 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	tt.RowsToSwissknife = int64(nRows)
 
 	// 6. SQL Swissknife.
+	if err := e.ctxErr(); err != nil {
+		return nil, err
+	}
 	skSpan := span.Child("swissknife "+t.Op.Kind.String(), obs.StageSwissknife)
 	res, err := e.runOperator(t, tab, outputs, &tt, skSpan)
 	if err != nil {
@@ -353,7 +377,8 @@ func (e *Executor) runRegexFilter(t *Task, tab *col.Table, rf RegexFilter, mask 
 	// Stream the offset column (page-skipped) and the heap (once, into
 	// the accelerator cache).
 	reader := col.NewPagedReader(ci, flash.Aquoman)
-	heap, err := ci.NewHeapReader(flash.Aquoman)
+	reader.SetContext(e.Ctx)
+	heap, err := ci.NewHeapReaderCtx(e.Ctx, flash.Aquoman)
 	if err != nil {
 		return err
 	}
@@ -402,6 +427,7 @@ func (e *Executor) streamColumn(tab *col.Table, name string, mask *bitvec.Mask, 
 		return nil, 0, 0, err
 	}
 	r := col.NewPagedReader(ci, flash.Aquoman)
+	r.SetContext(e.Ctx)
 	out := make([]int64, 0, nSel)
 	var vals [bitvec.VecSize]int64
 	nVecs := mask.NumVecs()
@@ -443,7 +469,7 @@ func (e *Executor) gatherHop(hop GatherHop, rows []int64, tt *TaskTrace) ([]int6
 	cacheName := "cache:" + hop.Table + "/" + hop.Column
 	if tab.NumRows <= dramCacheRowLimit {
 		if !e.cached[cacheName] {
-			vals, err := ci.ReadAll(flash.Aquoman)
+			vals, err := ci.ReadAllCtx(e.Ctx, flash.Aquoman)
 			if err != nil {
 				return nil, err
 			}
@@ -476,6 +502,7 @@ func (e *Executor) gatherHop(hop GatherHop, rows []int64, tt *TaskTrace) ([]int6
 		refMask.Set(int(r))
 	}
 	reader := col.NewPagedReader(ci, flash.Aquoman)
+	reader.SetContext(e.Ctx)
 	lookup := make(map[int64]int64, refMask.Count())
 	var vals [bitvec.VecSize]int64
 	nVecs := refMask.NumVecs()
