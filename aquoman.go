@@ -29,6 +29,7 @@ import (
 	"aquoman/internal/col"
 	"aquoman/internal/compiler"
 	"aquoman/internal/core"
+	"aquoman/internal/enc"
 	"aquoman/internal/engine"
 	"aquoman/internal/faults"
 	"aquoman/internal/flash"
@@ -88,7 +89,22 @@ type (
 	// CompileError marks a SQL statement that failed to parse, plan or
 	// bind (as opposed to an execution failure); detect with errors.As.
 	CompileError = sql.CompileError
+	// Encoding selects a column storage codec (see internal/enc):
+	// EncRaw, EncAuto, EncDict, EncRLE, EncFOR.
+	Encoding = enc.Selection
 )
+
+// Column encoding selections (see SetDefaultEncoding / ReEncodeStore).
+const (
+	EncRaw  = enc.SelRaw
+	EncAuto = enc.SelAuto
+	EncDict = enc.SelDict
+	EncRLE  = enc.SelRLE
+	EncFOR  = enc.SelFOR
+)
+
+// ParseEncoding parses an -enc flag value: auto|raw|dict|rle|for.
+func ParseEncoding(s string) (Encoding, error) { return enc.ParseSelection(s) }
 
 // Scheduler backpressure errors (see DB.Submit).
 var (
@@ -153,6 +169,29 @@ func Open() *DB {
 // RowID columns AQUOMAN exploits).
 func (db *DB) LoadTPCH(sf float64, seed int64) error {
 	return tpch.Gen(db.Store, tpch.Config{SF: sf, Seed: seed})
+}
+
+// SetDefaultEncoding selects the storage codec for every column built
+// after the call (EncAuto picks per column from sampled statistics; the
+// zero value EncRaw keeps the legacy fixed-width layout). Set it before
+// LoadTPCH or NewTable to build an encoded store.
+func (db *DB) SetDefaultEncoding(sel Encoding) { db.Store.DefaultEncoding = sel }
+
+// ReEncodeStore rewrites every column of every table under sel. Each
+// column file is replaced in place, which bumps its generation and
+// invalidates any page cache in front of the device. Call with no
+// queries in flight.
+func (db *DB) ReEncodeStore(sel Encoding) error {
+	for _, name := range db.Store.Tables() {
+		t, err := db.Store.Table(name)
+		if err != nil {
+			return err
+		}
+		if err := t.ReEncodeTable(sel); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // EnableObservability attaches a fresh Observer: a metrics registry (with

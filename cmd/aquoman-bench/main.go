@@ -9,6 +9,7 @@
 //	aquoman-bench -report resources  # Tables III/IV substitution
 //	aquoman-bench -report obsbench   # observability overhead (q1/q6, JSON)
 //	aquoman-bench -report concbench  # concurrent-stream throughput (q1/q6, JSON)
+//	aquoman-bench -report encbench   # column-encoding flash savings (q1/q6, JSON)
 //	aquoman-bench -report all
 //
 // Data is generated at -sf (default 0.01) and traces are extrapolated to
@@ -35,7 +36,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aquoman-bench: ")
 	var (
-		report  = flag.String("report", "all", "fig16a|fig16b|fig16c|tablev|fig17|offload|resources|obsbench|concbench|all")
+		report  = flag.String("report", "all", "fig16a|fig16b|fig16c|tablev|fig17|offload|resources|obsbench|concbench|encbench|all")
 		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor to generate")
 		target  = flag.Float64("target", 1000, "modeled deployment scale factor")
 		seed    = flag.Int64("seed", 42, "generator seed")
@@ -53,6 +54,10 @@ func main() {
 	}
 	if *report == "concbench" {
 		runConcBench(*sf, *seed, *out, int64(*cacheMB)<<20, *pageLat)
+		return
+	}
+	if *report == "encbench" {
+		runEncBench(*sf, *seed, *out)
 		return
 	}
 
@@ -204,6 +209,92 @@ func runConcBench(sf float64, seed int64, out string, cacheBytes int64, pageLat 
 	}
 	doc.Speedup4vs1 = doc.Entries[1].QPS / doc.Entries[0].QPS
 	log.Printf("speedup at 4 streams vs 1: %.2fx", doc.Speedup4vs1)
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = append(b, '\n')
+	if out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}
+
+// runEncBench measures what auto-selected column encodings plus zone-map
+// pruning save on flash traffic for TPC-H q1 and q6: the same generated
+// instance is run raw and encoded, device page reads are compared, and
+// the results must be cell-identical (the saving is worthless otherwise).
+func runEncBench(sf float64, seed int64, out string) {
+	storeBytes := func(db *aquoman.DB) int64 {
+		var total int64
+		for _, name := range db.Store.Tables() {
+			tab, err := db.Store.Table(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, cn := range tab.ColumnNames() {
+				total += tab.MustColumn(cn).File.Size()
+			}
+		}
+		return total
+	}
+	build := func(enc aquoman.Encoding) *aquoman.DB {
+		db := aquoman.Open()
+		db.HeapScale = 1000 / sf
+		db.SetDefaultEncoding(enc)
+		if err := db.LoadTPCH(sf, seed); err != nil {
+			log.Fatal(err)
+		}
+		return db
+	}
+	run := func(db *aquoman.DB, q int) (string, int64) {
+		db.ResetFlashStats()
+		res, err := db.RunTPCH(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Render(res.NumRows() + 1), db.FlashStats().TotalPagesRead()
+	}
+
+	log.Printf("generating TPC-H SF %g raw and encoded...", sf)
+	rawDB := build(aquoman.EncRaw)
+	encDB := build(aquoman.EncAuto)
+
+	type entry struct {
+		Query     string  `json:"query"`
+		RawPages  int64   `json:"raw_pages"`
+		EncPages  int64   `json:"enc_pages"`
+		SavingPct float64 `json:"saving_pct"`
+		Identical bool    `json:"identical"`
+	}
+	doc := struct {
+		SF       float64 `json:"sf"`
+		RawBytes int64   `json:"raw_bytes"`
+		EncBytes int64   `json:"enc_bytes"`
+		Queries  []entry `json:"queries"`
+	}{SF: sf, RawBytes: storeBytes(rawDB), EncBytes: storeBytes(encDB)}
+
+	for _, q := range []int{1, 6} {
+		rawOut, rawPages := run(rawDB, q)
+		encOut, encPages := run(encDB, q)
+		e := entry{
+			Query:     fmt.Sprintf("q%d", q),
+			RawPages:  rawPages,
+			EncPages:  encPages,
+			SavingPct: 100 * (1 - float64(encPages)/float64(rawPages)),
+			Identical: rawOut == encOut,
+		}
+		doc.Queries = append(doc.Queries, e)
+		log.Printf("q%d: %d raw pages -> %d encoded (%.1f%% saved), identical=%v",
+			q, e.RawPages, e.EncPages, e.SavingPct, e.Identical)
+	}
+	log.Printf("store size: %.2f MB raw -> %.2f MB encoded",
+		float64(doc.RawBytes)/1e6, float64(doc.EncBytes)/1e6)
 
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

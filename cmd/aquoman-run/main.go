@@ -8,6 +8,7 @@
 //	aquoman-run -q 6 -listen :8080      # serve /metrics and /debug/vars
 //	aquoman-run -q 6 -faults seed=7,transient=0.001,repeat=2
 //	aquoman-run -q 6 -jobs 8 -cache 64   # 8 concurrent streams, 64 MiB page cache
+//	aquoman-run -q 6 -enc auto           # compressed columns + zone-map pruning
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		host    = flag.Bool("host", false, "run on the host baseline instead of AQUOMAN")
 		rows    = flag.Int("rows", 20, "result rows to print")
 		data    = flag.String("data", "", "load a persisted store instead of generating")
+		encSel  = flag.String("enc", "raw", "column encoding: auto|raw|dict|rle|for")
 		explain = flag.Bool("explain", false, "print the compiled Table-Task program and exit")
 
 		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. seed=7,transient=0.001,repeat=2,permanent=0.0001,slow=0.001,stall=2ms")
@@ -47,6 +49,11 @@ func main() {
 	)
 	flag.Parse()
 
+	encoding, encErr := aquoman.ParseEncoding(*encSel)
+	if encErr != nil {
+		log.Fatal(encErr)
+	}
+
 	var db *aquoman.DB
 	if *data != "" {
 		log.Printf("loading store from %s...", *data)
@@ -56,10 +63,18 @@ func main() {
 			log.Fatal(err)
 		}
 		db.HeapScale = 1000 / *sf
+		if encoding != aquoman.EncRaw {
+			log.Printf("re-encoding store under -enc %s...", *encSel)
+			db.SetDefaultEncoding(encoding)
+			if err := db.ReEncodeStore(encoding); err != nil {
+				log.Fatal(err)
+			}
+		}
 	} else {
 		db = aquoman.Open()
 		db.HeapScale = 1000 / *sf // offload decisions modeled at SF-1000
-		log.Printf("generating TPC-H SF %g...", *sf)
+		db.SetDefaultEncoding(encoding)
+		log.Printf("generating TPC-H SF %g (enc %s)...", *sf, *encSel)
 		if err := db.LoadTPCH(*sf, *seed); err != nil {
 			log.Fatal(err)
 		}
@@ -164,9 +179,16 @@ func main() {
 			rep.Flash.TotalReadRetries(), rep.Flash.ReadsFailed[flash.Host]+rep.Flash.ReadsFailed[flash.Aquoman],
 			float64(rep.Flash.StallNanos[flash.Host]+rep.Flash.StallNanos[flash.Aquoman])/1e6)
 	}
+	var pruned, saved int64
 	for _, tt := range rep.AquomanTrace.Tasks {
-		fmt.Printf("task %-40s %-12s rows %8d -> %8d, pages %d (+%d skipped)\n",
-			tt.Name, tt.Op, tt.RowsIn, tt.RowsToSwissknife, tt.PagesRead, tt.PagesSkipped)
+		fmt.Printf("task %-40s %-12s rows %8d -> %8d, pages %d (+%d skipped, %d pruned)\n",
+			tt.Name, tt.Op, tt.RowsIn, tt.RowsToSwissknife, tt.PagesRead, tt.PagesSkipped, tt.PagesPruned)
+		pruned += tt.PagesPruned
+		saved += tt.EncBytesSaved
+	}
+	if pruned != 0 || saved != 0 {
+		fmt.Printf("encoding: %d pages pruned by zone maps, %.2f MB flash traffic saved by compression\n",
+			pruned, float64(saved)/1e6)
 	}
 
 	if *traceOut != "" {

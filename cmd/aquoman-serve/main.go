@@ -37,6 +37,7 @@ func main() {
 		store  = flag.String("store", "", "load a persisted store (see tpch-gen) instead of generating")
 		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor when generating")
 		seed   = flag.Int64("seed", 42, "generator seed")
+		encSel = flag.String("enc", "raw", "column encoding: auto|raw|dict|rle|for")
 
 		jobs    = flag.Int("jobs", 4, "max in-flight queries (scheduler slots)")
 		queue   = flag.Int("queue", 16, "pending-queue depth behind the in-flight slots")
@@ -49,6 +50,11 @@ func main() {
 	)
 	flag.Parse()
 
+	encoding, encErr := aquoman.ParseEncoding(*encSel)
+	if encErr != nil {
+		log.Fatal(encErr)
+	}
+
 	var db *aquoman.DB
 	if *store != "" {
 		log.Printf("loading store from %s...", *store)
@@ -57,9 +63,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if encoding != aquoman.EncRaw {
+			log.Printf("re-encoding store under -enc %s...", *encSel)
+			db.SetDefaultEncoding(encoding)
+			if err := db.ReEncodeStore(encoding); err != nil {
+				log.Fatal(err)
+			}
+		}
 	} else {
 		db = aquoman.Open()
-		log.Printf("generating TPC-H SF %g (seed %d)...", *sf, *seed)
+		db.SetDefaultEncoding(encoding)
+		log.Printf("generating TPC-H SF %g (seed %d, enc %s)...", *sf, *seed, *encSel)
 		if err := db.LoadTPCH(*sf, *seed); err != nil {
 			log.Fatal(err)
 		}

@@ -1,9 +1,17 @@
-// Command benchcheck compares a freshly measured concurrent-stream
-// benchmark report (cmd/aquoman-bench -report concbench) against the
-// committed baseline with tolerance bands, instead of hard-coding
-// absolute thresholds in CI:
+// Command benchcheck compares a freshly measured benchmark report
+// against the committed baseline with tolerance bands, instead of
+// hard-coding absolute thresholds in CI:
 //
 //	benchcheck -baseline BENCH_conc.json -fresh BENCH_fresh.json
+//	benchcheck -mode enc -baseline BENCH_enc.json -fresh BENCH_fresh.json
+//
+// -mode conc (default) gates the concurrent-stream report
+// (cmd/aquoman-bench -report concbench); -mode enc gates the
+// column-encoding report (-report encbench): every query must be
+// cell-identical to the raw run, save at least -min-saving percent of
+// flash pages, and stay within -saving-abs points of the committed
+// baseline's saving (page *counts* are not compared — the baseline is
+// measured at a larger scale factor than CI runs).
 //
 // Deterministic metrics get tight bands; wall-clock-derived ones are
 // warn-only (CI runners are noisy):
@@ -57,18 +65,116 @@ func load(path string) (*report, error) {
 	return &r, nil
 }
 
+type encEntry struct {
+	Query     string  `json:"query"`
+	RawPages  int64   `json:"raw_pages"`
+	EncPages  int64   `json:"enc_pages"`
+	SavingPct float64 `json:"saving_pct"`
+	Identical bool    `json:"identical"`
+}
+
+type encReport struct {
+	SF       float64    `json:"sf"`
+	RawBytes int64      `json:"raw_bytes"`
+	EncBytes int64      `json:"enc_bytes"`
+	Queries  []encEntry `json:"queries"`
+}
+
+func loadEnc(path string) (*encReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r encReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func checkEnc(baselinePath, freshPath string, minSaving, savingAbs float64) {
+	base, err := loadEnc(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	fresh, err := loadEnc(freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	var regressed []string
+	fail := func(format string, args ...interface{}) {
+		regressed = append(regressed, fmt.Sprintf(format, args...))
+	}
+
+	baseByQuery := make(map[string]encEntry, len(base.Queries))
+	for _, e := range base.Queries {
+		baseByQuery[e.Query] = e
+	}
+	for _, f := range fresh.Queries {
+		if !f.Identical {
+			fail("%s: encoded result differs from raw", f.Query)
+		}
+		if f.SavingPct < minSaving {
+			fail("%s saving_pct: %.1f < %.1f (hard floor)", f.Query, f.SavingPct, minSaving)
+		}
+		b, ok := baseByQuery[f.Query]
+		if !ok {
+			fmt.Printf("%s: no baseline entry, skipping band check\n", f.Query)
+			continue
+		}
+		floor := b.SavingPct - savingAbs
+		if f.SavingPct < floor {
+			fail("%s saving_pct: %.1f < %.1f (baseline %.1f - %.1f)",
+				f.Query, f.SavingPct, floor, b.SavingPct, savingAbs)
+		}
+		fmt.Printf("%s: saving %.1f%% (baseline %.1f%%), %d -> %d pages, identical=%v\n",
+			f.Query, f.SavingPct, b.SavingPct, f.RawPages, f.EncPages, f.Identical)
+	}
+	if fresh.EncBytes >= fresh.RawBytes {
+		fail("enc_bytes: %d >= raw_bytes %d — encoding grew the store", fresh.EncBytes, fresh.RawBytes)
+	}
+	fmt.Printf("store: %.2f MB raw -> %.2f MB encoded\n",
+		float64(fresh.RawBytes)/1e6, float64(fresh.EncBytes)/1e6)
+
+	if len(regressed) > 0 {
+		fmt.Println("\nREGRESSED METRICS:")
+		for _, r := range regressed {
+			fmt.Println("  -", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all encoding metrics within tolerance")
+}
+
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_conc.json", "committed baseline report")
+		mode         = flag.String("mode", "conc", "report type: conc|enc")
+		baselinePath = flag.String("baseline", "", "committed baseline report (default BENCH_conc.json or BENCH_enc.json by mode)")
 		freshPath    = flag.String("fresh", "", "freshly measured report (required)")
 		speedupRel   = flag.Float64("speedup-rel", 0.25, "allowed relative drop in speedup_4_vs_1")
 		hitAbs       = flag.Float64("hit-abs", 0.05, "allowed absolute drop in cache_hit_rate")
 		pagesRel     = flag.Float64("pages-rel", 0.10, "allowed relative growth in device_pages_read")
+		minSaving    = flag.Float64("min-saving", 40, "enc: hard floor on per-query saving_pct")
+		savingAbs    = flag.Float64("saving-abs", 10, "enc: allowed absolute drop in saving_pct vs baseline")
 	)
 	flag.Parse()
 	if *freshPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -fresh is required")
 		os.Exit(2)
+	}
+	if *baselinePath == "" {
+		if *mode == "enc" {
+			*baselinePath = "BENCH_enc.json"
+		} else {
+			*baselinePath = "BENCH_conc.json"
+		}
+	}
+	if *mode == "enc" {
+		checkEnc(*baselinePath, *freshPath, *minSaving, *savingAbs)
+		return
 	}
 
 	base, err := load(*baselinePath)

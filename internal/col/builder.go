@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"aquoman/internal/enc"
 	"aquoman/internal/flash"
 )
 
@@ -22,13 +23,17 @@ type TableBuilder struct {
 	intIdx []int      // schema index -> ints index (or -1)
 	// dictSeeds pre-interns dictionary values (SeedDictionary).
 	dictSeeds map[string][]string
-	done      bool
+	// encSel is the table-wide encoding selection (seeded from the
+	// store's default); colEnc holds per-column overrides.
+	encSel enc.Selection
+	colEnc map[string]enc.Selection
+	done   bool
 }
 
 // NewTable starts building a table with the given schema. The table
 // replaces any existing table of the same name when finalized.
 func (s *Store) NewTable(schema Schema) *TableBuilder {
-	b := &TableBuilder{store: s, schema: schema}
+	b := &TableBuilder{store: s, schema: schema, encSel: s.DefaultEncoding}
 	b.strIdx = make([]int, len(schema.Cols))
 	b.intIdx = make([]int, len(schema.Cols))
 	for i, c := range schema.Cols {
@@ -106,6 +111,19 @@ func (b *TableBuilder) AppendColumnStrings(name string, vals []string) {
 // SetNumRows fixes the row count after bulk appends.
 func (b *TableBuilder) SetNumRows(n int) { b.num = n }
 
+// SetEncoding overrides the store-default encoding selection for every
+// column of this table.
+func (b *TableBuilder) SetEncoding(sel enc.Selection) { b.encSel = sel }
+
+// SetColumnEncoding overrides the encoding selection for one column.
+func (b *TableBuilder) SetColumnEncoding(name string, sel enc.Selection) {
+	b.colIndex(name) // validate
+	if b.colEnc == nil {
+		b.colEnc = make(map[string]enc.Selection)
+	}
+	b.colEnc[name] = sel
+}
+
 // SeedDictionary pre-interns values into a Dict column's dictionary so
 // that stores holding different subsets of a domain (e.g. horizontal
 // partitions) still assign identical codes. The final dictionary is the
@@ -172,7 +190,13 @@ func (b *TableBuilder) Finalize() (*Table, error) {
 			}
 		}
 		ci.Sorted, ci.Unique = orderFlags(vals)
-		ci.File.Append(encode(def.Typ, vals), flash.Host)
+		sel := b.encSel
+		if o, ok := b.colEnc[def.Name]; ok {
+			sel = o
+		}
+		if err := writeColumnData(ci, vals, sel); err != nil {
+			return nil, fmt.Errorf("col: table %s column %s: %w", b.schema.Name, def.Name, err)
+		}
 		t.cols[def.Name] = ci
 	}
 	b.store.mu.Lock()
@@ -185,6 +209,25 @@ func (b *TableBuilder) Finalize() (*Table, error) {
 
 func colLenErr(table, col string, got, want int) error {
 	return fmt.Errorf("col: table %s column %s has %d values, want %d", table, col, got, want)
+}
+
+// writeColumnData appends the column's values to its (fresh) flash file
+// under the selected encoding and records the page directory on ci. The
+// raw selection keeps the legacy fixed-width layout byte-identical.
+func writeColumnData(ci *ColumnInfo, vals []Value, sel enc.Selection) error {
+	codec := sel.Pick(vals, ci.Def.Typ.Width())
+	if codec == enc.Raw {
+		ci.Enc = nil
+		ci.File.Append(encode(ci.Def.Typ, vals), flash.Host)
+		return nil
+	}
+	data, meta, err := enc.EncodeColumn(vals, codec)
+	if err != nil {
+		return err
+	}
+	ci.Enc = meta
+	ci.File.Append(data, flash.Host)
+	return nil
 }
 
 // orderFlags reports whether vals are non-decreasing / strictly
@@ -269,9 +312,42 @@ func (t *Table) AddRowIDColumn(name string, vals []Value) error {
 	ci := &ColumnInfo{Def: def, numRows: t.NumRows}
 	ci.Sorted, ci.Unique = orderFlags(vals)
 	ci.File = t.store.Dev.Create(t.Name + "/" + name + ".dat")
-	ci.File.Append(encode(RowID, vals), flash.Host)
+	if err := writeColumnData(ci, vals, t.store.DefaultEncoding); err != nil {
+		return fmt.Errorf("col: table %s column %s: %w", t.Name, name, err)
+	}
 	t.cols[name] = ci
 	t.Cols = append(t.Cols, def)
+	return nil
+}
+
+// ReEncodeColumn rewrites one column's flash file under a (possibly
+// different) encoding selection. The file is re-created in place, which
+// bumps the device's file generation and invalidates any page cache in
+// front of it — stale raw pages can never be served for the re-encoded
+// layout.
+func (t *Table) ReEncodeColumn(name string, sel enc.Selection) error {
+	ci, err := t.Column(name)
+	if err != nil {
+		return err
+	}
+	vals, err := ci.ReadAll(flash.Host)
+	if err != nil {
+		return err
+	}
+	ci.File = t.store.Dev.Create(t.Name + "/" + name + ".dat")
+	if err := writeColumnData(ci, vals, sel); err != nil {
+		return fmt.Errorf("col: table %s column %s: %w", t.Name, name, err)
+	}
+	return nil
+}
+
+// ReEncodeTable rewrites every column of the table under sel.
+func (t *Table) ReEncodeTable(sel enc.Selection) error {
+	for _, name := range t.ColumnNames() {
+		if err := t.ReEncodeColumn(name, sel); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -2,16 +2,49 @@ package col
 
 import (
 	"context"
+	"fmt"
 
 	"aquoman/internal/bitvec"
+	"aquoman/internal/enc"
 	"aquoman/internal/flash"
 )
+
+// ReaderStats counts one sequential pass's page traffic, including the
+// encoding-aware accounting: pages avoided by zone-map pruning, flash
+// bytes saved relative to the raw fixed-width layout, and decoded page
+// counts per codec.
+type ReaderStats struct {
+	// PagesRead / PagesSkipped count this pass's page traffic.
+	PagesRead    int64
+	PagesSkipped int64
+	// PagesPruned counts pages never read because the predicate's
+	// interval over the page's zone map was provably zero.
+	PagesPruned int64
+	// EncBytesSaved accumulates, per decoded page, how many fewer flash
+	// bytes the encoded page cost than its rows would have cost raw.
+	EncBytesSaved int64
+	// EncDecoded counts decoded pages per codec (Raw stays zero).
+	EncDecoded [enc.NumCodecs]int64
+}
+
+// Add accumulates another pass's counters into s.
+func (s *ReaderStats) Add(o ReaderStats) {
+	s.PagesRead += o.PagesRead
+	s.PagesSkipped += o.PagesSkipped
+	s.PagesPruned += o.PagesPruned
+	s.EncBytesSaved += o.EncBytesSaved
+	for i := range s.EncDecoded {
+		s.EncDecoded[i] += o.EncDecoded[i]
+	}
+}
 
 // PagedReader streams a column through a one-page buffer, the way
 // AQUOMAN's Column Reader and Table Reader consume flash (the prototype's
 // 1 MB Flash Page Buffer): each flash page is read at most once per
 // sequential pass, and pages whose Row Vectors are all masked out are
-// skipped entirely.
+// skipped entirely. On encoded columns the buffer holds one decoded page
+// and the reader exposes the encoded representation (dictionary codes,
+// frame-of-reference deltas) so callers can evaluate on it directly.
 type PagedReader struct {
 	ci  *ColumnInfo
 	who flash.Requester
@@ -19,11 +52,11 @@ type PagedReader struct {
 
 	curPage int64 // -1 = empty
 	buf     []byte
+	page    *enc.Page // decoded page for encoded columns
 
-	// PagesRead / PagesSkipped count this pass's page traffic.
-	PagesRead    int64
-	PagesSkipped int64
-	lastSkipped  int64
+	ReaderStats
+	lastSkipped int64
+	pruned      map[int]bool
 }
 
 // NewPagedReader starts a sequential pass over the column.
@@ -36,7 +69,14 @@ func NewPagedReader(ci *ColumnInfo, who flash.Requester) *PagedReader {
 // at the next page boundary. A nil ctx (the default) never cancels.
 func (r *PagedReader) SetContext(ctx context.Context) { r.ctx = ctx }
 
+// Codec reports the column's storage codec (Raw for the legacy layout).
+func (r *PagedReader) Codec() enc.Codec { return r.ci.Codec() }
+
+// Meta returns the encoded column's page directory, or nil for raw.
+func (r *PagedReader) Meta() *enc.ColumnMeta { return r.ci.Enc }
+
 // RowsPerPage returns how many rows one flash page of this column holds.
+// Only meaningful for raw columns; encoded pages carry variable counts.
 func (r *PagedReader) RowsPerPage() int {
 	return flash.PageSize / r.ci.Def.Typ.Width()
 }
@@ -44,15 +84,97 @@ func (r *PagedReader) RowsPerPage() int {
 // VecsPerPage returns how many 32-row vectors one page holds.
 func (r *PagedReader) VecsPerPage() int { return r.RowsPerPage() / bitvec.VecSize }
 
+// MarkPruned records that page pi was eliminated by zone-map pruning
+// before the scan. SkipVec calls landing on a pruned page are not double
+// counted as mask skips; if the page ends up read after all (it can't be,
+// when pruning is sound, but the accounting stays honest) the prune is
+// revoked.
+func (r *PagedReader) MarkPruned(pi int) {
+	if r.pruned == nil {
+		r.pruned = make(map[int]bool)
+	}
+	if !r.pruned[pi] {
+		r.pruned[pi] = true
+		r.PagesPruned++
+	}
+}
+
+// vecPage maps a Row Vector to its flash page index.
+func (r *PagedReader) vecPage(vec int) int64 {
+	start := vec * bitvec.VecSize
+	if r.ci.Enc != nil {
+		return int64(r.ci.Enc.PageFor(start))
+	}
+	return int64(start) * int64(r.ci.Def.Typ.Width()) / flash.PageSize
+}
+
+// loadEncPage reads and decodes encoded page pi, buffering one page.
+func (r *PagedReader) loadEncPage(pi int) (*enc.Page, error) {
+	if int64(pi) == r.curPage {
+		return r.page, nil
+	}
+	wasSkipped := int64(pi) == r.lastSkipped
+	buf, err := r.ci.File.ReadPageCtx(r.ctx, int64(pi), r.who)
+	if err != nil {
+		return nil, err
+	}
+	p, err := enc.DecodePage(buf, r.ci.Enc.Dict)
+	if err != nil {
+		return nil, fmt.Errorf("col: column %s page %d: %w", r.ci.Def.Name, pi, err)
+	}
+	if wasSkipped {
+		// An earlier vector of this page was masked; the page is being
+		// read after all.
+		r.PagesSkipped--
+		r.lastSkipped = -1
+	}
+	if r.pruned[pi] {
+		delete(r.pruned, pi)
+		r.PagesPruned--
+	}
+	r.page = p
+	r.curPage = int64(pi)
+	r.PagesRead++
+	r.EncDecoded[p.Codec]++
+	if saved := int64(p.Count)*int64(r.ci.Def.Typ.Width()) - flash.PageSize; saved > 0 {
+		r.EncBytesSaved += saved
+	}
+	return p, nil
+}
+
+// encVecSpan locates Row Vector vec inside its encoded page. Interior
+// pages hold a multiple of 32 rows, so a vector never straddles pages.
+func (r *PagedReader) encVecSpan(vec int) (pi, off, count int) {
+	start := vec * bitvec.VecSize
+	pi = r.ci.Enc.PageFor(start)
+	pm := r.ci.Enc.Pages[pi]
+	off = start - pm.StartRow
+	count = bitvec.VecSize
+	if start+count > r.ci.numRows {
+		count = r.ci.numRows - start
+	}
+	return pi, off, count
+}
+
 // ReadVec fills out with Row Vector vec and returns the number of valid
 // rows (0 past the end). Page loads are accounted once per page; a page
-// read failing (fault injection, budget exhausted) fails the vector.
+// read failing (fault injection, budget exhausted) fails the vector. On
+// encoded columns the values are materialized from the decoded page.
 func (r *PagedReader) ReadVec(vec int, out []Value) (int, error) {
-	w := r.ci.Def.Typ.Width()
 	start := vec * bitvec.VecSize
 	if start >= r.ci.numRows {
 		return 0, nil
 	}
+	if r.ci.Enc != nil {
+		pi, off, count := r.encVecSpan(vec)
+		p, err := r.loadEncPage(pi)
+		if err != nil {
+			return 0, err
+		}
+		copy(out[:count], p.Values()[off:off+count])
+		return count, nil
+	}
+	w := r.ci.Def.Typ.Width()
 	page := int64(start) * int64(w) / flash.PageSize
 	if page != r.curPage {
 		wasSkipped := page == r.lastSkipped
@@ -79,12 +201,59 @@ func (r *PagedReader) ReadVec(vec int, out []Value) (int, error) {
 	return count, nil
 }
 
+// ReadVecCodes fills out with the vector's dictionary codes without
+// materializing values. ok is false when the column is not
+// dictionary-encoded; the caller falls back to ReadVec.
+func (r *PagedReader) ReadVecCodes(vec int, out []int64) (n int, ok bool, err error) {
+	if r.ci.Enc == nil || r.ci.Enc.Codec != enc.Dict {
+		return 0, false, nil
+	}
+	start := vec * bitvec.VecSize
+	if start >= r.ci.numRows {
+		return 0, true, nil
+	}
+	pi, off, count := r.encVecSpan(vec)
+	p, err := r.loadEncPage(pi)
+	if err != nil {
+		return 0, true, err
+	}
+	copy(out[:count], p.Native[off:off+count])
+	return count, true, nil
+}
+
+// ReadVecDeltas fills out with the vector's frame-of-reference deltas and
+// returns the page base. ok is false when the column is not FOR-encoded
+// or the page's domain is too wide for shifted-constant evaluation; the
+// caller falls back to ReadVec.
+func (r *PagedReader) ReadVecDeltas(vec int, out []int64) (n int, base int64, ok bool, err error) {
+	if r.ci.Enc == nil || r.ci.Enc.Codec != enc.FOR {
+		return 0, 0, false, nil
+	}
+	start := vec * bitvec.VecSize
+	if start >= r.ci.numRows {
+		return 0, 0, true, nil
+	}
+	pi, off, count := r.encVecSpan(vec)
+	p, err := r.loadEncPage(pi)
+	if err != nil {
+		return 0, 0, true, err
+	}
+	if !p.DeltaSafe() {
+		return 0, 0, false, nil
+	}
+	copy(out[:count], p.Native[off:off+count])
+	return count, p.Base, true, nil
+}
+
 // SkipVec notes that Row Vector vec was masked out. When every vector of
 // a page is skipped the whole page read is avoided (the Table Reader's
-// {RowVecID, MaskAllZero} path).
+// {RowVecID, MaskAllZero} path). Vectors of zone-map-pruned pages are
+// already accounted under PagesPruned and are not counted again.
 func (r *PagedReader) SkipVec(vec int) {
-	w := r.ci.Def.Typ.Width()
-	page := int64(vec*bitvec.VecSize) * int64(w) / flash.PageSize
+	page := r.vecPage(vec)
+	if r.pruned[int(page)] {
+		return
+	}
 	if page != r.curPage && page != r.lastSkipped {
 		r.PagesSkipped++
 		r.lastSkipped = page

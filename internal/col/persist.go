@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"aquoman/internal/enc"
 	"aquoman/internal/flash"
 )
 
@@ -22,11 +23,27 @@ type manifestTable struct {
 }
 
 type manifestCol struct {
-	Name    string `json:"name"`
-	Typ     uint8  `json:"typ"`
-	HasHeap bool   `json:"has_heap"`
-	Sorted  bool   `json:"sorted"`
-	Unique  bool   `json:"unique"`
+	Name    string       `json:"name"`
+	Typ     uint8        `json:"typ"`
+	HasHeap bool         `json:"has_heap"`
+	Sorted  bool         `json:"sorted"`
+	Unique  bool         `json:"unique"`
+	Enc     *manifestEnc `json:"enc,omitempty"`
+}
+
+// manifestEnc is the encoded-column directory: codec, the value
+// dictionary (dictionary codec only), and the per-page zone maps.
+type manifestEnc struct {
+	Codec uint8          `json:"codec"`
+	Dict  []int64        `json:"dict,omitempty"`
+	Pages []manifestPage `json:"pages"`
+}
+
+type manifestPage struct {
+	Start int   `json:"start"`
+	Count int   `json:"count"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
 }
 
 const manifestName = "catalog.json"
@@ -39,7 +56,7 @@ func SaveStore(s *Store, dir string) error {
 		return err
 	}
 	var m manifest
-	m.Version = 1
+	m.Version = 1 // bumped to 2 below if any column is encoded
 	s.mu.Lock()
 	names := make([]string, 0, len(s.tables))
 	for n := range s.tables {
@@ -57,6 +74,15 @@ func SaveStore(s *Store, dir string) error {
 			ci := t.cols[def.Name]
 			mc := manifestCol{Name: def.Name, Typ: uint8(def.Typ),
 				HasHeap: ci.Heap != nil, Sorted: ci.Sorted, Unique: ci.Unique}
+			if ci.Enc != nil {
+				me := &manifestEnc{Codec: uint8(ci.Enc.Codec), Dict: ci.Enc.Dict}
+				for _, pm := range ci.Enc.Pages {
+					me.Pages = append(me.Pages,
+						manifestPage{Start: pm.StartRow, Count: pm.Count, Min: pm.Min, Max: pm.Max})
+				}
+				mc.Enc = me
+				m.Version = 2 // v1 readers must not misread encoded pages as raw
+			}
 			mt.Cols = append(mt.Cols, mc)
 			if err := dumpFile(ci.File, filepath.Join(dir, t.Name, def.Name+".dat")); err != nil {
 				return err
@@ -97,7 +123,7 @@ func LoadStore(dir string, dev *flash.Device) (*Store, error) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return nil, fmt.Errorf("col: corrupt catalog: %w", err)
 	}
-	if m.Version != 1 {
+	if m.Version != 1 && m.Version != 2 {
 		return nil, fmt.Errorf("col: unsupported catalog version %d", m.Version)
 	}
 	s := NewStore(dev)
@@ -113,6 +139,18 @@ func LoadStore(dir string, dev *flash.Device) (*Store, error) {
 			t.Cols = append(t.Cols, def)
 			ci := &ColumnInfo{Def: def, numRows: mt.NumRows,
 				Sorted: mc.Sorted, Unique: mc.Unique}
+			if mc.Enc != nil {
+				em := &enc.ColumnMeta{Codec: enc.Codec(mc.Enc.Codec), Dict: mc.Enc.Dict}
+				for _, mp := range mc.Enc.Pages {
+					em.Pages = append(em.Pages,
+						enc.PageMeta{StartRow: mp.Start, Count: mp.Count, Min: mp.Min, Max: mp.Max})
+				}
+				if em.NumRows() != mt.NumRows {
+					return nil, fmt.Errorf("col: table %s column %s: encoding covers %d rows, table has %d",
+						mt.Name, mc.Name, em.NumRows(), mt.NumRows)
+				}
+				ci.Enc = em
+			}
 			base := mt.Name + "/" + mc.Name
 			ci.File = dev.Create(base + ".dat")
 			if err := slurpFile(ci.File, filepath.Join(dir, mt.Name, mc.Name+".dat")); err != nil {

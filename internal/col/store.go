@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"aquoman/internal/bitvec"
+	"aquoman/internal/enc"
 	"aquoman/internal/flash"
 )
 
@@ -36,6 +37,11 @@ func (s Schema) Col(name string) (ColDef, bool) {
 // Store is a catalog of tables backed by a simulated flash device.
 type Store struct {
 	Dev *flash.Device
+
+	// DefaultEncoding is the column encoding applied by subsequent table
+	// builds (NewTable, AddRowIDColumn). The zero value keeps the legacy
+	// raw layout; set it before generating or loading data.
+	DefaultEncoding enc.Selection
 
 	mu     sync.Mutex
 	tables map[string]*Table
@@ -156,6 +162,18 @@ type ColumnInfo struct {
 	// join-cardinality decisions.
 	Sorted bool
 	Unique bool
+	// Enc describes the column's on-flash encoding and page directory;
+	// nil means the legacy raw fixed-width layout.
+	Enc *enc.ColumnMeta
+}
+
+// Codec returns the column's on-flash codec (enc.Raw for the legacy
+// layout).
+func (c *ColumnInfo) Codec() enc.Codec {
+	if c.Enc == nil {
+		return enc.Raw
+	}
+	return c.Enc.Codec
 }
 
 // NumRows returns the number of values stored.
@@ -296,6 +314,9 @@ func (c *ColumnInfo) ReadRangeCtx(ctx context.Context, start, count int, who fla
 	if start+count > c.numRows {
 		count = c.numRows - start
 	}
+	if c.Enc != nil {
+		return c.readRangeEnc(ctx, start, count, who, out)
+	}
 	w := c.Def.Typ.Width()
 	buf := make([]byte, count*w)
 	n, err := c.File.ReadAtCtx(ctx, buf, int64(start)*int64(w), who)
@@ -337,11 +358,48 @@ func (c *ColumnInfo) MustReadAll(who flash.Requester) []Value {
 	return out
 }
 
+// readRangeEnc serves ReadRange over an encoded column: every page
+// overlapping [start, start+count) is read and decoded once, and the
+// requested rows are copied out of the materialized values. count is
+// already clamped to the column's row range.
+func (c *ColumnInfo) readRangeEnc(ctx context.Context, start, count int, who flash.Requester, out []Value) (int, error) {
+	end := start + count
+	total := 0
+	for pi := c.Enc.PageFor(start); pi < len(c.Enc.Pages); pi++ {
+		pm := c.Enc.Pages[pi]
+		if pm.StartRow >= end {
+			break
+		}
+		buf, err := c.File.ReadPageCtx(ctx, int64(pi), who)
+		if err != nil {
+			return 0, err
+		}
+		p, err := enc.DecodePage(buf, c.Enc.Dict)
+		if err != nil {
+			return 0, fmt.Errorf("col: column %s page %d: %w", c.Def.Name, pi, err)
+		}
+		vals := p.Values()
+		lo, hi := start, end
+		if pm.StartRow > lo {
+			lo = pm.StartRow
+		}
+		if pe := pm.StartRow + pm.Count; pe < hi {
+			hi = pe
+		}
+		copy(out[lo-start:hi-start], vals[lo-pm.StartRow:hi-pm.StartRow])
+		total = hi - start
+	}
+	return total, nil
+}
+
 // Gather reads the values at the given row ids through a one-page buffer:
 // consecutive rowids on the same flash page cost a single page read, so
 // clustered gathers (sorted RowID columns) approach sequential cost while
 // scattered ones pay a page per element.
 func (c *ColumnInfo) Gather(rowids []Value, who flash.Requester) ([]Value, error) {
+	if c.Enc != nil {
+		return c.gatherEnc(rowids, who)
+	}
 	out := make([]Value, len(rowids))
 	w := int64(c.Def.Typ.Width())
 	curPage := int64(-1)
@@ -363,6 +421,36 @@ func (c *ColumnInfo) Gather(rowids []Value, who flash.Requester) ([]Value, error
 			continue
 		}
 		out[i] = decodeOne(c.Def.Typ, page[rel:rel+w])
+	}
+	return out, nil
+}
+
+// gatherEnc is Gather over an encoded column: the page directory maps
+// each rowid to its page, and the last decoded page is kept so clustered
+// gathers still cost one read+decode per page.
+func (c *ColumnInfo) gatherEnc(rowids []Value, who flash.Requester) ([]Value, error) {
+	out := make([]Value, len(rowids))
+	curIdx := -1
+	var vals []Value
+	for i, r := range rowids {
+		if r < 0 || int(r) >= c.numRows {
+			out[i] = 0
+			continue
+		}
+		pi := c.Enc.PageFor(int(r))
+		if pi != curIdx {
+			buf, err := c.File.ReadPage(int64(pi), who)
+			if err != nil {
+				return nil, err
+			}
+			p, err := enc.DecodePage(buf, c.Enc.Dict)
+			if err != nil {
+				return nil, fmt.Errorf("col: column %s page %d: %w", c.Def.Name, pi, err)
+			}
+			vals = p.Values()
+			curIdx = pi
+		}
+		out[i] = vals[int(r)-c.Enc.Pages[pi].StartRow]
 	}
 	return out, nil
 }

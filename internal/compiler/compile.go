@@ -62,6 +62,15 @@ type Result struct {
 	Root  plan.Node
 	Units []*Unit
 	Notes []string
+	// Codecs maps "table.column" to the storage codec of every column the
+	// compiled tasks touch with a selector predicate (Explain annotation);
+	// raw columns are omitted.
+	Codecs map[string]string
+}
+
+// codecOf looks up a predicate column's codec annotation.
+func (r *Result) codecOf(table, column string) string {
+	return r.Codecs[table+"."+column]
 }
 
 // Explain renders the compiled Table-Task program the way the paper's
@@ -96,7 +105,11 @@ func (r *Result) Explain() string {
 			}
 			if t.RowSel != nil && len(t.RowSel.Preds) > 0 {
 				for _, p := range t.RowSel.Preds {
-					fmt.Fprintf(&sb, "    rowSel   = %s: %s (%d CPs)\n", p.Column, p.Expr, p.CPs)
+					codec := ""
+					if c := r.codecOf(t.Table, p.Column); c != "" {
+						codec = " [" + c + "]"
+					}
+					fmt.Fprintf(&sb, "    rowSel   = %s: %s (%d CPs)%s\n", p.Column, p.Expr, p.CPs, codec)
 				}
 			}
 			for _, rf := range t.RegexFilters {
@@ -182,7 +195,34 @@ type compileCtx struct {
 func Compile(root plan.Node, store *col.Store, cfg Config) (*Result, error) {
 	c := &compileCtx{store: store, cfg: cfg.withDefaults()}
 	newRoot := c.rewrite(root)
-	return &Result{Root: newRoot, Units: c.units, Notes: c.notes}, nil
+	r := &Result{Root: newRoot, Units: c.units, Notes: c.notes}
+	r.Codecs = collectCodecs(store, c.units)
+	return r, nil
+}
+
+// collectCodecs records the storage codec of every selector-predicate
+// column so Explain can show which scans run on encoded data.
+func collectCodecs(store *col.Store, units []*Unit) map[string]string {
+	codecs := make(map[string]string)
+	for _, u := range units {
+		for _, t := range u.Tasks {
+			if t.RowSel == nil {
+				continue
+			}
+			tab, err := store.Table(t.Table)
+			if err != nil {
+				continue
+			}
+			for _, p := range t.RowSel.Preds {
+				ci, err := tab.Column(p.Column)
+				if err != nil || ci.Enc == nil {
+					continue
+				}
+				codecs[t.Table+"."+p.Column] = ci.Codec().String()
+			}
+		}
+	}
+	return codecs
 }
 
 // rewrite is copy-on-write: the input tree stays executable so that a

@@ -1,0 +1,163 @@
+package enc
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"aquoman/internal/flash"
+	"aquoman/internal/systolic"
+)
+
+// fuzzVals turns arbitrary bytes into an int64 column. A biased decoder
+// mixes raw 8-byte values with small values and repeats so that all
+// three codecs see their favourable shapes, not just white noise.
+func fuzzVals(data []byte) []int64 {
+	var vals []int64
+	for len(data) > 0 && len(vals) < 200000 {
+		op := data[0]
+		data = data[1:]
+		switch op % 4 {
+		case 0: // raw value
+			if len(data) < 8 {
+				return vals
+			}
+			vals = append(vals, int64(binary.LittleEndian.Uint64(data)))
+			data = data[8:]
+		case 1: // small value
+			if len(data) < 1 {
+				return vals
+			}
+			vals = append(vals, int64(int8(data[0])))
+			data = data[1:]
+		case 2: // repeat the previous value op+1 times
+			if len(vals) == 0 {
+				vals = append(vals, 0)
+			}
+			v := vals[len(vals)-1]
+			for k := 0; k <= int(op); k++ {
+				vals = append(vals, v)
+			}
+		default: // delta from the previous value
+			if len(data) < 2 {
+				return vals
+			}
+			var prev int64
+			if len(vals) > 0 {
+				prev = vals[len(vals)-1]
+			}
+			vals = append(vals, prev+int64(int16(binary.LittleEndian.Uint16(data))))
+			data = data[2:]
+		}
+	}
+	return vals
+}
+
+// FuzzEncRoundTrip checks encode→decode == identity for every codec on
+// arbitrary int64 slices, along with directory/zone-map invariants.
+func FuzzEncRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{2, 2, 2, 2, 1, 0xFF, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(make([]byte, 400))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := fuzzVals(data)
+		for _, codec := range []Codec{Dict, RLE, FOR} {
+			enc, meta, err := EncodeColumn(vals, codec)
+			if err != nil {
+				t.Fatalf("%s: encode: %v", codec, err)
+			}
+			if meta.NumRows() != len(vals) {
+				t.Fatalf("%s: meta rows %d != %d", codec, meta.NumRows(), len(vals))
+			}
+			row := 0
+			for i, pm := range meta.Pages {
+				p, err := DecodePage(enc[i*flash.PageSize:(i+1)*flash.PageSize], meta.Dict)
+				if err != nil {
+					t.Fatalf("%s: page %d: %v", codec, i, err)
+				}
+				if p.Count != pm.Count {
+					t.Fatalf("%s: page %d count %d != meta %d", codec, i, p.Count, pm.Count)
+				}
+				got := p.Values()
+				for k := 0; k < pm.Count; k++ {
+					v := vals[row+k]
+					if got[k] != v {
+						t.Fatalf("%s: row %d = %d, want %d", codec, row+k, got[k], v)
+					}
+					if v < pm.Min || v > pm.Max {
+						t.Fatalf("%s: row %d value %d outside zone map [%d,%d]",
+							codec, row+k, v, pm.Min, pm.Max)
+					}
+				}
+				row += pm.Count
+			}
+		}
+	})
+}
+
+// fuzzExpr decodes a depth-limited single-column expression from bytes.
+func fuzzExpr(data []byte, depth int) (systolic.Expr, []byte) {
+	if len(data) == 0 || depth <= 0 {
+		return systolic.In(0), data
+	}
+	op := data[0]
+	data = data[1:]
+	switch op % 9 {
+	case 0:
+		return systolic.In(0), data
+	case 1:
+		if len(data) < 8 {
+			return systolic.C(int64(op)), data
+		}
+		v := int64(binary.LittleEndian.Uint64(data))
+		return systolic.C(v), data[8:]
+	case 2:
+		if len(data) < 1 {
+			return systolic.C(0), data
+		}
+		return systolic.C(int64(int8(data[0]))), data[1:]
+	default:
+		alu := []systolic.AluOp{systolic.AluAdd, systolic.AluSub, systolic.AluMul,
+			systolic.AluDiv, systolic.AluEQ, systolic.AluLT, systolic.AluGT}[(op-3)%9%7]
+		var l, r systolic.Expr
+		l, data = fuzzExpr(data, depth-1)
+		r, data = fuzzExpr(data, depth-1)
+		return systolic.B(alu, l, r), data
+	}
+}
+
+// FuzzZoneMapPrune asserts the pruning soundness invariant: a page whose
+// predicate interval is provably [0,0] must not contain any matching row.
+func FuzzZoneMapPrune(f *testing.F) {
+	f.Add([]byte{6, 0, 1, 5, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{5, 0, 2, 200, 2, 2, 2, 2, 1, 1, 1, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		codec := []Codec{Dict, RLE, FOR}[data[0]%3]
+		expr, rest := fuzzExpr(data[1:], 4)
+		vals := fuzzVals(rest)
+		if len(vals) == 0 {
+			return
+		}
+		_, meta, err := EncodeColumn(vals, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pm := range meta.Pages {
+			iv := systolic.EvalExprInterval(expr, []systolic.Interval{{Lo: pm.Min, Hi: pm.Max}})
+			if !iv.IsZero() {
+				continue
+			}
+			// Pruned page: no row in it may satisfy the predicate.
+			lane := make([]int64, 1)
+			for r := pm.StartRow; r < pm.StartRow+pm.Count; r++ {
+				lane[0] = vals[r]
+				if got := systolic.EvalExpr(expr, lane); got != 0 {
+					t.Fatalf("pruned page [%d,%d] zone [%d,%d] contains row %d value %d with %s = %d",
+						pm.StartRow, pm.StartRow+pm.Count, pm.Min, pm.Max, r, vals[r], expr, got)
+				}
+			}
+		}
+	})
+}

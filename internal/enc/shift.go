@@ -1,0 +1,169 @@
+package enc
+
+import "aquoman/internal/systolic"
+
+// ShiftToDelta rewrites a single-column predicate expression (column =
+// systolic.In(0)) so that it evaluates directly on a FOR page's unsigned
+// deltas instead of materialized values: every comparison of the column
+// (plus any constant offset accumulated through Add/Sub) against a
+// constant has the constant pre-shifted by the page base, i.e. for all d
+//
+//	EvalExpr(shifted, {d}) == EvalExpr(e, {base + d})
+//
+// Rewrites are exact-value-preserving (not merely truth-preserving), so
+// boolean combiners (Add as OR-count, Mul as AND, arbitrary nesting) stay
+// intact. The rewrite refuses (ok=false) any shape whose value under the
+// substitution cannot be expressed by shifting constants — a scaled or
+// negated column term, a column inside a division, a constant shift that
+// would overflow — and the caller falls back to materialized evaluation.
+func ShiftToDelta(e systolic.Expr, base int64) (systolic.Expr, bool) {
+	r, ok := shiftNode(e, base)
+	if !ok || r.kind != kindBool {
+		return nil, false
+	}
+	return r.ex, true
+}
+
+const (
+	kindConst = iota // constant subtree, value v
+	kindCol          // column + constant offset subtree (slope +1)
+	kindBool         // rewritten subtree with value preserved under shift
+)
+
+type shiftRes struct {
+	kind int
+	v    int64         // kindConst: the folded value
+	off  int64         // kindCol: column offset (value = col + off)
+	ex   systolic.Expr // kindBool: the rewritten expression
+}
+
+// expr returns the subtree as an expression in the delta domain; only
+// valid for kindConst and kindBool.
+func (r shiftRes) expr() systolic.Expr {
+	if r.kind == kindConst {
+		return systolic.C(r.v)
+	}
+	return r.ex
+}
+
+func shiftNode(e systolic.Expr, base int64) (shiftRes, bool) {
+	switch n := e.(type) {
+	case systolic.Const:
+		return shiftRes{kind: kindConst, v: n.V}, true
+	case systolic.Col:
+		if n.Index != 0 {
+			return shiftRes{}, false
+		}
+		return shiftRes{kind: kindCol, off: 0}, true
+	case systolic.Bin:
+		l, ok := shiftNode(n.L, base)
+		if !ok {
+			return shiftRes{}, false
+		}
+		r, ok := shiftNode(n.R, base)
+		if !ok {
+			return shiftRes{}, false
+		}
+		return shiftBin(n.Op, l, r, base)
+	default:
+		return shiftRes{}, false
+	}
+}
+
+func shiftBin(op systolic.AluOp, l, r shiftRes, base int64) (shiftRes, bool) {
+	// Constant folding matches Apply exactly.
+	if l.kind == kindConst && r.kind == kindConst {
+		return shiftRes{kind: kindConst, v: op.Apply(l.v, r.v)}, true
+	}
+	switch op {
+	case systolic.AluEQ, systolic.AluLT, systolic.AluGT:
+		// (col + off) cmp c  ⇒  d cmp (c - base - off), and mirrored.
+		if l.kind == kindCol && r.kind == kindConst {
+			c, ok := shiftConst(r.v, base, l.off)
+			if !ok {
+				return shiftRes{}, false
+			}
+			return shiftRes{kind: kindBool, ex: systolic.B(op, systolic.In(0), systolic.C(c))}, true
+		}
+		if l.kind == kindConst && r.kind == kindCol {
+			c, ok := shiftConst(l.v, base, r.off)
+			if !ok {
+				return shiftRes{}, false
+			}
+			return shiftRes{kind: kindBool, ex: systolic.B(op, systolic.C(c), systolic.In(0))}, true
+		}
+		if l.kind != kindCol && r.kind != kindCol {
+			return shiftRes{kind: kindBool, ex: systolic.B(op, l.expr(), r.expr())}, true
+		}
+		return shiftRes{}, false
+	case systolic.AluAdd:
+		if l.kind == kindCol && r.kind == kindConst {
+			off, ov := addOvEnc(l.off, r.v)
+			if ov {
+				return shiftRes{}, false
+			}
+			return shiftRes{kind: kindCol, off: off}, true
+		}
+		if l.kind == kindConst && r.kind == kindCol {
+			off, ov := addOvEnc(r.off, l.v)
+			if ov {
+				return shiftRes{}, false
+			}
+			return shiftRes{kind: kindCol, off: off}, true
+		}
+		if l.kind != kindCol && r.kind != kindCol {
+			return shiftRes{kind: kindBool, ex: systolic.B(op, l.expr(), r.expr())}, true
+		}
+		return shiftRes{}, false
+	case systolic.AluSub:
+		if l.kind == kindCol && r.kind == kindConst {
+			off, ov := subOvEnc(l.off, r.v)
+			if ov {
+				return shiftRes{}, false
+			}
+			return shiftRes{kind: kindCol, off: off}, true
+		}
+		// const - col has slope -1; refuse.
+		if l.kind != kindCol && r.kind != kindCol {
+			return shiftRes{kind: kindBool, ex: systolic.B(op, l.expr(), r.expr())}, true
+		}
+		return shiftRes{}, false
+	case systolic.AluMul, systolic.AluDiv:
+		// A column inside a product or quotient cannot be constant-shifted.
+		if l.kind != kindCol && r.kind != kindCol {
+			return shiftRes{kind: kindBool, ex: systolic.B(op, l.expr(), r.expr())}, true
+		}
+		return shiftRes{}, false
+	default:
+		return shiftRes{}, false
+	}
+}
+
+// shiftConst computes c - base - off with overflow checks.
+func shiftConst(c, base, off int64) (int64, bool) {
+	s, ov := subOvEnc(c, base)
+	if ov {
+		return 0, false
+	}
+	s, ov = subOvEnc(s, off)
+	if ov {
+		return 0, false
+	}
+	return s, true
+}
+
+func addOvEnc(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, true
+	}
+	return s, false
+}
+
+func subOvEnc(a, b int64) (int64, bool) {
+	s := a - b
+	if (a >= 0 && b < 0 && s < 0) || (a < 0 && b > 0 && s >= 0) {
+		return 0, true
+	}
+	return s, false
+}

@@ -14,6 +14,7 @@ import (
 
 	"aquoman/internal/bitvec"
 	"aquoman/internal/col"
+	"aquoman/internal/enc"
 	"aquoman/internal/flash"
 	"aquoman/internal/systolic"
 )
@@ -63,6 +64,12 @@ type Stats struct {
 	// PagesRead / PagesSkipped count predicate-column page traffic.
 	PagesRead    int64
 	PagesSkipped int64
+	// PagesPruned counts pages eliminated by zone maps before any flash
+	// read; EncBytesSaved and EncDecoded account the encoded pages that
+	// were read (see col.ReaderStats).
+	PagesPruned   int64
+	EncBytesSaved int64
+	EncDecoded    [enc.NumCodecs]int64
 }
 
 // Run evaluates the program over the table, starting from the incoming
@@ -93,6 +100,7 @@ func (p *Program) RunCtx(ctx context.Context, tab *col.Table, in *bitvec.Mask, w
 		return mask, st, nil
 	}
 	readers := make([]*col.PagedReader, len(p.Preds))
+	evals := make([]predEval, len(p.Preds))
 	for i, cp := range p.Preds {
 		ci, err := tab.Column(cp.Column)
 		if err != nil {
@@ -100,9 +108,14 @@ func (p *Program) RunCtx(ctx context.Context, tab *col.Table, in *bitvec.Mask, w
 		}
 		readers[i] = col.NewPagedReader(ci, who)
 		readers[i].SetContext(ctx)
+		evals[i].init(cp.Expr, ci.Enc)
 	}
-	var vals [bitvec.VecSize]int64
-	var lane [1]int64
+	// Zone-map pre-pass: a page whose predicate interval over its
+	// [min,max] is provably zero cannot contribute a row — mask out its
+	// rows before the scan so the page is never fetched from flash.
+	for i, cp := range p.Preds {
+		pruneByZoneMaps(cp.Expr, readers[i], mask)
+	}
 	nVecs := mask.NumVecs()
 	for vec := 0; vec < nVecs; vec++ {
 		if mask.VecAllZero(vec) {
@@ -111,21 +124,9 @@ func (p *Program) RunCtx(ctx context.Context, tab *col.Table, in *bitvec.Mask, w
 			}
 			continue
 		}
-		base := vec * bitvec.VecSize
-		for pi, cp := range p.Preds {
-			n, err := readers[pi].ReadVec(vec, vals[:])
-			if err != nil {
+		for pi := range p.Preds {
+			if err := evals[pi].evalVec(readers[pi], vec, mask); err != nil {
 				return nil, st, err
-			}
-			for j := 0; j < n; j++ {
-				row := base + j
-				if !mask.Get(row) {
-					continue
-				}
-				lane[0] = vals[j]
-				if systolic.EvalExpr(cp.Expr, lane[:]) == 0 {
-					mask.Clear(row)
-				}
 			}
 			if mask.VecAllZero(vec) {
 				// Remaining evaluators skip this vector entirely.
@@ -139,7 +140,159 @@ func (p *Program) RunCtx(ctx context.Context, tab *col.Table, in *bitvec.Mask, w
 	for _, r := range readers {
 		st.PagesRead += r.PagesRead
 		st.PagesSkipped += r.PagesSkipped
+		st.PagesPruned += r.PagesPruned
+		st.EncBytesSaved += r.EncBytesSaved
+		for c := range r.EncDecoded {
+			st.EncDecoded[c] += r.EncDecoded[c]
+		}
 	}
 	st.RowsSelected = int64(mask.Count())
 	return mask, st, nil
+}
+
+// pruneByZoneMaps masks out the rows of every page the predicate provably
+// rejects. Pages that still had live rows are marked pruned on the reader
+// (they would otherwise have cost a flash read); pages the mask had
+// already eliminated are left to the ordinary skip accounting.
+func pruneByZoneMaps(expr systolic.Expr, r *col.PagedReader, mask *bitvec.Mask) {
+	meta := r.Meta()
+	if meta == nil {
+		return
+	}
+	iv := make([]systolic.Interval, 1)
+	for pi, pm := range meta.Pages {
+		iv[0] = systolic.Interval{Lo: pm.Min, Hi: pm.Max}
+		if !systolic.EvalExprInterval(expr, iv).IsZero() {
+			continue
+		}
+		live := false
+		end := pm.StartRow + pm.Count
+		for vec := pm.StartRow / bitvec.VecSize; vec*bitvec.VecSize < end; vec++ {
+			if mask.VecAllZero(vec) {
+				continue
+			}
+			live = true
+			lo := vec * bitvec.VecSize
+			if lo < pm.StartRow {
+				lo = pm.StartRow
+			}
+			hi := lo + bitvec.VecSize
+			if hi > end {
+				hi = end
+			}
+			for row := lo; row < hi; row++ {
+				mask.Clear(row)
+			}
+		}
+		if live {
+			r.MarkPruned(pi)
+		}
+	}
+}
+
+// predEval evaluates one column predicate over Row Vectors, preferring
+// the column's encoded representation: dictionary codes index a memoized
+// truth table, frame-of-reference deltas evaluate a shifted-constant
+// rewrite of the expression, and run-length pages amortize via
+// repeated-value memoization. Raw and refused shapes materialize values.
+type predEval struct {
+	expr systolic.Expr
+	// truth memoizes the predicate per dictionary code (-1 = unknown).
+	truth []int8
+	dict  []int64
+	// shifted caches the delta-domain rewrite for the current FOR base.
+	shifted   systolic.Expr
+	shiftBase int64
+	shiftOK   bool
+	haveShift bool
+
+	vals [bitvec.VecSize]int64
+	lane [1]int64
+}
+
+func (e *predEval) init(expr systolic.Expr, meta *enc.ColumnMeta) {
+	e.expr = expr
+	if meta != nil && meta.Codec == enc.Dict {
+		e.dict = meta.Dict
+		e.truth = make([]int8, len(meta.Dict))
+		for i := range e.truth {
+			e.truth[i] = -1
+		}
+	}
+}
+
+func (e *predEval) evalVec(r *col.PagedReader, vec int, mask *bitvec.Mask) error {
+	base := vec * bitvec.VecSize
+	if e.truth != nil {
+		n, ok, err := r.ReadVecCodes(vec, e.vals[:])
+		if err != nil {
+			return err
+		}
+		if ok {
+			for j := 0; j < n; j++ {
+				row := base + j
+				if !mask.Get(row) {
+					continue
+				}
+				c := e.vals[j]
+				t := e.truth[c]
+				if t < 0 {
+					e.lane[0] = e.dict[c]
+					t = 0
+					if systolic.EvalExpr(e.expr, e.lane[:]) != 0 {
+						t = 1
+					}
+					e.truth[c] = t
+				}
+				if t == 0 {
+					mask.Clear(row)
+				}
+			}
+			return nil
+		}
+	}
+	if n, forBase, ok, err := r.ReadVecDeltas(vec, e.vals[:]); err != nil {
+		return err
+	} else if ok {
+		if !e.haveShift || forBase != e.shiftBase {
+			e.shifted, e.shiftOK = enc.ShiftToDelta(e.expr, forBase)
+			e.shiftBase = forBase
+			e.haveShift = true
+		}
+		if e.shiftOK {
+			for j := 0; j < n; j++ {
+				row := base + j
+				if !mask.Get(row) {
+					continue
+				}
+				e.lane[0] = e.vals[j]
+				if systolic.EvalExpr(e.shifted, e.lane[:]) == 0 {
+					mask.Clear(row)
+				}
+			}
+			return nil
+		}
+	}
+	n, err := r.ReadVec(vec, e.vals[:])
+	if err != nil {
+		return err
+	}
+	var lastVal, lastRes int64
+	haveLast := false
+	for j := 0; j < n; j++ {
+		row := base + j
+		if !mask.Get(row) {
+			continue
+		}
+		v := e.vals[j]
+		if !haveLast || v != lastVal {
+			e.lane[0] = v
+			lastRes = systolic.EvalExpr(e.expr, e.lane[:])
+			lastVal, haveLast = v, true
+		}
+		if lastRes == 0 {
+			mask.Clear(row)
+		}
+	}
+	return nil
 }

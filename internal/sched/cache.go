@@ -31,11 +31,16 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // pageKey identifies one cached page. Partition isolates devices that reuse
-// file names (distrib shards all store "lineitem/l_qty.dat").
+// file names (distrib shards all store "lineitem/l_qty.dat"). The file
+// generation — bumped by every write or invalidation, including a column
+// re-encode replacing the file — is part of the key: a reader that starts
+// after an invalidation can never be served bytes fetched before it, not
+// even by coalescing onto an older in-flight read.
 type pageKey struct {
 	part string
 	file string
 	page int64
+	gen  uint64
 }
 
 type fileKey struct {
@@ -68,7 +73,9 @@ type flight struct {
 //   - a faulted read never populates the cache (and the error is returned
 //     to every waiter of that flight);
 //   - a write or invalidation that races with an in-flight read wins: the
-//     stale fill is discarded (generation counters per file).
+//     stale fill is discarded, and readers arriving after the invalidation
+//     do not join the doomed flight (generation counters per file, baked
+//     into the page key at lookup time).
 type PageCache struct {
 	mu      sync.Mutex
 	max     int64
@@ -178,8 +185,9 @@ func (p *Partition) InvalidateFile(file string) {
 // getPage serves one page, coalescing concurrent misses into a single
 // device read. Callers must treat the returned slice as read-only.
 func (c *PageCache) getPage(part, file string, page int64, read func() ([]byte, error)) ([]byte, error) {
-	key := pageKey{part, file, page}
 	c.mu.Lock()
+	gen := c.gens[fileKey{part, file}]
+	key := pageKey{part, file, page, gen}
 	if e, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(e.elem)
 		c.hits++
@@ -198,7 +206,6 @@ func (c *PageCache) getPage(part, file string, page int64, read func() ([]byte, 
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
-	gen := c.gens[fileKey{part, file}]
 	c.misses++
 	c.mu.Unlock()
 	c.cMisses.Inc()
@@ -208,7 +215,8 @@ func (c *PageCache) getPage(part, file string, page int64, read func() ([]byte, 
 	c.mu.Lock()
 	delete(c.flights, key)
 	// Insert only if the read succeeded and no write/invalidation landed on
-	// the file while the read was in flight (the fill would be stale).
+	// the file while the read was in flight (the fill would be stale — and,
+	// keyed under the old generation, unreachable yet budget-consuming).
 	if f.err == nil && f.data != nil && gen == c.gens[fileKey{part, file}] {
 		c.insertLocked(key, f.data)
 	}
@@ -260,8 +268,8 @@ func (c *PageCache) invalidatePages(part, file string, first, last int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gens[fileKey{part, file}]++
-	for page := first; page <= last; page++ {
-		if e, ok := c.entries[pageKey{part, file, page}]; ok {
+	for key, e := range c.entries {
+		if key.part == part && key.file == file && key.page >= first && key.page <= last {
 			c.removeLocked(e, false)
 		}
 	}

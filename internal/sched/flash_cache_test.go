@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"aquoman/internal/faults"
 	"aquoman/internal/flash"
@@ -149,6 +150,67 @@ func TestCacheFaultInteraction(t *testing.T) {
 	}
 	if d := inj.Counts().TotalInjected() - injBefore; d != 0 {
 		t.Fatalf("cache hit consumed %d injected faults, want 0", d)
+	}
+}
+
+// Regression: a reader that starts AFTER a file invalidation (e.g. a
+// column re-encode replacing the file) must never coalesce onto a read
+// that was in flight BEFORE the invalidation — the follower would be
+// handed the pre-invalidation bytes. The generation baked into the page
+// key at lookup time forces post-invalidation readers onto a fresh read.
+func TestNoStaleFlightServeAcrossInvalidation(t *testing.T) {
+	cache := sched.NewPageCache(16 * flash.PageSize)
+	stale := bytes.Repeat([]byte{0xAA}, 64) // old raw layout
+	fresh := bytes.Repeat([]byte{0xEC}, 64) // re-encoded layout
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	oldDone := make(chan struct{})
+	var oldData []byte
+	go func() {
+		defer close(oldDone)
+		oldData, _ = cache.GetPage("tab/c.dat", 0, func() ([]byte, error) {
+			close(entered)
+			<-release
+			return stale, nil
+		})
+	}()
+	<-entered
+	// The file is rewritten while the read is in flight.
+	cache.InvalidateFile("tab/c.dat")
+
+	// A reader starting now must perform its own device read and complete
+	// without waiting for the blocked pre-invalidation flight.
+	newDone := make(chan struct{})
+	var newData []byte
+	go func() {
+		defer close(newDone)
+		newData, _ = cache.GetPage("tab/c.dat", 0, func() ([]byte, error) {
+			return fresh, nil
+		})
+	}()
+	select {
+	case <-newDone:
+	case <-time.After(5 * time.Second):
+		close(release)
+		t.Fatal("post-invalidation reader coalesced onto the stale in-flight read")
+	}
+	if !bytes.Equal(newData, fresh) {
+		t.Fatalf("post-invalidation reader got stale bytes %x", newData[:4])
+	}
+	close(release)
+	<-oldDone
+	if !bytes.Equal(oldData, stale) {
+		t.Fatalf("pre-invalidation reader got %x, want its own read's bytes", oldData[:4])
+	}
+	// The fresh fill must be resident under the current generation; the
+	// stale fill must not have displaced it.
+	served, err := cache.GetPage("tab/c.dat", 0, func() ([]byte, error) {
+		t.Fatal("fresh page was not resident after invalidation")
+		return nil, nil
+	})
+	if err != nil || !bytes.Equal(served, fresh) {
+		t.Fatalf("resident page = %x, err %v, want fresh bytes", served[:4], err)
 	}
 }
 

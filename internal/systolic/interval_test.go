@@ -1,0 +1,101 @@
+package systolic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randIval(rng *rand.Rand) Interval {
+	switch rng.Intn(5) {
+	case 0:
+		return Point(rng.Int63n(200) - 100)
+	case 1:
+		return Interval{math.MinInt64, math.MaxInt64}
+	case 2:
+		a := rng.Int63() - rng.Int63()
+		b := rng.Int63() - rng.Int63()
+		if a > b {
+			a, b = b, a
+		}
+		return Interval{a, b}
+	default:
+		a := rng.Int63n(2000) - 1000
+		return Interval{a, a + rng.Int63n(500)}
+	}
+}
+
+func sampleIn(rng *rand.Rand, iv Interval) int64 {
+	if iv.Lo == iv.Hi {
+		return iv.Lo
+	}
+	span := uint64(iv.Hi) - uint64(iv.Lo)
+	if span == math.MaxUint64 {
+		return int64(rng.Uint64())
+	}
+	return int64(uint64(iv.Lo) + rng.Uint64()%(span+1))
+}
+
+func randIntervalExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return In(0)
+		}
+		return C(rng.Int63n(400) - 200)
+	}
+	op := []AluOp{AluAdd, AluSub, AluMul, AluDiv, AluEQ, AluLT, AluGT}[rng.Intn(7)]
+	return B(op, randIntervalExpr(rng, depth-1), randIntervalExpr(rng, depth-1))
+}
+
+// TestEvalExprIntervalSound samples concrete values inside random input
+// intervals and checks the concrete evaluation always lands inside the
+// interval evaluation — the property zone-map pruning relies on.
+func TestEvalExprIntervalSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5000; trial++ {
+		e := randIntervalExpr(rng, 4)
+		in := randIval(rng)
+		iv := EvalExprInterval(e, []Interval{in})
+		if iv.Lo > iv.Hi {
+			t.Fatalf("expr %s over [%d,%d]: inverted interval [%d,%d]", e, in.Lo, in.Hi, iv.Lo, iv.Hi)
+		}
+		for k := 0; k < 30; k++ {
+			v := sampleIn(rng, in)
+			got := EvalExpr(e, []int64{v})
+			if got < iv.Lo || got > iv.Hi {
+				t.Fatalf("expr %s at %d (in [%d,%d]) = %d outside interval [%d,%d]",
+					e, v, in.Lo, in.Hi, got, iv.Lo, iv.Hi)
+			}
+		}
+	}
+}
+
+func TestEvalExprIntervalCases(t *testing.T) {
+	col := In(0)
+	cases := []struct {
+		name string
+		e    Expr
+		in   Interval
+		want Interval
+	}{
+		{"lt-true", LT(col, C(100)), Interval{0, 50}, Point(1)},
+		{"lt-false", LT(col, C(100)), Interval{100, 200}, Point(0)},
+		{"lt-maybe", LT(col, C(100)), Interval{50, 150}, Interval{0, 1}},
+		{"gt-false", GT(col, C(10)), Interval{-5, 10}, Point(0)},
+		{"eq-disjoint", EQ(col, C(7)), Interval{8, 20}, Point(0)},
+		{"eq-point", EQ(col, C(7)), Point(7), Point(1)},
+		{"range-and", Mul(GT(col, C(10)), LT(col, C(20))), Interval{30, 40}, Point(0)},
+		{"add", Add(col, C(5)), Interval{0, 10}, Interval{5, 15}},
+		{"overflow-top", Add(col, C(math.MaxInt64)), Interval{1, 2}, Top()},
+		{"mul-overflow", Mul(col, C(math.MaxInt64)), Interval{2, 3}, Top()},
+		{"div-zero-top", Div(C(10), col), Interval{-1, 1}, Top()},
+		{"div", Div(col, C(2)), Interval{10, 21}, Interval{5, 10}},
+	}
+	for _, c := range cases {
+		got := EvalExprInterval(c.e, []Interval{c.in})
+		if got != c.want {
+			t.Errorf("%s: %s over [%d,%d] = [%d,%d], want [%d,%d]",
+				c.name, c.e, c.in.Lo, c.in.Hi, got.Lo, got.Hi, c.want.Lo, c.want.Hi)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"aquoman/internal/bitvec"
 	"aquoman/internal/col"
+	"aquoman/internal/enc"
 	"aquoman/internal/flash"
 	"aquoman/internal/mem"
 	"aquoman/internal/obs"
@@ -31,6 +32,9 @@ type TaskTrace struct {
 	RowsToSwissknife  int64
 	PagesRead         int64
 	PagesSkipped      int64
+	PagesPruned       int64
+	EncBytesSaved     int64
+	EncDecoded        [enc.NumCodecs]int64
 	GatherFlashReads  int64
 	GatherDRAMReads   int64
 	SorterElems       int64
@@ -55,6 +59,17 @@ type Trace struct {
 	Tasks []TaskTrace
 	// DRAMPeak is the high-water AQUOMAN DRAM footprint.
 	DRAMPeak int64
+}
+
+// addReader folds one column pass's page accounting into the trace.
+func (tt *TaskTrace) addReader(rs col.ReaderStats) {
+	tt.PagesRead += rs.PagesRead
+	tt.PagesSkipped += rs.PagesSkipped
+	tt.PagesPruned += rs.PagesPruned
+	tt.EncBytesSaved += rs.EncBytesSaved
+	for c := range rs.EncDecoded {
+		tt.EncDecoded[c] += rs.EncDecoded[c]
+	}
 }
 
 // Total sums a field over tasks.
@@ -198,6 +213,11 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	tt.RowsSelected = selStats.RowsSelected
 	tt.PagesRead += selStats.PagesRead
 	tt.PagesSkipped += selStats.PagesSkipped
+	tt.PagesPruned += selStats.PagesPruned
+	tt.EncBytesSaved += selStats.EncBytesSaved
+	for c := range selStats.EncDecoded {
+		tt.EncDecoded[c] += selStats.EncDecoded[c]
+	}
 	tt.SelectorCPs = sel.NumCPs()
 
 	// 2b. Regular-expression accelerator: pre-process string columns into
@@ -214,6 +234,7 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	selSpan.SetInt("rows_selected", tt.RowsSelected)
 	selSpan.SetInt("pages_read", tt.PagesRead)
 	selSpan.SetInt("pages_skipped", tt.PagesSkipped)
+	selSpan.SetInt("pages_pruned", tt.PagesPruned)
 	selSpan.End()
 
 	// 3. Table Reader: stream the input columns for selected rows,
@@ -223,24 +244,22 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	selRows := mask.Rows()
 	inputs := make([][]int64, 0, len(t.Stream)+len(t.Gathers))
 	for _, name := range t.Stream {
-		vals, pr, ps, err := e.streamColumn(tab, name, mask, len(selRows))
+		vals, rs, err := e.streamColumn(tab, name, mask, len(selRows))
 		if err != nil {
 			readSpan.End()
 			return nil, fmt.Errorf("tabletask %q: %w", t.Name, err)
 		}
-		tt.PagesRead += pr
-		tt.PagesSkipped += ps
+		tt.addReader(rs)
 		inputs = append(inputs, vals)
 	}
 	// 3b. Gathers (RowID chases).
 	for _, ga := range t.Gathers {
-		base, pr, ps, err := e.streamColumn(tab, ga.BaseCol, mask, len(selRows))
+		base, rs, err := e.streamColumn(tab, ga.BaseCol, mask, len(selRows))
 		if err != nil {
 			readSpan.End()
 			return nil, fmt.Errorf("tabletask %q gather %q: %w", t.Name, ga.Name, err)
 		}
-		tt.PagesRead += pr
-		tt.PagesSkipped += ps
+		tt.addReader(rs)
 		vals := base
 		for _, hop := range ga.Hops {
 			vals, err = e.gatherHop(hop, vals, &tt)
@@ -336,6 +355,8 @@ func (e *Executor) finishTask(span *obs.Span, tt *TaskTrace) {
 	span.SetInt("rows_to_swissknife", tt.RowsToSwissknife)
 	span.SetInt("pages_read", tt.PagesRead)
 	span.SetInt("pages_skipped", tt.PagesSkipped)
+	span.SetInt("pages_pruned", tt.PagesPruned)
+	span.SetInt("enc_bytes_saved", tt.EncBytesSaved)
 	span.SetInt("host_rows", tt.HostRows)
 	span.End()
 	if e.Obs == nil || e.Obs.Reg == nil {
@@ -348,6 +369,11 @@ func (e *Executor) finishTask(span *obs.Span, tt *TaskTrace) {
 	reg.Counter("tabletask_rows_to_swissknife_total").Add(tt.RowsToSwissknife)
 	reg.Counter("tabletask_pages_read_total").Add(tt.PagesRead)
 	reg.Counter("tabletask_pages_skipped_total").Add(tt.PagesSkipped)
+	reg.Counter("enc_pages_pruned_total").Add(tt.PagesPruned)
+	reg.Counter("enc_bytes_saved_total").Add(tt.EncBytesSaved)
+	for c := enc.Dict; int(c) < enc.NumCodecs; c++ {
+		reg.Counter("enc_decoded_pages_total", "codec", c.String()).Add(tt.EncDecoded[c])
+	}
 	reg.Counter("tabletask_gather_dram_reads_total").Add(tt.GatherDRAMReads)
 	reg.Counter("tabletask_gather_flash_reads_total").Add(tt.GatherFlashReads)
 	reg.Counter("swissknife_groups_total").Add(tt.Groups)
@@ -404,8 +430,8 @@ func (e *Executor) runRegexFilter(t *Task, tab *col.Table, rf RegexFilter, mask 
 			}
 		}
 	}
-	tt.PagesRead += reader.PagesRead + (ci.HeapBytes()+flash.PageSize-1)/flash.PageSize
-	tt.PagesSkipped += reader.PagesSkipped
+	tt.addReader(reader.ReaderStats)
+	tt.PagesRead += (ci.HeapBytes() + flash.PageSize - 1) / flash.PageSize
 	return nil
 }
 
@@ -416,15 +442,16 @@ const RowIDCol = "@rowid"
 
 // streamColumn reads one base-table column for the selected rows through
 // the page buffer, honouring page skipping.
-func (e *Executor) streamColumn(tab *col.Table, name string, mask *bitvec.Mask, nSel int) ([]int64, int64, int64, error) {
+func (e *Executor) streamColumn(tab *col.Table, name string, mask *bitvec.Mask, nSel int) ([]int64, col.ReaderStats, error) {
+	var none col.ReaderStats
 	if name == RowIDCol {
 		out := make([]int64, 0, nSel)
 		mask.ForEach(func(r int) { out = append(out, int64(r)) })
-		return out, 0, 0, nil
+		return out, none, nil
 	}
 	ci, err := tab.Column(name)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, none, err
 	}
 	r := col.NewPagedReader(ci, flash.Aquoman)
 	r.SetContext(e.Ctx)
@@ -438,7 +465,7 @@ func (e *Executor) streamColumn(tab *col.Table, name string, mask *bitvec.Mask, 
 		}
 		n, err := r.ReadVec(vec, vals[:])
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, none, err
 		}
 		bits := mask.VecBits(vec)
 		for j := 0; j < n; j++ {
@@ -447,7 +474,7 @@ func (e *Executor) streamColumn(tab *col.Table, name string, mask *bitvec.Mask, 
 			}
 		}
 	}
-	return out, r.PagesRead, r.PagesSkipped, nil
+	return out, r.ReaderStats, nil
 }
 
 // gatherHop chases one RowID hop for every pending value. Small
@@ -523,8 +550,7 @@ func (e *Executor) gatherHop(hop GatherHop, rows []int64, tt *TaskTrace) ([]int6
 			}
 		}
 	}
-	tt.PagesRead += reader.PagesRead
-	tt.PagesSkipped += reader.PagesSkipped
+	tt.addReader(reader.ReaderStats)
 	// The transient value table occupies AQUOMAN DRAM for the task's
 	// duration: 8 bytes per referenced row (index + 4B value).
 	tmpName := fmt.Sprintf("gather:%s/%s#%d", hop.Table, hop.Column, len(e.Trace.Tasks))

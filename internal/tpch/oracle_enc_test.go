@@ -1,0 +1,154 @@
+package tpch
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"aquoman/internal/col"
+	"aquoman/internal/compiler"
+	"aquoman/internal/core"
+	"aquoman/internal/enc"
+	"aquoman/internal/engine"
+	"aquoman/internal/faults"
+	"aquoman/internal/flash"
+	"aquoman/internal/mem"
+	"aquoman/internal/plan"
+)
+
+var (
+	encOnce sync.Once
+	encErr  error
+	encTPCH *col.Store
+)
+
+// encStore builds the same TPC-H instance as sharedStore but with
+// auto-selected column encodings, then forces a handful of re-encodes so
+// the differential provably covers all three codecs (auto may not pick
+// every codec on every column shape).
+func encStore(t *testing.T) *col.Store {
+	t.Helper()
+	encOnce.Do(func() {
+		s := col.NewStore(flash.NewDevice())
+		s.DefaultEncoding = enc.SelAuto
+		if err := Gen(s, Config{SF: 0.01, Seed: 42}); err != nil {
+			encErr = err
+			return
+		}
+		forced := []struct {
+			table, column string
+			sel           enc.Selection
+		}{
+			{"lineitem", "l_quantity", enc.SelDict},
+			{"lineitem", "l_shipdate", enc.SelFOR},
+			{"orders", "o_shippriority", enc.SelRLE},
+		}
+		for _, f := range forced {
+			tab, err := s.Table(f.table)
+			if err != nil {
+				encErr = err
+				return
+			}
+			if err := tab.ReEncodeColumn(f.column, f.sel); err != nil {
+				encErr = fmt.Errorf("force %s on %s.%s: %w", f.sel, f.table, f.column, err)
+				return
+			}
+		}
+		encTPCH = s
+	})
+	if encErr != nil {
+		t.Fatalf("encoded store: %v", encErr)
+	}
+	return encTPCH
+}
+
+// encPipelineRun executes query q over the encoded store through the full
+// offload pipeline.
+func encPipelineRun(t *testing.T, s *col.Store, q int) (*engine.Batch, *core.Report) {
+	t.Helper()
+	def, err := Get(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := def.Build()
+	if err := plan.Bind(n, s); err != nil {
+		t.Fatalf("q%d bind: %v", q, err)
+	}
+	dev := core.New(s, core.Config{DRAMBytes: mem.DefaultCapacity, Compiler: compiler.Config{HeapScale: 1}})
+	b, rep, err := dev.RunQuery(n)
+	if err != nil {
+		t.Fatalf("q%d encoded pipeline: %v", q, err)
+	}
+	return b, rep
+}
+
+// The encoded store must actually be encoded, with all three codecs in
+// play — otherwise the differential below proves nothing.
+func TestEncodedStoreCoversAllCodecs(t *testing.T) {
+	s := encStore(t)
+	seen := map[enc.Codec]string{}
+	for _, name := range s.Tables() {
+		tab, err := s.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cn := range tab.ColumnNames() {
+			ci := tab.MustColumn(cn)
+			if ci.Enc != nil {
+				if _, ok := seen[ci.Enc.Codec]; !ok {
+					seen[ci.Enc.Codec] = name + "." + cn
+				}
+			}
+		}
+	}
+	for _, c := range []enc.Codec{enc.Dict, enc.RLE, enc.FOR} {
+		if _, ok := seen[c]; !ok {
+			t.Errorf("no column stored under codec %s", c)
+		}
+	}
+	if testing.Verbose() {
+		for c, where := range seen {
+			t.Logf("%s: e.g. %s", c, where)
+		}
+	}
+}
+
+// All 22 TPC-H queries over the dictionary+RLE+FOR-encoded store must be
+// cell-identical to the oracle evaluated on the raw store: encoding is a
+// pure storage-layer change.
+func TestDifferentialEncodedAllQueries(t *testing.T) {
+	want := oracleResults(t)
+	s := encStore(t)
+	for _, q := range Queries() {
+		b, _ := encPipelineRun(t, s, q.Num)
+		diffBatches(t, fmt.Sprintf("q%d encoded", q.Num), b, want[q.Num])
+	}
+}
+
+// Encoded scans under a seeded transient-fault schedule must still agree
+// exactly: retried encoded page reads decode to the same rows.
+func TestDifferentialEncodedUnderFaults(t *testing.T) {
+	want := oracleResults(t)
+	s := encStore(t)
+	// The encoded store reads far fewer pages than raw, so the transient
+	// probability is higher than the raw schedule's to keep the expected
+	// injection count comparable.
+	inj := faults.New(faults.Config{Seed: 11, PTransient: 0.01, TransientRepeat: 2})
+	s.Dev.SetFaults(inj)
+	defer s.Dev.SetFaults(nil)
+	before := s.Dev.Stats()
+	for _, q := range Queries() {
+		b, _ := encPipelineRun(t, s, q.Num)
+		diffBatches(t, fmt.Sprintf("q%d encoded faulted", q.Num), b, want[q.Num])
+	}
+	if inj.Counts().TotalInjected() == 0 {
+		t.Fatal("schedule injected no faults")
+	}
+	delta := s.Dev.Stats().Sub(before)
+	if delta.TotalReadRetries() == 0 {
+		t.Fatal("no retries recorded despite injected faults")
+	}
+	if n := delta.ReadsFailed[flash.Host] + delta.ReadsFailed[flash.Aquoman]; n != 0 {
+		t.Fatalf("%d reads failed outright", n)
+	}
+}
