@@ -68,6 +68,13 @@ type (
 	Span = obs.Span
 	// MetricsSnapshot is a point-in-time registry capture.
 	MetricsSnapshot = obs.Snapshot
+	// Lifecycle is a per-query wait-state recorder: attach one to a
+	// submission context with WithLifecycle and the scheduler, flash
+	// layer, and executor attribute queue-wait / device-read /
+	// cache-hit / coalesce-wait / per-stage CPU time into it.
+	Lifecycle = obs.Lifecycle
+	// LifecycleState names one attributed query state.
+	LifecycleState = obs.State
 	// FaultInjector is the deterministic, seedable page-read fault
 	// injector (see internal/faults).
 	FaultInjector = faults.Injector
@@ -105,6 +112,18 @@ const (
 
 // ParseEncoding parses an -enc flag value: auto|raw|dict|rle|for.
 func ParseEncoding(s string) (Encoding, error) { return enc.ParseSelection(s) }
+
+// NewLifecycle starts a per-query wait-state recorder (wall time runs
+// from this call).
+func NewLifecycle(id string) *Lifecycle { return obs.NewLifecycle(id) }
+
+// WithLifecycle attaches a lifecycle recorder to a submission context.
+func WithLifecycle(ctx context.Context, lc *Lifecycle) context.Context {
+	return obs.WithLifecycle(ctx, lc)
+}
+
+// LifecycleFrom returns the lifecycle attached to ctx, or nil.
+func LifecycleFrom(ctx context.Context) *Lifecycle { return obs.LifecycleFrom(ctx) }
 
 // Scheduler backpressure errors (see DB.Submit).
 var (

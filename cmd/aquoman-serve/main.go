@@ -10,6 +10,7 @@
 //	curl 'localhost:8080/tpch?q=6'
 //	curl localhost:8080/healthz
 //	curl localhost:8080/metrics
+//	go tool pprof localhost:8080/debug/pprof/profile?seconds=10
 //
 // SIGTERM/SIGINT drains gracefully: new queries are rejected with 503,
 // in-flight queries run to completion (bounded by -drain-timeout), then
@@ -19,6 +20,7 @@ package main
 import (
 	"context"
 	"flag"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -47,6 +49,8 @@ func main() {
 		defTimeout   = flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
 		maxTimeout   = flag.Duration("max-timeout", 0, "cap on per-query deadlines (0 = no cap)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
+		slowQuery    = flag.Duration("slow-query", 0, "log a JSON lifecycle breakdown for queries slower than this (0 = off)")
+		slowLog      = flag.String("slow-query-log", "", "append slow-query lines to this file instead of stderr")
 	)
 	flag.Parse()
 
@@ -87,10 +91,21 @@ func main() {
 		db.Flash.SetReadLatency(*pagelat)
 	}
 
+	var slowW io.Writer
+	if *slowLog != "" {
+		f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		slowW = f
+	}
 	srv := server.New(server.Config{
-		DB:             db,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
+		DB:                 db,
+		DefaultTimeout:     *defTimeout,
+		MaxTimeout:         *maxTimeout,
+		SlowQueryThreshold: *slowQuery,
+		SlowQueryLog:       slowW,
 	})
 	httpSrv := &http.Server{Addr: *listen, Handler: srv}
 

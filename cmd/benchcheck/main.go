@@ -11,7 +11,14 @@
 // cell-identical to the raw run, save at least -min-saving percent of
 // flash pages, and stay within -saving-abs points of the committed
 // baseline's saving (page *counts* are not compared — the baseline is
-// measured at a larger scale factor than CI runs).
+// measured at a larger scale factor than CI runs); -mode prof gates the
+// query-lifecycle telemetry report (-report profbench): every stream
+// count must attribute at least -min-coverage of per-query wall time to
+// named lifecycle states with the full state vocabulary present, and
+// the report's in-run telemetry overhead (median of back-to-back
+// base/profiled wall ratios, so machine drift cancels) must stay under
+// -max-overhead percent. Per-stream overhead and q/s vs. the committed
+// baseline are warn-only — they are raw wall-clock comparisons.
 //
 // Deterministic metrics get tight bands; wall-clock-derived ones are
 // warn-only (CI runners are noisy):
@@ -34,6 +41,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"aquoman/internal/obs"
 )
 
 type streamEntry struct {
@@ -149,9 +158,102 @@ func checkEnc(baselinePath, freshPath string, minSaving, savingAbs float64) {
 	fmt.Println("benchcheck: all encoding metrics within tolerance")
 }
 
+type profEntry struct {
+	Streams       int              `json:"streams"`
+	Queries       int              `json:"queries"`
+	BaseQPS       float64          `json:"base_queries_per_sec"`
+	QueriesPerSec float64          `json:"queries_per_sec"`
+	OverheadPct   float64          `json:"overhead_pct"`
+	QueryWallNs   int64            `json:"query_wall_ns"`
+	AttributedNs  int64            `json:"attributed_ns"`
+	Coverage      float64          `json:"coverage"`
+	States        map[string]int64 `json:"states_ns"`
+}
+
+type profReport struct {
+	SF          float64     `json:"sf"`
+	Reps        int         `json:"reps"`
+	Entries     []profEntry `json:"streams"`
+	OverheadPct float64     `json:"overhead_pct"`
+}
+
+func loadProf(path string) (*profReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r profReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func checkProf(baselinePath, freshPath string, minCoverage, maxOverhead float64) {
+	base, err := loadProf(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	fresh, err := loadProf(freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	var regressed []string
+	fail := func(format string, args ...interface{}) {
+		regressed = append(regressed, fmt.Sprintf(format, args...))
+	}
+
+	baseByStreams := make(map[int]profEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseByStreams[e.Streams] = e
+	}
+	if len(fresh.Entries) == 0 {
+		fail("fresh report has no stream entries")
+	}
+	for _, f := range fresh.Entries {
+		if f.Coverage < minCoverage {
+			fail("streams=%d coverage: %.4f < %.2f (hard floor) — lifecycle attribution lost track of %.1f%% of wall time",
+				f.Streams, f.Coverage, minCoverage, 100*(1-f.Coverage))
+		}
+		for _, name := range obs.StateNames() {
+			if _, ok := f.States[name]; !ok {
+				fail("streams=%d states_ns: missing state %q — report schema drifted", f.Streams, name)
+			}
+		}
+		// Per-stream overhead is a median of only `reps` samples; warn, do
+		// not fail — the report-level median below is the gated statistic.
+		note := ""
+		if f.OverheadPct > maxOverhead {
+			note = fmt.Sprintf("  (WARN: above %.1f%%)", maxOverhead)
+		}
+		if b, ok := baseByStreams[f.Streams]; ok && f.QueriesPerSec < b.QueriesPerSec*0.5 {
+			note += "  (WARN: less than half of baseline q/s)"
+		}
+		fmt.Printf("streams=%d: coverage %.1f%% (floor %.0f%%), overhead %+.2f%%, %.1f q/s%s\n",
+			f.Streams, 100*f.Coverage, 100*minCoverage, f.OverheadPct, f.QueriesPerSec, note)
+	}
+	if fresh.OverheadPct > maxOverhead {
+		fail("overhead_pct: %+.2f%% > %.1f%% — telemetry is slowing queries down", fresh.OverheadPct, maxOverhead)
+	}
+	fmt.Printf("telemetry overhead: %+.2f%% (ceiling %.1f%%, baseline %+.2f%%)\n",
+		fresh.OverheadPct, maxOverhead, base.OverheadPct)
+
+	if len(regressed) > 0 {
+		fmt.Println("\nREGRESSED METRICS:")
+		for _, r := range regressed {
+			fmt.Println("  -", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all telemetry metrics within tolerance")
+}
+
 func main() {
 	var (
-		mode         = flag.String("mode", "conc", "report type: conc|enc")
+		mode         = flag.String("mode", "conc", "report type: conc|enc|prof")
 		baselinePath = flag.String("baseline", "", "committed baseline report (default BENCH_conc.json or BENCH_enc.json by mode)")
 		freshPath    = flag.String("fresh", "", "freshly measured report (required)")
 		speedupRel   = flag.Float64("speedup-rel", 0.25, "allowed relative drop in speedup_4_vs_1")
@@ -159,6 +261,8 @@ func main() {
 		pagesRel     = flag.Float64("pages-rel", 0.10, "allowed relative growth in device_pages_read")
 		minSaving    = flag.Float64("min-saving", 40, "enc: hard floor on per-query saving_pct")
 		savingAbs    = flag.Float64("saving-abs", 10, "enc: allowed absolute drop in saving_pct vs baseline")
+		minCoverage  = flag.Float64("min-coverage", 0.90, "prof: hard floor on per-stream lifecycle attribution coverage")
+		maxOverhead  = flag.Float64("max-overhead", 2.0, "prof: ceiling on report-level telemetry overhead percent")
 	)
 	flag.Parse()
 	if *freshPath == "" {
@@ -166,14 +270,21 @@ func main() {
 		os.Exit(2)
 	}
 	if *baselinePath == "" {
-		if *mode == "enc" {
+		switch *mode {
+		case "enc":
 			*baselinePath = "BENCH_enc.json"
-		} else {
+		case "prof":
+			*baselinePath = "BENCH_prof.json"
+		default:
 			*baselinePath = "BENCH_conc.json"
 		}
 	}
 	if *mode == "enc" {
 		checkEnc(*baselinePath, *freshPath, *minSaving, *savingAbs)
+		return
+	}
+	if *mode == "prof" {
+		checkProf(*baselinePath, *freshPath, *minCoverage, *maxOverhead)
 		return
 	}
 

@@ -127,9 +127,19 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 		}
 	}
 
+	lc := obs.LifecycleFrom(d.cfg.Ctx)
+	// Everything RunQuery does that no inner timer claims — unit glue,
+	// finalize, report bookkeeping — is host-side work. Exclusive regions
+	// nest: this outer window subtracts whatever the compiler, the table
+	// tasks, the flash layer, and the inner host timers attribute, so only
+	// the otherwise-unattributed remainder lands in StateHost.
+	defer lc.ExclusiveTimer(obs.StateHost)()
 	run := func(stage string, root plan.Node) (*engine.Batch, error) {
 		hostSpan := qSpan.Child(stage, obs.StageHost)
 		defer hostSpan.End()
+		// Exclusive: host scans read flash, and that time is attributed to
+		// the flash states, not host CPU.
+		defer lc.ExclusiveTimer(obs.StateHost)()
 		host := engine.New(d.Store)
 		host.Stats = rep.HostStats
 		host.SetObserver(o, hostSpan)
@@ -153,7 +163,9 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 	}
 
 	cSpan := qSpan.Child("compile", obs.StageCompile)
+	endCompile := lc.ExclusiveTimer(obs.StateCompile)
 	res, err := compiler.Compile(n, d.Store, d.cfg.Compiler)
+	endCompile()
 	cSpan.End()
 	if err != nil {
 		qSpan.End()

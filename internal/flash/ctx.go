@@ -3,6 +3,8 @@ package flash
 import (
 	"context"
 	"time"
+
+	"aquoman/internal/obs"
 )
 
 // ctxChunkPages bounds how many pages one cancellable bulk read issues
@@ -52,7 +54,10 @@ func (f *File) ReadAtCtx(ctx context.Context, p []byte, off int64, who Requester
 	if len(p) == 0 || off < 0 {
 		return 0, nil
 	}
-	if !cancellable(ctx) {
+	// A context that can never cancel normally takes the plain path — but
+	// one carrying a query lifecycle must stay on the ctx path so the cache
+	// and device can attribute wait states to it.
+	if !cancellable(ctx) && obs.LifecycleFrom(ctx) == nil {
 		return f.ReadAt(p, off, who)
 	}
 	if err := ctx.Err(); err != nil {
@@ -116,7 +121,7 @@ func (f *File) readCachedCtx(ctx context.Context, cache PageCacher, p []byte, of
 		if err := ctx.Err(); err != nil {
 			return total, err
 		}
-		data, err := cache.GetPage(f.name, page, func() ([]byte, error) {
+		data, err := cache.GetPage(ctx, f.name, page, func() ([]byte, error) {
 			return f.devicePageReadCtx(ctx, page, who)
 		})
 		if err != nil {

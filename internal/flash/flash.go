@@ -94,8 +94,11 @@ type PageCacher interface {
 	// GetPage returns the content of page `page` of the named file. On a
 	// miss it calls read (exactly once per coalesced group of concurrent
 	// misses) and caches the result only if read returned nil error. The
-	// returned slice is shared — callers must copy, not mutate.
-	GetPage(file string, page int64, read func() ([]byte, error)) ([]byte, error)
+	// returned slice is shared — callers must copy, not mutate. ctx (which
+	// may be nil) carries the requesting query's obs.Lifecycle so the cache
+	// can attribute hit / coalesce-wait / device-read time; it is not used
+	// for cancellation — fills complete so coalesced waiters are served.
+	GetPage(ctx context.Context, file string, page int64, read func() ([]byte, error)) ([]byte, error)
 	// InvalidatePages drops the cached pages [first, last] of file after
 	// the underlying bytes changed.
 	InvalidatePages(file string, first, last int64)
@@ -735,6 +738,11 @@ func (f *File) ReadAt(p []byte, off int64, who Requester) (int, error) {
 // accounting) is already committed by then, so a cut-short throttle
 // returns the bytes read alongside the context error.
 func (f *File) readDirect(ctx context.Context, p []byte, off int64, who Requester) (int, error) {
+	if lc := obs.LifecycleFrom(ctx); lc != nil {
+		// Uncached reads hit the device directly: fault check, copy, and
+		// simulated NAND latency are all device-read time.
+		defer lc.Timer(obs.StateDeviceRead)()
+	}
 	f.mu.Lock()
 	size := int64(len(f.data))
 	f.mu.Unlock()
@@ -791,7 +799,7 @@ func (f *File) readCached(cache PageCacher, p []byte, off int64, who Requester) 
 	}
 	total := 0
 	for page := off / PageSize; page <= (off+n-1)/PageSize; page++ {
-		data, err := cache.GetPage(f.name, page, func() ([]byte, error) {
+		data, err := cache.GetPage(nil, f.name, page, func() ([]byte, error) {
 			return f.devicePageRead(page, who)
 		})
 		if err != nil {

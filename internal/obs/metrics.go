@@ -105,6 +105,22 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[i].Add(1)
 }
 
+// Merge folds o's observations into h (both sides may keep observing
+// concurrently; the merge is per-field atomic). Nil receivers and nil
+// arguments no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for i := 0; i < histBuckets; i++ {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}
+
 // MetricKind distinguishes snapshot points.
 type MetricKind int
 
@@ -142,6 +158,15 @@ func NewRegistry() *Registry {
 // Label is one name/value pair of a metric series.
 type Label struct{ K, V string }
 
+// labelEscaper escapes label values per the Prometheus text exposition
+// format 0.0.4: backslash, double quote, and line feed. Everything else
+// (including tabs and non-ASCII UTF-8) passes through verbatim — Go's
+// %q would escape those too, which exposition parsers read literally.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabelValue escapes v for use inside a quoted label value.
+func EscapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
 // labelKey renders sorted labels as `{k="v",...}` ("" when empty).
 func labelKey(labels []string) (string, []Label) {
 	if len(labels) == 0 {
@@ -161,7 +186,7 @@ func labelKey(labels []string) (string, []Label) {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		fmt.Fprintf(&sb, "%s=%q", l.K, l.V)
+		fmt.Fprintf(&sb, `%s="%s"`, l.K, EscapeLabelValue(l.V))
 	}
 	sb.WriteByte('}')
 	return sb.String(), ls

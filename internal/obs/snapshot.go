@@ -127,14 +127,71 @@ func subBuckets(cur, prev []Bucket) []Bucket {
 	return out
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) of a histogram
+// point by linear interpolation inside the power-of-two bucket that
+// holds the target rank. Returns 0 for empty or non-histogram points.
+func (p Point) Quantile(q float64) float64 {
+	if p.Count <= 0 || len(p.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(p.Count)
+	cum := float64(0)
+	lo := float64(0) // exclusive lower bound of the current bucket
+	for _, b := range p.Buckets {
+		prev := cum
+		cum += float64(b.Count)
+		if cum >= rank {
+			hi := float64(b.Le)
+			frac := (rank - prev) / float64(b.Count)
+			return lo + (hi-lo)*frac
+		}
+		lo = float64(b.Le)
+	}
+	return lo
+}
+
+// exportQuantiles are the quantile lines emitted for every histogram.
+var exportQuantiles = []float64{0.5, 0.95, 0.99}
+
+// quantileFamily names the sibling summary family for a histogram and
+// the factor its values are scaled by: unit-suffixed duration families
+// export in seconds (query_latency_ns -> query_latency_seconds), so
+// dashboards and the serve smoke test get standard units; anything else
+// exports unscaled under <name>_quantiles.
+func quantileFamily(name string) (string, float64) {
+	switch {
+	case strings.HasSuffix(name, "_ns"):
+		return strings.TrimSuffix(name, "_ns") + "_seconds", 1e-9
+	case strings.HasSuffix(name, "_ms"):
+		return strings.TrimSuffix(name, "_ms") + "_seconds", 1e-3
+	default:
+		return name + "_quantiles", 1
+	}
+}
+
 // Prometheus renders the snapshot in the Prometheus text exposition
-// format (version 0.0.4), with # TYPE comments per family and cumulative
-// histogram buckets ending in le="+Inf".
+// format (version 0.0.4): # TYPE comments for every family (counters,
+// gauges, histograms), cumulative histogram buckets ending in
+// le="+Inf", and — after each histogram family — a derived summary
+// family with p50/p95/p99 quantile lines estimated from the buckets.
 func (s Snapshot) Prometheus() string {
 	var sb strings.Builder
+	var pending []string // quantile lines for the current histogram family
+	pendingName := ""
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "# TYPE %s summary\n", pendingName)
+		for _, l := range pending {
+			sb.WriteString(l)
+		}
+		pending = pending[:0]
+	}
 	lastFamily := ""
 	for _, p := range s.Points {
 		if p.Name != lastFamily {
+			flush()
 			fmt.Fprintf(&sb, "# TYPE %s %s\n", p.Name, p.Kind)
 			lastFamily = p.Name
 		}
@@ -150,14 +207,24 @@ func (s Snapshot) Prometheus() string {
 			fmt.Fprintf(&sb, "%s_bucket%s %d\n", p.Name, withLabel(p.Labels, "le", "+Inf"), p.Count)
 			fmt.Fprintf(&sb, "%s_sum%s %d\n", p.Name, p.Labels, p.Sum)
 			fmt.Fprintf(&sb, "%s_count%s %d\n", p.Name, p.Labels, p.Count)
+			qname, scale := quantileFamily(p.Name)
+			pendingName = qname
+			for _, q := range exportQuantiles {
+				pending = append(pending, fmt.Sprintf("%s%s %g\n",
+					qname, withLabel(p.Labels, "quantile", fmt.Sprint(q)), p.Quantile(q)*scale))
+			}
+			pending = append(pending,
+				fmt.Sprintf("%s_sum%s %g\n", qname, p.Labels, float64(p.Sum)*scale),
+				fmt.Sprintf("%s_count%s %d\n", qname, p.Labels, p.Count))
 		}
 	}
+	flush()
 	return sb.String()
 }
 
 // withLabel inserts one extra label into an already-rendered label set.
 func withLabel(labels, k, v string) string {
-	extra := fmt.Sprintf("%s=%q", k, v)
+	extra := fmt.Sprintf(`%s="%s"`, k, EscapeLabelValue(v))
 	if labels == "" {
 		return "{" + extra + "}"
 	}

@@ -7,7 +7,9 @@ package sched
 
 import (
 	"container/list"
+	"context"
 	"sync"
+	"time"
 
 	"aquoman/internal/obs"
 )
@@ -90,6 +92,7 @@ type PageCache struct {
 	// Optional observability handles; nil-safe.
 	cHits, cMisses, cEvictions *obs.Counter
 	gBytes, gEntries           *obs.Gauge
+	hDeviceRead, hCoalesce     *obs.Histogram
 }
 
 // NewPageCache returns a cache bounded to maxBytes of page data.
@@ -117,6 +120,8 @@ func (c *PageCache) Observe(reg *obs.Registry) {
 	c.cEvictions = reg.Counter("sched_cache_evictions_total")
 	c.gBytes = reg.Gauge("sched_cache_bytes")
 	c.gEntries = reg.Gauge("sched_cache_entries")
+	c.hDeviceRead = reg.Histogram("flash_device_read_ns")
+	c.hCoalesce = reg.Histogram("sched_cache_coalesce_wait_ns")
 }
 
 // Stats snapshots the cache counters.
@@ -139,9 +144,12 @@ func (c *PageCache) MaxBytes() int64 {
 	return c.max
 }
 
-// GetPage implements flash.PageCacher for the default partition.
-func (c *PageCache) GetPage(file string, page int64, read func() ([]byte, error)) ([]byte, error) {
-	return c.getPage("", file, page, read)
+// GetPage implements flash.PageCacher for the default partition. The
+// context is not used for cancellation (cache fills always complete so
+// other waiters are served); it only carries the requesting query's
+// obs.Lifecycle for wait-state attribution.
+func (c *PageCache) GetPage(ctx context.Context, file string, page int64, read func() ([]byte, error)) ([]byte, error) {
+	return c.getPage(ctx, "", file, page, read)
 }
 
 // InvalidatePages implements flash.PageCacher for the default partition.
@@ -168,8 +176,8 @@ type Partition struct {
 }
 
 // GetPage implements flash.PageCacher.
-func (p *Partition) GetPage(file string, page int64, read func() ([]byte, error)) ([]byte, error) {
-	return p.c.getPage(p.name, file, page, read)
+func (p *Partition) GetPage(ctx context.Context, file string, page int64, read func() ([]byte, error)) ([]byte, error) {
+	return p.c.getPage(ctx, p.name, file, page, read)
 }
 
 // InvalidatePages implements flash.PageCacher.
@@ -184,7 +192,15 @@ func (p *Partition) InvalidateFile(file string) {
 
 // getPage serves one page, coalescing concurrent misses into a single
 // device read. Callers must treat the returned slice as read-only.
-func (c *PageCache) getPage(part, file string, page int64, read func() ([]byte, error)) ([]byte, error) {
+// When ctx carries a query lifecycle, the elapsed time is attributed to
+// cache_hit, coalesce_wait, or device_read depending on which path
+// served the page; the timing calls are skipped entirely otherwise.
+func (c *PageCache) getPage(ctx context.Context, part, file string, page int64, read func() ([]byte, error)) ([]byte, error) {
+	lc := obs.LifecycleFrom(ctx)
+	var t0 time.Time
+	if lc != nil {
+		t0 = time.Now()
+	}
 	c.mu.Lock()
 	gen := c.gens[fileKey{part, file}]
 	key := pageKey{part, file, page, gen}
@@ -193,15 +209,24 @@ func (c *PageCache) getPage(part, file string, page int64, read func() ([]byte, 
 		c.hits++
 		c.mu.Unlock()
 		c.cHits.Inc()
+		if lc != nil {
+			lc.Add(obs.StateCacheHit, time.Since(t0))
+		}
 		return e.data, nil
 	}
 	if f, ok := c.flights[key]; ok {
 		// Another goroutine is already reading this page: wait for it.
-		// Followers count as hits — they cost no device I/O.
+		// Followers count as hits — they cost no device I/O — but the
+		// wait is attributed separately so coalescing convoys show up.
 		c.hits++
 		c.mu.Unlock()
 		c.cHits.Inc()
 		<-f.done
+		if lc != nil {
+			d := time.Since(t0)
+			lc.Add(obs.StateCoalesceWait, d)
+			c.hCoalesce.Observe(int64(d))
+		}
 		return f.data, f.err
 	}
 	f := &flight{done: make(chan struct{})}
@@ -210,7 +235,15 @@ func (c *PageCache) getPage(part, file string, page int64, read func() ([]byte, 
 	c.mu.Unlock()
 	c.cMisses.Inc()
 
-	f.data, f.err = read()
+	if lc != nil || c.hDeviceRead != nil {
+		r0 := time.Now()
+		f.data, f.err = read()
+		d := time.Since(r0)
+		lc.Add(obs.StateDeviceRead, d)
+		c.hDeviceRead.Observe(int64(d))
+	} else {
+		f.data, f.err = read()
+	}
 
 	c.mu.Lock()
 	delete(c.flights, key)

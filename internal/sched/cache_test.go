@@ -59,7 +59,7 @@ func TestCacheBudgetNeverExceeded(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		file := fmt.Sprintf("f%d", rng.Intn(4))
 		page := int64(rng.Intn(32))
-		if _, err := c.getPage("", file, page, m.read(file, page)); err != nil {
+		if _, err := c.getPage(nil, "", file, page, m.read(file, page)); err != nil {
 			t.Fatal(err)
 		}
 		if st := c.Stats(); st.Bytes > budget {
@@ -106,7 +106,7 @@ func TestCacheReadEquivalence(t *testing.T) {
 			}
 			c.invalidateFile("", file)
 		default:
-			got, err := c.getPage("", file, page, m.read(file, page))
+			got, err := c.getPage(nil, "", file, page, m.read(file, page))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -141,7 +141,7 @@ func TestCacheSingleFlight(t *testing.T) {
 		go func() {
 			defer done.Done()
 			ready.Done()
-			got, err := c.getPage("", "f", 3, read)
+			got, err := c.getPage(nil, "", "f", 3, read)
 			if err != nil {
 				t.Error(err)
 				return
@@ -170,7 +170,7 @@ func TestCacheFailedReadNotCached(t *testing.T) {
 	boom := errors.New("injected")
 	var reads atomic.Int64
 	fail := func() ([]byte, error) { reads.Add(1); return nil, boom }
-	if _, err := c.getPage("", "f", 0, fail); !errors.Is(err, boom) {
+	if _, err := c.getPage(nil, "", "f", 0, fail); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want injected", err)
 	}
 	if st := c.Stats(); st.Entries != 0 {
@@ -178,7 +178,7 @@ func TestCacheFailedReadNotCached(t *testing.T) {
 	}
 	// The page is readable once the device recovers.
 	want := bytes.Repeat([]byte{1}, testPage)
-	got, err := c.getPage("", "f", 0, func() ([]byte, error) { return want, nil })
+	got, err := c.getPage(nil, "", "f", 0, func() ([]byte, error) { return want, nil })
 	if err != nil || !bytes.Equal(got, want) {
 		t.Fatalf("recovered read: %v", err)
 	}
@@ -186,7 +186,7 @@ func TestCacheFailedReadNotCached(t *testing.T) {
 		t.Fatalf("fail path read %d times, want 1", reads.Load())
 	}
 	// And now it is cached.
-	if _, err := c.getPage("", "f", 0, fail); err != nil {
+	if _, err := c.getPage(nil, "", "f", 0, fail); err != nil {
 		t.Fatalf("cached read consulted the failing device: %v", err)
 	}
 }
@@ -201,7 +201,7 @@ func TestCacheStaleFillDiscarded(t *testing.T) {
 	gate := make(chan struct{})
 	done := make(chan []byte, 1)
 	go func() {
-		got, _ := c.getPage("", "f", 0, func() ([]byte, error) {
+		got, _ := c.getPage(nil, "", "f", 0, func() ([]byte, error) {
 			close(inFlight)
 			<-gate
 			return stale, nil
@@ -220,7 +220,7 @@ func TestCacheStaleFillDiscarded(t *testing.T) {
 	// The next read must go to the device (and may cache the fresh copy).
 	fresh := bytes.Repeat([]byte{0xf0}, testPage)
 	var reads atomic.Int64
-	got, err := c.getPage("", "f", 0, func() ([]byte, error) { reads.Add(1); return fresh, nil })
+	got, err := c.getPage(nil, "", "f", 0, func() ([]byte, error) { reads.Add(1); return fresh, nil })
 	if err != nil || !bytes.Equal(got, fresh) || reads.Load() != 1 {
 		t.Fatalf("post-invalidation read: err=%v reads=%d", err, reads.Load())
 	}
@@ -233,10 +233,10 @@ func TestCachePartitionIsolation(t *testing.T) {
 	a, b := c.Partition("dev0"), c.Partition("dev1")
 	da := bytes.Repeat([]byte{0xaa}, testPage)
 	db := bytes.Repeat([]byte{0xbb}, testPage)
-	if got, _ := a.GetPage("lineitem/l_qty.dat", 0, func() ([]byte, error) { return da, nil }); !bytes.Equal(got, da) {
+	if got, _ := a.GetPage(nil, "lineitem/l_qty.dat", 0, func() ([]byte, error) { return da, nil }); !bytes.Equal(got, da) {
 		t.Fatal("partition dev0 read wrong bytes")
 	}
-	if got, _ := b.GetPage("lineitem/l_qty.dat", 0, func() ([]byte, error) { return db, nil }); !bytes.Equal(got, db) {
+	if got, _ := b.GetPage(nil, "lineitem/l_qty.dat", 0, func() ([]byte, error) { return db, nil }); !bytes.Equal(got, db) {
 		t.Fatal("partition dev1 aliased dev0's page")
 	}
 	// Both reside under one budget.
@@ -245,7 +245,7 @@ func TestCachePartitionIsolation(t *testing.T) {
 	}
 	// Invalidating dev0's file must not touch dev1's.
 	a.InvalidateFile("lineitem/l_qty.dat")
-	if got, _ := b.GetPage("lineitem/l_qty.dat", 0, func() ([]byte, error) { t.Fatal("dev1 page was invalidated"); return nil, nil }); !bytes.Equal(got, db) {
+	if got, _ := b.GetPage(nil, "lineitem/l_qty.dat", 0, func() ([]byte, error) { t.Fatal("dev1 page was invalidated"); return nil, nil }); !bytes.Equal(got, db) {
 		t.Fatal("dev1 lost its page")
 	}
 }
@@ -258,7 +258,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	mustGet := func(file string, fn func() ([]byte, error)) {
 		t.Helper()
-		if _, err := c.getPage("", file, 0, fn); err != nil {
+		if _, err := c.getPage(nil, "", file, 0, fn); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -286,7 +286,7 @@ func TestCacheZeroBudget(t *testing.T) {
 	c := NewPageCache(0)
 	data := bytes.Repeat([]byte{9}, testPage)
 	for i := 0; i < 3; i++ {
-		got, err := c.getPage("", "f", 0, func() ([]byte, error) { return data, nil })
+		got, err := c.getPage(nil, "", "f", 0, func() ([]byte, error) { return data, nil })
 		if err != nil || !bytes.Equal(got, data) {
 			t.Fatal("read through zero-budget cache failed")
 		}

@@ -169,7 +169,7 @@ func TestNoStaleFlightServeAcrossInvalidation(t *testing.T) {
 	var oldData []byte
 	go func() {
 		defer close(oldDone)
-		oldData, _ = cache.GetPage("tab/c.dat", 0, func() ([]byte, error) {
+		oldData, _ = cache.GetPage(nil, "tab/c.dat", 0, func() ([]byte, error) {
 			close(entered)
 			<-release
 			return stale, nil
@@ -185,7 +185,7 @@ func TestNoStaleFlightServeAcrossInvalidation(t *testing.T) {
 	var newData []byte
 	go func() {
 		defer close(newDone)
-		newData, _ = cache.GetPage("tab/c.dat", 0, func() ([]byte, error) {
+		newData, _ = cache.GetPage(nil, "tab/c.dat", 0, func() ([]byte, error) {
 			return fresh, nil
 		})
 	}()
@@ -205,7 +205,7 @@ func TestNoStaleFlightServeAcrossInvalidation(t *testing.T) {
 	}
 	// The fresh fill must be resident under the current generation; the
 	// stale fill must not have displaced it.
-	served, err := cache.GetPage("tab/c.dat", 0, func() ([]byte, error) {
+	served, err := cache.GetPage(nil, "tab/c.dat", 0, func() ([]byte, error) {
 		t.Fatal("fresh page was not resident after invalidation")
 		return nil, nil
 	})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aquoman/internal/obs"
 )
@@ -85,20 +86,24 @@ type Scheduler struct {
 
 	rounds atomic.Int64
 
-	inflight  *obs.Gauge
-	queued    *obs.Gauge
-	submitted *obs.Counter
-	rejected  *obs.Counter
-	completed *obs.Counter
-	panicked  *obs.Counter
-	canceled  *obs.Counter
+	inflight   *obs.Gauge
+	queued     *obs.Gauge
+	queueDepth *obs.Gauge // same occupancy as queued, canonical telemetry name
+	queueCap   *obs.Gauge
+	queueWait  *obs.Histogram
+	submitted  *obs.Counter
+	rejected   *obs.Counter
+	completed  *obs.Counter
+	panicked   *obs.Counter
+	canceled   *obs.Counter
 }
 
 type submission struct {
-	job    Job
-	jobCtx JobCtx
-	ctx    context.Context // nil = never cancels
-	ticket *Ticket
+	job      Job
+	jobCtx   JobCtx
+	ctx      context.Context // nil = never cancels
+	ticket   *Ticket
+	enqueued time.Time
 }
 
 // NewScheduler starts cfg.MaxInFlight worker goroutines and returns the
@@ -128,6 +133,10 @@ func (s *Scheduler) Observe(reg *obs.Registry) {
 	defer s.mu.Unlock()
 	s.inflight = reg.Gauge("sched_inflight")
 	s.queued = reg.Gauge("sched_queued")
+	s.queueDepth = reg.Gauge("sched_queue_depth")
+	s.queueCap = reg.Gauge("sched_queue_capacity")
+	s.queueCap.Set(int64(s.cfg.QueueDepth))
+	s.queueWait = reg.Histogram("sched_queue_wait_ns")
 	s.submitted = reg.Counter("sched_submitted_total")
 	s.rejected = reg.Counter("sched_rejected_total")
 	s.completed = reg.Counter("sched_completed_total")
@@ -161,10 +170,12 @@ func (s *Scheduler) enqueue(sub *submission) (*Ticket, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	sub.enqueued = time.Now()
 	select {
 	case s.queue <- sub:
 		s.submitted.Inc()
 		s.queued.Add(1)
+		s.queueDepth.Add(1)
 		return sub.ticket, nil
 	default:
 		s.rejected.Inc()
@@ -206,10 +217,12 @@ func (s *Scheduler) enqueueWait(sub *submission) (*Ticket, error) {
 	if sub.ctx != nil {
 		done = sub.ctx.Done()
 	}
+	sub.enqueued = time.Now()
 	select {
 	case s.queue <- sub:
 		s.submitted.Inc()
 		s.queued.Add(1)
+		s.queueDepth.Add(1)
 		return sub.ticket, nil
 	case <-done:
 		s.rejected.Inc()
@@ -240,6 +253,10 @@ func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for sub := range s.queue {
 		s.queued.Add(-1)
+		s.queueDepth.Add(-1)
+		wait := time.Since(sub.enqueued)
+		s.queueWait.Observe(int64(wait))
+		obs.LifecycleFrom(sub.ctx).Add(obs.StateQueueWait, wait)
 		// A job whose context died while queued never runs: it would only
 		// burn an in-flight slot (and simulated flash bandwidth) producing
 		// a result nobody is waiting on.
@@ -253,7 +270,12 @@ func (s *Scheduler) worker() {
 		}
 		s.inflight.Add(1)
 		sub.ticket.round.Store(s.rounds.Add(1))
+		// Dispatch glue around the job (facade config setup, panic guard)
+		// is host-side work no inner timer claims; the exclusive window
+		// attributes only that remainder.
+		endHost := obs.LifecycleFrom(sub.ctx).ExclusiveTimer(obs.StateHost)
 		s.run(sub)
+		endHost()
 		s.inflight.Add(-1)
 		s.completed.Inc()
 		close(sub.ticket.done)

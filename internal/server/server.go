@@ -25,7 +25,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -34,6 +37,7 @@ import (
 	"aquoman"
 	"aquoman/internal/col"
 	"aquoman/internal/engine"
+	"aquoman/internal/obs"
 	"aquoman/internal/plan"
 	"aquoman/internal/sql"
 )
@@ -51,6 +55,13 @@ type Config struct {
 	// ChunkRows is the number of result rows written between flushes of
 	// the NDJSON stream. Values < 1 default to 256.
 	ChunkRows int
+	// SlowQueryThreshold triggers the slow-query log: every query whose
+	// wall time reaches it (including deadline-exceeded ones) is logged
+	// as one JSON line with its per-state time breakdown. Zero disables
+	// the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-query lines; nil means os.Stderr.
+	SlowQueryLog io.Writer
 }
 
 // Server is the HTTP query service. It implements http.Handler.
@@ -60,6 +71,9 @@ type Server struct {
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
+
+	qseq   atomic.Int64 // query ids for lifecycle telemetry
+	slowMu sync.Mutex   // serializes slow-query log lines
 }
 
 // New builds a Server over cfg.DB.
@@ -82,6 +96,14 @@ func New(cfg Config) *Server {
 			_, _ = w.Write([]byte(reg.Snapshot().Expvar()))
 		})
 	}
+	// Runtime profiling rides on the same mux: /debug/pprof/ serves the
+	// index plus the named profiles (heap, goroutine, mutex, ...), and
+	// profile/trace sample the live server under real query load.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.mux.HandleFunc("/", s.handleIndex)
 	return s
 }
@@ -183,6 +205,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			"/healthz",
 			"/metrics",
 			"/debug/vars",
+			"/debug/pprof/",
 		},
 	})
 }
@@ -243,7 +266,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.runAndStream(w, r, p, time.Duration(req.TimeoutMS)*time.Millisecond)
+	s.runAndStream(w, r, p, req.SQL, time.Duration(req.TimeoutMS)*time.Millisecond)
 }
 
 func (s *Server) handleTPCH(w http.ResponseWriter, r *http.Request) {
@@ -266,7 +289,7 @@ func (s *Server) handleTPCH(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = time.Duration(ms) * time.Millisecond
 	}
-	s.runAndStream(w, r, p, timeout)
+	s.runAndStream(w, r, p, fmt.Sprintf("tpch q%d", q), timeout)
 }
 
 // deadline resolves a request's effective timeout from the client's ask
@@ -286,17 +309,27 @@ func (s *Server) deadline(asked time.Duration) time.Duration {
 // context and streams the result as NDJSON. The context is cancelled when
 // the client disconnects, so an abandoned query stops consuming flash
 // bandwidth at its next checkpoint and its scheduler slot frees up.
-func (s *Server) runAndStream(w http.ResponseWriter, r *http.Request, p aquoman.Plan, asked time.Duration) {
+//
+// A per-query obs.Lifecycle rides in the context: the scheduler, flash
+// layer, and executor attribute queue-wait / device / CPU states into
+// it, emit time is attributed here, and the finished breakdown feeds
+// the query_latency_ns / query_state_ns histograms and the slow-query
+// log.
+func (s *Server) runAndStream(w http.ResponseWriter, r *http.Request, p aquoman.Plan, label string, asked time.Duration) {
 	ctx := r.Context()
 	if d := s.deadline(asked); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
+	lc := obs.NewLifecycle(fmt.Sprintf("q%d", s.qseq.Add(1)))
+	ctx = obs.WithLifecycle(ctx, lc)
 
 	start := time.Now()
 	t, err := s.cfg.DB.SubmitCtx(ctx, p)
 	if err != nil {
+		// Admission rejects never ran: keep them out of the latency
+		// histograms (server_requests_total already counts them).
 		switch {
 		case errors.Is(err, aquoman.ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
@@ -308,7 +341,15 @@ func (s *Server) runAndStream(w http.ResponseWriter, r *http.Request, p aquoman.
 		}
 		return
 	}
-	res, err := t.Wait()
+	defer func() {
+		lc.Finish()
+		if o := s.cfg.DB.Obs; o != nil {
+			lc.ObserveInto(o.Reg)
+		}
+		s.logSlow(lc, label, err)
+	}()
+	var res *aquoman.Result
+	res, err = t.Wait()
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -320,7 +361,60 @@ func (s *Server) runAndStream(w http.ResponseWriter, r *http.Request, p aquoman.
 		}
 		return
 	}
+	endEmit := lc.Timer(obs.StateEmit)
 	s.stream(ctx, w, res.Batch, time.Since(start))
+	endEmit()
+}
+
+// slowQueryLine is one slow-query log record; states_ms holds only the
+// nonzero states.
+type slowQueryLine struct {
+	Time     string             `json:"time"`
+	ID       string             `json:"id"`
+	Query    string             `json:"query"`
+	Error    string             `json:"error,omitempty"`
+	WallMS   float64            `json:"wall_ms"`
+	Coverage float64            `json:"coverage"`
+	StatesMS map[string]float64 `json:"states_ms"`
+}
+
+// logSlow writes one JSON line for a query whose wall time reached the
+// configured threshold, with its wait-state breakdown.
+func (s *Server) logSlow(lc *obs.Lifecycle, label string, err error) {
+	th := s.cfg.SlowQueryThreshold
+	if th <= 0 || lc.Wall() < th {
+		return
+	}
+	if o := s.cfg.DB.Obs; o != nil {
+		o.Counter("server_slow_queries_total").Inc()
+	}
+	line := slowQueryLine{
+		Time:     time.Now().UTC().Format(time.RFC3339Nano),
+		ID:       lc.ID,
+		Query:    label,
+		WallMS:   float64(lc.Wall().Microseconds()) / 1000,
+		Coverage: lc.Coverage(),
+		StatesMS: make(map[string]float64),
+	}
+	if err != nil {
+		line.Error = err.Error()
+	}
+	for name, ns := range lc.Breakdown() {
+		if ns > 0 {
+			line.StatesMS[name] = float64(ns) / 1e6
+		}
+	}
+	buf, jerr := json.Marshal(line)
+	if jerr != nil {
+		return
+	}
+	out := s.cfg.SlowQueryLog
+	if out == nil {
+		out = os.Stderr
+	}
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	_, _ = out.Write(append(buf, '\n'))
 }
 
 // stream writes the batch as NDJSON: a schema header line, one JSON array

@@ -494,3 +494,146 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Fatalf("DELETE /query = %d, want 405", resp.StatusCode)
 	}
 }
+
+// A query slower than the threshold must produce one JSON slow-query
+// line with its lifecycle breakdown; the states must explain most of
+// the logged wall time.
+func TestSlowQueryLog(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, Config{
+		SlowQueryThreshold: time.Nanosecond, // every query is "slow"
+		SlowQueryLog:       &buf,
+	})
+	resp, err := http.Get(ts.URL + "/query?q=" + strings.ReplaceAll(
+		"select count(*) as n from lineitem", " ", "+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("no slow-query line logged")
+	}
+	var rec struct {
+		ID       string             `json:"id"`
+		Query    string             `json:"query"`
+		WallMS   float64            `json:"wall_ms"`
+		Coverage float64            `json:"coverage"`
+		StatesMS map[string]float64 `json:"states_ms"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("slow-query line is not JSON: %v\n%s", err, line)
+	}
+	if rec.ID == "" || !strings.Contains(rec.Query, "lineitem") || rec.WallMS <= 0 {
+		t.Fatalf("slow-query record %+v", rec)
+	}
+	if rec.Coverage < 0.5 {
+		t.Fatalf("coverage %.2f, want >= 0.5", rec.Coverage)
+	}
+	if len(rec.StatesMS) == 0 {
+		t.Fatalf("states_ms empty: %s", line)
+	}
+	for name, ms := range rec.StatesMS {
+		if ms <= 0 {
+			t.Fatalf("state %s = %g ms, zero states must be omitted", name, ms)
+		}
+	}
+
+	// Queries under the threshold stay silent.
+	buf.Reset()
+	_, ts2 := newTestServer(t, Config{
+		SlowQueryThreshold: time.Hour,
+		SlowQueryLog:       &buf,
+	})
+	resp, err = http.Get(ts2.URL + "/query?q=select+count(*)+as+n+from+region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := buf.String(); got != "" {
+		t.Fatalf("fast query logged: %s", got)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the server writes slow
+// lines from request goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func (b *syncBuffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf.Reset()
+}
+
+func TestPprofEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(strings.ToLower(string(b)), "profile") {
+		t.Fatalf("pprof index: status %d body %.120s", resp.StatusCode, b)
+	}
+	resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline: status %d", resp.StatusCode)
+	}
+}
+
+// After a query has run, /metrics must export the derived latency
+// summary (quantiles in seconds) and the scheduler queue telemetry.
+func TestMetricsQueryLatencyQuantiles(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/query?q=select+count(*)+as+n+from+region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"# TYPE query_latency_ns histogram",
+		"# TYPE query_latency_seconds summary",
+		`query_latency_seconds{quantile="0.5"} `,
+		"query_state_ns_bucket",
+		"sched_queue_depth",
+		"sched_queue_wait_ns_count",
+		"query_wall_ns_total",
+		"query_attributed_ns_total",
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+}

@@ -140,6 +140,11 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 		return nil, err
 	}
 	tt := TaskTrace{Name: t.Name, Table: t.Table, Op: t.Op.Kind.String()}
+	// Lifecycle cursor: stages run sequentially on this goroutine, so
+	// each Mark attributes the region since the previous one, minus the
+	// flash time (device read / cache hit / coalesce wait) recorded
+	// inside it. Error returns leave the trailing region unattributed.
+	cu := obs.LifecycleFrom(e.Ctx).Cursor()
 	span := e.Obs.SpanUnder(e.ObsParent, "task "+t.Name, obs.StageTask)
 	defer func() {
 		e.Trace.Tasks = append(e.Trace.Tasks, tt)
@@ -236,6 +241,7 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	selSpan.SetInt("pages_skipped", tt.PagesSkipped)
 	selSpan.SetInt("pages_pruned", tt.PagesPruned)
 	selSpan.End()
+	cu.Mark(obs.StateRowSel)
 
 	// 3. Table Reader: stream the input columns for selected rows,
 	// skipping fully-masked pages.
@@ -275,6 +281,7 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	readSpan.SetInt("gather_dram_reads", tt.GatherDRAMReads)
 	readSpan.SetInt("gather_flash_reads", tt.GatherFlashReads)
 	readSpan.End()
+	cu.Mark(obs.StateRead)
 
 	// 4. Row Transformation Systolic Array.
 	if err := e.ctxErr(); err != nil {
@@ -299,6 +306,7 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 		trSpan.SetInt("pes", int64(tt.TransformerPEs))
 		trSpan.End()
 	}
+	cu.Mark(obs.StateSystolic)
 	tt.RowsTransformed = int64(len(selRows))
 
 	// 5. Mask Reader: apply the transformer-computed sub-predicate.
@@ -344,6 +352,12 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 		skSpan.SetInt("spilled_groups", tt.SpilledGroups)
 	}
 	skSpan.End()
+	switch t.Op.Kind {
+	case OpSort, OpMerge, OpSortMerge:
+		cu.Mark(obs.StateSorter)
+	default:
+		cu.Mark(obs.StateSwissknife)
+	}
 	return res, nil
 }
 

@@ -11,7 +11,9 @@
 #   2. a SQL query over HTTP returns a complete NDJSON stream,
 #   3. a client that disconnects mid-query frees its scheduler slot
 #      (sched_inflight returns to 0 well before the query could finish),
-#   4. SIGTERM drains and exits cleanly.
+#   4. /debug/pprof/ responds and /metrics exports query-latency
+#      quantiles once a query has run,
+#   5. SIGTERM drains and exits cleanly.
 set -euo pipefail
 
 ADDR="127.0.0.1:${SMOKE_PORT:-18080}"
@@ -70,6 +72,18 @@ echo "scheduler: $CANCELED"
 echo "== query still works after the cancellation"
 curl -fsS "$URL/query?q=select+count(*)+as+n+from+nation" | grep -q '"done":true' \
     || { echo "post-cancel query failed"; exit 1; }
+
+echo "== /debug/pprof/ responds"
+curl -fsS "$URL/debug/pprof/" | grep -qi profile \
+    || { echo "pprof index missing or unrecognisable"; exit 1; }
+curl -fsS "$URL/debug/pprof/cmdline" >/dev/null \
+    || { echo "pprof cmdline endpoint failed"; exit 1; }
+
+echo "== /metrics exports query-latency quantiles"
+METRICS=$(curl -fsS "$URL/metrics")
+echo "$METRICS" | grep -q 'query_latency_seconds{quantile=' \
+    || { echo "missing query_latency_seconds quantile line"; echo "$METRICS" | head -40; exit 1; }
+echo "$METRICS" | grep '^query_latency_seconds{quantile='
 
 echo "== SIGTERM drains and exits cleanly"
 kill -TERM "$SERVER_PID"
