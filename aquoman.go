@@ -26,9 +26,11 @@ import (
 	"fmt"
 	"sync"
 
+	"aquoman/internal/cluster"
 	"aquoman/internal/col"
 	"aquoman/internal/compiler"
 	"aquoman/internal/core"
+	"aquoman/internal/distrib"
 	"aquoman/internal/enc"
 	"aquoman/internal/engine"
 	"aquoman/internal/faults"
@@ -96,6 +98,21 @@ type (
 	// CompileError marks a SQL statement that failed to parse, plan or
 	// bind (as opposed to an execution failure); detect with errors.As.
 	CompileError = sql.CompileError
+	// Coordinator scatters queries across aquoman-serve worker nodes and
+	// merges the partials (see internal/cluster and DB.NewCoordinator).
+	Coordinator = cluster.Coordinator
+	// ClusterNode names one worker of a cluster (base URL + optional
+	// mirror URL).
+	ClusterNode = cluster.Node
+	// ClusterConfig parameterizes a Coordinator.
+	ClusterConfig = cluster.Config
+	// ClusterReport describes how one query executed across the cluster.
+	ClusterReport = cluster.Report
+	// ClusterNodeError is a node's typed failure after every failover tier.
+	ClusterNodeError = cluster.NodeError
+	// ClusterProtocolError is a typed violation of the partial-result wire
+	// protocol (truncated/garbled/miscounted worker stream).
+	ClusterProtocolError = cluster.ProtocolError
 	// Encoding selects a column storage codec (see internal/enc):
 	// EncRaw, EncAuto, EncDict, EncRLE, EncFOR.
 	Encoding = enc.Selection
@@ -616,6 +633,33 @@ func (db *DB) RunTPCHHostOnly(q int) (*Result, error) {
 		return nil, err
 	}
 	return db.RunHostOnly(p)
+}
+
+// NewCoordinator turns this DB into a cluster coordinator over nodes:
+// queries scatter per-shard partial plans to the workers (node d must
+// serve shard d of a len(nodes)-way partitioning — see ExtractPartition
+// and aquoman-serve's -partition flag), and the partials merge on this
+// DB's full replica store. Failed nodes retry, fail over to their mirror
+// URL, and finally degrade to a coordinator-local shard copy. Cluster
+// counters land in this DB's observer when one is enabled.
+func (db *DB) NewCoordinator(nodes []ClusterNode) (*Coordinator, error) {
+	return cluster.New(cluster.Config{
+		Nodes:     nodes,
+		Store:     db.Store,
+		DRAMBytes: db.DRAMBytes,
+		HeapScale: db.HeapScale,
+		Obs:       db.Obs,
+	})
+}
+
+// ExtractPartition replaces this DB's (empty) store contents with shard d
+// of an n-way partitioning of src: orders/lineitem rows co-partitioned by
+// order key, dimensions replicated, dictionaries seeded with src's full
+// domains so codes stay globally consistent. This is how an
+// aquoman-serve worker derives its partition from the common generator
+// output.
+func (db *DB) ExtractPartition(src *DB, d, n int) error {
+	return distrib.ExtractShard(db.Store, src.Store, d, n)
 }
 
 // Evaluator builds the Fig. 16 experiment driver over this store,

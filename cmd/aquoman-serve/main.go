@@ -15,22 +15,54 @@
 // SIGTERM/SIGINT drains gracefully: new queries are rejected with 503,
 // in-flight queries run to completion (bounded by -drain-timeout), then
 // the listener and the scheduler shut down.
+//
+// Cluster mode. A scatter/gather cluster is N workers plus one
+// coordinator, all running this binary over the same generator
+// parameters:
+//
+//	aquoman-serve -listen :8081 -sf 0.01 -partition 0/2   # worker 0
+//	aquoman-serve -listen :8082 -sf 0.01 -partition 1/2   # worker 1
+//	aquoman-serve -listen :8080 -sf 0.01 \
+//	    -coordinator -workers http://localhost:8081,http://localhost:8082
+//	curl 'localhost:8080/tpch?q=1'
+//
+// A worker generates the full data set, keeps its -partition i/n shard
+// (co-partitioned orders/lineitem, replicated dimensions), and serves
+// raw partials at /tpch?q=N&partial=1. The coordinator keeps the full
+// replica, scatters per-shard partial plans, merges, and falls back —
+// retry, then -worker-mirrors URL, then a local shard copy — when a
+// worker dies mid-query.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"aquoman"
 	"aquoman/internal/server"
 )
+
+// splitList parses a comma-separated flag value, keeping empty slots so
+// -worker-mirrors can skip a worker with ",".
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
 
 func main() {
 	log.SetFlags(0)
@@ -51,6 +83,11 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight queries on shutdown")
 		slowQuery    = flag.Duration("slow-query", 0, "log a JSON lifecycle breakdown for queries slower than this (0 = off)")
 		slowLog      = flag.String("slow-query-log", "", "append slow-query lines to this file instead of stderr")
+
+		coord     = flag.Bool("coordinator", false, "coordinate a cluster: /tpch scatters across -workers")
+		workers   = flag.String("workers", "", "comma-separated worker base URLs (coordinator mode)")
+		mirrors   = flag.String("worker-mirrors", "", "comma-separated mirror URLs, one per worker ('' to skip a slot)")
+		partition = flag.String("partition", "", "serve shard i of an n-way partitioning, as i/n (worker mode)")
 	)
 	flag.Parse()
 
@@ -82,6 +119,19 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *partition != "" {
+		var d, n int
+		if _, err := fmt.Sscanf(*partition, "%d/%d", &d, &n); err != nil || d < 0 || n < 1 || d >= n {
+			log.Fatalf("invalid -partition %q (want i/n with 0 <= i < n)", *partition)
+		}
+		log.Printf("extracting partition %d/%d...", d, n)
+		shard := aquoman.Open()
+		shard.SetDefaultEncoding(encoding)
+		if err := shard.ExtractPartition(db, d, n); err != nil {
+			log.Fatal(err)
+		}
+		db = shard
+	}
 	db.EnableObservability()
 	db.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: *jobs, QueueDepth: *queue})
 	if *cacheMB > 0 {
@@ -100,12 +150,38 @@ func main() {
 		defer f.Close()
 		slowW = f
 	}
+	var coordinator *aquoman.Coordinator
+	if *coord {
+		urls := splitList(*workers)
+		if len(urls) == 0 {
+			log.Fatal("-coordinator requires -workers")
+		}
+		mirrorURLs := splitList(*mirrors)
+		if len(mirrorURLs) != 0 && len(mirrorURLs) != len(urls) {
+			log.Fatalf("-worker-mirrors has %d entries for %d workers", len(mirrorURLs), len(urls))
+		}
+		nodes := make([]aquoman.ClusterNode, len(urls))
+		for i, u := range urls {
+			nodes[i] = aquoman.ClusterNode{URL: u}
+			if i < len(mirrorURLs) {
+				nodes[i].Mirror = mirrorURLs[i]
+			}
+		}
+		log.Printf("coordinating %d workers (building local fallback shards)...", len(nodes))
+		var err error
+		coordinator, err = db.NewCoordinator(nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	srv := server.New(server.Config{
 		DB:                 db,
 		DefaultTimeout:     *defTimeout,
 		MaxTimeout:         *maxTimeout,
 		SlowQueryThreshold: *slowQuery,
 		SlowQueryLog:       slowW,
+		Coordinator:        coordinator,
 	})
 	httpSrv := &http.Server{Addr: *listen, Handler: srv}
 

@@ -161,22 +161,6 @@ func (c *Cluster) LoadTPCH(sf float64, seed int64) error {
 // Partition distributes an existing TPC-H store across the cluster.
 func (c *Cluster) Partition(src *col.Store) error {
 	n := c.NumDevices()
-	orders, err := src.Table("orders")
-	if err != nil {
-		return err
-	}
-	// Device of each orders row, and of each lineitem row via its
-	// materialized order RowID.
-	orderDev := func(row int) int { return row % n }
-	li, err := src.Table("lineitem")
-	if err != nil {
-		return err
-	}
-	liOrderRow, err := li.MustColumn(col.RowIDColumnName("l_orderkey")).ReadAll(flash.Host)
-	if err != nil {
-		return err
-	}
-
 	if !c.DisableHostMirror {
 		c.Mirrors = make([]*col.Store, n)
 		c.MirrorDevices = make([]*flash.Device, n)
@@ -191,41 +175,66 @@ func (c *Cluster) Partition(src *col.Store) error {
 		if c.Mirrors != nil {
 			targets = append(targets, c.Mirrors[d])
 		}
-		for _, name := range src.Tables() {
-			tab := src.MustTable(name)
-			var keep []int
-			switch name {
-			case "orders":
-				for r := 0; r < tab.NumRows; r++ {
-					if orderDev(r) == d {
-						keep = append(keep, r)
-					}
-				}
-			case "lineitem":
-				for r := 0; r < tab.NumRows; r++ {
-					if orderDev(int(liOrderRow[r])) == d {
-						keep = append(keep, r)
-					}
-				}
-			default:
-				keep = nil // replicate all rows
-			}
-			for _, dst := range targets {
-				if err := copyTable(dst, tab, keep); err != nil {
-					return fmt.Errorf("distrib: device %d table %s: %w", d, name, err)
-				}
-			}
-		}
 		for _, dst := range targets {
-			if err := rematerialize(dst); err != nil {
-				return fmt.Errorf("distrib: device %d: %w", d, err)
+			if err := ExtractShard(dst, src, d, n); err != nil {
+				return err
 			}
 		}
 	}
-	_ = orders
 	// Mirror devices created above join the shared cache (no-op when no
 	// cache is installed).
 	c.applyCache()
+	return nil
+}
+
+// ExtractShard copies shard d of an n-way partitioning of src into dst:
+// orders row r goes to shard r % n, lineitem follows its order via the
+// materialized order RowID, dimension tables are replicated in full, and
+// the shard's FK RowID indices are rematerialized locally so dst is a
+// fully self-contained AQUOMAN store. The same function feeds the
+// in-process cluster's devices, the networked workers started with
+// `aquoman-serve -partition d/n`, and the coordinator's host-fallback
+// shards, which is what keeps all three byte-identical.
+func ExtractShard(dst, src *col.Store, d, n int) error {
+	if n < 1 || d < 0 || d >= n {
+		return fmt.Errorf("distrib: shard %d/%d out of range", d, n)
+	}
+	// Device of each orders row, and of each lineitem row via its
+	// materialized order RowID.
+	li, err := src.Table("lineitem")
+	if err != nil {
+		return err
+	}
+	liOrderRow, err := li.MustColumn(col.RowIDColumnName("l_orderkey")).ReadAll(flash.Host)
+	if err != nil {
+		return err
+	}
+	for _, name := range src.Tables() {
+		tab := src.MustTable(name)
+		var keep []int
+		switch name {
+		case "orders":
+			for r := 0; r < tab.NumRows; r++ {
+				if r%n == d {
+					keep = append(keep, r)
+				}
+			}
+		case "lineitem":
+			for r := 0; r < tab.NumRows; r++ {
+				if int(liOrderRow[r])%n == d {
+					keep = append(keep, r)
+				}
+			}
+		default:
+			keep = nil // replicate all rows
+		}
+		if err := copyTable(dst, tab, keep); err != nil {
+			return fmt.Errorf("distrib: shard %d table %s: %w", d, name, err)
+		}
+	}
+	if err := rematerialize(dst); err != nil {
+		return fmt.Errorf("distrib: shard %d: %w", d, err)
+	}
 	return nil
 }
 
@@ -430,17 +439,17 @@ func (c *Cluster) RunQueryCtx(ctx context.Context, build func() plan.Node) (*eng
 	if err := plan.Bind(probe, c.Stores[0]); err != nil {
 		return nil, nil, err
 	}
-	strat, err := classify(probe)
+	strat, err := Classify(probe)
 	if err != nil {
 		return nil, nil, err
 	}
-	root := c.Obs.StartSpan("distrib "+strat.kind.String(), obs.StageQuery)
+	root := c.Obs.StartSpan("distrib "+strat.String(), obs.StageQuery)
 	defer root.End()
 	if o := c.Obs; o != nil && o.Reg != nil {
-		o.Counter("distrib_queries_total", "strategy", strat.kind.String()).Inc()
+		o.Counter("distrib_queries_total", "strategy", strat.String()).Inc()
 	}
-	switch strat.kind {
-	case stratSingle:
+	switch strat {
+	case StratSingle:
 		rep := &Report{
 			PerDevice:    make([]*core.Report, 1),
 			ShardRetries: make([]int, 1),
@@ -459,9 +468,7 @@ func (c *Cluster) RunQueryCtx(ctx context.Context, build func() plan.Node) (*eng
 		}
 		rep.PerDevice[0] = r
 		return b, rep, nil
-	case stratConcat:
-		return c.scatterGather(ctx, build, nil, root)
-	case stratMergeAgg:
+	case StratConcat, StratMergeAgg:
 		return c.scatterGather(ctx, build, strat, root)
 	default:
 		return nil, nil, fmt.Errorf("distrib: unreachable")

@@ -1,8 +1,6 @@
 package distrib
 
 import (
-	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -81,18 +79,7 @@ func TestCoPartitioning(t *testing.T) {
 	}
 }
 
-func canonical(b *engine.Batch) []string {
-	rows := make([]string, b.NumRows())
-	for r := range rows {
-		var sb strings.Builder
-		for c := range b.Cols {
-			fmt.Fprintf(&sb, "%d|", b.Cols[c][r])
-		}
-		rows[r] = sb.String()
-	}
-	sort.Strings(rows)
-	return rows
-}
+func canonical(b *engine.Batch) []string { return tpch.CanonicalRows(b) }
 
 // reference runs the query on the unpartitioned source store.
 func reference(t *testing.T, src *col.Store, q int) *engine.Batch {

@@ -26,18 +26,7 @@ func newFaultCluster(t *testing.T) *Cluster {
 
 func sameBatch(t *testing.T, label string, got, want *engine.Batch) {
 	t.Helper()
-	if got.NumRows() != want.NumRows() || len(got.Cols) != len(want.Cols) {
-		t.Fatalf("%s: shape %dx%d, want %dx%d",
-			label, got.NumRows(), len(got.Cols), want.NumRows(), len(want.Cols))
-	}
-	for c := range want.Cols {
-		for r := range want.Cols[c] {
-			if got.Cols[c][r] != want.Cols[c][r] {
-				t.Fatalf("%s: row %d col %d = %d, want %d",
-					label, r, c, got.Cols[c][r], want.Cols[c][r])
-			}
-		}
-	}
+	tpch.AssertBatchesEqual(t, label, got, want)
 }
 
 // The acceptance scenario: a seeded fault schedule across a 4-device

@@ -11,28 +11,28 @@ import (
 	"aquoman/internal/plan"
 )
 
-type stratKind int
+// Strategy is how a query distributes across partitions. The same
+// classification drives the in-process multi-SSD cluster here and the
+// networked coordinator in internal/cluster, so both sides of the wire
+// derive identical per-shard plans from the same query.
+type Strategy int
 
 const (
-	// stratSingle runs on one device (replicated tables only).
-	stratSingle stratKind = iota
-	// stratConcat concatenates per-device rows.
-	stratConcat
-	// stratMergeAgg re-aggregates per-device partial aggregates.
-	stratMergeAgg
+	// StratSingle runs on one device (replicated tables only).
+	StratSingle Strategy = iota
+	// StratConcat concatenates per-device rows.
+	StratConcat
+	// StratMergeAgg re-aggregates per-device partial aggregates.
+	StratMergeAgg
 )
 
-type strategy struct {
-	kind stratKind
-}
-
-func (k stratKind) String() string {
+func (k Strategy) String() string {
 	return [...]string{"replicated-only", "concat", "merge-aggregate"}[k]
 }
 
-// peel walks the post-processing chain (OrderBy/Limit/Project) above the
+// Peel walks the post-processing chain (OrderBy/Limit/Project) above the
 // distributable core, returning the chain outermost-first and the core.
-func peel(n plan.Node) (chain []plan.Node, core plan.Node) {
+func Peel(n plan.Node) (chain []plan.Node, core plan.Node) {
 	for {
 		switch t := n.(type) {
 		case *plan.OrderBy:
@@ -60,12 +60,16 @@ func touchesPartitioned(n plan.Node) bool {
 	return found
 }
 
-// classify decides the distribution strategy for a bound plan.
-func classify(root plan.Node) (*strategy, error) {
+// Classify decides the distribution strategy for a plan. Trees that would
+// need a second shuffle (nested aggregation, scalar subqueries or
+// replicated-outer existence tests over partitioned tables) are rejected
+// with a reasoned error; callers with a full local replica may fall back
+// to single-node execution instead.
+func Classify(root plan.Node) (Strategy, error) {
 	if !touchesPartitioned(root) {
-		return &strategy{kind: stratSingle}, nil
+		return StratSingle, nil
 	}
-	_, coreNode := peel(root)
+	_, coreNode := Peel(root)
 
 	// Distribution-breaking constructs over partitioned data: nested
 	// aggregation / scalar subqueries (they would need a second shuffle)
@@ -93,23 +97,23 @@ func classify(root plan.Node) (*strategy, error) {
 	}
 	plan.Walk(coreNode, func(m plan.Node) { check(m, m == coreNode) })
 	if reason != nil {
-		return nil, reason
+		return 0, reason
 	}
 
 	if g, ok := coreNode.(*plan.GroupBy); ok {
 		for _, a := range g.Aggs {
 			if a.Func == plan.AggCountDistinct {
-				return nil, fmt.Errorf("distrib: COUNT(DISTINCT) does not merge across devices")
+				return 0, fmt.Errorf("distrib: COUNT(DISTINCT) does not merge across devices")
 			}
 		}
-		return &strategy{kind: stratMergeAgg}, nil
+		return StratMergeAgg, nil
 	}
-	return &strategy{kind: stratConcat}, nil
+	return StratConcat, nil
 }
 
-// partialAggs rewrites a group-by's aggregates into mergeable partials:
+// PartialAggs rewrites a group-by's aggregates into mergeable partials:
 // AVG becomes SUM + COUNT columns.
-func partialAggs(g *plan.GroupBy) []plan.AggSpec {
+func PartialAggs(g *plan.GroupBy) []plan.AggSpec {
 	var out []plan.AggSpec
 	for _, a := range g.Aggs {
 		switch a.Func {
@@ -124,9 +128,31 @@ func partialAggs(g *plan.GroupBy) []plan.AggSpec {
 	return out
 }
 
-// mergePlan builds the coordinator-side re-aggregation over the
+// PartialPlan rewrites a fresh (unbound) query tree into the per-shard
+// partial plan for the given strategy: the full tree for StratSingle, the
+// peeled core for StratConcat, and the core with mergeable partial
+// aggregates for StratMergeAgg. Both the in-process cluster and the
+// networked workers derive their shard plans through this one function,
+// which is what lets a coordinator trust that a worker given only a query
+// number computed the same partial.
+func PartialPlan(root plan.Node, strat Strategy) (plan.Node, error) {
+	if strat == StratSingle {
+		return root, nil
+	}
+	_, coreNode := Peel(root)
+	if strat == StratConcat {
+		return coreNode, nil
+	}
+	g, ok := coreNode.(*plan.GroupBy)
+	if !ok {
+		return nil, fmt.Errorf("distrib: merge strategy on non-group-by core %T", coreNode)
+	}
+	return &plan.GroupBy{Input: g.Input, Keys: g.Keys, Aggs: PartialAggs(g)}, nil
+}
+
+// MergePlan builds the coordinator-side re-aggregation over the
 // concatenated partials, restoring the original output schema.
-func mergePlan(g *plan.GroupBy, partial *plan.Materialized) plan.Node {
+func MergePlan(g *plan.GroupBy, partial *plan.Materialized) plan.Node {
 	var aggs []plan.AggSpec
 	needsProject := false
 	for _, a := range g.Aggs {
@@ -167,17 +193,30 @@ func mergePlan(g *plan.GroupBy, partial *plan.Materialized) plan.Node {
 	return &plan.Project{Input: merged, Exprs: exprs}
 }
 
+// ReapplyChain re-applies a peeled post-processing chain (outermost first,
+// as returned by Peel) on top of the merged node, rebuilding fresh nodes
+// so the chain can be bound against a different store.
+func ReapplyChain(merged plan.Node, chain []plan.Node) plan.Node {
+	for i := len(chain) - 1; i >= 0; i-- {
+		switch t := chain[i].(type) {
+		case *plan.OrderBy:
+			merged = &plan.OrderBy{Input: merged, Keys: t.Keys}
+		case *plan.Limit:
+			merged = &plan.Limit{Input: merged, N: t.N}
+		case *plan.Project:
+			merged = &plan.Project{Input: merged, Exprs: t.Exprs}
+		}
+	}
+	return merged
+}
+
 // scatterGather runs the per-device core plans (each through the shard
 // retry/degradation path) and merges.
-func (c *Cluster) scatterGather(ctx context.Context, build func() plan.Node, strat *strategy, root *obs.Span) (*engine.Batch, *Report, error) {
+func (c *Cluster) scatterGather(ctx context.Context, build func() plan.Node, strat Strategy, root *obs.Span) (*engine.Batch, *Report, error) {
 	rep := &Report{
 		PerDevice:    make([]*core.Report, c.NumDevices()),
 		ShardRetries: make([]int, c.NumDevices()),
-	}
-	if strat == nil {
-		rep.Strategy = stratConcat.String()
-	} else {
-		rep.Strategy = stratMergeAgg.String()
+		Strategy:     strat.String(),
 	}
 
 	var parts []*engine.Batch
@@ -199,8 +238,8 @@ func (c *Cluster) scatterGather(ctx context.Context, build func() plan.Node, str
 				return nil, err
 			}
 			var coreNode plan.Node
-			chain, coreNode = peel(tree)
-			if strat == nil {
+			chain, coreNode = Peel(tree)
+			if strat == StratConcat {
 				return coreNode, nil
 			}
 			g, ok := coreNode.(*plan.GroupBy)
@@ -210,7 +249,7 @@ func (c *Cluster) scatterGather(ctx context.Context, build func() plan.Node, str
 			if d == 0 {
 				probeGroup = g
 			}
-			devicePlan := &plan.GroupBy{Input: g.Input, Keys: g.Keys, Aggs: partialAggs(g)}
+			devicePlan := &plan.GroupBy{Input: g.Input, Keys: g.Keys, Aggs: PartialAggs(g)}
 			if err := plan.Bind(devicePlan, s); err != nil {
 				return nil, err
 			}
@@ -238,20 +277,10 @@ func (c *Cluster) scatterGather(ctx context.Context, build func() plan.Node, str
 	}
 
 	var merged plan.Node = concat
-	if strat != nil {
-		merged = mergePlan(probeGroup, concat)
+	if strat == StratMergeAgg {
+		merged = MergePlan(probeGroup, concat)
 	}
-	// Re-apply the peeled post-processing chain, innermost last.
-	for i := len(probeChain) - 1; i >= 0; i-- {
-		switch t := probeChain[i].(type) {
-		case *plan.OrderBy:
-			merged = &plan.OrderBy{Input: merged, Keys: t.Keys}
-		case *plan.Limit:
-			merged = &plan.Limit{Input: merged, N: t.N}
-		case *plan.Project:
-			merged = &plan.Project{Input: merged, Exprs: t.Exprs}
-		}
-	}
+	merged = ReapplyChain(merged, probeChain)
 	if err := plan.Bind(merged, c.Stores[0]); err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,71 @@
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"aquoman/internal/col"
+	"aquoman/internal/engine"
+	"aquoman/internal/flash"
+	"aquoman/internal/plan"
+	"aquoman/internal/tpch"
+)
+
+var (
+	parOnce  sync.Once
+	parStore *col.Store
+)
+
+func parallelStore(t *testing.T) *col.Store {
+	t.Helper()
+	parOnce.Do(func() {
+		parStore = col.NewStore(flash.NewDevice())
+		if err := tpch.Gen(parStore, tpch.Config{SF: 0.01, Seed: 17}); err != nil {
+			t.Fatalf("Gen: %v", err)
+		}
+	})
+	return parStore
+}
+
+// Parallel execution must be bit- AND order-identical to sequential for
+// every TPC-H query (morsel outputs reassemble in range order; group-by
+// emission re-sorts by first-seen row).
+func TestParallelMatchesSequentialExactly(t *testing.T) {
+	s := parallelStore(t)
+	for _, def := range tpch.Queries() {
+		def := def
+		t.Run(fmt.Sprintf("q%02d", def.Num), func(t *testing.T) {
+			seqPlan := def.Build()
+			if err := plan.Bind(seqPlan, s); err != nil {
+				t.Fatal(err)
+			}
+			seq, err := engine.New(s).Run(seqPlan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parPlan := def.Build()
+			if err := plan.Bind(parPlan, s); err != nil {
+				t.Fatal(err)
+			}
+			pe := engine.New(s)
+			pe.SetParallelism(8)
+			par, err := pe.Run(parPlan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.NumRows() != par.NumRows() || len(seq.Cols) != len(par.Cols) {
+				t.Fatalf("shape: %dx%d vs %dx%d", seq.NumRows(), len(seq.Cols),
+					par.NumRows(), len(par.Cols))
+			}
+			for c := range seq.Cols {
+				for r := range seq.Cols[c] {
+					if seq.Cols[c][r] != par.Cols[c][r] {
+						t.Fatalf("col %d row %d: %d vs %d (order must match exactly)",
+							c, r, seq.Cols[c][r], par.Cols[c][r])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,76 +1,31 @@
 package engine
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 
 	"aquoman/internal/col"
 	"aquoman/internal/flash"
-	"aquoman/internal/plan"
-	"aquoman/internal/tpch"
 )
 
 var (
-	parOnce  sync.Once
-	parStore *col.Store
+	intOnce  sync.Once
+	intStore *col.Store
 )
 
-func parallelStore(t *testing.T) *col.Store {
+// internalStore is a tiny fixture for the unexported-API tests; the
+// TPC-H differential lives in parallel_ext_test.go (external package, so
+// the tpch helper can import engine without a cycle).
+func internalStore(t *testing.T) *col.Store {
 	t.Helper()
-	parOnce.Do(func() {
-		parStore = col.NewStore(flash.NewDevice())
-		if err := tpch.Gen(parStore, tpch.Config{SF: 0.01, Seed: 17}); err != nil {
-			t.Fatalf("Gen: %v", err)
-		}
+	intOnce.Do(func() {
+		intStore = col.NewStore(flash.NewDevice())
 	})
-	return parStore
-}
-
-// Parallel execution must be bit- AND order-identical to sequential for
-// every TPC-H query (morsel outputs reassemble in range order; group-by
-// emission re-sorts by first-seen row).
-func TestParallelMatchesSequentialExactly(t *testing.T) {
-	s := parallelStore(t)
-	for _, def := range tpch.Queries() {
-		def := def
-		t.Run(fmt.Sprintf("q%02d", def.Num), func(t *testing.T) {
-			seqPlan := def.Build()
-			if err := plan.Bind(seqPlan, s); err != nil {
-				t.Fatal(err)
-			}
-			seq, err := New(s).Run(seqPlan)
-			if err != nil {
-				t.Fatal(err)
-			}
-			parPlan := def.Build()
-			if err := plan.Bind(parPlan, s); err != nil {
-				t.Fatal(err)
-			}
-			pe := New(s)
-			pe.SetParallelism(8)
-			par, err := pe.Run(parPlan)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if seq.NumRows() != par.NumRows() || len(seq.Cols) != len(par.Cols) {
-				t.Fatalf("shape: %dx%d vs %dx%d", seq.NumRows(), len(seq.Cols),
-					par.NumRows(), len(par.Cols))
-			}
-			for c := range seq.Cols {
-				for r := range seq.Cols[c] {
-					if seq.Cols[c][r] != par.Cols[c][r] {
-						t.Fatalf("col %d row %d: %d vs %d (order must match exactly)",
-							c, r, seq.Cols[c][r], par.Cols[c][r])
-					}
-				}
-			}
-		})
-	}
+	return intStore
 }
 
 func TestSetParallelismClamps(t *testing.T) {
-	e := New(parallelStore(t))
+	e := New(internalStore(t))
 	e.SetParallelism(-3)
 	if e.threads != 1 {
 		t.Fatalf("threads = %d", e.threads)
@@ -82,7 +37,7 @@ func TestSetParallelismClamps(t *testing.T) {
 }
 
 func TestParallelRangesCoverage(t *testing.T) {
-	e := New(parallelStore(t))
+	e := New(internalStore(t))
 	e.SetParallelism(4)
 	const n = 10_000
 	seen := make([]int32, n)

@@ -1,8 +1,9 @@
-package engine
+package engine_test
 
 import (
 	"testing"
 
+	"aquoman/internal/engine"
 	"aquoman/internal/plan"
 )
 
@@ -34,7 +35,7 @@ func TestParallelTextPredicateRace(t *testing.T) {
 	if err := plan.Bind(seqPlan, s); err != nil {
 		t.Fatal(err)
 	}
-	seq := New(s)
+	seq := engine.New(s)
 	seqB, err := seq.Run(seqPlan)
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +45,7 @@ func TestParallelTextPredicateRace(t *testing.T) {
 	if err := plan.Bind(parPlan, s); err != nil {
 		t.Fatal(err)
 	}
-	par := New(s)
+	par := engine.New(s)
 	par.SetParallelism(8)
 	parB, err := par.Run(parPlan)
 	if err != nil {

@@ -30,12 +30,15 @@ const (
 	StateCacheHit                  // flash: page served from the shared cache
 	StateCoalesceWait              // flash: waiting on another query's in-flight read
 	StateEmit                      // server: streaming the result to the client
+	StateScatterWait               // cluster: coordinator waiting on worker partials
+	StateMerge                     // cluster: coordinator-side partial-result merge
 	NumStates                      // count sentinel, not a state
 )
 
 var stateNames = [NumStates]string{
 	"queue_wait", "compile", "rowsel", "read", "systolic", "swissknife",
 	"sorter", "host", "device_read", "cache_hit", "coalesce_wait", "emit",
+	"scatter_wait", "merge",
 }
 
 // String returns the snake_case state name used in metric labels, the

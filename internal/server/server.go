@@ -35,7 +35,9 @@ import (
 	"time"
 
 	"aquoman"
+	"aquoman/internal/cluster"
 	"aquoman/internal/col"
+	"aquoman/internal/distrib"
 	"aquoman/internal/engine"
 	"aquoman/internal/obs"
 	"aquoman/internal/plan"
@@ -62,6 +64,11 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLog receives the slow-query lines; nil means os.Stderr.
 	SlowQueryLog io.Writer
+	// Coordinator, when set, turns /tpch into the cluster entry point:
+	// whole queries scatter across the coordinator's workers instead of
+	// running on the local DB. Worker-mode requests (?partial=1) still
+	// execute against the local DB, so a node can serve both roles.
+	Coordinator *cluster.Coordinator
 }
 
 // Server is the HTTP query service. It implements http.Handler.
@@ -202,6 +209,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"endpoints": []string{
 			"/query?q=<sql> (GET) or POST {\"sql\": ..., \"timeout_ms\": ...}",
 			"/tpch?q=1..22",
+			"/tpch?q=1..22&partial=1 (cluster worker: raw per-shard partials)",
 			"/healthz",
 			"/metrics",
 			"/debug/vars",
@@ -275,11 +283,6 @@ func (s *Server) handleTPCH(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid q parameter (want 1..22)")
 		return
 	}
-	p, err := aquoman.TPCHQuery(q)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
 	var timeout time.Duration
 	if v := r.URL.Query().Get("timeout_ms"); v != "" {
 		ms, perr := strconv.ParseInt(v, 10, 64)
@@ -289,7 +292,94 @@ func (s *Server) handleTPCH(w http.ResponseWriter, r *http.Request) {
 		}
 		timeout = time.Duration(ms) * time.Millisecond
 	}
+	if r.URL.Query().Get("partial") == "1" {
+		s.runPartialAndStream(w, r, q, timeout)
+		return
+	}
+	if s.cfg.Coordinator != nil {
+		s.runClusterAndStream(w, r, q, timeout)
+		return
+	}
+	p, err := aquoman.TPCHQuery(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	s.runAndStream(w, r, p, fmt.Sprintf("tpch q%d", q), timeout)
+}
+
+// runPartialAndStream is worker mode: derive this shard's partial plan
+// for TPC-H query q (the same distrib.PartialPlan every cluster tier
+// uses, so the coordinator can trust the partial's shape), run it through
+// the scheduler under the request context, and stream the raw stored
+// int64s back in the cluster wire format. The coordinator merges the
+// partials; nothing is rendered here.
+func (s *Server) runPartialAndStream(w http.ResponseWriter, r *http.Request, q int, asked time.Duration) {
+	probe, err := aquoman.TPCHQuery(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := plan.Bind(probe, s.cfg.DB.Store); err != nil {
+		writeError(w, http.StatusBadRequest, "bind: "+err.Error())
+		return
+	}
+	strat, cerr := distrib.Classify(probe)
+	if cerr != nil {
+		// A 4xx tells the coordinator retrying elsewhere is pointless: the
+		// query shape itself cannot distribute.
+		writeError(w, http.StatusBadRequest, "not distributable: "+cerr.Error())
+		return
+	}
+	fresh, _ := aquoman.TPCHQuery(q)
+	part, err := distrib.PartialPlan(fresh, strat)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "partial plan: "+err.Error())
+		return
+	}
+	s.runAndStreamMode(w, r, part, fmt.Sprintf("tpch q%d partial", q), asked, strat.String())
+}
+
+// runClusterAndStream is coordinator mode: the whole query scatters over
+// the cluster and the merged result streams back rendered, with the
+// degradation report riding on the trailer.
+func (s *Server) runClusterAndStream(w http.ResponseWriter, r *http.Request, q int, asked time.Duration) {
+	ctx := r.Context()
+	if d := s.deadline(asked); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	lc := obs.NewLifecycle(fmt.Sprintf("q%d", s.qseq.Add(1)))
+	ctx = obs.WithLifecycle(ctx, lc)
+	label := fmt.Sprintf("tpch q%d cluster", q)
+
+	start := time.Now()
+	b, rep, err := s.cfg.Coordinator.RunTPCH(ctx, q)
+	defer func() {
+		lc.Finish()
+		if o := s.cfg.DB.Obs; o != nil {
+			lc.ObserveInto(o.Reg)
+		}
+		s.logSlow(lc, label, err)
+	}()
+	if err != nil {
+		var ne *cluster.NodeError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			// The client is gone; there is nobody to write an error to.
+		case errors.As(err, &ne):
+			writeError(w, http.StatusBadGateway, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	endEmit := lc.Timer(obs.StateEmit)
+	s.stream(ctx, w, b, time.Since(start), rep)
+	endEmit()
 }
 
 // deadline resolves a request's effective timeout from the client's ask
@@ -316,6 +406,13 @@ func (s *Server) deadline(asked time.Duration) time.Duration {
 // the query_latency_ns / query_state_ns histograms and the slow-query
 // log.
 func (s *Server) runAndStream(w http.ResponseWriter, r *http.Request, p aquoman.Plan, label string, asked time.Duration) {
+	s.runAndStreamMode(w, r, p, label, asked, "")
+}
+
+// runAndStreamMode is runAndStream with an optional raw worker mode: a
+// non-empty rawStrategy streams the batch as unrendered int64s in the
+// cluster wire format instead of display values.
+func (s *Server) runAndStreamMode(w http.ResponseWriter, r *http.Request, p aquoman.Plan, label string, asked time.Duration, rawStrategy string) {
 	ctx := r.Context()
 	if d := s.deadline(asked); d > 0 {
 		var cancel context.CancelFunc
@@ -362,7 +459,11 @@ func (s *Server) runAndStream(w http.ResponseWriter, r *http.Request, p aquoman.
 		return
 	}
 	endEmit := lc.Timer(obs.StateEmit)
-	s.stream(ctx, w, res.Batch, time.Since(start))
+	if rawStrategy != "" {
+		s.streamRaw(ctx, w, res.Batch, rawStrategy)
+	} else {
+		s.stream(ctx, w, res.Batch, time.Since(start), nil)
+	}
 	endEmit()
 }
 
@@ -421,7 +522,7 @@ func (s *Server) logSlow(lc *obs.Lifecycle, label string, err error) {
 // per row, and a trailer with the row count. Chunks of ChunkRows rows are
 // flushed so clients see results incrementally; a dead context stops the
 // stream at the next chunk boundary.
-func (s *Server) stream(ctx context.Context, w http.ResponseWriter, b *engine.Batch, elapsed time.Duration) {
+func (s *Server) stream(ctx context.Context, w http.ResponseWriter, b *engine.Batch, elapsed time.Duration, rep *cluster.Report) {
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -461,11 +562,55 @@ func (s *Server) stream(ctx context.Context, w http.ResponseWriter, b *engine.Ba
 		}
 	}
 	trailer := struct {
-		Done      bool    `json:"done"`
-		Rows      int     `json:"rows"`
-		ElapsedMS float64 `json:"elapsed_ms"`
+		Done          bool    `json:"done"`
+		Rows          int     `json:"rows"`
+		ElapsedMS     float64 `json:"elapsed_ms"`
+		Strategy      string  `json:"strategy,omitempty"`
+		DegradedNodes []int   `json:"degraded_nodes,omitempty"`
 	}{Done: true, Rows: n, ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+	if rep != nil {
+		trailer.Strategy = rep.Strategy
+		trailer.DegradedNodes = rep.DegradedNodes
+	}
 	_ = enc.Encode(&trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// streamRaw writes the cluster wire format: header with schema+strategy,
+// one raw int64 array per row, and the {"done","rows"} trailer the
+// coordinator uses to distinguish completion from truncation. A dead
+// context stops at the next chunk boundary — the resulting trailerless
+// stream is exactly what tells the coordinator the partial is unusable.
+func (s *Server) streamRaw(ctx context.Context, w http.ResponseWriter, b *engine.Batch, strategy string) {
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	header := cluster.HeaderFor(b.Schema, strategy)
+	if err := enc.Encode(&header); err != nil {
+		return
+	}
+	n := b.NumRows()
+	row := make([]int64, len(b.Schema))
+	for r := 0; r < n; r++ {
+		for c := range b.Schema {
+			row[c] = b.Cols[c][r]
+		}
+		if err := enc.Encode(row); err != nil {
+			return
+		}
+		if (r+1)%s.cfg.ChunkRows == 0 {
+			if ctx.Err() != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	_ = enc.Encode(&cluster.WireTrailer{Done: true, Rows: n})
 	if flusher != nil {
 		flusher.Flush()
 	}

@@ -1,0 +1,94 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aquoman/internal/engine"
+)
+
+// TB is the subset of testing.TB the differential assertions need.
+// Declaring it structurally keeps the testing package out of production
+// binaries while letting any *testing.T/*testing.B satisfy it.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...interface{})
+}
+
+// AssertEqual fails tb unless got matches the oracle batch cell-exactly:
+// same column names, same row count, and identical stored values in the
+// same order. It is the one comparison every differential harness —
+// pipeline, encoded-store, distrib, and cluster — shares, so a
+// disagreement anywhere reports through identical wording.
+func AssertEqual(tb TB, label string, got *engine.Batch, want *OraBatch) {
+	tb.Helper()
+	if len(got.Schema) != len(want.Schema) {
+		tb.Fatalf("%s: %d output columns, oracle has %d", label, len(got.Schema), len(want.Schema))
+	}
+	for i := range got.Schema {
+		if got.Schema[i].Name != want.Schema[i].Name {
+			tb.Fatalf("%s: column %d named %q, oracle %q", label, i, got.Schema[i].Name, want.Schema[i].Name)
+		}
+	}
+	if got.NumRows() != want.NumRows() {
+		tb.Fatalf("%s: %d rows, oracle has %d", label, got.NumRows(), want.NumRows())
+	}
+	for c := range got.Cols {
+		for r := range got.Cols[c] {
+			if got.Cols[c][r] != want.Cols[c][r] {
+				tb.Fatalf("%s: row %d col %q = %d, oracle %d",
+					label, r, got.Schema[c].Name, got.Cols[c][r], want.Cols[c][r])
+			}
+		}
+	}
+}
+
+// AssertBatchesEqual fails tb unless two engine batches agree cell-exactly
+// in row order (shape first, then values).
+func AssertBatchesEqual(tb TB, label string, got, want *engine.Batch) {
+	tb.Helper()
+	if got.NumRows() != want.NumRows() || len(got.Cols) != len(want.Cols) {
+		tb.Fatalf("%s: shape %dx%d, want %dx%d",
+			label, got.NumRows(), len(got.Cols), want.NumRows(), len(want.Cols))
+	}
+	for c := range want.Cols {
+		for r := range want.Cols[c] {
+			if got.Cols[c][r] != want.Cols[c][r] {
+				tb.Fatalf("%s: row %d col %d = %d, want %d",
+					label, r, c, got.Cols[c][r], want.Cols[c][r])
+			}
+		}
+	}
+}
+
+// AssertBatchesEquivalent fails tb unless two engine batches hold the same
+// multiset of rows, ignoring row order (for results without a total
+// ORDER BY, where per-shard interleaving may legally differ).
+func AssertBatchesEquivalent(tb TB, label string, got, want *engine.Batch) {
+	tb.Helper()
+	gc, wc := CanonicalRows(got), CanonicalRows(want)
+	if len(gc) != len(wc) {
+		tb.Fatalf("%s: %d rows, want %d", label, len(gc), len(wc))
+	}
+	for i := range wc {
+		if gc[i] != wc[i] {
+			tb.Fatalf("%s: canonical row %d differs:\n got  %s\n want %s", label, i, gc[i], wc[i])
+		}
+	}
+}
+
+// CanonicalRows renders every row as a stable "v|v|...|" string and sorts
+// them, the canonical form behind AssertBatchesEquivalent.
+func CanonicalRows(b *engine.Batch) []string {
+	rows := make([]string, b.NumRows())
+	for r := range rows {
+		var sb strings.Builder
+		for c := range b.Cols {
+			fmt.Fprintf(&sb, "%d|", b.Cols[c][r])
+		}
+		rows[r] = sb.String()
+	}
+	sort.Strings(rows)
+	return rows
+}

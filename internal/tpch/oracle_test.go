@@ -76,27 +76,11 @@ func pipelineRun(t *testing.T, q int) (*engine.Batch, *core.Report) {
 	return b, rep
 }
 
+// diffBatches is the shared cell-exact assertion, kept as a local alias
+// for the many existing call sites.
 func diffBatches(t *testing.T, label string, got *engine.Batch, want *OraBatch) {
 	t.Helper()
-	if len(got.Schema) != len(want.Schema) {
-		t.Fatalf("%s: %d output columns, oracle has %d", label, len(got.Schema), len(want.Schema))
-	}
-	for i := range got.Schema {
-		if got.Schema[i].Name != want.Schema[i].Name {
-			t.Fatalf("%s: column %d named %q, oracle %q", label, i, got.Schema[i].Name, want.Schema[i].Name)
-		}
-	}
-	if got.NumRows() != want.NumRows() {
-		t.Fatalf("%s: %d rows, oracle has %d", label, got.NumRows(), want.NumRows())
-	}
-	for c := range got.Cols {
-		for r := range got.Cols[c] {
-			if got.Cols[c][r] != want.Cols[c][r] {
-				t.Fatalf("%s: row %d col %q = %d, oracle %d",
-					label, r, got.Schema[c].Name, got.Cols[c][r], want.Cols[c][r])
-			}
-		}
-	}
+	AssertEqual(t, label, got, want)
 }
 
 // Every TPC-H query through the full offload pipeline must agree exactly
