@@ -179,6 +179,12 @@ type DB struct {
 	// modeled deployment scale (see internal/compiler).
 	HeapScale float64
 
+	// DisableFusion forces offloaded aggregation tasks onto the staged
+	// executor path instead of the fused zero-allocation scan. The fused
+	// path is exact; this switch exists for differential testing and
+	// performance comparison.
+	DisableFusion bool
+
 	// Obs (optional, see EnableObservability) collects per-stage spans and
 	// metrics for every query this DB runs.
 	Obs *obs.Observer
@@ -449,11 +455,12 @@ func (db *DB) jobCtx(p Plan) sched.JobCtx {
 // attribution is disabled.
 func (db *DB) sharedConfig(ctx context.Context) core.Config {
 	return core.Config{
-		DRAMBytes:    db.DRAMBytes,
-		Compiler:     compiler.Config{HeapScale: db.HeapScale},
-		Obs:          db.Obs,
-		SharedDevice: true,
-		Ctx:          ctx,
+		DRAMBytes:     db.DRAMBytes,
+		Compiler:      compiler.Config{HeapScale: db.HeapScale},
+		Obs:           db.Obs,
+		SharedDevice:  true,
+		DisableFusion: db.DisableFusion,
+		Ctx:           ctx,
 	}
 }
 
@@ -504,9 +511,10 @@ func (r *Result) NumRows() int { return r.Batch.NumRows() }
 // them, and the host engine finishes the residual plan.
 func (db *DB) Run(p Plan) (*Result, error) {
 	return db.run(p, core.Config{
-		DRAMBytes: db.DRAMBytes,
-		Compiler:  compiler.Config{HeapScale: db.HeapScale},
-		Obs:       db.Obs,
+		DRAMBytes:     db.DRAMBytes,
+		Compiler:      compiler.Config{HeapScale: db.HeapScale},
+		Obs:           db.Obs,
+		DisableFusion: db.DisableFusion,
 	})
 }
 
@@ -515,10 +523,11 @@ func (db *DB) Run(p Plan) (*Result, error) {
 // returning ctx's error. A nil ctx never cancels.
 func (db *DB) RunCtx(ctx context.Context, p Plan) (*Result, error) {
 	return db.run(p, core.Config{
-		DRAMBytes: db.DRAMBytes,
-		Compiler:  compiler.Config{HeapScale: db.HeapScale},
-		Obs:       db.Obs,
-		Ctx:       ctx,
+		DRAMBytes:     db.DRAMBytes,
+		Compiler:      compiler.Config{HeapScale: db.HeapScale},
+		Obs:           db.Obs,
+		DisableFusion: db.DisableFusion,
+		Ctx:           ctx,
 	})
 }
 
@@ -542,9 +551,10 @@ func (db *DB) Trace(p Plan) (*Result, *obs.Tracer, error) {
 		o.Reg = db.Obs.Reg
 	}
 	res, err := db.run(p, core.Config{
-		DRAMBytes: db.DRAMBytes,
-		Compiler:  compiler.Config{HeapScale: db.HeapScale},
-		Obs:       o,
+		DRAMBytes:     db.DRAMBytes,
+		Compiler:      compiler.Config{HeapScale: db.HeapScale},
+		Obs:           o,
+		DisableFusion: db.DisableFusion,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -11,6 +11,7 @@
 //	aquoman-bench -report concbench  # concurrent-stream throughput (q1/q6, JSON)
 //	aquoman-bench -report encbench   # column-encoding flash savings (q1/q6, JSON)
 //	aquoman-bench -report profbench  # query-lifecycle state attribution (q1/q6, JSON)
+//	aquoman-bench -report scalebench # fused-path scaling past 16 streams (q1/q6, JSON)
 //	aquoman-bench -report all
 //
 // Data is generated at -sf (default 0.01) and traces are extrapolated to
@@ -35,9 +36,15 @@ import (
 
 	"aquoman"
 	"aquoman/internal/col"
+	"aquoman/internal/enc"
 	"aquoman/internal/flash"
+	"aquoman/internal/mem"
 	"aquoman/internal/obs"
 	"aquoman/internal/perf"
+	"aquoman/internal/rowsel"
+	"aquoman/internal/swissknife"
+	"aquoman/internal/systolic"
+	"aquoman/internal/tabletask"
 	"aquoman/internal/tpch"
 )
 
@@ -45,7 +52,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aquoman-bench: ")
 	var (
-		report  = flag.String("report", "all", "fig16a|fig16b|fig16c|tablev|fig17|offload|resources|obsbench|concbench|encbench|profbench|all")
+		report  = flag.String("report", "all", "fig16a|fig16b|fig16c|tablev|fig17|offload|resources|obsbench|concbench|encbench|profbench|scalebench|all")
 		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor to generate")
 		target  = flag.Float64("target", 1000, "modeled deployment scale factor")
 		seed    = flag.Int64("seed", 42, "generator seed")
@@ -76,6 +83,10 @@ func main() {
 	}
 	if *report == "profbench" {
 		runProfBench(*sf, *seed, *out, int64(*cacheMB)<<20, *pageLat)
+		return
+	}
+	if *report == "scalebench" {
+		runScaleBench(*sf, *seed, *out, int64(*cacheMB)<<20, *pageLat)
 		return
 	}
 
@@ -287,6 +298,223 @@ func runConcBench(sf float64, seed int64, out string, cacheBytes int64, pageLat 
 		log.Fatal(err)
 	}
 	log.Printf("wrote %s", out)
+}
+
+// preFusionPlateauQPS is the 16-stream throughput the staged pipeline
+// plateaued at before operator fusion (BENCH_conc.json as committed by
+// the telemetry PR, streams=16). scalebench records it in the report so
+// benchcheck -mode scale can gate the 32-stream fused result against a
+// fixed pre-fusion reference instead of a drifting baseline.
+const preFusionPlateauQPS = 16.47
+
+// scaleStore builds the lineitem-shaped allocation fixture under one
+// column encoding: a long-runs group key (RLE-friendly), a narrow-range
+// quantity (FOR-friendly), and price/discount value columns — the same
+// fixture the fused_test.go allocation gates scan.
+func scaleStore(sel enc.Selection, n int) *col.Store {
+	s := col.NewStore(flash.NewDevice())
+	s.DefaultEncoding = sel
+	b := s.NewTable(col.Schema{Name: "lineitem", Cols: []col.ColDef{
+		{Name: "flag", Typ: col.Int32},
+		{Name: "qty", Typ: col.Int32},
+		{Name: "price", Typ: col.Decimal},
+		{Name: "disc", Typ: col.Decimal},
+	}})
+	run := n/4 + 1
+	for i := 0; i < n; i++ {
+		b.Append(i/run, 1+i%50, int64(100+(i*7)%900), int64(i%11))
+	}
+	if _, err := b.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+// runScaleBench measures whether the fused zero-allocation scan path
+// breaks the 16-stream plateau: the concbench q1/q6 mix at 16 and 32
+// concurrent streams under the same shared page cache and simulated NAND
+// read latency, plus the steady-state heap allocations per fused table
+// re-scan for the q6, q1 and page-kernel pipeline shapes (worst codec of
+// each). benchcheck -mode scale gates the report: the 32-stream q/s must
+// clear -min-scale x the recorded pre-fusion plateau, stay within a band
+// of the same run's 16-stream number, and every alloc figure must be
+// zero.
+func runScaleBench(sf float64, seed int64, out string, cacheBytes int64, pageLat time.Duration) {
+	db := aquoman.Open()
+	db.HeapScale = 1000 / sf
+	log.Printf("generating TPC-H SF %g...", sf)
+	if err := db.LoadTPCH(sf, seed); err != nil {
+		log.Fatal(err)
+	}
+	db.Flash.SetReadLatency(pageLat)
+	defer db.Close()
+
+	mix := []int{1, 6}
+	const reps = 3
+	type entry struct {
+		Streams      int     `json:"streams"`
+		Queries      int     `json:"queries"`
+		WallNs       int64   `json:"wall_ns"`
+		QPS          float64 `json:"queries_per_sec"`
+		CacheHitRate float64 `json:"cache_hit_rate"`
+		DevicePages  int64   `json:"device_pages_read"`
+	}
+	doc := struct {
+		SF            float64            `json:"sf"`
+		PageLatNs     int64              `json:"page_latency_ns"`
+		CacheBytes    int64              `json:"cache_bytes"`
+		Mix           []int              `json:"mix"`
+		Reps          int                `json:"reps"`
+		PlateauQPS    float64            `json:"pre_fusion_plateau_qps"`
+		Entries       []entry            `json:"streams"`
+		Speedup32Vs16 float64            `json:"speedup_32_vs_16"`
+		FusedAllocs   map[string]float64 `json:"fused_allocs_per_scan"`
+	}{SF: sf, PageLatNs: pageLat.Nanoseconds(), CacheBytes: cacheBytes,
+		Mix: mix, Reps: reps, PlateauQPS: preFusionPlateauQPS,
+		FusedAllocs: make(map[string]float64)}
+
+	for _, streams := range []int{16, 32} {
+		db.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: streams, QueueDepth: 2 * streams * len(mix)})
+		best := entry{Streams: streams, Queries: streams * len(mix)}
+		for rep := 0; rep < reps; rep++ {
+			// A fresh cache per rep, exactly like concbench: every
+			// configuration starts cold.
+			cache := db.EnableCache(cacheBytes)
+			db.ResetFlashStats()
+			var wg sync.WaitGroup
+			errs := make(chan error, streams)
+			start := time.Now()
+			for s := 0; s < streams; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for _, q := range mix {
+						p, err := aquoman.TPCHQuery(q)
+						if err != nil {
+							errs <- err
+							return
+						}
+						ticket, err := db.SubmitWait(p)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if _, err := ticket.Wait(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			wall := time.Since(start)
+			close(errs)
+			for err := range errs {
+				log.Fatal(err)
+			}
+			qps := float64(streams*len(mix)) / wall.Seconds()
+			if best.WallNs == 0 || qps > best.QPS {
+				best.WallNs = wall.Nanoseconds()
+				best.QPS = qps
+				best.CacheHitRate = cache.Stats().HitRate()
+				best.DevicePages = db.FlashStats().TotalPagesRead()
+			}
+		}
+		log.Printf("%2d streams: %6.2f q/s, %4.1f%% cache hits, %d device pages",
+			streams, best.QPS, 100*best.CacheHitRate, best.DevicePages)
+		doc.Entries = append(doc.Entries, best)
+	}
+	doc.Speedup32Vs16 = doc.Entries[1].QPS / doc.Entries[0].QPS
+	log.Printf("speedup at 32 streams vs 16: %.2fx (pre-fusion plateau %.2f q/s)",
+		doc.Speedup32Vs16, doc.PlateauQPS)
+
+	// Steady-state allocations per fused re-scan, worst codec per shape.
+	// Nonzero here means the pool/scratch discipline regressed and the
+	// stream counts above are paying GC for it.
+	allCodecs := []enc.Selection{enc.SelRaw, enc.SelDict, enc.SelRLE, enc.SelFOR}
+	shapes := []struct {
+		name   string
+		codecs []enc.Selection
+		task   func() *tabletask.Task
+	}{
+		{"q6", allCodecs, scaleQ6Task},
+		{"q1", allCodecs, scaleQ1Task},
+		{"page_kernel", []enc.Selection{enc.SelRLE, enc.SelFOR}, scaleKernelTask},
+	}
+	for _, sh := range shapes {
+		worst := 0.0
+		for _, sel := range sh.codecs {
+			e := tabletask.NewExecutor(scaleStore(sel, 4096), mem.New(1<<30))
+			a, err := e.AllocsPerScan(sh.task(), 5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if a > worst {
+				worst = a
+			}
+		}
+		doc.FusedAllocs[sh.name] = worst
+		log.Printf("fused allocs/scan %-11s: %.1f (worst codec)", sh.name, worst)
+	}
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = append(b, '\n')
+	if out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}
+
+// scaleQ6Task is the TPC-H q6 pipeline shape: two predicates, two
+// streamed columns, a multiply transform, and a scalar SUM.
+func scaleQ6Task() *tabletask.Task {
+	return &tabletask.Task{
+		Name:  "scale-q6",
+		Table: "lineitem",
+		RowSel: &tabletask.Program{Preds: []rowsel.ColPred{
+			{Column: "qty", Expr: systolic.GT(systolic.In(0), systolic.C(25)), CPs: 1},
+			{Column: "disc", Expr: systolic.GT(systolic.In(0), systolic.C(5)), CPs: 1},
+		}},
+		Stream:    []string{"price", "disc"},
+		Transform: []systolic.Expr{systolic.Mul(systolic.In(0), systolic.In(1))},
+		FilterOut: tabletask.NoFilter,
+		Op:        tabletask.OpSpec{Kind: tabletask.OpAggregate, Aggs: []swissknife.AggKind{swissknife.AggSum}},
+		Out:       tabletask.Output{Kind: tabletask.ToHost},
+	}
+}
+
+// scaleQ1Task is the TPC-H q1 pipeline shape: an unfiltered group-by with
+// per-group SUMs over two value columns.
+func scaleQ1Task() *tabletask.Task {
+	return &tabletask.Task{
+		Name:      "scale-q1",
+		Table:     "lineitem",
+		Stream:    []string{"flag", "qty", "price"},
+		FilterOut: tabletask.NoFilter,
+		Op: tabletask.OpSpec{Kind: tabletask.OpGroupBy, Keys: 1,
+			Aggs: []swissknife.AggKind{swissknife.AggSum, swissknife.AggSum}},
+		Out: tabletask.Output{Kind: tabletask.ToHost},
+	}
+}
+
+// scaleKernelTask is the whole-page aggregation-kernel shape: one
+// streamed encoded column, no predicates, no transform.
+func scaleKernelTask() *tabletask.Task {
+	return &tabletask.Task{
+		Name:      "scale-kernel",
+		Table:     "lineitem",
+		Stream:    []string{"qty"},
+		FilterOut: tabletask.NoFilter,
+		Op:        tabletask.OpSpec{Kind: tabletask.OpAggregate, Aggs: []swissknife.AggKind{swissknife.AggSum}},
+		Out:       tabletask.Output{Kind: tabletask.ToHost},
+	}
 }
 
 // median returns the middle value (mean of the middle pair for even

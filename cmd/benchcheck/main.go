@@ -18,7 +18,12 @@
 // the report's in-run telemetry overhead (median of back-to-back
 // base/profiled wall ratios, so machine drift cancels) must stay under
 // -max-overhead percent. Per-stream overhead and q/s vs. the committed
-// baseline are warn-only — they are raw wall-clock comparisons.
+// baseline are warn-only — they are raw wall-clock comparisons. -mode
+// scale gates the fused-path scaling report (-report scalebench):
+// 32-stream q/s must clear -min-scale times the recorded pre-fusion
+// 16-stream plateau, must not drop more than -scale-rel below the same
+// run's 16-stream q/s, and every fused_allocs_per_scan figure must stay
+// within -max-allocs (zero by default — the fused loop's whole point).
 //
 // Deterministic metrics get tight bands; wall-clock-derived ones are
 // warn-only (CI runners are noisy):
@@ -251,9 +256,110 @@ func checkProf(baselinePath, freshPath string, minCoverage, maxOverhead float64)
 	fmt.Println("benchcheck: all telemetry metrics within tolerance")
 }
 
+type scaleReport struct {
+	SF            float64            `json:"sf"`
+	Reps          int                `json:"reps"`
+	PlateauQPS    float64            `json:"pre_fusion_plateau_qps"`
+	Streams       []streamEntry      `json:"streams"`
+	Speedup32Vs16 float64            `json:"speedup_32_vs_16"`
+	FusedAllocs   map[string]float64 `json:"fused_allocs_per_scan"`
+}
+
+func loadScale(path string) (*scaleReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r scaleReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func checkScale(baselinePath, freshPath string, minScale, scaleRel, maxAllocs float64) {
+	base, err := loadScale(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	fresh, err := loadScale(freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	var regressed []string
+	fail := func(format string, args ...interface{}) {
+		regressed = append(regressed, fmt.Sprintf(format, args...))
+	}
+
+	byStreams := make(map[int]streamEntry, len(fresh.Streams))
+	for _, e := range fresh.Streams {
+		byStreams[e.Streams] = e
+	}
+	s16, ok16 := byStreams[16]
+	s32, ok32 := byStreams[32]
+	if !ok16 || !ok32 {
+		fmt.Fprintln(os.Stderr, "benchcheck: scale report must carry 16- and 32-stream entries")
+		os.Exit(2)
+	}
+	if fresh.PlateauQPS <= 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: scale report has no pre_fusion_plateau_qps")
+		os.Exit(2)
+	}
+
+	// The plateau break is the point of the fused path, so unlike every
+	// other q/s figure it is gated, not warned: the pre-fusion 16-stream
+	// plateau is a constant recorded in the report, and the fused
+	// 32-stream run must clear minScale times it. The margin (40% by
+	// default) is what keeps a wall-clock gate tolerable on noisy runners.
+	floor := fresh.PlateauQPS * minScale
+	if s32.QueriesPerSec < floor {
+		fail("streams=32 queries_per_sec: %.2f < %.2f (plateau %.2f x %.2f) — the fused path no longer breaks the 16-stream plateau",
+			s32.QueriesPerSec, floor, fresh.PlateauQPS, minScale)
+	}
+	fmt.Printf("streams=32: %.2f q/s (floor %.2f = pre-fusion plateau %.2f x %.2f)\n",
+		s32.QueriesPerSec, floor, fresh.PlateauQPS, minScale)
+
+	// Going from 16 to 32 streams must not collapse throughput: both
+	// numbers come from the same process minutes apart, so a relative
+	// band on their ratio is stable where absolute q/s is not.
+	ratioFloor := 1 - scaleRel
+	if fresh.Speedup32Vs16 < ratioFloor {
+		fail("speedup_32_vs_16: %.3f < %.3f — 32 streams lost more than %.0f%% of 16-stream throughput",
+			fresh.Speedup32Vs16, ratioFloor, scaleRel*100)
+	}
+	fmt.Printf("speedup_32_vs_16: %.3f (floor %.3f, baseline %.3f), 16-stream %.2f q/s\n",
+		fresh.Speedup32Vs16, ratioFloor, base.Speedup32Vs16, s16.QueriesPerSec)
+
+	// The allocation budget is exact: the fused scan loop is designed to
+	// allocate nothing in steady state, and any nonzero figure is a pool
+	// or scratch regression that GC pressure will amplify at 32 streams.
+	if len(fresh.FusedAllocs) == 0 {
+		fail("fused_allocs_per_scan: missing — report schema drifted")
+	}
+	for shape, allocs := range fresh.FusedAllocs {
+		if allocs > maxAllocs {
+			fail("fused_allocs_per_scan[%s]: %.1f > %.1f — the fused loop allocates in steady state",
+				shape, allocs, maxAllocs)
+		}
+		fmt.Printf("fused_allocs_per_scan[%s]: %.1f (budget %.1f)\n", shape, allocs, maxAllocs)
+	}
+
+	if len(regressed) > 0 {
+		fmt.Println("\nREGRESSED METRICS:")
+		for _, r := range regressed {
+			fmt.Println("  -", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all scaling metrics within tolerance")
+}
+
 func main() {
 	var (
-		mode         = flag.String("mode", "conc", "report type: conc|enc|prof")
+		mode         = flag.String("mode", "conc", "report type: conc|enc|prof|scale")
 		baselinePath = flag.String("baseline", "", "committed baseline report (default BENCH_conc.json or BENCH_enc.json by mode)")
 		freshPath    = flag.String("fresh", "", "freshly measured report (required)")
 		speedupRel   = flag.Float64("speedup-rel", 0.25, "allowed relative drop in speedup_4_vs_1")
@@ -263,6 +369,9 @@ func main() {
 		savingAbs    = flag.Float64("saving-abs", 10, "enc: allowed absolute drop in saving_pct vs baseline")
 		minCoverage  = flag.Float64("min-coverage", 0.90, "prof: hard floor on per-stream lifecycle attribution coverage")
 		maxOverhead  = flag.Float64("max-overhead", 2.0, "prof: ceiling on report-level telemetry overhead percent")
+		minScale     = flag.Float64("min-scale", 1.4, "scale: 32-stream q/s must clear this multiple of the recorded pre-fusion plateau")
+		scaleRel     = flag.Float64("scale-rel", 0.25, "scale: allowed relative drop of 32-stream q/s below the same run's 16-stream q/s")
+		maxAllocs    = flag.Float64("max-allocs", 0, "scale: budget for steady-state heap allocations per fused scan")
 	)
 	flag.Parse()
 	if *freshPath == "" {
@@ -275,6 +384,8 @@ func main() {
 			*baselinePath = "BENCH_enc.json"
 		case "prof":
 			*baselinePath = "BENCH_prof.json"
+		case "scale":
+			*baselinePath = "BENCH_scale.json"
 		default:
 			*baselinePath = "BENCH_conc.json"
 		}
@@ -285,6 +396,10 @@ func main() {
 	}
 	if *mode == "prof" {
 		checkProf(*baselinePath, *freshPath, *minCoverage, *maxOverhead)
+		return
+	}
+	if *mode == "scale" {
+		checkScale(*baselinePath, *freshPath, *minScale, *scaleRel, *maxAllocs)
 		return
 	}
 

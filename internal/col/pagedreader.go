@@ -7,6 +7,14 @@ import (
 	"aquoman/internal/bitvec"
 	"aquoman/internal/enc"
 	"aquoman/internal/flash"
+	"aquoman/internal/pool"
+)
+
+// The process-wide pool hands out flash-page-sized buffers; these
+// zero-length arrays fail to compile if the two constants ever diverge.
+var (
+	_ [pool.PageSize - flash.PageSize]struct{}
+	_ [flash.PageSize - pool.PageSize]struct{}
 )
 
 // ReaderStats counts one sequential pass's page traffic, including the
@@ -23,7 +31,9 @@ type ReaderStats struct {
 	// EncBytesSaved accumulates, per decoded page, how many fewer flash
 	// bytes the encoded page cost than its rows would have cost raw.
 	EncBytesSaved int64
-	// EncDecoded counts decoded pages per codec (Raw stays zero).
+	// EncDecoded counts decoded pages per codec (Raw stays zero). Pages
+	// consumed whole by the encoded-aggregation kernel count here too:
+	// the kernel is a decode that never materializes.
 	EncDecoded [enc.NumCodecs]int64
 }
 
@@ -45,23 +55,48 @@ func (s *ReaderStats) Add(o ReaderStats) {
 // skipped entirely. On encoded columns the buffer holds one decoded page
 // and the reader exposes the encoded representation (dictionary codes,
 // frame-of-reference deltas) so callers can evaluate on it directly.
+//
+// The page buffer is checked out of the process-wide pool on first use and
+// returned by Close; the decoded-page scratch is reused across pages. A
+// reader that has warmed up performs no heap allocation per page.
 type PagedReader struct {
 	ci  *ColumnInfo
 	who flash.Requester
 	ctx context.Context // nil = never cancelled
 
-	curPage int64 // -1 = empty
-	buf     []byte
-	page    *enc.Page // decoded page for encoded columns
+	bytesPage int64  // flash page currently in buf; -1 = empty
+	bufN      int    // valid bytes of that page (the last page may be short)
+	buf       []byte // pooled page image, acquired lazily, released by Close
+
+	decPage int64    // encoded page currently decoded into page; -1 = none
+	page    enc.Page // reusable decoded-page scratch
+
+	encAccounted int64 // last page charged to EncDecoded/EncBytesSaved
 
 	ReaderStats
 	lastSkipped int64
 	pruned      map[int]bool
 }
 
-// NewPagedReader starts a sequential pass over the column.
+// NewPagedReader starts a sequential pass over the column. Callers must
+// Close the reader when the pass ends to return its pooled page buffer.
 func NewPagedReader(ci *ColumnInfo, who flash.Requester) *PagedReader {
-	return &PagedReader{ci: ci, who: who, curPage: -1, lastSkipped: -1}
+	return &PagedReader{
+		ci: ci, who: who,
+		bytesPage: -1, decPage: -1, encAccounted: -1, lastSkipped: -1,
+	}
+}
+
+// Close ends the pass and returns the pooled page buffer. Idempotent; the
+// reader must not read again afterwards (stats remain available).
+func (r *PagedReader) Close() {
+	if r.buf != nil {
+		pool.Pages.Put(r.buf)
+		r.buf = nil
+	}
+	r.bytesPage = -1
+	r.bufN = 0
+	r.decPage = -1
 }
 
 // SetContext attaches a cancellation context to the pass: every page load
@@ -108,38 +143,95 @@ func (r *PagedReader) vecPage(vec int) int64 {
 	return int64(start) * int64(r.ci.Def.Typ.Width()) / flash.PageSize
 }
 
-// loadEncPage reads and decodes encoded page pi, buffering one page.
-func (r *PagedReader) loadEncPage(pi int) (*enc.Page, error) {
-	if int64(pi) == r.curPage {
-		return r.page, nil
+// loadPageBytes brings flash page pi into the pooled buffer and accounts
+// the read (revoking a provisional skip or prune on the same page). The
+// returned slice is valid until the next load on this reader.
+func (r *PagedReader) loadPageBytes(pi int64) ([]byte, error) {
+	if pi == r.bytesPage {
+		return r.buf[:r.bufN], nil
 	}
-	wasSkipped := int64(pi) == r.lastSkipped
-	buf, err := r.ci.File.ReadPageCtx(r.ctx, int64(pi), r.who)
+	if r.buf == nil {
+		r.buf = pool.Pages.Get()
+	}
+	// Invalidate first: a failed read leaves the buffer clobbered, so the
+	// cursor must not keep claiming the previous page's bytes.
+	r.bytesPage = -1
+	n, err := r.ci.File.ReadAtCtx(r.ctx, r.buf, pi*flash.PageSize, r.who)
 	if err != nil {
 		return nil, err
 	}
-	p, err := enc.DecodePage(buf, r.ci.Enc.Dict)
-	if err != nil {
-		return nil, fmt.Errorf("col: column %s page %d: %w", r.ci.Def.Name, pi, err)
-	}
-	if wasSkipped {
+	if pi == r.lastSkipped {
 		// An earlier vector of this page was masked; the page is being
 		// read after all.
 		r.PagesSkipped--
 		r.lastSkipped = -1
 	}
-	if r.pruned[pi] {
-		delete(r.pruned, pi)
+	if r.pruned[int(pi)] {
+		delete(r.pruned, int(pi))
 		r.PagesPruned--
 	}
-	r.page = p
-	r.curPage = int64(pi)
+	r.bytesPage = pi
+	r.bufN = n
 	r.PagesRead++
-	r.EncDecoded[p.Codec]++
-	if saved := int64(p.Count)*int64(r.ci.Def.Typ.Width()) - flash.PageSize; saved > 0 {
+	return r.buf[:n], nil
+}
+
+// accountEnc charges one encoded page to the codec counters exactly once,
+// whether it was materialized by decode or consumed whole by the
+// aggregation kernel.
+func (r *PagedReader) accountEnc(pi int64, count int) {
+	if pi == r.encAccounted {
+		return
+	}
+	r.encAccounted = pi
+	r.EncDecoded[r.ci.Enc.Codec]++
+	if saved := int64(count)*int64(r.ci.Def.Typ.Width()) - flash.PageSize; saved > 0 {
 		r.EncBytesSaved += saved
 	}
-	return p, nil
+}
+
+// loadEncPage reads and decodes encoded page pi into the reusable scratch.
+func (r *PagedReader) loadEncPage(pi int) (*enc.Page, error) {
+	if int64(pi) == r.decPage {
+		return &r.page, nil
+	}
+	buf, err := r.loadPageBytes(int64(pi))
+	if err != nil {
+		return nil, err
+	}
+	r.decPage = -1
+	if err := enc.DecodePageInto(&r.page, buf, r.ci.Enc.Dict); err != nil {
+		return nil, fmt.Errorf("col: column %s page %d: %w", r.ci.Def.Name, pi, err)
+	}
+	r.decPage = int64(pi)
+	r.accountEnc(int64(pi), r.page.Count)
+	return &r.page, nil
+}
+
+// PageAggregate computes COUNT/SUM/MIN/MAX over encoded page pi straight
+// from its flash image, without decoding (enc.AggregatePage). ok is false
+// when the column's codec has no encoded-aggregation kernel (raw, Dict);
+// the caller falls back to the materializing path, which reuses the page
+// bytes already buffered. A kernel-consumed page is accounted exactly
+// like a decoded one (PagesRead, EncDecoded, EncBytesSaved), so fused and
+// unfused passes report identical stats.
+func (r *PagedReader) PageAggregate(pi int) (enc.PageAgg, bool, error) {
+	if r.ci.Enc == nil || (r.ci.Enc.Codec != enc.RLE && r.ci.Enc.Codec != enc.FOR) {
+		return enc.PageAgg{}, false, nil
+	}
+	buf, err := r.loadPageBytes(int64(pi))
+	if err != nil {
+		return enc.PageAgg{}, false, err
+	}
+	agg, ok, err := enc.AggregatePage(buf)
+	if err != nil {
+		return enc.PageAgg{}, false, fmt.Errorf("col: column %s page %d: %w", r.ci.Def.Name, pi, err)
+	}
+	if !ok {
+		return agg, false, nil
+	}
+	r.accountEnc(int64(pi), agg.Count)
+	return agg, true, nil
 }
 
 // encVecSpan locates Row Vector vec inside its encoded page. Interior
@@ -176,28 +268,16 @@ func (r *PagedReader) ReadVec(vec int, out []Value) (int, error) {
 	}
 	w := r.ci.Def.Typ.Width()
 	page := int64(start) * int64(w) / flash.PageSize
-	if page != r.curPage {
-		wasSkipped := page == r.lastSkipped
-		buf, err := r.ci.File.ReadPageCtx(r.ctx, page, r.who)
-		if err != nil {
-			return 0, err
-		}
-		if wasSkipped {
-			// An earlier vector of this page was masked; the page is
-			// being read after all.
-			r.PagesSkipped--
-			r.lastSkipped = -1
-		}
-		r.buf = buf
-		r.curPage = page
-		r.PagesRead++
+	buf, err := r.loadPageBytes(page)
+	if err != nil {
+		return 0, err
 	}
 	count := bitvec.VecSize
 	if start+count > r.ci.numRows {
 		count = r.ci.numRows - start
 	}
 	off := start*w - int(page)*flash.PageSize
-	decode(r.ci.Def.Typ, r.buf[off:off+count*w], out[:count])
+	decode(r.ci.Def.Typ, buf[off:off+count*w], out[:count])
 	return count, nil
 }
 
@@ -254,7 +334,7 @@ func (r *PagedReader) SkipVec(vec int) {
 	if r.pruned[int(page)] {
 		return
 	}
-	if page != r.curPage && page != r.lastSkipped {
+	if page != r.bytesPage && page != r.lastSkipped {
 		r.PagesSkipped++
 		r.lastSkipped = page
 	}

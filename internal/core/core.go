@@ -35,6 +35,9 @@ type Config struct {
 	Compiler compiler.Config
 	// DisableOffload forces pure host execution (the baseline systems).
 	DisableOffload bool
+	// DisableFusion forces offloaded tasks onto the staged (materializing)
+	// executor path instead of the fused scan (differential testing).
+	DisableFusion bool
 	// SharedDevice marks the flash device as shared with concurrently
 	// running queries (the sched package). Per-query flash traffic deltas
 	// and registry deltas would misattribute the other queries' work, so
@@ -178,6 +181,7 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 	exec := tabletask.NewExecutor(d.Store, d.DRAM)
 	exec.Obs = o
 	exec.Ctx = d.cfg.Ctx
+	exec.DisableFusion = d.cfg.DisableFusion
 	var allObjects []string
 	for _, u := range res.Units {
 		uSpan := qSpan.Child("unit "+u.Label, obs.StageUnit)

@@ -1,0 +1,167 @@
+package enc
+
+import (
+	"math"
+	"testing"
+
+	"aquoman/internal/flash"
+)
+
+// aggOracle is decode-then-aggregate: the reference the encoded-agg
+// kernel must match bit-for-bit (int64 sums wrap).
+func aggOracle(vals []int64) PageAgg {
+	agg := PageAgg{Count: len(vals), Min: math.MaxInt64, Max: math.MinInt64}
+	var sum uint64
+	for _, v := range vals {
+		sum += uint64(v)
+		if v < agg.Min {
+			agg.Min = v
+		}
+		if v > agg.Max {
+			agg.Max = v
+		}
+	}
+	agg.Sum = int64(sum)
+	return agg
+}
+
+func checkAggAgainstOracle(t *testing.T, label string, vals []int64, codec Codec, wantKernel bool) {
+	t.Helper()
+	enc, meta, err := EncodeColumn(vals, codec)
+	if err != nil {
+		t.Fatalf("%s: encode: %v", label, err)
+	}
+	row := 0
+	for i, pm := range meta.Pages {
+		buf := enc[i*flash.PageSize : (i+1)*flash.PageSize]
+		agg, ok, err := AggregatePage(buf)
+		if err != nil {
+			t.Fatalf("%s: page %d: %v", label, i, err)
+		}
+		if ok != wantKernel {
+			t.Fatalf("%s: page %d kernel ok=%v, want %v", label, i, ok, wantKernel)
+		}
+		if !ok {
+			row += pm.Count
+			continue
+		}
+		want := aggOracle(vals[row : row+pm.Count])
+		if agg != want {
+			t.Fatalf("%s: page %d agg %+v, oracle %+v", label, i, agg, want)
+		}
+		row += pm.Count
+	}
+}
+
+func TestAggregatePageKernels(t *testing.T) {
+	runs := make([]int64, 0, 4096)
+	for v := int64(0); v < 32; v++ {
+		for k := 0; k < 128; k++ {
+			runs = append(runs, v*10-100)
+		}
+	}
+	ramp := make([]int64, 5000)
+	for i := range ramp {
+		ramp[i] = 1_000_000 + int64(i)*3
+	}
+	negs := []int64{-5, -5, -5, 7, 7, -9, -9, -9, -9, 0, 0, 0}
+	big := []int64{math.MaxInt64, math.MaxInt64, math.MinInt64, 1, 1, 1, -1, -1}
+
+	checkAggAgainstOracle(t, "rle/runs", runs, RLE, true)
+	checkAggAgainstOracle(t, "rle/negs", negs, RLE, true)
+	checkAggAgainstOracle(t, "rle/overflow", big, RLE, true)
+	checkAggAgainstOracle(t, "for/ramp", ramp, FOR, true)
+	checkAggAgainstOracle(t, "for/negs", negs, FOR, true)
+	// Dict pages have no encoded-agg kernel; ok must be false, not an error.
+	checkAggAgainstOracle(t, "dict/runs", runs, Dict, false)
+}
+
+func TestAggregatePageRejectsGarbage(t *testing.T) {
+	if _, _, err := AggregatePage(make([]byte, 8)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	buf := make([]byte, flash.PageSize)
+	if _, _, err := AggregatePage(buf); err == nil {
+		t.Fatal("zero page accepted (bad magic)")
+	}
+}
+
+func TestDecodePageIntoReusesBuffers(t *testing.T) {
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(i % 97)
+	}
+	for _, codec := range []Codec{Dict, RLE, FOR} {
+		enc, meta, err := EncodeColumn(vals, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p Page
+		// Warm the scratch on the first page, then require steady-state
+		// decodes (and materialization) to stay off the heap.
+		if err := DecodePageInto(&p, enc[:flash.PageSize], meta.Dict); err != nil {
+			t.Fatal(err)
+		}
+		p.Values()
+		allocs := testing.AllocsPerRun(20, func() {
+			for i := range meta.Pages {
+				if err := DecodePageInto(&p, enc[i*flash.PageSize:(i+1)*flash.PageSize], meta.Dict); err != nil {
+					t.Fatal(err)
+				}
+				p.Values()
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: DecodePageInto allocates %.1f per pass, want 0", codec, allocs)
+		}
+		// And it must still decode correctly after reuse.
+		row := 0
+		for i, pm := range meta.Pages {
+			if err := DecodePageInto(&p, enc[i*flash.PageSize:(i+1)*flash.PageSize], meta.Dict); err != nil {
+				t.Fatal(err)
+			}
+			got := p.Values()
+			for k := 0; k < pm.Count; k++ {
+				if got[k] != vals[row+k] {
+					t.Fatalf("%s: row %d = %d, want %d", codec, row+k, got[k], vals[row+k])
+				}
+			}
+			row += pm.Count
+		}
+	}
+}
+
+// FuzzEncAggKernel compares decode-on-encoded SUM/MIN/MAX/COUNT over
+// RLE and FOR pages against decode-then-aggregate on arbitrary columns.
+func FuzzEncAggKernel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{2, 2, 2, 2, 1, 0xFF, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(make([]byte, 400))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := fuzzVals(data)
+		if len(vals) == 0 {
+			return
+		}
+		for _, codec := range []Codec{RLE, FOR} {
+			enc, meta, err := EncodeColumn(vals, codec)
+			if err != nil {
+				t.Fatalf("%s: encode: %v", codec, err)
+			}
+			row := 0
+			for i, pm := range meta.Pages {
+				agg, ok, err := AggregatePage(enc[i*flash.PageSize : (i+1)*flash.PageSize])
+				if err != nil {
+					t.Fatalf("%s: page %d: %v", codec, i, err)
+				}
+				if !ok {
+					t.Fatalf("%s: page %d: kernel refused its own codec", codec, i)
+				}
+				want := aggOracle(vals[row : row+pm.Count])
+				if agg != want {
+					t.Fatalf("%s: page %d agg %+v, oracle %+v", codec, i, agg, want)
+				}
+				row += pm.Count
+			}
+		}
+	})
+}

@@ -407,6 +407,11 @@ func buildDict(vals []int64) []int64 {
 // form — dictionary codes (Dict), unsigned deltas (FOR), or the expanded
 // values (RLE) — so predicate evaluation can run on encoded data and
 // defer materialization (Values) until raw values are actually needed.
+//
+// A Page is reusable: DecodePageInto overwrites it in place, recycling
+// the Native and materialization buffers, so a PagedReader walking a
+// column decodes every page into the same scratch without allocating
+// (the fused scan path's steady state depends on this).
 type Page struct {
 	Codec Codec
 	Count int
@@ -418,6 +423,9 @@ type Page struct {
 
 	dict []int64
 	vals []int64
+	// valsBuf is the reusable backing array behind vals for codecs that
+	// materialize (Dict, FOR); RLE/raw alias Native instead.
+	valsBuf []int64
 }
 
 // DeltaSafe reports whether the page's FOR deltas are small enough to be
@@ -435,112 +443,234 @@ func (p *Page) Values() []int64 {
 	}
 	switch p.Codec {
 	case Dict:
-		vals := make([]int64, p.Count)
+		vals := growInts(p.valsBuf, p.Count)
 		for i, c := range p.Native {
 			vals[i] = p.dict[c]
 		}
-		p.vals = vals
+		p.valsBuf, p.vals = vals, vals
 	case FOR:
-		vals := make([]int64, p.Count)
+		vals := growInts(p.valsBuf, p.Count)
 		for i, d := range p.Native {
 			vals[i] = int64(uint64(p.Base) + uint64(d))
 		}
-		p.vals = vals
+		p.valsBuf, p.vals = vals, vals
 	default:
 		p.vals = p.Native
 	}
 	return p.vals
 }
 
+// growInts returns buf resized to n elements, reusing its backing array
+// when the capacity allows.
+func growInts(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	return buf[:n]
+}
+
 // DecodePage parses one encoded flash page. dict is the column-level
 // dictionary (required for Dict pages; ignored otherwise).
 func DecodePage(buf []byte, dict []int64) (*Page, error) {
+	p := new(Page)
+	if err := DecodePageInto(p, buf, dict); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodePageInto parses one encoded flash page into p, reusing p's
+// decode buffers. On error p's contents are unspecified. This is the
+// allocation-free decode the fused scan path runs per page: after the
+// first page of a column has grown the scratch, subsequent decodes do
+// not touch the heap.
+func DecodePageInto(p *Page, buf []byte, dict []int64) error {
 	if len(buf) < headerSize {
-		return nil, fmt.Errorf("enc: page shorter than header (%d bytes)", len(buf))
+		return fmt.Errorf("enc: page shorter than header (%d bytes)", len(buf))
 	}
 	if buf[0] != pageMagic {
-		return nil, fmt.Errorf("enc: bad page magic 0x%02x", buf[0])
+		return fmt.Errorf("enc: bad page magic 0x%02x", buf[0])
 	}
 	if buf[1] != pageVersion {
-		return nil, fmt.Errorf("enc: unsupported page version %d", buf[1])
+		return fmt.Errorf("enc: unsupported page version %d", buf[1])
 	}
 	codec := Codec(buf[2])
 	count := int(binary.LittleEndian.Uint32(buf[4:]))
 	if count > MaxPageRows {
-		return nil, fmt.Errorf("enc: page row count %d exceeds limit %d", count, MaxPageRows)
+		return fmt.Errorf("enc: page row count %d exceeds limit %d", count, MaxPageRows)
 	}
-	p := &Page{
-		Codec: codec,
-		Count: count,
-		Min:   int64(binary.LittleEndian.Uint64(buf[8:])),
-		Max:   int64(binary.LittleEndian.Uint64(buf[16:])),
-		dict:  dict,
-	}
+	p.Codec = codec
+	p.Count = count
+	p.Min = int64(binary.LittleEndian.Uint64(buf[8:]))
+	p.Max = int64(binary.LittleEndian.Uint64(buf[16:]))
+	p.Base = 0
+	p.dict = dict
+	p.vals = nil
 	switch codec {
 	case FOR:
 		if len(buf) < headerSize+9 {
-			return nil, fmt.Errorf("enc: truncated FOR page")
+			return fmt.Errorf("enc: truncated FOR page")
 		}
 		p.Base = int64(binary.LittleEndian.Uint64(buf[headerSize:]))
 		w := int(buf[headerSize+8])
 		if w > 64 {
-			return nil, fmt.Errorf("enc: FOR width %d", w)
+			return fmt.Errorf("enc: FOR width %d", w)
 		}
 		if headerSize+9+(count*w+7)/8 > len(buf) {
-			return nil, fmt.Errorf("enc: truncated FOR payload")
+			return fmt.Errorf("enc: truncated FOR payload")
 		}
-		deltas := unpackBits(buf[headerSize+9:], count, w)
-		p.Native = make([]int64, count)
-		for i, d := range deltas {
-			p.Native[i] = int64(d)
-		}
+		p.Native = growInts(p.Native, count)
+		unpackBitsInto(p.Native, buf[headerSize+9:], w)
 	case Dict:
 		if len(buf) < headerSize+1 {
-			return nil, fmt.Errorf("enc: truncated dict page")
+			return fmt.Errorf("enc: truncated dict page")
 		}
 		w := int(buf[headerSize])
 		if w > 64 {
-			return nil, fmt.Errorf("enc: dict width %d", w)
+			return fmt.Errorf("enc: dict width %d", w)
 		}
 		if headerSize+1+(count*w+7)/8 > len(buf) {
-			return nil, fmt.Errorf("enc: truncated dict payload")
+			return fmt.Errorf("enc: truncated dict payload")
 		}
-		codes := unpackBits(buf[headerSize+1:], count, w)
-		p.Native = make([]int64, count)
-		for i, c := range codes {
-			if c >= uint64(len(dict)) {
-				return nil, fmt.Errorf("enc: dict code %d outside dictionary of %d", c, len(dict))
+		p.Native = growInts(p.Native, count)
+		unpackBitsInto(p.Native, buf[headerSize+1:], w)
+		for _, c := range p.Native {
+			if uint64(c) >= uint64(len(dict)) {
+				return fmt.Errorf("enc: dict code %d outside dictionary of %d", c, len(dict))
 			}
-			p.Native[i] = int64(c)
 		}
 	case RLE:
 		if len(buf) < headerSize+4 {
-			return nil, fmt.Errorf("enc: truncated RLE page")
+			return fmt.Errorf("enc: truncated RLE page")
 		}
 		nruns := int(binary.LittleEndian.Uint32(buf[headerSize:]))
-		if headerSize+4+nruns*12 > len(buf) {
-			return nil, fmt.Errorf("enc: truncated RLE payload")
+		if nruns < 0 || headerSize+4+nruns*12 > len(buf) {
+			return fmt.Errorf("enc: truncated RLE payload")
 		}
-		p.Native = make([]int64, 0, count)
+		native := growInts(p.Native, count)[:0]
 		off := headerSize + 4
 		for r := 0; r < nruns; r++ {
 			v := int64(binary.LittleEndian.Uint64(buf[off:]))
 			n := int(binary.LittleEndian.Uint32(buf[off+8:]))
 			off += 12
-			if len(p.Native)+n > count {
-				return nil, fmt.Errorf("enc: RLE runs exceed page row count")
+			if len(native)+n > count {
+				return fmt.Errorf("enc: RLE runs exceed page row count")
 			}
 			for k := 0; k < n; k++ {
-				p.Native = append(p.Native, v)
+				native = append(native, v)
 			}
 		}
-		if len(p.Native) != count {
-			return nil, fmt.Errorf("enc: RLE runs cover %d rows, header says %d", len(p.Native), count)
+		if len(native) != count {
+			return fmt.Errorf("enc: RLE runs cover %d rows, header says %d", len(native), count)
 		}
+		p.Native = native
 	default:
-		return nil, fmt.Errorf("enc: unknown page codec %d", codec)
+		return fmt.Errorf("enc: unknown page codec %d", codec)
 	}
-	return p, nil
+	return nil
+}
+
+// PageAgg is the result of folding one encoded page into aggregate form
+// without materializing its rows.
+type PageAgg struct {
+	Count int
+	Sum   int64
+	Min   int64
+	Max   int64
+}
+
+// AggregatePage computes SUM/COUNT/MIN/MAX directly over one encoded
+// page image: RLE pages as Σ value×runlength over the run pairs, FOR
+// pages as base×count + Σdeltas unpacked on the fly. Neither path
+// expands the page into row vectors. Min/Max come from the zone-map
+// header, which is exact (computed from the page's own rows) for every
+// paged codec. ok is false for codecs without an encoded-agg kernel
+// (Dict would need a per-code histogram to beat plain decode; Raw pages
+// have no header at all). Sums wrap modulo 2^64 exactly like the
+// decode-then-accumulate path, so differential comparisons stay exact
+// even on overflow.
+func AggregatePage(buf []byte) (PageAgg, bool, error) {
+	var agg PageAgg
+	if len(buf) < headerSize {
+		return agg, false, fmt.Errorf("enc: page shorter than header (%d bytes)", len(buf))
+	}
+	if buf[0] != pageMagic {
+		return agg, false, fmt.Errorf("enc: bad page magic 0x%02x", buf[0])
+	}
+	if buf[1] != pageVersion {
+		return agg, false, fmt.Errorf("enc: unsupported page version %d", buf[1])
+	}
+	codec := Codec(buf[2])
+	count := int(binary.LittleEndian.Uint32(buf[4:]))
+	if count > MaxPageRows {
+		return agg, false, fmt.Errorf("enc: page row count %d exceeds limit %d", count, MaxPageRows)
+	}
+	agg.Count = count
+	agg.Min = int64(binary.LittleEndian.Uint64(buf[8:]))
+	agg.Max = int64(binary.LittleEndian.Uint64(buf[16:]))
+	switch codec {
+	case RLE:
+		if len(buf) < headerSize+4 {
+			return agg, false, fmt.Errorf("enc: truncated RLE page")
+		}
+		nruns := int(binary.LittleEndian.Uint32(buf[headerSize:]))
+		if nruns < 0 || headerSize+4+nruns*12 > len(buf) {
+			return agg, false, fmt.Errorf("enc: truncated RLE payload")
+		}
+		covered := 0
+		var sum uint64
+		off := headerSize + 4
+		for r := 0; r < nruns; r++ {
+			v := binary.LittleEndian.Uint64(buf[off:])
+			n := int(binary.LittleEndian.Uint32(buf[off+8:]))
+			off += 12
+			covered += n
+			sum += v * uint64(n)
+		}
+		if covered != count {
+			return agg, false, fmt.Errorf("enc: RLE runs cover %d rows, header says %d", covered, count)
+		}
+		agg.Sum = int64(sum)
+		return agg, true, nil
+	case FOR:
+		if len(buf) < headerSize+9 {
+			return agg, false, fmt.Errorf("enc: truncated FOR page")
+		}
+		base := binary.LittleEndian.Uint64(buf[headerSize:])
+		w := int(buf[headerSize+8])
+		if w > 64 {
+			return agg, false, fmt.Errorf("enc: FOR width %d", w)
+		}
+		if headerSize+9+(count*w+7)/8 > len(buf) {
+			return agg, false, fmt.Errorf("enc: truncated FOR payload")
+		}
+		sum := base * uint64(count)
+		if w > 0 {
+			src := buf[headerSize+9:]
+			bit := 0
+			for i := 0; i < count; i++ {
+				var v uint64
+				got := 0
+				for got < w {
+					idx, off := bit/8, bit%8
+					chunk := 8 - off
+					if chunk > w-got {
+						chunk = w - got
+					}
+					v |= (uint64(src[idx]) >> uint(off) & (1<<uint(chunk) - 1)) << uint(got)
+					got += chunk
+					bit += chunk
+				}
+				sum += v
+			}
+		}
+		agg.Sum = int64(sum)
+		return agg, true, nil
+	case Dict:
+		return agg, false, nil
+	default:
+		return agg, false, fmt.Errorf("enc: unknown page codec %d", codec)
+	}
 }
 
 // packBits writes each value's low `width` bits LSB-first into dst.
@@ -567,6 +697,34 @@ func packBits(dst []byte, vals []uint64, width int) {
 			remaining -= chunk
 			bit += chunk
 		}
+	}
+}
+
+// unpackBitsInto reads len(dst) width-bit values LSB-first from src
+// directly into an int64 destination, skipping the intermediate uint64
+// slice (and its allocation) that unpackBits would build.
+func unpackBitsInto(dst []int64, src []byte, width int) {
+	if width == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	bit := 0
+	for i := range dst {
+		var v uint64
+		got := 0
+		for got < width {
+			idx, off := bit/8, bit%8
+			chunk := 8 - off
+			if chunk > width-got {
+				chunk = width - got
+			}
+			v |= (uint64(src[idx]) >> uint(off) & (1<<uint(chunk) - 1)) << uint(got)
+			got += chunk
+			bit += chunk
+		}
+		dst[i] = int64(v)
 	}
 }
 

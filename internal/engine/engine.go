@@ -11,6 +11,7 @@ import (
 	"aquoman/internal/flash"
 	"aquoman/internal/obs"
 	"aquoman/internal/plan"
+	"aquoman/internal/pool"
 	"aquoman/internal/systolic"
 )
 
@@ -272,14 +273,34 @@ func (e *Engine) execFilter(t *plan.Filter) (*Batch, error) {
 			keep++
 		}
 	}
-	for c := range in.Cols {
-		dst := make([]int64, 0, keep)
+	switch keep {
+	case 0:
+		// Nothing survives: empty columns, no copies.
+	case len(pred):
+		// Everything survives: alias the input columns (the same
+		// share-don't-copy shape execLimit uses).
+		copy(out.Cols, in.Cols)
+	default:
+		// Materialize the selection once into a pooled index so each
+		// column is a dense indexed copy instead of re-testing the
+		// predicate per column.
+		sel := pool.Vals.Get(keep)
+		j := 0
 		for r, v := range pred {
 			if v != 0 {
-				dst = append(dst, in.Cols[c][r])
+				sel[j] = int64(r)
+				j++
 			}
 		}
-		out.Cols[c] = dst
+		for c := range in.Cols {
+			src := in.Cols[c]
+			dst := make([]int64, keep)
+			for i, r := range sel {
+				dst[i] = src[r]
+			}
+			out.Cols[c] = dst
+		}
+		pool.Vals.Put(sel)
 	}
 	e.Stats.alloc(out)
 	e.Stats.free(in)

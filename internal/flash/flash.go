@@ -738,10 +738,15 @@ func (f *File) ReadAt(p []byte, off int64, who Requester) (int, error) {
 // accounting) is already committed by then, so a cut-short throttle
 // returns the bytes read alongside the context error.
 func (f *File) readDirect(ctx context.Context, p []byte, off int64, who Requester) (int, error) {
-	if lc := obs.LifecycleFrom(ctx); lc != nil {
-		// Uncached reads hit the device directly: fault check, copy, and
-		// simulated NAND latency are all device-read time.
-		defer lc.Timer(obs.StateDeviceRead)()
+	// Uncached reads hit the device directly: fault check, copy, and
+	// simulated NAND latency are all device-read time. Attributed with an
+	// explicit start stamp rather than a deferred Timer closure so the hot
+	// read path stays allocation-free.
+	lc := obs.LifecycleFrom(ctx)
+	var lcStart time.Time
+	if lc != nil {
+		lcStart = time.Now()
+		defer func() { lc.Add(obs.StateDeviceRead, time.Since(lcStart)) }()
 	}
 	f.mu.Lock()
 	size := int64(len(f.data))

@@ -69,7 +69,8 @@ type Lifecycle struct {
 	ID     string
 	start  time.Time
 	wall   atomic.Int64 // frozen wall time in ns; 0 until Finish
-	nested atomic.Int64 // total ns attributed across all states
+	nested atomic.Int64 // total ns attributed across all states, minus debt
+	debt   atomic.Int64 // ns double-attributed by concurrent adds (see below)
 	states [NumStates]atomic.Int64
 }
 
@@ -85,6 +86,24 @@ func (lc *Lifecycle) Add(s State, d time.Duration) {
 	}
 	lc.states[s].Add(int64(d))
 	lc.nested.Add(int64(d))
+}
+
+// addExclusive closes an exclusive region whose remainder is r. A
+// positive remainder is a normal Add. A negative remainder means an Add
+// from outside this goroutine's call stack landed inside the window —
+// a coalesced cache fill completing between Mark regions, a cluster
+// worker attributing flash time while the coordinator holds a
+// scatter-wait window — so the same nanoseconds were attributed twice.
+// The overcount is banked as debt and subtracted from nested so the
+// enclosing window is not charged for it a second time; Finish settles
+// the debt by scaling states back down, keeping Σstates ≤ wall.
+func (lc *Lifecycle) addExclusive(s State, r time.Duration) {
+	if r >= 0 {
+		lc.Add(s, r)
+		return
+	}
+	lc.debt.Add(int64(-r))
+	lc.nested.Add(int64(r))
 }
 
 // Timer starts an inclusive region: the returned func attributes the
@@ -109,7 +128,7 @@ func (lc *Lifecycle) ExclusiveTimer(s State) func() {
 	t0 := time.Now()
 	n0 := lc.nested.Load()
 	return func() {
-		lc.Add(s, time.Since(t0)-time.Duration(lc.nested.Load()-n0))
+		lc.addExclusive(s, time.Since(t0)-time.Duration(lc.nested.Load()-n0))
 	}
 }
 
@@ -138,7 +157,7 @@ func (cu *Cursor) Mark(s State) {
 		return
 	}
 	now := time.Now()
-	cu.lc.Add(s, now.Sub(cu.last)-time.Duration(cu.lc.nested.Load()-cu.nested))
+	cu.lc.addExclusive(s, now.Sub(cu.last)-time.Duration(cu.lc.nested.Load()-cu.nested))
 	cu.last = now
 	cu.nested = cu.lc.nested.Load()
 }
@@ -168,13 +187,45 @@ func (lc *Lifecycle) Attributed() time.Duration {
 	return time.Duration(lc.nested.Load())
 }
 
-// Finish freezes the wall clock (first call wins) and returns it.
+// Finish freezes the wall clock (first call wins) and returns it. The
+// first call also settles any attribution debt: when concurrent adds
+// landed inside exclusive windows, the per-state totals overcount the
+// attributed total by exactly the banked debt, so each state is scaled
+// down proportionally until Σstates equals Attributed() again. This is
+// what keeps the per-query breakdown summing to ≤ wall time even when
+// cache fills or cluster workers attribute from other goroutines.
 func (lc *Lifecycle) Finish() time.Duration {
 	if lc == nil {
 		return 0
 	}
-	lc.wall.CompareAndSwap(0, int64(time.Since(lc.start)))
+	if lc.wall.CompareAndSwap(0, int64(time.Since(lc.start))) {
+		lc.settle()
+	}
 	return time.Duration(lc.wall.Load())
+}
+
+// settle reconciles Σstates with the attributed total (see Finish).
+func (lc *Lifecycle) settle() {
+	debt := lc.debt.Load()
+	if debt <= 0 {
+		return
+	}
+	attributed := lc.nested.Load()
+	gross := attributed + debt
+	if gross <= 0 || attributed < 0 {
+		attributed = 0
+	}
+	for s := range lc.states {
+		v := lc.states[s].Load()
+		if v <= 0 {
+			continue
+		}
+		keep := int64(0)
+		if attributed > 0 {
+			keep = int64(float64(v) * float64(attributed) / float64(gross))
+		}
+		lc.states[s].Add(keep - v)
+	}
 }
 
 // Wall returns the frozen wall time, or time since start before Finish.

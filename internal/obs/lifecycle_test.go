@@ -40,21 +40,23 @@ func TestLifecycleAddAndBreakdown(t *testing.T) {
 
 // An exclusive region must not double-count time already attributed to a
 // nested state inside its window: attributing 10ms of device_read inside
-// a ~0ms exclusive host window leaves host at (elapsed - 10ms), clamped
-// to zero by Add, so the total stays 10ms instead of 20ms.
+// a ~0ms exclusive host window leaves host at ~0. The 10ms exceeds the
+// window's real elapsed time (the shape a concurrent cross-goroutine Add
+// produces), so the excess is banked as debt and Attributed() tracks the
+// real elapsed time, not the inflated state total.
 func TestLifecycleExclusiveTimerExcludesNested(t *testing.T) {
 	lc := NewLifecycle("q")
 	end := lc.ExclusiveTimer(StateHost)
 	lc.Add(StateDeviceRead, 10*time.Millisecond)
 	end()
 	if got := lc.State(StateDeviceRead); got != 10*time.Millisecond {
-		t.Fatalf("device_read = %v, want 10ms", got)
+		t.Fatalf("device_read = %v, want 10ms before settle", got)
 	}
 	if host := lc.State(StateHost); host > time.Millisecond {
 		t.Fatalf("host = %v, want ~0 (nested device_read must be excluded)", host)
 	}
-	if att := lc.Attributed(); att < 10*time.Millisecond || att > 11*time.Millisecond {
-		t.Fatalf("attributed = %v, want ~10ms (no double counting)", att)
+	if att := lc.Attributed(); att > time.Millisecond {
+		t.Fatalf("attributed = %v, want ~0 (overcount inside the window is debt, not attribution)", att)
 	}
 }
 
@@ -73,13 +75,14 @@ func TestCursorMarkExcludesNestedAndSkips(t *testing.T) {
 	cu := lc.Cursor()
 	lc.Add(StateCacheHit, 8*time.Millisecond)
 	cu.Mark(StateRowSel)
-	// The rowsel region is (real elapsed - 8ms), which is negative here,
-	// so rowsel stays 0 and only the cache_hit attribution remains.
+	// The rowsel region is (real elapsed - 8ms), which is negative here:
+	// rowsel stays 0 and the ~8ms of cache_hit that exceeds the region's
+	// real elapsed time becomes debt, so Attributed() stays ~elapsed.
 	if rs := lc.State(StateRowSel); rs > time.Millisecond {
 		t.Fatalf("rowsel = %v, want ~0", rs)
 	}
-	if att := lc.Attributed(); att < 8*time.Millisecond || att > 9*time.Millisecond {
-		t.Fatalf("attributed = %v, want ~8ms", att)
+	if att := lc.Attributed(); att > time.Millisecond {
+		t.Fatalf("attributed = %v, want ~0 (overcount inside the region is debt)", att)
 	}
 
 	// Mark re-anchors: a second region attributes only its own time.
@@ -95,6 +98,41 @@ func TestCursorMarkExcludesNestedAndSkips(t *testing.T) {
 	cu.Skip()
 	if att := lc.Attributed(); att != before {
 		t.Fatalf("Skip attributed %v", att-before)
+	}
+}
+
+// A concurrent Add landing inside an exclusive window (a coalesced cache
+// fill completing between Mark regions, a cluster worker attributing
+// flash time while the coordinator holds a scatter-wait window) claims
+// nanoseconds the window's own state would also claim. The window's
+// negative remainder banks the overcount as debt instead of silently
+// dropping it with nested left inflated, and Finish settles the debt by
+// scaling states down — so the per-state breakdown never sums past wall.
+func TestLifecycleConcurrentOverlapSettlesToWall(t *testing.T) {
+	lc := NewLifecycle("q")
+	end := lc.ExclusiveTimer(StateHost)
+	time.Sleep(2 * time.Millisecond)
+	// Simulate a cross-goroutine attribution far exceeding the window's
+	// real elapsed time.
+	lc.Add(StateCoalesceWait, 50*time.Millisecond)
+	end()
+	wall := lc.Finish()
+
+	var sum time.Duration
+	for _, ns := range lc.Breakdown() {
+		sum += time.Duration(ns)
+	}
+	if sum > wall {
+		t.Fatalf("Σstates = %v > wall %v after settle", sum, wall)
+	}
+	if cw := lc.State(StateCoalesceWait); cw >= 50*time.Millisecond {
+		t.Fatalf("coalesce_wait = %v, want scaled below the raw 50ms", cw)
+	}
+	if att := lc.Attributed(); time.Duration(sum) > att {
+		t.Fatalf("Σstates = %v > attributed %v after settle", sum, att)
+	}
+	if cov := lc.Coverage(); cov > 1.01 {
+		t.Fatalf("coverage = %v, want <= ~1", cov)
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package pool
+
+// The race runtime randomizes sync.Pool behavior (deliberate fake
+// misses); tests that assert buffer reuse consult this to degrade from
+// "must" to "retry, then skip".
+const raceEnabled = true

@@ -100,7 +100,7 @@ func (p *Program) RunCtx(ctx context.Context, tab *col.Table, in *bitvec.Mask, w
 		return mask, st, nil
 	}
 	readers := make([]*col.PagedReader, len(p.Preds))
-	evals := make([]predEval, len(p.Preds))
+	evals := make([]VecEvaluator, len(p.Preds))
 	for i, cp := range p.Preds {
 		ci, err := tab.Column(cp.Column)
 		if err != nil {
@@ -108,13 +108,20 @@ func (p *Program) RunCtx(ctx context.Context, tab *col.Table, in *bitvec.Mask, w
 		}
 		readers[i] = col.NewPagedReader(ci, who)
 		readers[i].SetContext(ctx)
-		evals[i].init(cp.Expr, ci.Enc)
+		evals[i].Init(cp.Expr, ci.Enc)
 	}
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
 	// Zone-map pre-pass: a page whose predicate interval over its
 	// [min,max] is provably zero cannot contribute a row — mask out its
 	// rows before the scan so the page is never fetched from flash.
 	for i, cp := range p.Preds {
-		pruneByZoneMaps(cp.Expr, readers[i], mask)
+		PruneByZoneMaps(cp.Expr, readers[i], mask)
 	}
 	nVecs := mask.NumVecs()
 	for vec := 0; vec < nVecs; vec++ {
@@ -125,7 +132,7 @@ func (p *Program) RunCtx(ctx context.Context, tab *col.Table, in *bitvec.Mask, w
 			continue
 		}
 		for pi := range p.Preds {
-			if err := evals[pi].evalVec(readers[pi], vec, mask); err != nil {
+			if err := evals[pi].EvalVec(readers[pi], vec, mask); err != nil {
 				return nil, st, err
 			}
 			if mask.VecAllZero(vec) {
@@ -150,11 +157,12 @@ func (p *Program) RunCtx(ctx context.Context, tab *col.Table, in *bitvec.Mask, w
 	return mask, st, nil
 }
 
-// pruneByZoneMaps masks out the rows of every page the predicate provably
+// PruneByZoneMaps masks out the rows of every page the predicate provably
 // rejects. Pages that still had live rows are marked pruned on the reader
 // (they would otherwise have cost a flash read); pages the mask had
-// already eliminated are left to the ordinary skip accounting.
-func pruneByZoneMaps(expr systolic.Expr, r *col.PagedReader, mask *bitvec.Mask) {
+// already eliminated are left to the ordinary skip accounting. It is the
+// shared zone-map pre-pass of both RunCtx and the fused scan path.
+func PruneByZoneMaps(expr systolic.Expr, r *col.PagedReader, mask *bitvec.Mask) {
 	meta := r.Meta()
 	if meta == nil {
 		return
@@ -190,12 +198,17 @@ func pruneByZoneMaps(expr systolic.Expr, r *col.PagedReader, mask *bitvec.Mask) 
 	}
 }
 
-// predEval evaluates one column predicate over Row Vectors, preferring
+// VecEvaluator evaluates one column predicate over Row Vectors, preferring
 // the column's encoded representation: dictionary codes index a memoized
 // truth table, frame-of-reference deltas evaluate a shifted-constant
 // rewrite of the expression, and run-length pages amortize via
 // repeated-value memoization. Raw and refused shapes materialize values.
-type predEval struct {
+//
+// It is exported so the fused scan path (internal/tabletask) can interleave
+// predicate evaluation with projection and aggregation vector by vector;
+// after Init, EvalVec performs no heap allocation. A VecEvaluator is
+// single-goroutine scratch.
+type VecEvaluator struct {
 	expr systolic.Expr
 	// truth memoizes the predicate per dictionary code (-1 = unknown).
 	truth []int8
@@ -210,7 +223,9 @@ type predEval struct {
 	lane [1]int64
 }
 
-func (e *predEval) init(expr systolic.Expr, meta *enc.ColumnMeta) {
+// Init binds the evaluator to a predicate expression and the column's
+// encoding metadata (nil meta means a raw column).
+func (e *VecEvaluator) Init(expr systolic.Expr, meta *enc.ColumnMeta) {
 	e.expr = expr
 	if meta != nil && meta.Codec == enc.Dict {
 		e.dict = meta.Dict
@@ -221,7 +236,10 @@ func (e *predEval) init(expr systolic.Expr, meta *enc.ColumnMeta) {
 	}
 }
 
-func (e *predEval) evalVec(r *col.PagedReader, vec int, mask *bitvec.Mask) error {
+// EvalVec refines mask over the rows of one 32-row vector, clearing every
+// lane the predicate rejects. The reader must be positioned on the same
+// column the evaluator was initialized for.
+func (e *VecEvaluator) EvalVec(r *col.PagedReader, vec int, mask *bitvec.Mask) error {
 	base := vec * bitvec.VecSize
 	if e.truth != nil {
 		n, ok, err := r.ReadVecCodes(vec, e.vals[:])

@@ -67,10 +67,11 @@ type GroupByStats struct {
 // group is one accumulated group (identical layout for resident and
 // spilled groups; residency only affects accounting).
 type group struct {
-	keys  []int64
-	attrs []int64
-	aggs  []int64
-	cnt   []int64
+	keys    []int64
+	attrs   []int64
+	aggs    []int64
+	cnt     []int64
+	spilled bool
 }
 
 // GroupByAccel is the Aggregate-GroupBy accelerator. Grouping semantics
@@ -91,7 +92,13 @@ type GroupByAccel struct {
 	order  []string
 	// residentBucket maps a hash bucket to the identifier that owns it.
 	residentBucket map[uint32]string
-	spilled        map[string]bool
+	spilledGroups  int64
+
+	// keyBuf is per-row scratch for exact-key map lookups; reusing it (and
+	// looking up via groups[string(keyBuf)], which the compiler performs
+	// without materializing a string) keeps Consume allocation-free for
+	// already-seen groups.
+	keyBuf []byte
 
 	stats GroupByStats
 }
@@ -117,7 +124,6 @@ func NewGroupBy(cfg GroupByConfig, keyCount, attrCount int, aggs []AggKind) (*Gr
 		cfg: cfg, keyCount: keyCount, attrs: attrCount, aggs: aggs,
 		groups:         make(map[string]*group),
 		residentBucket: make(map[uint32]string),
-		spilled:        make(map[string]bool),
 	}, nil
 }
 
@@ -150,46 +156,25 @@ func fnv32(s string) uint32 {
 
 // Consume feeds one row: keys (grouping columns), attrs (dependent
 // attribute columns), vals (aggregate inputs, one per configured AggKind).
+// For already-seen groups it performs no heap allocation: the exact key is
+// built in reusable scratch and the group looked up without interning it.
 func (g *GroupByAccel) Consume(keys, attrs, vals []int64) error {
 	if len(keys) != g.keyCount || len(attrs) != g.attrs || len(vals) != len(g.aggs) {
 		return fmt.Errorf("swissknife: group-by row shape (%d,%d,%d) vs configured (%d,%d,%d)",
 			len(keys), len(attrs), len(vals), g.keyCount, g.attrs, len(g.aggs))
 	}
 	g.stats.RowsIn++
-	mapKey := g.exactKey(keys)
-	gr, ok := g.groups[mapKey]
+	buf := g.keyBuf[:0]
+	for _, k := range keys {
+		var t [8]byte
+		binary.LittleEndian.PutUint64(t[:], uint64(k))
+		buf = append(buf, t[:]...)
+	}
+	g.keyBuf = buf
+	gr, ok := g.groups[string(buf)]
 	if !ok {
-		gr = &group{
-			keys:  append([]int64(nil), keys...),
-			attrs: append([]int64(nil), attrs...),
-			aggs:  make([]int64, len(g.aggs)),
-			cnt:   make([]int64, len(g.aggs)),
-		}
-		for i, k := range g.aggs {
-			switch k {
-			case AggMin:
-				gr.aggs[i] = int64(^uint64(0) >> 1)
-			case AggMax:
-				gr.aggs[i] = -int64(^uint64(0)>>1) - 1
-			}
-		}
-		g.groups[mapKey] = gr
-		g.order = append(g.order, mapKey)
-		// Hardware residency: the group gets a bucket only if its
-		// identifier fits 16 B, a group number below the bucket count is
-		// free, and no resident group owns its hash bucket.
-		id, fits := g.identifier(keys)
-		resident := false
-		if fits && len(g.residentBucket) < g.cfg.Buckets {
-			b := fnv32(id) % uint32(g.cfg.Buckets)
-			if _, taken := g.residentBucket[b]; !taken {
-				g.residentBucket[b] = mapKey
-				resident = true
-			}
-		}
-		if !resident {
-			g.spilled[mapKey] = true
-		}
+		// The only allocating path: intern the key and build the group.
+		gr = g.insert(string(buf), keys, attrs)
 	} else if g.attrs > 0 {
 		// Verify the declared functional dependence on every revisit.
 		for i, a := range attrs {
@@ -198,7 +183,7 @@ func (g *GroupByAccel) Consume(keys, attrs, vals []int64) error {
 			}
 		}
 	}
-	if g.spilled[mapKey] {
+	if gr.spilled {
 		g.stats.SpilledRows++
 	}
 	for i, k := range g.aggs {
@@ -222,12 +207,41 @@ func (g *GroupByAccel) Consume(keys, attrs, vals []int64) error {
 	return nil
 }
 
-func (g *GroupByAccel) exactKey(keys []int64) string {
-	buf := make([]byte, len(keys)*8)
-	for i, k := range keys {
-		binary.LittleEndian.PutUint64(buf[i*8:], uint64(k))
+// insert creates the group for a first-seen key and decides its hardware
+// residency: the group gets a bucket only if its identifier fits 16 B, a
+// group number below the bucket count is free, and no resident group owns
+// its hash bucket.
+func (g *GroupByAccel) insert(mapKey string, keys, attrs []int64) *group {
+	gr := &group{
+		keys:  append([]int64(nil), keys...),
+		attrs: append([]int64(nil), attrs...),
+		aggs:  make([]int64, len(g.aggs)),
+		cnt:   make([]int64, len(g.aggs)),
 	}
-	return string(buf)
+	for i, k := range g.aggs {
+		switch k {
+		case AggMin:
+			gr.aggs[i] = int64(^uint64(0) >> 1)
+		case AggMax:
+			gr.aggs[i] = -int64(^uint64(0)>>1) - 1
+		}
+	}
+	g.groups[mapKey] = gr
+	g.order = append(g.order, mapKey)
+	id, fits := g.identifier(keys)
+	resident := false
+	if fits && len(g.residentBucket) < g.cfg.Buckets {
+		b := fnv32(id) % uint32(g.cfg.Buckets)
+		if _, taken := g.residentBucket[b]; !taken {
+			g.residentBucket[b] = mapKey
+			resident = true
+		}
+	}
+	if !resident {
+		gr.spilled = true
+		g.spilledGroups++
+	}
+	return gr
 }
 
 // Results returns the merged groups (resident + host spill-over) in first-
@@ -257,7 +271,7 @@ func (g *GroupByAccel) Counts() (rows [][]int64) {
 func (g *GroupByAccel) Stats() GroupByStats {
 	s := g.stats
 	s.Groups = int64(len(g.groups))
-	s.SpilledGroups = int64(len(g.spilled))
+	s.SpilledGroups = g.spilledGroups
 	s.ResidentGroups = int64(len(g.residentBucket))
 	return s
 }
@@ -298,6 +312,44 @@ func (a *Aggregate) Result() (aggs, counts []int64) {
 
 // RowsIn returns the number of consumed rows.
 func (a *Aggregate) RowsIn() int64 { return a.inner.stats.RowsIn }
+
+// ConsumeSummary folds a whole-page summary — count rows of the single
+// aggregate input column with the given sum (wrapping int64), minimum and
+// maximum — into the accumulators, exactly as if Consume had been called
+// once per row. It is the sink of the encoded-aggregation fast path,
+// where SUM/MIN/MAX/COUNT come straight off an RLE or FOR page without
+// decoding. A zero count is a no-op (no rows, no group).
+func (a *Aggregate) ConsumeSummary(count int, sum, min, max int64) {
+	if count <= 0 {
+		return
+	}
+	g := a.inner
+	g.stats.RowsIn += int64(count)
+	gr, ok := g.groups[""]
+	if !ok {
+		gr = g.insert("", nil, nil)
+	}
+	if gr.spilled {
+		g.stats.SpilledRows += int64(count)
+	}
+	for i, k := range g.aggs {
+		switch k {
+		case AggSum:
+			gr.aggs[i] += sum
+		case AggMin:
+			if min < gr.aggs[i] {
+				gr.aggs[i] = min
+			}
+		case AggMax:
+			if max > gr.aggs[i] {
+				gr.aggs[i] = max
+			}
+		case AggCnt:
+			gr.aggs[i] += int64(count)
+		}
+		gr.cnt[i] += int64(count)
+	}
+}
 
 // SemiJoinSorted is the MERGE operator's intersection semantics: it
 // returns the elements of stream whose key appears in dim. Both inputs

@@ -11,12 +11,61 @@ import (
 // the upstream FIFO on rs==0 reads and pushing downstream on rd==0 writes,
 // with the opReg operand FIFO between Store/Copy producers and ALU
 // consumers.
+//
+// A Machine carries reusable per-call scratch (register file, FIFOs,
+// result headers) sized once at construction, so RunVec performs no heap
+// allocation in steady state. That makes a Machine single-goroutine:
+// share a *Mapped across goroutines and give each its own Machine.
 type Machine struct {
 	m *Mapped
+
+	regs   []vec // PE register file, sized to the widest program
+	fifoA  []vec // ping-pong inter-PE FIFOs
+	fifoB  []vec
+	opFifo []vec     // operand FIFO scratch
+	res    [][]int64 // result headers returned by RunVec
 }
 
 // NewMachine wraps a compiled transformation.
-func NewMachine(m *Mapped) *Machine { return &Machine{m: m} }
+func NewMachine(m *Mapped) *Machine {
+	maxReg := NumRegs
+	maxWide := m.NumInputs
+	if m.NumOutputs > maxWide {
+		maxWide = m.NumOutputs
+	}
+	maxOps := 0
+	for _, prog := range m.Programs {
+		pushes, ops := 0, 0
+		for _, ins := range prog {
+			if int(ins.Rd) > maxReg {
+				maxReg = int(ins.Rd)
+			}
+			if int(ins.Rs) > maxReg {
+				maxReg = int(ins.Rs)
+			}
+			if ins.Rd == StreamReg && ins.Op != OpStore {
+				pushes++
+			}
+			if ins.Op == OpStore || ins.Op == OpCopy {
+				ops++
+			}
+		}
+		if pushes > maxWide {
+			maxWide = pushes
+		}
+		if ops > maxOps {
+			maxOps = ops
+		}
+	}
+	return &Machine{
+		m:      m,
+		regs:   make([]vec, maxReg+1),
+		fifoA:  make([]vec, 0, maxWide),
+		fifoB:  make([]vec, 0, maxWide),
+		opFifo: make([]vec, 0, maxOps),
+		res:    make([][]int64, m.NumOutputs),
+	}
+}
 
 // Mapped returns the underlying compiled transformation.
 func (ma *Machine) Mapped() *Mapped { return ma.m }
@@ -45,101 +94,98 @@ func (ma *Machine) RunVec(inputs [][]int64) ([][]int64, error) {
 		}
 	}
 	// Upstream FIFO of the first PE: the streamed columns in order.
-	fifo := make([]vec, 0, len(inputs))
+	fifo := ma.fifoA[:0]
 	for _, c := range inputs {
 		var v vec
 		v.n = n
 		copy(v.lanes[:], c)
 		fifo = append(fifo, v)
 	}
+	spare := ma.fifoB
 	for pi, prog := range ma.m.Programs {
-		out, err := runPE(prog, fifo, n)
+		out, err := ma.runPE(prog, fifo, spare[:0], n)
 		if err != nil {
 			return nil, fmt.Errorf("systolic: PE %d: %w", pi, err)
 		}
-		fifo = out
+		fifo, spare = out, fifo
 	}
+	// Remember which backing array each ping-pong buffer ended up on so
+	// the next call starts from the same capacity.
+	ma.fifoA, ma.fifoB = fifo, spare
 	if len(fifo) != ma.m.NumOutputs {
 		return nil, fmt.Errorf("systolic: chain produced %d vectors, want %d", len(fifo), ma.m.NumOutputs)
 	}
-	res := make([][]int64, len(fifo))
+	res := ma.res
 	for i := range fifo {
 		res[i] = fifo[i].lanes[:n]
 	}
 	return res, nil
 }
 
-func runPE(prog Program, in []vec, n int) ([]vec, error) {
-	maxReg := NumRegs
+// runPE executes one PE program, popping vectors from in and appending
+// pushed vectors to out (returned re-sliced). Registers are NOT cleared
+// between calls: the compiler never emits a read of a register the same
+// program has not written first, so stale state is unreachable.
+func (ma *Machine) runPE(prog Program, in, out []vec, n int) ([]vec, error) {
+	regs := ma.regs
+	opFifo := ma.opFifo[:0]
+	opPos := 0 // pop by index so the backing array keeps its capacity
+	inPos := 0
 	for _, ins := range prog {
-		if int(ins.Rd) > maxReg {
-			maxReg = int(ins.Rd)
-		}
-		if int(ins.Rs) > maxReg {
-			maxReg = int(ins.Rs)
-		}
-	}
-	regs := make([]vec, maxReg+1)
-	var opFifo []vec
-	var out []vec
-	pop := func() (vec, error) {
-		if len(in) == 0 {
-			return vec{}, fmt.Errorf("input FIFO underflow")
-		}
-		v := in[0]
-		in = in[1:]
-		return v, nil
-	}
-	readSrc := func(rs uint8) (vec, error) {
-		if rs == StreamReg {
-			return pop()
-		}
-		return regs[rs], nil
-	}
-	writeDst := func(rd uint8, v vec) {
-		if rd == StreamReg {
-			out = append(out, v)
+		var src vec
+		if ins.Rs == StreamReg {
+			if inPos >= len(in) {
+				return nil, fmt.Errorf("%s: input FIFO underflow", ins)
+			}
+			src = in[inPos]
+			inPos++
 		} else {
-			regs[rd] = v
-		}
-	}
-	for _, ins := range prog {
-		src, err := readSrc(ins.Rs)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", ins, err)
+			src = regs[ins.Rs]
 		}
 		switch ins.Op {
 		case OpPass:
-			writeDst(ins.Rd, src)
+			if ins.Rd == StreamReg {
+				out = append(out, src)
+			} else {
+				regs[ins.Rd] = src
+			}
 		case OpCopy:
-			writeDst(ins.Rd, src)
+			if ins.Rd == StreamReg {
+				out = append(out, src)
+			} else {
+				regs[ins.Rd] = src
+			}
 			opFifo = append(opFifo, src)
 		case OpStore:
 			opFifo = append(opFifo, src)
 		case OpAlu:
-			var operand vec
-			if ins.UseImm {
-				operand.n = n
-				for i := 0; i < n; i++ {
-					operand.lanes[i] = ins.Imm
-				}
-			} else {
-				if len(opFifo) == 0 {
-					return nil, fmt.Errorf("%s: operand FIFO underflow", ins)
-				}
-				operand = opFifo[0]
-				opFifo = opFifo[1:]
-			}
 			var r vec
 			r.n = n
-			for i := 0; i < n; i++ {
-				r.lanes[i] = ins.Alu.Apply(src.lanes[i], operand.lanes[i])
+			if ins.UseImm {
+				imm := ins.Imm
+				for i := 0; i < n; i++ {
+					r.lanes[i] = ins.Alu.Apply(src.lanes[i], imm)
+				}
+			} else {
+				if opPos >= len(opFifo) {
+					return nil, fmt.Errorf("%s: operand FIFO underflow", ins)
+				}
+				operand := &opFifo[opPos]
+				opPos++
+				for i := 0; i < n; i++ {
+					r.lanes[i] = ins.Alu.Apply(src.lanes[i], operand.lanes[i])
+				}
 			}
-			writeDst(ins.Rd, r)
+			if ins.Rd == StreamReg {
+				out = append(out, r)
+			} else {
+				regs[ins.Rd] = r
+			}
 		default:
 			return nil, fmt.Errorf("bad opcode %d", ins.Op)
 		}
 	}
+	ma.opFifo = opFifo[:0]
 	return out, nil
 }
 

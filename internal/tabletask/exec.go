@@ -100,6 +100,11 @@ type Executor struct {
 	Obs       *obs.Observer
 	ObsParent *obs.Span
 
+	// DisableFusion forces every task onto the staged (materializing)
+	// path, even when the fused scan could run it. The differential
+	// harness uses it as the oracle switch.
+	DisableFusion bool
+
 	cached map[string]bool // DRAM-cached gather columns
 }
 
@@ -157,6 +162,17 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 	tab, err := e.Store.Table(t.Table)
 	if err != nil {
 		return nil, err
+	}
+
+	// Fused path: aggregation scans run the whole pipeline in one pass
+	// per 32-row vector instead of the staged flow below (see fused.go).
+	if e.fusedEligible(t) {
+		res, err := e.runFused(t, tab, &tt, span, cu)
+		if err != nil {
+			return nil, err
+		}
+		tt.HostRows = int64(res.NumRows())
+		return res, nil
 	}
 
 	// 1. Incoming mask.
@@ -418,6 +434,7 @@ func (e *Executor) runRegexFilter(t *Task, tab *col.Table, rf RegexFilter, mask 
 	// the accelerator cache).
 	reader := col.NewPagedReader(ci, flash.Aquoman)
 	reader.SetContext(e.Ctx)
+	defer reader.Close()
 	heap, err := ci.NewHeapReaderCtx(e.Ctx, flash.Aquoman)
 	if err != nil {
 		return err
@@ -469,6 +486,7 @@ func (e *Executor) streamColumn(tab *col.Table, name string, mask *bitvec.Mask, 
 	}
 	r := col.NewPagedReader(ci, flash.Aquoman)
 	r.SetContext(e.Ctx)
+	defer r.Close()
 	out := make([]int64, 0, nSel)
 	var vals [bitvec.VecSize]int64
 	nVecs := mask.NumVecs()
@@ -544,6 +562,7 @@ func (e *Executor) gatherHop(hop GatherHop, rows []int64, tt *TaskTrace) ([]int6
 	}
 	reader := col.NewPagedReader(ci, flash.Aquoman)
 	reader.SetContext(e.Ctx)
+	defer reader.Close()
 	lookup := make(map[int64]int64, refMask.Count())
 	var vals [bitvec.VecSize]int64
 	nVecs := refMask.NumVecs()

@@ -1,0 +1,445 @@
+package tabletask
+
+import (
+	"fmt"
+
+	"aquoman/internal/bitvec"
+	"aquoman/internal/col"
+	"aquoman/internal/enc"
+	"aquoman/internal/flash"
+	"aquoman/internal/obs"
+	"aquoman/internal/rowsel"
+	"aquoman/internal/swissknife"
+	"aquoman/internal/systolic"
+)
+
+// The fused scan path collapses the Row Selector, Table Reader, Row
+// Transformer and Swissknife passes of an aggregation task into a single
+// sweep: each 32-row vector is predicate-filtered, streamed, compacted,
+// transformed and consumed before the next vector is touched, so no
+// intermediate column is ever materialized. All scratch is checked out of
+// pools or pre-sized at setup; the steady-state per-morsel loop performs
+// zero heap allocations (enforced by fused_test.go and the scalebench CI
+// gate). Row order, page accounting and results are identical to the
+// staged path — the differential oracle in fused_oracle_test.go holds the
+// two paths cell-exact against each other.
+//
+// On encoded columns with no predicates and no transform, whole pages
+// short-circuit further still: enc.AggregatePage folds COUNT/SUM/MIN/MAX
+// straight off the RLE runs or FOR deltas and the page is never expanded
+// (swissknife.ConsumeSummary).
+
+// fusedEligible reports whether the task can take the fused path. The
+// fused loop handles full-table aggregation scans — the shape every
+// TPC-H q1/q6-style pipeline compiles to — and leaves masked, gathering,
+// regex, sorting and DRAM-producing tasks to the staged path.
+func (e *Executor) fusedEligible(t *Task) bool {
+	if e.DisableFusion {
+		return false
+	}
+	if t.Out.Kind != ToHost {
+		return false
+	}
+	if t.Op.Kind != OpAggregate && t.Op.Kind != OpGroupBy {
+		return false
+	}
+	if t.MaskSrc.Kind != MaskFull || len(t.MaskAnd) > 0 {
+		return false
+	}
+	if len(t.Gathers) > 0 || len(t.RegexFilters) > 0 {
+		return false
+	}
+	return true
+}
+
+// fusedScan carries one task's fused-pass state. Everything sized here is
+// per-task; the per-vector step reuses it all.
+type fusedScan struct {
+	e   *Executor
+	t   *Task
+	tab *col.Table
+	tt  *TaskTrace
+
+	mask *bitvec.Mask
+
+	predRd []*col.PagedReader
+	evals  []rowsel.VecEvaluator
+
+	streamRd []*col.PagedReader // nil entry = @rowid pseudo-column
+	machine  *systolic.Machine  // nil when the task has no transform
+
+	agg *swissknife.Aggregate    // OpAggregate
+	grp *swissknife.GroupByAccel // OpGroupBy
+
+	// Per-vector scratch: one read buffer and one compacted (selected
+	// lanes only) buffer per streamed column, plus the consume-row.
+	streamVals [][]int64
+	compacted  [][]int64
+	row        []int64
+}
+
+// runFused executes the whole task on the fused path. The caller has
+// already validated the task and resolved the table.
+func (e *Executor) runFused(t *Task, tab *col.Table, tt *TaskTrace, span *obs.Span, cu *obs.Cursor) (*Result, error) {
+	fs := &fusedScan{e: e, t: t, tab: tab, tt: tt}
+	defer fs.close()
+	fSpan := span.Child("fused-scan", obs.StageTask)
+	defer fSpan.End()
+	if err := fs.setup(); err != nil {
+		return nil, err
+	}
+	var err error
+	if fs.pageKernelOK() {
+		err = fs.scanPages(cu)
+	} else {
+		err = fs.scan(cu)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := fs.finish()
+	if err != nil {
+		return nil, err
+	}
+	fSpan.SetInt("rows_in", tt.RowsIn)
+	fSpan.SetInt("rows_selected", tt.RowsSelected)
+	fSpan.SetInt("rows_to_swissknife", tt.RowsToSwissknife)
+	fSpan.SetInt("pages_read", tt.PagesRead)
+
+	// The fused loop never leaves this function, so the per-stage spans
+	// the staged path would emit are published as zero-length markers
+	// carrying the same stats: tracing consumers keep seeing every
+	// pipeline stage for fused tasks, with stage *time* on the fused-scan
+	// span and stage *work* on the markers.
+	selSpan := fSpan.Child("row-select", obs.StageRowSel)
+	selSpan.SetInt("rows_in", tt.RowsIn)
+	selSpan.SetInt("rows_selected", tt.RowsSelected)
+	selSpan.SetInt("pages_pruned", tt.PagesPruned)
+	selSpan.End()
+	readSpan := fSpan.Child("table-read", obs.StageFlash)
+	readSpan.SetInt("pages_read", tt.PagesRead)
+	readSpan.SetInt("pages_skipped", tt.PagesSkipped)
+	readSpan.End()
+	if t.Transform != nil {
+		trSpan := fSpan.Child("transform", obs.StageTransform)
+		trSpan.SetInt("rows", tt.RowsTransformed)
+		trSpan.SetInt("pes", int64(tt.TransformerPEs))
+		trSpan.End()
+	}
+	skSpan := fSpan.Child("swissknife "+t.Op.Kind.String(), obs.StageSwissknife)
+	skSpan.SetInt("rows_in", tt.RowsToSwissknife)
+	skSpan.SetInt("host_rows", int64(res.NumRows()))
+	skSpan.End()
+	return res, nil
+}
+
+// setup builds the readers, evaluators, machine, accelerator and scratch,
+// and runs the zone-map pre-pass. Everything allocated for the task is
+// allocated here.
+func (fs *fusedScan) setup() error {
+	t, tab, tt := fs.t, fs.tab, fs.tt
+	fs.mask = bitvec.NewFull(tab.NumRows)
+	tt.RowsIn = int64(tab.NumRows)
+
+	sel := t.RowSel
+	if sel == nil {
+		sel = &Program{}
+	}
+	fs.predRd = make([]*col.PagedReader, len(sel.Preds))
+	fs.evals = make([]rowsel.VecEvaluator, len(sel.Preds))
+	for i, cp := range sel.Preds {
+		ci, err := tab.Column(cp.Column)
+		if err != nil {
+			return err
+		}
+		fs.predRd[i] = col.NewPagedReader(ci, flash.Aquoman)
+		fs.predRd[i].SetContext(fs.e.Ctx)
+		fs.evals[i].Init(cp.Expr, ci.Enc)
+	}
+	for i, cp := range sel.Preds {
+		rowsel.PruneByZoneMaps(cp.Expr, fs.predRd[i], fs.mask)
+	}
+	tt.SelectorCPs = sel.NumCPs()
+
+	fs.streamRd = make([]*col.PagedReader, len(t.Stream))
+	for i, name := range t.Stream {
+		if name == RowIDCol {
+			continue
+		}
+		ci, err := tab.Column(name)
+		if err != nil {
+			return fmt.Errorf("tabletask %q: %w", t.Name, err)
+		}
+		fs.streamRd[i] = col.NewPagedReader(ci, flash.Aquoman)
+		fs.streamRd[i].SetContext(fs.e.Ctx)
+	}
+
+	nOut := len(t.Stream)
+	if t.Transform != nil {
+		mapped, err := systolic.Compile(t.Transform, len(t.Stream), systolic.DefaultConfig())
+		if err != nil {
+			return fmt.Errorf("tabletask %q: transform: %w", t.Name, err)
+		}
+		tt.TransformerPEs = mapped.NumPEs()
+		tt.WidenedRegs = mapped.WidenedRegs
+		fs.machine = systolic.NewMachine(mapped)
+		nOut = len(t.Transform)
+	}
+
+	var err error
+	if t.Op.Kind == OpAggregate {
+		fs.agg, err = swissknife.NewAggregate(t.Op.Aggs)
+	} else {
+		fs.grp, err = swissknife.NewGroupBy(t.Op.GroupCfg, t.Op.Keys, t.Op.Attrs, t.Op.Aggs)
+	}
+	if err != nil {
+		return err
+	}
+
+	nStream := len(t.Stream)
+	backing := make([]int64, 2*nStream*bitvec.VecSize)
+	fs.streamVals = make([][]int64, nStream)
+	fs.compacted = make([][]int64, nStream)
+	for c := 0; c < nStream; c++ {
+		fs.streamVals[c] = backing[c*bitvec.VecSize : (c+1)*bitvec.VecSize]
+		lo, hi := (nStream+c)*bitvec.VecSize, (nStream+c+1)*bitvec.VecSize
+		fs.compacted[c] = backing[lo:hi:hi]
+	}
+	fs.row = make([]int64, nOut)
+	return nil
+}
+
+// pageKernelOK reports whether the task can consume whole encoded pages
+// through the aggregation kernel: nothing to filter, nothing to
+// transform, one streamed column whose codec has a kernel.
+func (fs *fusedScan) pageKernelOK() bool {
+	t := fs.t
+	if len(fs.evals) > 0 || fs.machine != nil || t.FilterOut >= 0 {
+		return false
+	}
+	if t.Op.Kind != OpAggregate || len(t.Stream) != 1 || fs.streamRd[0] == nil {
+		return false
+	}
+	c := fs.streamRd[0].Codec()
+	return c == enc.RLE || c == enc.FOR
+}
+
+// scanPages is the whole-page fast path: SUM/COUNT/MIN/MAX fold directly
+// over RLE runs and FOR deltas without expanding the page. A page the
+// kernel refuses falls back to the per-vector step.
+func (fs *fusedScan) scanPages(cu *obs.Cursor) error {
+	rd := fs.streamRd[0]
+	meta := rd.Meta()
+	for pi, pm := range meta.Pages {
+		agg, ok, err := rd.PageAggregate(pi)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			end := pm.StartRow + pm.Count
+			for vec := pm.StartRow / bitvec.VecSize; vec*bitvec.VecSize < end; vec++ {
+				if err := fs.step(vec, cu); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		cu.Mark(obs.StateRead)
+		fs.agg.ConsumeSummary(agg.Count, agg.Sum, agg.Min, agg.Max)
+		fs.tt.RowsTransformed += int64(agg.Count)
+		fs.tt.RowsToSwissknife += int64(agg.Count)
+		cu.Mark(obs.StateSwissknife)
+	}
+	return nil
+}
+
+// scan runs the per-vector fused loop over the whole table.
+func (fs *fusedScan) scan(cu *obs.Cursor) error {
+	nVecs := fs.mask.NumVecs()
+	for vec := 0; vec < nVecs; vec++ {
+		if err := fs.step(vec, cu); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step processes one 32-row vector end to end: refine the mask through
+// the predicate evaluators, stream and compact the surviving lanes, run
+// them through the PE chain, apply the transformer sub-predicate, and
+// feed the Swissknife. Steady state allocates nothing.
+func (fs *fusedScan) step(vec int, cu *obs.Cursor) error {
+	mask := fs.mask
+	if mask.VecAllZero(vec) {
+		for _, r := range fs.predRd {
+			r.SkipVec(vec)
+		}
+		fs.skipStreams(vec)
+		cu.Mark(obs.StateRowSel)
+		return nil
+	}
+	for pi := range fs.evals {
+		if err := fs.evals[pi].EvalVec(fs.predRd[pi], vec, mask); err != nil {
+			return err
+		}
+		if mask.VecAllZero(vec) {
+			for _, r := range fs.predRd[pi+1:] {
+				r.SkipVec(vec)
+			}
+			break
+		}
+	}
+	cu.Mark(obs.StateRowSel)
+	if mask.VecAllZero(vec) {
+		fs.skipStreams(vec)
+		return nil
+	}
+
+	// Stream the surviving lanes and compact them.
+	base := vec * bitvec.VecSize
+	n := bitvec.VecSize
+	if base+n > fs.tab.NumRows {
+		n = fs.tab.NumRows - base
+	}
+	for c, rd := range fs.streamRd {
+		if rd == nil {
+			vals := fs.streamVals[c]
+			for j := 0; j < n; j++ {
+				vals[j] = int64(base + j)
+			}
+			continue
+		}
+		rn, err := rd.ReadVec(vec, fs.streamVals[c])
+		if err != nil {
+			return fmt.Errorf("tabletask %q: %w", fs.t.Name, err)
+		}
+		n = rn
+	}
+	bits := mask.VecBits(vec)
+	k := 0
+	for c := range fs.compacted {
+		// Restore full width; a previous vector left these truncated.
+		fs.compacted[c] = fs.compacted[c][:bitvec.VecSize]
+	}
+	for j := 0; j < n; j++ {
+		if bits&(1<<uint(j)) == 0 {
+			continue
+		}
+		for c := range fs.compacted {
+			fs.compacted[c][k] = fs.streamVals[c][j]
+		}
+		k++
+	}
+	for c := range fs.compacted {
+		fs.compacted[c] = fs.compacted[c][:k]
+	}
+	cu.Mark(obs.StateRead)
+	if k == 0 {
+		return nil
+	}
+
+	outs := fs.compacted
+	if fs.machine != nil {
+		var err error
+		outs, err = fs.machine.RunVec(fs.compacted)
+		if err != nil {
+			return fmt.Errorf("tabletask %q: transform run: %w", fs.t.Name, err)
+		}
+	}
+	cu.Mark(obs.StateSystolic)
+	fs.tt.RowsTransformed += int64(k)
+
+	filter := fs.t.FilterOut
+	var pred []int64
+	if filter >= 0 {
+		pred = outs[filter]
+	}
+	nk, na := fs.t.Op.Keys, fs.t.Op.Attrs
+	for j := 0; j < k; j++ {
+		if pred != nil && pred[j] == 0 {
+			continue
+		}
+		w := 0
+		for c := range outs {
+			if c == filter {
+				continue
+			}
+			fs.row[w] = outs[c][j]
+			w++
+		}
+		fs.tt.RowsToSwissknife++
+		if fs.agg != nil {
+			if err := fs.agg.Consume(fs.row[:w]); err != nil {
+				return err
+			}
+		} else {
+			if err := fs.grp.Consume(fs.row[:nk], fs.row[nk:nk+na], fs.row[nk+na:w]); err != nil {
+				return fmt.Errorf("tabletask %q: %w", fs.t.Name, err)
+			}
+		}
+	}
+	cu.Mark(obs.StateSwissknife)
+	return nil
+}
+
+// skipStreams records a fully-masked vector on every streamed column so
+// whole-page skips are accounted exactly like the staged Table Reader.
+func (fs *fusedScan) skipStreams(vec int) {
+	for _, r := range fs.streamRd {
+		if r != nil {
+			r.SkipVec(vec)
+		}
+	}
+}
+
+// finish folds the reader stats into the trace and materializes the
+// operator result, mirroring runOperator's aggregate tails exactly.
+func (fs *fusedScan) finish() (*Result, error) {
+	tt := fs.tt
+	for _, r := range fs.predRd {
+		tt.addReader(r.ReaderStats)
+	}
+	for _, r := range fs.streamRd {
+		if r != nil {
+			tt.addReader(r.ReaderStats)
+		}
+	}
+	tt.RowsSelected = int64(fs.mask.Count())
+
+	if fs.agg != nil {
+		aggs, _ := fs.agg.Result()
+		cols := make([][]int64, len(aggs))
+		for i, v := range aggs {
+			cols[i] = []int64{v}
+		}
+		return &Result{Cols: cols}, nil
+	}
+	st := fs.grp.Stats()
+	tt.Groups = st.Groups
+	tt.SpilledRows = st.SpilledRows
+	tt.SpilledGroups = st.SpilledGroups
+	tt.ResidentGroups = st.ResidentGroups
+	rows := fs.grp.Results()
+	width := fs.t.Op.Keys + fs.t.Op.Attrs + len(fs.t.Op.Aggs)
+	cols := make([][]int64, width)
+	for _, row := range rows {
+		for c := 0; c < width; c++ {
+			cols[c] = append(cols[c], row[c])
+		}
+	}
+	return &Result{Cols: cols}, nil
+}
+
+// close releases every pooled reader buffer. Idempotent.
+func (fs *fusedScan) close() {
+	for _, r := range fs.predRd {
+		if r != nil {
+			r.Close()
+		}
+	}
+	for _, r := range fs.streamRd {
+		if r != nil {
+			r.Close()
+		}
+	}
+}

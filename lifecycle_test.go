@@ -93,9 +93,83 @@ func TestLifecycleAttributionConcurrentOracle(t *testing.T) {
 
 	// The scheduler published its queue telemetry: one wait observation
 	// per query, and the depth gauge drained back to zero.
+	checkQueueTelemetry(t, db, len(lifecycles))
+}
+
+// Regression for the over-attribution side of the ledger: at 32 in-flight
+// streams hammering the same pages, coalesced cache fills complete while
+// other queries hold exclusive Mark regions, which used to leave the
+// nested counter inflated after the negative remainder was dropped —
+// enclosing windows were then double-charged and a query's state
+// breakdown could sum past its wall time. With debt settlement, every
+// query's Σstates must stay ≤ wall (small slack for clock granularity).
+func TestLifecycleSumOfStatesWithinWallAt32Streams(t *testing.T) {
+	db := Open()
+	if err := db.LoadTPCH(0.01, 42); err != nil {
+		t.Fatal(err)
+	}
+	db.EnableObservability()
+	db.EnableCache(64 << 20)
+	db.ConfigureScheduler(SchedulerConfig{MaxInFlight: 32, QueueDepth: 128})
+	defer db.Close()
+
+	var (
+		mu         sync.Mutex
+		lifecycles []*Lifecycle
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, q := range []int{6, 1} {
+				p, err := TPCHQuery(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				lc := NewLifecycle(fmt.Sprintf("s%d-q%d", g, q))
+				ticket, err := db.SubmitWaitCtx(WithLifecycle(context.Background(), lc), p)
+				if err != nil {
+					t.Errorf("q%d submit: %v", q, err)
+					return
+				}
+				if _, err := ticket.Wait(); err != nil {
+					t.Errorf("q%d: %v", q, err)
+					return
+				}
+				lc.Finish()
+				mu.Lock()
+				lifecycles = append(lifecycles, lc)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if len(lifecycles) != 64 {
+		t.Fatalf("recorded %d lifecycles, want 64", len(lifecycles))
+	}
+	const slack = 500 * time.Microsecond
+	for _, lc := range lifecycles {
+		var sum time.Duration
+		for _, ns := range lc.Breakdown() {
+			sum += time.Duration(ns)
+		}
+		if wall := lc.Wall(); sum > wall+slack {
+			t.Errorf("%s: Σstates %v > wall %v (attribution overcounts)", lc.ID, sum, wall)
+		}
+		if att := lc.Attributed(); sum > att+slack {
+			t.Errorf("%s: Σstates %v > attributed %v (settle missed debt)", lc.ID, sum, att)
+		}
+	}
+}
+
+func checkQueueTelemetry(t *testing.T, db *DB, queries int) {
+	t.Helper()
 	s := db.Obs.Reg.Snapshot()
-	if p, ok := s.Get("sched_queue_wait_ns"); !ok || p.Count != int64(len(lifecycles)) {
-		t.Fatalf("sched_queue_wait_ns count = %d (ok=%v), want %d", p.Count, ok, len(lifecycles))
+	if p, ok := s.Get("sched_queue_wait_ns"); !ok || p.Count != int64(queries) {
+		t.Fatalf("sched_queue_wait_ns count = %d (ok=%v), want %d", p.Count, ok, queries)
 	}
 	if p, ok := s.Get("sched_queue_depth"); !ok || p.Value != 0 {
 		t.Fatalf("sched_queue_depth = %d (ok=%v), want 0 after drain", p.Value, ok)
