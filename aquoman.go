@@ -24,6 +24,8 @@ package aquoman
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"aquoman/internal/cluster"
@@ -89,12 +91,27 @@ type (
 	// RetryPolicy bounds the flash page-read retry loop.
 	RetryPolicy = flash.RetryPolicy
 	// SchedulerConfig sizes the concurrent query scheduler (max in-flight
-	// queries and pending-queue depth; see internal/sched).
+	// queries and pending-queue depth; see internal/sched). Setting its
+	// Tenants map enables per-tenant weighted-fair scheduling with
+	// admission quotas and two priority lanes.
 	SchedulerConfig = sched.Config
+	// TenantConfig sizes one tenant's scheduler share (weight, queue
+	// quota, in-flight cap).
+	TenantConfig = sched.TenantConfig
+	// Lane is a scheduler priority lane: LaneInteractive point-queries
+	// preempt queued LaneBatch scans at dequeue time.
+	Lane = sched.Lane
+	// QuotaError reports which tenant exhausted its admission quota.
+	QuotaError = sched.QuotaError
 	// PageCache is the shared single-flight LRU flash-page cache.
 	PageCache = sched.PageCache
 	// CacheStats snapshots page-cache effectiveness.
 	CacheStats = sched.CacheStats
+	// ResultCache is the generation-keyed single-flight query result
+	// cache (see DB.EnableResultCache).
+	ResultCache = sched.ResultCache
+	// ResultCacheStats snapshots result-cache effectiveness.
+	ResultCacheStats = sched.ResultCacheStats
 	// CompileError marks a SQL statement that failed to parse, plan or
 	// bind (as opposed to an execution failure); detect with errors.As.
 	CompileError = sql.CompileError
@@ -149,7 +166,26 @@ var (
 	ErrQueueFull = sched.ErrQueueFull
 	// ErrSchedulerClosed is returned by Submit after DB.Close.
 	ErrSchedulerClosed = sched.ErrClosed
+	// ErrTenantQuota is the errors.Is target for per-tenant admission
+	// rejections (*QuotaError); the HTTP tier maps it to 429 where a
+	// scheduler-wide ErrQueueFull maps to 503.
+	ErrTenantQuota = sched.ErrTenantQuota
 )
+
+// Scheduler priority lanes.
+const (
+	LaneInteractive = sched.LaneInteractive
+	LaneBatch       = sched.LaneBatch
+)
+
+// ParseLane parses a lane name ("interactive" or "batch").
+func ParseLane(s string) (Lane, error) { return sched.ParseLane(s) }
+
+// CanonicalSQL renders a statement in the canonical form used as the
+// result-cache key: whitespace, comment, keyword-case, and top-level
+// AND-conjunct-order variants collide; different token content never
+// does.
+func CanonicalSQL(src string) string { return sql.Canonicalize(src) }
 
 // Column type constants.
 const (
@@ -189,10 +225,11 @@ type DB struct {
 	// metrics for every query this DB runs.
 	Obs *obs.Observer
 
-	// mu guards the lazily created scheduler and cache.
-	mu    sync.Mutex
-	sched *sched.Scheduler
-	cache *sched.PageCache
+	// mu guards the lazily created scheduler and caches.
+	mu     sync.Mutex
+	sched  *sched.Scheduler
+	cache  *sched.PageCache
+	rcache *sched.ResultCache
 }
 
 // Open creates an empty in-memory AQUOMAN-augmented SSD.
@@ -249,6 +286,9 @@ func (db *DB) EnableObservability() *obs.Observer {
 	db.mu.Lock()
 	if db.cache != nil {
 		db.cache.Observe(o.Reg)
+	}
+	if db.rcache != nil {
+		db.rcache.Observe(o.Reg)
 	}
 	if db.sched != nil {
 		db.sched.Observe(o.Reg)
@@ -368,6 +408,117 @@ func (db *DB) CacheStats() CacheStats {
 	return c.Stats()
 }
 
+// EnableResultCache installs a generation-keyed, single-flight query
+// result cache above the page cache and returns it. Entries are keyed on
+// a caller-chosen canonical query key (see CanonicalSQL) plus a
+// fingerprint of the backing files' generation counters captured at
+// lookup, so any store mutation — re-encode, rebuild, write — strands
+// stale entries instead of serving them. maxBytes bounds the resident
+// set; perTenantBytes (0 = off) additionally bounds any one tenant's
+// share so a churning tenant cannot evict everyone else.
+func (db *DB) EnableResultCache(maxBytes, perTenantBytes int64) *ResultCache {
+	c := sched.NewResultCache(maxBytes, perTenantBytes)
+	db.mu.Lock()
+	db.rcache = c
+	if db.Obs != nil {
+		c.Observe(db.Obs.Reg)
+	}
+	db.mu.Unlock()
+	return c
+}
+
+// DisableResultCache detaches the result cache.
+func (db *DB) DisableResultCache() {
+	db.mu.Lock()
+	db.rcache = nil
+	db.mu.Unlock()
+}
+
+// ResultCacheHandle returns the installed result cache, or nil.
+func (db *DB) ResultCacheHandle() *ResultCache {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rcache
+}
+
+// ResultCacheStats snapshots the result cache's counters (zero value
+// when no result cache is installed).
+func (db *DB) ResultCacheStats() ResultCacheStats {
+	db.mu.Lock()
+	c := db.rcache
+	db.mu.Unlock()
+	if c == nil {
+		return ResultCacheStats{}
+	}
+	return c.Stats()
+}
+
+// resultFingerprint renders the generation counters of every flash file
+// backing the plan's base tables (column files and string heaps share
+// the "table/" name prefix). Two equal fingerprints bracket a window in
+// which no backing file was created, removed, or written.
+func (db *DB) resultFingerprint(p Plan) string {
+	tables := plan.BaseTables(p)
+	sort.Strings(tables)
+	var sb strings.Builder
+	for _, t := range tables {
+		prefix := t + "/"
+		for _, name := range db.Flash.Files() {
+			if strings.HasPrefix(name, prefix) {
+				fmt.Fprintf(&sb, "%s@%d;", name, db.Flash.Generation(name))
+			}
+		}
+	}
+	return sb.String()
+}
+
+// resultSize approximates a result's resident bytes for cache budgeting.
+func resultSize(r *Result) int64 {
+	n := int64(256)
+	for _, c := range r.Batch.Cols {
+		n += int64(len(c)) * 8
+	}
+	return n
+}
+
+// RunCachedCtx executes p through the result cache (falling back to a
+// plain scheduled execution when none is installed): key should be the
+// canonicalized query text (or any stable identifier for the logical
+// query), tenant/lane attribute the execution to the fair scheduler. The
+// bool reports whether the result came from the cache. The fingerprint
+// is captured *before* the lookup, so two calls bracketing a store
+// mutation can never share an entry or an in-flight execution, and a
+// result that raced a mutation is returned but not cached.
+func (db *DB) RunCachedCtx(ctx context.Context, tenant string, lane Lane, key string, p Plan) (*Result, bool, error) {
+	rc := db.ResultCacheHandle()
+	if rc == nil {
+		t, err := db.SubmitTenantCtx(ctx, tenant, lane, p)
+		if err != nil {
+			return nil, false, err
+		}
+		res, err := t.Wait()
+		return res, false, err
+	}
+	fp := db.resultFingerprint(p)
+	v, hit, err := rc.Do(ctx, tenant, key, fp,
+		func() (interface{}, int64, error) {
+			t, err := db.SubmitTenantCtx(ctx, tenant, lane, p)
+			if err != nil {
+				return nil, 0, err
+			}
+			res, err := t.Wait()
+			if err != nil {
+				return nil, 0, err
+			}
+			return res, resultSize(res), nil
+		},
+		func() bool { return db.resultFingerprint(p) == fp })
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*Result), hit, nil
+}
+
 // Ticket tracks one query submitted to the scheduler.
 type Ticket struct {
 	t *sched.Ticket
@@ -434,6 +585,33 @@ func (db *DB) SubmitWaitCtx(ctx context.Context, p Plan) (*Ticket, error) {
 		return nil, err
 	}
 	return &Ticket{t: t}, nil
+}
+
+// SubmitTenantCtx is SubmitCtx attributed to a tenant and priority lane
+// for the fair scheduler (both ignored on a scheduler without tenants
+// configured). Rejections are *QuotaError (this tenant over its own
+// admission quota) or ErrQueueFull (global capacity).
+func (db *DB) SubmitTenantCtx(ctx context.Context, tenant string, lane Lane, p Plan) (*Ticket, error) {
+	t, err := db.scheduler().SubmitTenant(ctx, sched.SubmitOpts{Tenant: tenant, Lane: lane}, db.jobCtx(p))
+	if err != nil {
+		return nil, err
+	}
+	return &Ticket{t: t}, nil
+}
+
+// SubmitTenantWaitCtx is SubmitTenantCtx with blocking admission.
+func (db *DB) SubmitTenantWaitCtx(ctx context.Context, tenant string, lane Lane, p Plan) (*Ticket, error) {
+	t, err := db.scheduler().SubmitTenant(ctx, sched.SubmitOpts{Tenant: tenant, Lane: lane, Wait: true}, db.jobCtx(p))
+	if err != nil {
+		return nil, err
+	}
+	return &Ticket{t: t}, nil
+}
+
+// TenantGrants returns the scheduler's cumulative grant count per tenant
+// (nil when multi-tenant scheduling is off).
+func (db *DB) TenantGrants() map[string]int64 {
+	return db.scheduler().TenantGrants()
 }
 
 // job wraps one plan execution for the scheduler.
@@ -592,6 +770,18 @@ func (db *DB) QueryCtx(ctx context.Context, src string) (*Result, error) {
 		return nil, err
 	}
 	return db.RunCtx(ctx, p)
+}
+
+// QueryCached compiles a SQL statement and runs it through the result
+// cache (see RunCachedCtx) keyed on its canonical rendering, so
+// whitespace/case/conjunct-order variants of the same statement share
+// one entry. The bool reports whether the result came from the cache.
+func (db *DB) QueryCached(ctx context.Context, tenant string, lane Lane, src string) (*Result, bool, error) {
+	p, err := sql.Plan(src, db.Store)
+	if err != nil {
+		return nil, false, err
+	}
+	return db.RunCachedCtx(ctx, tenant, lane, sql.Canonicalize(src), p)
 }
 
 // QueryHostOnly compiles a SQL statement and executes it on the host

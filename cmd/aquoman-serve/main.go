@@ -43,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -50,6 +51,63 @@ import (
 	"aquoman"
 	"aquoman/internal/server"
 )
+
+// parseTenants builds the scheduler's tenant table from the -tenants
+// and -tenant-weights flags. -tenants is a comma-separated list of
+// name[:maxqueued][/maxinflight] entries (0 = unlimited); -tenant-weights
+// is name=weight pairs. Either flag alone enables weighted-fair
+// scheduling; a weight for an unlisted tenant declares it implicitly.
+func parseTenants(tenants, weights string) (map[string]aquoman.TenantConfig, error) {
+	if strings.TrimSpace(tenants) == "" && strings.TrimSpace(weights) == "" {
+		return nil, nil
+	}
+	out := map[string]aquoman.TenantConfig{}
+	for _, ent := range splitList(tenants) {
+		if ent == "" {
+			continue
+		}
+		name := ent
+		var tc aquoman.TenantConfig
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			n, err := strconv.Atoi(name[i+1:])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("invalid -tenants entry %q: bad maxinflight", ent)
+			}
+			tc.MaxInFlight = n
+			name = name[:i]
+		}
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			n, err := strconv.Atoi(name[i+1:])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("invalid -tenants entry %q: bad maxqueued", ent)
+			}
+			tc.MaxQueued = n
+			name = name[:i]
+		}
+		if name == "" {
+			return nil, fmt.Errorf("invalid -tenants entry %q: empty name", ent)
+		}
+		tc.Weight = 1
+		out[name] = tc
+	}
+	for _, ent := range splitList(weights) {
+		if ent == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("invalid -tenant-weights entry %q (want name=weight)", ent)
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -tenant-weights entry %q: weight must be >= 1", ent)
+		}
+		tc := out[name]
+		tc.Weight = n
+		out[name] = tc
+	}
+	return out, nil
+}
 
 // splitList parses a comma-separated flag value, keeping empty slots so
 // -worker-mirrors can skip a worker with ",".
@@ -77,6 +135,10 @@ func main() {
 		queue   = flag.Int("queue", 16, "pending-queue depth behind the in-flight slots")
 		cacheMB = flag.Int("cache", 0, "shared page cache size in MiB (0 = no cache)")
 		pagelat = flag.Duration("pagelat", 0, "simulated per-page NAND read latency (e.g. 50us)")
+
+		tenants = flag.String("tenants", "", "tenant quotas as name[:maxqueued][/maxinflight],... — enables weighted-fair scheduling")
+		tweight = flag.String("tenant-weights", "", "tenant grant-share weights as name=weight,...")
+		rcMB    = flag.Int("result-cache", 0, "query result cache size in MiB (0 = off; per-tenant quota is a quarter of the total)")
 
 		defTimeout   = flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
 		maxTimeout   = flag.Duration("max-timeout", 0, "cap on per-query deadlines (0 = no cap)")
@@ -133,9 +195,25 @@ func main() {
 		db = shard
 	}
 	db.EnableObservability()
-	db.ConfigureScheduler(aquoman.SchedulerConfig{MaxInFlight: *jobs, QueueDepth: *queue})
+	tenantCfg, err := parseTenants(*tenants, *tweight)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.ConfigureScheduler(aquoman.SchedulerConfig{
+		MaxInFlight: *jobs,
+		QueueDepth:  *queue,
+		Tenants:     tenantCfg,
+	})
+	if tenantCfg != nil {
+		log.Printf("weighted-fair scheduling across %d configured tenants", len(tenantCfg))
+	}
 	if *cacheMB > 0 {
 		db.EnableCache(int64(*cacheMB) << 20)
+	}
+	if *rcMB > 0 {
+		total := int64(*rcMB) << 20
+		db.EnableResultCache(total, total/4)
+		log.Printf("result cache: %d MiB (per-tenant quota %d MiB)", *rcMB, *rcMB/4)
 	}
 	if *pagelat > 0 {
 		db.Flash.SetReadLatency(*pagelat)

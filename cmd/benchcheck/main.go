@@ -24,6 +24,13 @@
 // 16-stream plateau, must not drop more than -scale-rel below the same
 // run's 16-stream q/s, and every fused_allocs_per_scan figure must stay
 // within -max-allocs (zero by default — the fused loop's whole point).
+// -mode tenant gates the mixed-tenant report (-report tenantbench):
+// the 22-query cached-vs-direct oracle must be identical, every
+// dashboard tenant must hold a result-cache hit rate of at least
+// -hit-floor, and each dashboard p99 must stay under -tail-ratio of the
+// same run's scan-tenant p50 while at least -min-scan scans completed —
+// the tail-latency isolation the priority lanes and result cache exist
+// to provide.
 //
 // Deterministic metrics get tight bands; wall-clock-derived ones are
 // warn-only (CI runners are noisy):
@@ -357,9 +364,127 @@ func checkScale(baselinePath, freshPath string, minScale, scaleRel, maxAllocs fl
 	fmt.Println("benchcheck: all scaling metrics within tolerance")
 }
 
+type tenantEntry struct {
+	Tenant  string  `json:"tenant"`
+	Weight  int     `json:"weight"`
+	Lane    string  `json:"lane"`
+	Queries int64   `json:"queries"`
+	HitRate float64 `json:"hit_rate"`
+	P50Ms   float64 `json:"p50_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	Grants  int64   `json:"grants"`
+}
+
+type tenantReport struct {
+	SF              float64       `json:"sf"`
+	Streams         int           `json:"streams"`
+	ScanP50Ms       float64       `json:"scan_p50_ms"`
+	OracleQueries   int           `json:"oracle_queries"`
+	OracleIdentical bool          `json:"oracle_identical"`
+	Tenants         []tenantEntry `json:"tenants"`
+}
+
+func loadTenant(path string) (*tenantReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r tenantReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// checkTenant gates the mixed-tenant report (-report tenantbench). The
+// hard gates are self-normalizing or deterministic: the oracle
+// differential (cached results byte-identical to direct execution over
+// all 22 TPC-H queries), per-dashboard result-cache hit rate, and each
+// dashboard tenant's p99 relative to the same run's scan p50 — the
+// tail-latency isolation the priority lanes and the result cache exist
+// to provide. Absolute latencies vs the baseline are warn-only.
+func checkTenant(baselinePath, freshPath string, hitFloor, tailRatio float64, minScan int64) {
+	base, err := loadTenant(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	fresh, err := loadTenant(freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	var regressed []string
+	fail := func(format string, args ...interface{}) {
+		regressed = append(regressed, fmt.Sprintf(format, args...))
+	}
+
+	if fresh.OracleQueries < 22 {
+		fail("oracle_queries: %d < 22 — the cached-vs-direct differential no longer covers the full suite", fresh.OracleQueries)
+	}
+	if !fresh.OracleIdentical {
+		fail("oracle_identical: false — the result cache served something other than the direct answer")
+	}
+	fmt.Printf("oracle: %d queries, identical=%v\n", fresh.OracleQueries, fresh.OracleIdentical)
+
+	baseByTenant := make(map[string]tenantEntry, len(base.Tenants))
+	for _, e := range base.Tenants {
+		baseByTenant[e.Tenant] = e
+	}
+	var sawScan, sawDash bool
+	for _, e := range fresh.Tenants {
+		b := baseByTenant[e.Tenant]
+		if e.Lane == "batch" {
+			sawScan = true
+			if e.Queries < minScan {
+				fail("tenant %s: %d scan queries < %d — the saturating load is gone, the tail gate below is meaningless",
+					e.Tenant, e.Queries, minScan)
+			}
+			fmt.Printf("tenant %-7s: %5d scans, p50 %.2f ms (baseline %.2f)\n", e.Tenant, e.Queries, e.P50Ms, b.P50Ms)
+			continue
+		}
+		sawDash = true
+		if e.Queries == 0 {
+			fail("tenant %s: zero queries measured", e.Tenant)
+			continue
+		}
+		if e.HitRate < hitFloor {
+			fail("tenant %s hit_rate: %.3f < %.2f — the result cache stopped absorbing the dashboard load",
+				e.Tenant, e.HitRate, hitFloor)
+		}
+		// The tail gate is a ratio of two latencies from the same run on
+		// the same machine: dashboards must stay orders of magnitude under
+		// the scans they share the scheduler with.
+		ceil := fresh.ScanP50Ms * tailRatio
+		if e.P99Ms > ceil {
+			fail("tenant %s p99: %.2f ms > %.2f ms (scan p50 %.2f x %.2f) — interactive tail latency is no longer isolated from scans",
+				e.Tenant, e.P99Ms, ceil, fresh.ScanP50Ms, tailRatio)
+		}
+		note := ""
+		if b.P99Ms > 0 && e.P99Ms > 10*b.P99Ms {
+			note = "  (WARN: >10x baseline p99)"
+		}
+		fmt.Printf("tenant %-7s: %5d queries, hit_rate %.3f (floor %.2f), p99 %.2f ms (ceil %.2f, baseline %.2f)%s\n",
+			e.Tenant, e.Queries, e.HitRate, hitFloor, e.P99Ms, ceil, b.P99Ms, note)
+	}
+	if !sawScan || !sawDash {
+		fail("report must carry both a batch scan tenant and interactive dashboard tenants (scan=%v dash=%v)", sawScan, sawDash)
+	}
+
+	if len(regressed) > 0 {
+		fmt.Println("\nREGRESSED METRICS:")
+		for _, r := range regressed {
+			fmt.Println("  -", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all tenant-isolation metrics within tolerance")
+}
+
 func main() {
 	var (
-		mode         = flag.String("mode", "conc", "report type: conc|enc|prof|scale")
+		mode         = flag.String("mode", "conc", "report type: conc|enc|prof|scale|tenant")
 		baselinePath = flag.String("baseline", "", "committed baseline report (default BENCH_conc.json or BENCH_enc.json by mode)")
 		freshPath    = flag.String("fresh", "", "freshly measured report (required)")
 		speedupRel   = flag.Float64("speedup-rel", 0.25, "allowed relative drop in speedup_4_vs_1")
@@ -372,6 +497,9 @@ func main() {
 		minScale     = flag.Float64("min-scale", 1.4, "scale: 32-stream q/s must clear this multiple of the recorded pre-fusion plateau")
 		scaleRel     = flag.Float64("scale-rel", 0.25, "scale: allowed relative drop of 32-stream q/s below the same run's 16-stream q/s")
 		maxAllocs    = flag.Float64("max-allocs", 0, "scale: budget for steady-state heap allocations per fused scan")
+		hitFloor     = flag.Float64("hit-floor", 0.8, "tenant: hard floor on each dashboard tenant's result-cache hit rate")
+		tailRatio    = flag.Float64("tail-ratio", 0.5, "tenant: each dashboard p99 must stay under this fraction of the same run's scan p50")
+		minScan      = flag.Int64("min-scan", 16, "tenant: minimum completed scan-tenant queries for the run to count as saturated")
 	)
 	flag.Parse()
 	if *freshPath == "" {
@@ -386,6 +514,8 @@ func main() {
 			*baselinePath = "BENCH_prof.json"
 		case "scale":
 			*baselinePath = "BENCH_scale.json"
+		case "tenant":
+			*baselinePath = "BENCH_tenant.json"
 		default:
 			*baselinePath = "BENCH_conc.json"
 		}
@@ -400,6 +530,10 @@ func main() {
 	}
 	if *mode == "scale" {
 		checkScale(*baselinePath, *freshPath, *minScale, *scaleRel, *maxAllocs)
+		return
+	}
+	if *mode == "tenant" {
+		checkTenant(*baselinePath, *freshPath, *hitFloor, *tailRatio, *minScan)
 		return
 	}
 

@@ -237,6 +237,15 @@ type Device struct {
 	stats     Stats
 	fileStats map[string]*Stats
 
+	// gens counts content mutations per file name: bumped on Create,
+	// Remove, and every Append/WriteAt. Consumers that cache derived
+	// results (the query result cache) bake the generation captured at
+	// lookup into their keys, so a mutation strands every stale entry
+	// instead of racing an explicit invalidation. Counters survive
+	// Remove/Create cycles on the same name — a re-created file must not
+	// resurrect generation numbers older entries were keyed under.
+	gens map[string]uint64
+
 	faults FaultInjector
 	retry  RetryPolicy
 	cache  PageCacher
@@ -270,6 +279,7 @@ func NewDevice() *Device {
 	return &Device{
 		files:     make(map[string]*File),
 		fileStats: make(map[string]*Stats),
+		gens:      make(map[string]uint64),
 		retry:     DefaultRetryPolicy(),
 	}
 }
@@ -417,6 +427,7 @@ func (d *Device) Create(name string) *File {
 	}
 	d.files[name] = f
 	delete(d.fileStats, name)
+	d.gens[name]++
 	d.metrics.files.Set(int64(len(d.files)))
 	cache := d.cache
 	d.mu.Unlock()
@@ -452,12 +463,30 @@ func (d *Device) Remove(name string) {
 	d.mu.Lock()
 	delete(d.files, name)
 	delete(d.fileStats, name)
+	d.gens[name]++
 	d.metrics.files.Set(int64(len(d.files)))
 	cache := d.cache
 	d.mu.Unlock()
 	if cache != nil {
 		cache.InvalidateFile(name)
 	}
+}
+
+// Generation returns the mutation counter for a file name: 0 until the
+// file is first created, bumped by Create, Remove, and every write.
+// Comparing generations captured at two points in time tells a caller
+// whether the file's content could have changed in between.
+func (d *Device) Generation(name string) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gens[name]
+}
+
+// bumpGen records one content mutation of the named file.
+func (d *Device) bumpGen(name string) {
+	d.mu.Lock()
+	d.gens[name]++
+	d.mu.Unlock()
 }
 
 // Files returns the names of all files in deterministic order.
@@ -681,6 +710,12 @@ func (f *File) accountWrite(who Requester, off, n int64) (pages, random int64) {
 // reader either sees the new bytes or has its stale cache fill rejected
 // by the cache's generation check.
 func (f *File) invalidateWritten(off, n int64) {
+	// The generation bump happens unconditionally — result-cache
+	// fingerprints depend on it even when no page cache is installed —
+	// and, like the page-cache invalidation, only after the mutation is
+	// visible, so entries keyed under the old generation are stranded
+	// rather than refreshed with mixed content.
+	f.dev.bumpGen(f.name)
 	if cache := f.dev.PageCache(); cache != nil {
 		cache.InvalidatePages(f.name, off/PageSize, (off+n-1)/PageSize)
 	}

@@ -18,27 +18,28 @@ import (
 type State int
 
 const (
-	StateQueueWait    State = iota // sched: admitted but waiting for an in-flight slot
-	StateCompile                   // core: SQL/plan compilation
-	StateRowSel                    // table task: row-selector predicate evaluation (CPU)
-	StateRead                      // table task: column stream + gather decode (CPU)
-	StateSystolic                  // table task: systolic row-transformer (CPU)
-	StateSwissknife                // table task: SQL Swissknife operator (CPU)
-	StateSorter                    // table task: streaming sort/merge (CPU)
-	StateHost                      // core: host-side engine execution (CPU)
-	StateDeviceRead                // flash: simulated NAND page reads (includes tR latency)
-	StateCacheHit                  // flash: page served from the shared cache
-	StateCoalesceWait              // flash: waiting on another query's in-flight read
-	StateEmit                      // server: streaming the result to the client
-	StateScatterWait               // cluster: coordinator waiting on worker partials
-	StateMerge                     // cluster: coordinator-side partial-result merge
-	NumStates                      // count sentinel, not a state
+	StateQueueWait      State = iota // sched: admitted but waiting for an in-flight slot
+	StateCompile                     // core: SQL/plan compilation
+	StateRowSel                      // table task: row-selector predicate evaluation (CPU)
+	StateRead                        // table task: column stream + gather decode (CPU)
+	StateSystolic                    // table task: systolic row-transformer (CPU)
+	StateSwissknife                  // table task: SQL Swissknife operator (CPU)
+	StateSorter                      // table task: streaming sort/merge (CPU)
+	StateHost                        // core: host-side engine execution (CPU)
+	StateDeviceRead                  // flash: simulated NAND page reads (includes tR latency)
+	StateCacheHit                    // flash: page served from the shared cache
+	StateCoalesceWait                // flash: waiting on another query's in-flight read
+	StateEmit                        // server: streaming the result to the client
+	StateScatterWait                 // cluster: coordinator waiting on worker partials
+	StateMerge                       // cluster: coordinator-side partial-result merge
+	StateResultCacheHit              // server: whole result served from the query result cache
+	NumStates                        // count sentinel, not a state
 )
 
 var stateNames = [NumStates]string{
 	"queue_wait", "compile", "rowsel", "read", "systolic", "swissknife",
 	"sorter", "host", "device_read", "cache_hit", "coalesce_wait", "emit",
-	"scatter_wait", "merge",
+	"scatter_wait", "merge", "result_cache_hit",
 }
 
 // String returns the snake_case state name used in metric labels, the

@@ -1,0 +1,252 @@
+package sched
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"aquoman/internal/obs"
+)
+
+// ResultCache is a single-flight, size-bounded cache of whole query
+// results, sitting above the page cache. Entries are keyed on the
+// canonicalized query text plus a fingerprint of the backing files'
+// generation counters captured at lookup time — the same hazard fix the
+// page cache applies per page: a store mutation bumps generations, so
+// every entry keyed under the old fingerprint is simply unreachable, and
+// an execution that raced a mutation is re-validated before insert
+// rather than cached with mixed content.
+//
+// Keys are not tenant-scoped: all tenants query the same store, so a
+// result computed for one tenant is valid for all. The per-tenant byte
+// quota is a space-fairness bound (one tenant's churn cannot evict the
+// whole cache), not an isolation boundary.
+type ResultCache struct {
+	mu          sync.Mutex
+	maxBytes    int64
+	tenantMax   int64 // per-tenant resident-byte quota, 0 = none
+	bytes       int64
+	tenantBytes map[string]int64
+	entries     map[resultKey]*list.Element
+	lru         *list.List // front = most recent; values are *resultEntry
+	flights     map[resultKey]*resultFlight
+
+	hits, misses, coalesced, evictions int64
+
+	cHits      *obs.Counter
+	cMisses    *obs.Counter
+	cCoalesced *obs.Counter
+	cEvicted   *obs.Counter
+	gBytes     *obs.Gauge
+	gEntries   *obs.Gauge
+}
+
+type resultKey struct {
+	query       string
+	fingerprint string
+}
+
+type resultEntry struct {
+	key    resultKey
+	tenant string
+	val    interface{}
+	size   int64
+}
+
+type resultFlight struct {
+	done chan struct{}
+	val  interface{}
+	err  error
+}
+
+// ResultCacheStats is a point-in-time counter snapshot. Hits includes
+// coalesced waits (a follower that reuses a leader's execution saw the
+// cache work).
+type ResultCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+	Evictions int64
+	Bytes     int64
+	Entries   int64
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 when idle.
+func (s ResultCacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// NewResultCache returns a cache bounded to maxBytes total, with an
+// optional per-tenant resident quota (0 = unlimited per tenant).
+func NewResultCache(maxBytes, perTenantBytes int64) *ResultCache {
+	if maxBytes < 1 {
+		maxBytes = 64 << 20
+	}
+	return &ResultCache{
+		maxBytes:    maxBytes,
+		tenantMax:   perTenantBytes,
+		tenantBytes: make(map[string]int64),
+		entries:     make(map[resultKey]*list.Element),
+		lru:         list.New(),
+		flights:     make(map[resultKey]*resultFlight),
+	}
+}
+
+// Observe binds the cache's counters and gauges into reg under the
+// sched_result_cache_* families.
+func (c *ResultCache) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cHits = reg.Counter("sched_result_cache_hits_total")
+	c.cMisses = reg.Counter("sched_result_cache_misses_total")
+	c.cCoalesced = reg.Counter("sched_result_cache_coalesced_total")
+	c.cEvicted = reg.Counter("sched_result_cache_evictions_total")
+	c.gBytes = reg.Gauge("sched_result_cache_bytes")
+	c.gEntries = reg.Gauge("sched_result_cache_entries")
+}
+
+// Stats snapshots the cache counters.
+func (c *ResultCache) Stats() ResultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ResultCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   int64(c.lru.Len()),
+	}
+}
+
+// Do serves one query through the cache. fingerprint must be captured by
+// the caller *before* Do (at lookup time); it keys both the entry and
+// the single-flight, so two lookups spanning a store mutation can never
+// share an execution. exec computes the result and its resident size on
+// a miss; fresh (optional) re-checks the fingerprint after exec so a
+// result that raced a mutation is returned to its caller but not
+// inserted. The bool reports whether the result came from the cache (a
+// coalesced follower counts as a hit). Errors are never cached; a
+// follower whose leader failed retries the lookup, because the leader's
+// error may be private to it (a canceled client context).
+func (c *ResultCache) Do(ctx context.Context, tenant, query, fingerprint string,
+	exec func() (interface{}, int64, error), fresh func() bool) (interface{}, bool, error) {
+	key := resultKey{query: query, fingerprint: fingerprint}
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			c.hits++
+			val := el.Value.(*resultEntry).val
+			c.mu.Unlock()
+			c.cHits.Inc()
+			return val, true, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.hits++
+			c.coalesced++
+			c.mu.Unlock()
+			c.cHits.Inc()
+			c.cCoalesced.Inc()
+			var done <-chan struct{}
+			if ctx != nil {
+				done = ctx.Done()
+			}
+			select {
+			case <-f.done:
+			case <-done:
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				return f.val, true, nil
+			}
+			if ctx != nil && ctx.Err() != nil {
+				return nil, false, ctx.Err()
+			}
+			continue
+		}
+		f := &resultFlight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.misses++
+		c.mu.Unlock()
+		c.cMisses.Inc()
+
+		val, size, err := exec()
+		f.val, f.err = val, err
+		ok := err == nil && (fresh == nil || fresh())
+		c.mu.Lock()
+		delete(c.flights, key)
+		if ok {
+			c.insertLocked(key, tenant, val, size)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return val, false, err
+	}
+}
+
+// insertLocked adds an entry, evicting LRU entries (the inserting
+// tenant's own first when it is over quota, then globally) to fit.
+func (c *ResultCache) insertLocked(key resultKey, tenant string, val interface{}, size int64) {
+	if size <= 0 || size > c.maxBytes || (c.tenantMax > 0 && size > c.tenantMax) {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.removeLocked(el)
+	}
+	if c.tenantMax > 0 {
+		for c.tenantBytes[tenant]+size > c.tenantMax {
+			if !c.evictTenantLocked(tenant) {
+				return
+			}
+		}
+	}
+	for c.bytes+size > c.maxBytes {
+		tail := c.lru.Back()
+		if tail == nil {
+			return
+		}
+		c.removeLocked(tail)
+		c.evictions++
+		c.cEvicted.Inc()
+	}
+	e := &resultEntry{key: key, tenant: tenant, val: val, size: size}
+	c.entries[key] = c.lru.PushFront(e)
+	c.bytes += size
+	c.tenantBytes[tenant] += size
+	c.gBytes.Set(c.bytes)
+	c.gEntries.Set(int64(c.lru.Len()))
+}
+
+// evictTenantLocked drops the least-recently-used entry belonging to
+// tenant, reporting whether one existed.
+func (c *ResultCache) evictTenantLocked(tenant string) bool {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		if el.Value.(*resultEntry).tenant == tenant {
+			c.removeLocked(el)
+			c.evictions++
+			c.cEvicted.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+func (c *ResultCache) removeLocked(el *list.Element) {
+	e := el.Value.(*resultEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+	c.tenantBytes[e.tenant] -= e.size
+	if c.tenantBytes[e.tenant] <= 0 {
+		delete(c.tenantBytes, e.tenant)
+	}
+	c.gBytes.Set(c.bytes)
+	c.gEntries.Set(int64(c.lru.Len()))
+}

@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mustDo(t *testing.T, c *ResultCache, tenant, query, fp string, val interface{}, size int64) (interface{}, bool) {
+	t.Helper()
+	got, hit, err := c.Do(nil, tenant, query, fp, func() (interface{}, int64, error) {
+		return val, size, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, hit
+}
+
+func TestResultCacheHitMiss(t *testing.T) {
+	c := NewResultCache(1<<20, 0)
+	v1, hit := mustDo(t, c, "t1", "q", "fp1", "result-a", 100)
+	if hit || v1 != "result-a" {
+		t.Fatalf("first Do: got (%v, hit=%v), want miss returning result-a", v1, hit)
+	}
+	v2, hit := mustDo(t, c, "t2", "q", "fp1", "never-computed", 100)
+	if !hit || v2 != "result-a" {
+		t.Fatalf("second Do: got (%v, hit=%v), want cached result-a (keys are not tenant-scoped)", v2, hit)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestResultCacheSingleFlight(t *testing.T) {
+	c := NewResultCache(1<<20, 0)
+	const followers = 5
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, hit, err := c.Do(nil, "t", "q", "fp", func() (interface{}, int64, error) {
+			execs.Add(1)
+			close(leaderIn)
+			<-gate
+			return "v", 10, nil
+		}, nil)
+		if err != nil || hit || v != "v" {
+			t.Errorf("leader: v=%v hit=%v err=%v", v, hit, err)
+		}
+	}()
+	<-leaderIn
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, hit, err := c.Do(nil, "t", "q", "fp", func() (interface{}, int64, error) {
+				execs.Add(1)
+				return "v", 10, nil
+			}, nil)
+			if err != nil || !hit || v != "v" {
+				t.Errorf("follower: v=%v hit=%v err=%v", v, hit, err)
+			}
+		}()
+	}
+	// Followers must be registered on the flight before releasing the
+	// leader; poll the coalesced counter.
+	for c.Stats().Coalesced < followers {
+		if t.Failed() {
+			break
+		}
+	}
+	close(gate)
+	wg.Wait()
+	if execs.Load() != 1 {
+		t.Errorf("execs = %d, want 1 (single flight)", execs.Load())
+	}
+}
+
+// TestResultCacheFingerprintIsolatesFlights is the PR-5 coalescing
+// hazard at the result level: a lookup whose fingerprint postdates a
+// store mutation must not join an in-flight execution keyed under the
+// old fingerprint, or it could be handed a result computed from stale
+// bytes.
+func TestResultCacheFingerprintIsolatesFlights(t *testing.T) {
+	c := NewResultCache(1<<20, 0)
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, err := c.Do(nil, "t", "q", "gen1", func() (interface{}, int64, error) {
+			close(leaderIn)
+			<-gate
+			return "old", 10, nil
+		}, nil)
+		if err != nil || v != "old" {
+			t.Errorf("old-generation leader: v=%v err=%v", v, err)
+		}
+	}()
+	<-leaderIn
+	// The store mutated; a new lookup captures fingerprint gen2 and must
+	// execute fresh, not wait on the gen1 flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, hit, err := c.Do(nil, "t", "q", "gen2", func() (interface{}, int64, error) {
+			return "new", 10, nil
+		}, nil)
+		if err != nil || hit || v != "new" {
+			t.Errorf("post-mutation lookup: v=%v hit=%v err=%v", v, hit, err)
+		}
+	}()
+	<-done // completes while the gen1 flight is still blocked
+	close(gate)
+	wg.Wait()
+	// Both entries resident, each under its own generation key.
+	if v, hit := mustDo(t, c, "t", "q", "gen2", nil, 0); !hit || v != "new" {
+		t.Errorf("gen2 lookup after settle: v=%v hit=%v", v, hit)
+	}
+}
+
+// TestResultCacheFreshGuardsInsert: an execution that raced a mutation
+// (fresh() reports the fingerprint is no longer current) returns its
+// result but must not populate the cache.
+func TestResultCacheFreshGuardsInsert(t *testing.T) {
+	c := NewResultCache(1<<20, 0)
+	v, hit, err := c.Do(nil, "t", "q", "fp", func() (interface{}, int64, error) {
+		return "racy", 10, nil
+	}, func() bool { return false })
+	if err != nil || hit || v != "racy" {
+		t.Fatalf("racy exec: v=%v hit=%v err=%v", v, hit, err)
+	}
+	if _, hit := mustDo(t, c, "t", "q", "fp", "fresh", 10); hit {
+		t.Error("stale-raced result was cached; want miss")
+	}
+}
+
+func TestResultCacheEviction(t *testing.T) {
+	c := NewResultCache(100, 0)
+	mustDo(t, c, "t", "a", "fp", "va", 60)
+	mustDo(t, c, "t", "b", "fp", "vb", 60) // evicts a
+	if _, hit := mustDo(t, c, "t", "b", "fp", nil, 0); !hit {
+		t.Error("most recent entry evicted")
+	}
+	if _, hit := mustDo(t, c, "t", "a", "fp", "va", 60); hit {
+		t.Error("LRU entry not evicted")
+	}
+	if st := c.Stats(); st.Evictions < 1 || st.Bytes > 100 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Oversized results are returned but never cached.
+	if v, hit := mustDo(t, c, "t", "huge", "fp", "vh", 1000); hit || v != "vh" {
+		t.Errorf("oversized: v=%v hit=%v", v, hit)
+	}
+	if _, hit := mustDo(t, c, "t", "huge", "fp", "vh", 1000); hit {
+		t.Error("oversized entry was cached")
+	}
+}
+
+// TestResultCacheTenantQuota: one tenant's churn evicts its own entries,
+// not the whole cache.
+func TestResultCacheTenantQuota(t *testing.T) {
+	c := NewResultCache(1000, 100)
+	mustDo(t, c, "noisy", "n1", "fp", "v", 60)
+	mustDo(t, c, "quiet", "q1", "fp", "v", 60)
+	mustDo(t, c, "noisy", "n2", "fp", "v", 60) // noisy over quota: evicts n1
+	if _, hit := mustDo(t, c, "x", "n1", "fp", "v", 60); hit {
+		t.Error("noisy tenant's oldest entry should have been evicted by its own quota")
+	}
+	if _, hit := mustDo(t, c, "x", "q1", "fp", nil, 0); !hit {
+		t.Error("quiet tenant's entry must survive the noisy tenant's churn")
+	}
+}
+
+// TestResultCacheLeaderErrorRetried: errors are never cached, and a
+// follower whose leader failed re-runs the lookup itself (the leader's
+// error may be private to its own request, e.g. a canceled client).
+func TestResultCacheLeaderErrorRetried(t *testing.T) {
+	c := NewResultCache(1<<20, 0)
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.Do(nil, "t", "q", "fp", func() (interface{}, int64, error) {
+			close(leaderIn)
+			<-gate
+			return nil, 0, context.Canceled
+		}, nil)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-leaderIn
+	var execs atomic.Int64
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		v, _, err := c.Do(nil, "t", "q", "fp", func() (interface{}, int64, error) {
+			execs.Add(1)
+			return "good", 10, nil
+		}, nil)
+		if err != nil || v != "good" {
+			t.Errorf("follower after failed leader: v=%v err=%v", v, err)
+		}
+	}()
+	for c.Stats().Coalesced < 1 {
+		if t.Failed() {
+			break
+		}
+	}
+	close(gate)
+	<-followerDone
+	wg.Wait()
+	if execs.Load() != 1 {
+		t.Errorf("follower execs = %d, want 1 (became leader on retry)", execs.Load())
+	}
+	if v, hit := mustDo(t, c, "t", "q", "fp", nil, 0); !hit || v != "good" {
+		t.Errorf("retried result not cached: v=%v hit=%v", v, hit)
+	}
+}
+
+// TestResultCacheCtxAwareFollower: a follower whose own context dies
+// while coalesced unblocks with its context error.
+func TestResultCacheCtxAwareFollower(t *testing.T) {
+	c := NewResultCache(1<<20, 0)
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.Do(nil, "t", "q", "fp", func() (interface{}, int64, error) {
+			close(leaderIn)
+			<-gate
+			return "v", 10, nil
+		}, nil)
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "t", "q", "fp", func() (interface{}, int64, error) {
+		t.Error("canceled follower must not execute")
+		return nil, 0, nil
+	}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled follower err = %v", err)
+	}
+	close(gate)
+	wg.Wait()
+}

@@ -26,6 +26,16 @@ type Config struct {
 	// QueueDepth is the capacity of the pending queue behind the
 	// in-flight slots. Values < 1 default to 64.
 	QueueDepth int
+	// Tenants, when non-nil, switches the scheduler from the single
+	// FIFO queue to per-tenant weighted-fair scheduling with two
+	// priority lanes and per-tenant admission quotas (see TenantConfig,
+	// SubmitOpts). Tenants not listed here are created on first
+	// submission with the DefaultTenant configuration. An empty non-nil
+	// map enables fair scheduling with every tenant on DefaultTenant.
+	Tenants map[string]TenantConfig
+	// DefaultTenant configures tenants absent from Tenants. The zero
+	// value means weight 1 with no quotas.
+	DefaultTenant TenantConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +89,7 @@ func (t *Ticket) Round() int64 { return t.round.Load() }
 type Scheduler struct {
 	cfg   Config
 	queue chan *submission
+	fq    *fairQueue // non-nil when Config.Tenants enables fair scheduling
 	wg    sync.WaitGroup
 
 	mu     sync.RWMutex
@@ -110,13 +121,17 @@ type submission struct {
 // scheduler. Call Close to drain and stop them.
 func NewScheduler(cfg Config) *Scheduler {
 	cfg = cfg.withDefaults()
-	s := &Scheduler{
-		cfg:   cfg,
-		queue: make(chan *submission, cfg.QueueDepth),
+	s := &Scheduler{cfg: cfg}
+	worker := s.worker
+	if cfg.Tenants != nil {
+		s.fq = newFairQueue(cfg)
+		worker = s.fairWorker
+	} else {
+		s.queue = make(chan *submission, cfg.QueueDepth)
 	}
 	s.wg.Add(cfg.MaxInFlight)
 	for i := 0; i < cfg.MaxInFlight; i++ {
-		go s.worker()
+		go worker()
 	}
 	return s
 }
@@ -142,12 +157,19 @@ func (s *Scheduler) Observe(reg *obs.Registry) {
 	s.completed = reg.Counter("sched_completed_total")
 	s.panicked = reg.Counter("sched_panics_total")
 	s.canceled = reg.Counter("sched_canceled_total")
+	if s.fq != nil {
+		s.fq.observe(reg)
+	}
 }
 
 // Submit enqueues job without blocking. It returns ErrQueueFull when the
 // pending queue is at capacity and ErrClosed after Close.
 func (s *Scheduler) Submit(job Job) (*Ticket, error) {
-	return s.enqueue(&submission{job: job, ticket: &Ticket{done: make(chan struct{})}})
+	sub := &submission{job: job, ticket: &Ticket{done: make(chan struct{})}}
+	if s.fq != nil {
+		return s.fairEnqueue(sub, SubmitOpts{})
+	}
+	return s.enqueue(sub)
 }
 
 // SubmitCtx is Submit with a context: the job receives ctx when it runs,
@@ -161,7 +183,11 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, job JobCtx) (*Ticket, error) 
 			return nil, err
 		}
 	}
-	return s.enqueue(&submission{jobCtx: job, ctx: ctx, ticket: &Ticket{done: make(chan struct{})}})
+	sub := &submission{jobCtx: job, ctx: ctx, ticket: &Ticket{done: make(chan struct{})}}
+	if s.fq != nil {
+		return s.fairEnqueue(sub, SubmitOpts{})
+	}
+	return s.enqueue(sub)
 }
 
 func (s *Scheduler) enqueue(sub *submission) (*Ticket, error) {
@@ -187,7 +213,11 @@ func (s *Scheduler) enqueue(sub *submission) (*Ticket, error) {
 // fails with ErrClosed. Used by convenience paths (DB.RunConcurrent)
 // where backpressure should stall the producer rather than shed load.
 func (s *Scheduler) SubmitWait(job Job) (*Ticket, error) {
-	return s.enqueueWait(&submission{job: job, ticket: &Ticket{done: make(chan struct{})}})
+	sub := &submission{job: job, ticket: &Ticket{done: make(chan struct{})}}
+	if s.fq != nil {
+		return s.fairEnqueue(sub, SubmitOpts{Wait: true})
+	}
+	return s.enqueueWait(sub)
 }
 
 // SubmitWaitCtx is SubmitWait with a context: a caller stalled on a full
@@ -199,7 +229,11 @@ func (s *Scheduler) SubmitWaitCtx(ctx context.Context, job JobCtx) (*Ticket, err
 			return nil, err
 		}
 	}
-	return s.enqueueWait(&submission{jobCtx: job, ctx: ctx, ticket: &Ticket{done: make(chan struct{})}})
+	sub := &submission{jobCtx: job, ctx: ctx, ticket: &Ticket{done: make(chan struct{})}}
+	if s.fq != nil {
+		return s.fairEnqueue(sub, SubmitOpts{Wait: true})
+	}
+	return s.enqueueWait(sub)
 }
 
 func (s *Scheduler) enqueueWait(sub *submission) (*Ticket, error) {
@@ -244,8 +278,13 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
-	close(s.queue)
+	if s.fq == nil {
+		close(s.queue)
+	}
 	s.mu.Unlock()
+	if s.fq != nil {
+		s.fq.close()
+	}
 	s.wg.Wait()
 }
 

@@ -1,0 +1,440 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aquoman/internal/obs"
+)
+
+// Lane selects one of the scheduler's two priority lanes. At dequeue
+// time every queued interactive submission is granted before any queued
+// batch submission, so dashboard point-queries preempt SF-scale scans
+// that are still waiting for a slot (running scans are never stopped).
+type Lane int
+
+const (
+	// LaneInteractive is the point-query lane (the default).
+	LaneInteractive Lane = iota
+	// LaneBatch is the scan lane for long, SF-scale queries.
+	LaneBatch
+	numLanes
+)
+
+// String returns "interactive" or "batch".
+func (l Lane) String() string {
+	if l == LaneBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// ParseLane parses a lane name as used in URLs and flags.
+func ParseLane(s string) (Lane, error) {
+	switch s {
+	case "interactive":
+		return LaneInteractive, nil
+	case "batch":
+		return LaneBatch, nil
+	}
+	return LaneInteractive, fmt.Errorf("sched: unknown lane %q (want interactive or batch)", s)
+}
+
+// TenantConfig sizes one tenant's share of the scheduler.
+type TenantConfig struct {
+	// Weight is the tenant's share of grant rounds under contention
+	// (stride scheduling: a weight-4 tenant receives 4x the grants of a
+	// weight-1 tenant while both are backlogged). Values < 1 default to 1.
+	Weight int
+	// MaxQueued caps this tenant's queued submissions; exceeding it
+	// rejects with a *QuotaError (mapped to HTTP 429 upstream) while
+	// other tenants keep being admitted. 0 = bounded only by the
+	// scheduler's global QueueDepth.
+	MaxQueued int
+	// MaxInFlight caps the tenant's concurrently executing queries; its
+	// surplus queued work stays queued while other tenants' work is
+	// granted past it. 0 = no per-tenant cap.
+	MaxInFlight int
+}
+
+// DefaultTenantName is the tenant that un-attributed submissions (no
+// tenant header, legacy Submit entry points) are accounted under.
+const DefaultTenantName = "default"
+
+// QuotaError reports a submission rejected because its tenant's own
+// admission quota (TenantConfig.MaxQueued) was exhausted, as opposed to
+// the scheduler-wide queue being full. errors.Is(err, ErrTenantQuota)
+// matches it.
+type QuotaError struct{ Tenant string }
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("sched: tenant %q over admission quota", e.Tenant)
+}
+
+// Is makes QuotaError match ErrTenantQuota.
+func (e *QuotaError) Is(target error) bool { return target == ErrTenantQuota }
+
+// ErrTenantQuota is the errors.Is target for per-tenant admission
+// rejections. The server maps it to 429 Too Many Requests (the tenant
+// should back off) where a scheduler-wide ErrQueueFull maps to 503.
+var ErrTenantQuota = errors.New("sched: tenant quota exceeded")
+
+// SubmitOpts attributes one submission for multi-tenant scheduling.
+type SubmitOpts struct {
+	// Tenant is the submitting tenant; "" maps to DefaultTenantName.
+	// Tenants absent from Config.Tenants use Config.DefaultTenant.
+	Tenant string
+	// Lane is the priority lane (zero value: LaneInteractive).
+	Lane Lane
+	// Wait blocks admission on a full queue or exhausted quota instead
+	// of rejecting, unblocking with the context error if ctx dies first.
+	Wait bool
+}
+
+// tenantState is one tenant's queues and accounting inside fairQueue.
+// All fields except the obs handles are guarded by fairQueue.mu.
+type tenantState struct {
+	name        string
+	weight      int
+	maxQueued   int
+	maxInFlight int
+
+	lanes    [numLanes][]*submission
+	queued   int
+	inflight int
+	grants   int64
+	// pass is the tenant's stride-scheduling virtual time: advanced by
+	// 1/weight per grant, so under contention grant counts converge to
+	// the weight ratio. A tenant rejoining after idling is forwarded to
+	// the queue's virtual time instead of burning its idle credit.
+	pass float64
+
+	gInflight  *obs.Gauge
+	gQueued    *obs.Gauge
+	cGrants    *obs.Counter
+	cSubmitted *obs.Counter
+	cRejected  *obs.Counter
+}
+
+func (ts *tenantState) bind(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	ts.gInflight = reg.Gauge("sched_tenant_inflight", "tenant", ts.name)
+	ts.gQueued = reg.Gauge("sched_tenant_queued", "tenant", ts.name)
+	ts.cGrants = reg.Counter("sched_tenant_grants_total", "tenant", ts.name)
+	ts.cSubmitted = reg.Counter("sched_tenant_submitted_total", "tenant", ts.name)
+	ts.cRejected = reg.Counter("sched_tenant_rejected_total", "tenant", ts.name)
+}
+
+// fairQueue replaces the scheduler's FIFO channel when Config.Tenants is
+// set: a per-tenant, per-lane multi-queue with weighted-fair grants,
+// admission quotas, and interactive-over-batch lane preemption. One
+// mutex+cond guards it all — enqueueing producers, granting workers, and
+// quota-waiters share the condition and re-check their predicates.
+type fairQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cfg    Config
+	reg    *obs.Registry
+	closed bool
+
+	tenants map[string]*tenantState
+	// order fixes the tie-break iteration order over tenants (map
+	// iteration is randomized; grant decisions should not be).
+	order  []*tenantState
+	queued int
+	// vtime tracks the pass of the most recent grant, used to forward
+	// idle tenants when they rejoin.
+	vtime float64
+}
+
+func newFairQueue(cfg Config) *fairQueue {
+	fq := &fairQueue{cfg: cfg, tenants: make(map[string]*tenantState)}
+	fq.cond = sync.NewCond(&fq.mu)
+	// Materialize configured tenants eagerly so their metric series exist
+	// (at zero) before the first submission arrives.
+	for name := range cfg.Tenants {
+		fq.tenantLocked(name)
+	}
+	return fq
+}
+
+// tenantLocked returns (creating if needed) the tenant's state.
+func (fq *fairQueue) tenantLocked(name string) *tenantState {
+	if name == "" {
+		name = DefaultTenantName
+	}
+	if ts, ok := fq.tenants[name]; ok {
+		return ts
+	}
+	tc, ok := fq.cfg.Tenants[name]
+	if !ok {
+		tc = fq.cfg.DefaultTenant
+	}
+	if tc.Weight < 1 {
+		tc.Weight = 1
+	}
+	ts := &tenantState{
+		name:        name,
+		weight:      tc.Weight,
+		maxQueued:   tc.MaxQueued,
+		maxInFlight: tc.MaxInFlight,
+		pass:        fq.vtime,
+	}
+	ts.bind(fq.reg)
+	fq.tenants[name] = ts
+	fq.order = append(fq.order, ts)
+	return ts
+}
+
+// observe binds (or rebinds) every tenant's metric handles.
+func (fq *fairQueue) observe(reg *obs.Registry) {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	fq.reg = reg
+	for _, ts := range fq.order {
+		ts.bind(reg)
+	}
+}
+
+// enqueue admits one submission under quota+capacity control. Called by
+// the Scheduler submit paths when the fair queue is active.
+func (s *Scheduler) fairEnqueue(sub *submission, opts SubmitOpts) (*Ticket, error) {
+	if opts.Lane < 0 || opts.Lane >= numLanes {
+		opts.Lane = LaneInteractive
+	}
+	fq := s.fq
+	fq.mu.Lock()
+	ts := fq.tenantLocked(opts.Tenant)
+	for {
+		if fq.closed {
+			fq.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if sub.ctx != nil {
+			if err := sub.ctx.Err(); err != nil {
+				fq.mu.Unlock()
+				s.rejected.Inc()
+				ts.cRejected.Inc()
+				return nil, err
+			}
+		}
+		overQuota := ts.maxQueued > 0 && ts.queued >= ts.maxQueued
+		overGlobal := fq.queued >= fq.cfg.QueueDepth
+		if !overQuota && !overGlobal {
+			break
+		}
+		if !opts.Wait {
+			fq.mu.Unlock()
+			s.rejected.Inc()
+			ts.cRejected.Inc()
+			if overQuota {
+				return nil, &QuotaError{Tenant: ts.name}
+			}
+			return nil, ErrQueueFull
+		}
+		fq.waitLocked(sub.ctx)
+	}
+	sub.enqueued = time.Now()
+	// A tenant rejoining after an idle spell starts at the current
+	// virtual time: idle periods earn no credit, or a returning tenant
+	// would monopolize grants until its stale pass caught up.
+	if ts.queued == 0 && ts.inflight == 0 && ts.pass < fq.vtime {
+		ts.pass = fq.vtime
+	}
+	ts.lanes[opts.Lane] = append(ts.lanes[opts.Lane], sub)
+	ts.queued++
+	fq.queued++
+	fq.mu.Unlock()
+	s.submitted.Inc()
+	ts.cSubmitted.Inc()
+	s.queued.Add(1)
+	s.queueDepth.Add(1)
+	ts.gQueued.Add(1)
+	fq.cond.Broadcast()
+	return sub.ticket, nil
+}
+
+// waitLocked blocks on the queue condition until woken. A non-nil ctx
+// installs a watcher that broadcasts when the context dies, so the
+// caller's re-check loop observes the error. Called (and returns) with
+// fq.mu held.
+func (fq *fairQueue) waitLocked(ctx context.Context) {
+	if ctx == nil {
+		fq.cond.Wait()
+		return
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Lock before broadcasting: the caller holds fq.mu from its
+			// predicate check until it is inside Wait, so a locked
+			// broadcast cannot land in that gap and be missed.
+			fq.mu.Lock()
+			fq.cond.Broadcast()
+			fq.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	fq.cond.Wait()
+	close(stop)
+}
+
+// dequeue blocks for the next grant, returning the chosen submission and
+// its tenant (inflight already incremented), or (nil, nil) when the
+// queue is closed and fully drained.
+func (fq *fairQueue) dequeue() (*submission, *tenantState) {
+	fq.mu.Lock()
+	defer fq.mu.Unlock()
+	for {
+		if sub, ts := fq.pickLocked(); sub != nil {
+			return sub, ts
+		}
+		if fq.closed && fq.queued == 0 {
+			return nil, nil
+		}
+		fq.cond.Wait()
+	}
+}
+
+// pickLocked implements the grant policy: the interactive lane is
+// scanned before the batch lane; within a lane the eligible tenant with
+// the minimum stride pass wins (ties broken by tenant creation order).
+// Tenants at their per-tenant in-flight cap are skipped — their queued
+// work waits while others are granted past it.
+func (fq *fairQueue) pickLocked() (*submission, *tenantState) {
+	for lane := LaneInteractive; lane < numLanes; lane++ {
+		var best *tenantState
+		for _, ts := range fq.order {
+			if len(ts.lanes[lane]) == 0 {
+				continue
+			}
+			if ts.maxInFlight > 0 && ts.inflight >= ts.maxInFlight {
+				continue
+			}
+			if best == nil || ts.pass < best.pass {
+				best = ts
+			}
+		}
+		if best == nil {
+			continue
+		}
+		q := best.lanes[lane]
+		sub := q[0]
+		q[0] = nil // drop the backing-array reference for GC
+		best.lanes[lane] = q[1:]
+		best.queued--
+		fq.queued--
+		best.inflight++
+		best.grants++
+		best.cGrants.Inc()
+		if best.pass > fq.vtime {
+			fq.vtime = best.pass
+		}
+		best.pass += 1 / float64(best.weight)
+		// A queue slot freed: quota- and capacity-waiters may now admit.
+		fq.cond.Broadcast()
+		return sub, best
+	}
+	return nil, nil
+}
+
+// release returns a tenant's in-flight slot, waking workers whose grants
+// were blocked on the tenant's MaxInFlight cap.
+func (fq *fairQueue) release(ts *tenantState) {
+	fq.mu.Lock()
+	ts.inflight--
+	fq.mu.Unlock()
+	fq.cond.Broadcast()
+}
+
+func (fq *fairQueue) close() {
+	fq.mu.Lock()
+	fq.closed = true
+	fq.mu.Unlock()
+	fq.cond.Broadcast()
+}
+
+// SubmitTenant enqueues a job attributed to a tenant and lane. With
+// opts.Wait it blocks on backpressure like SubmitWaitCtx; otherwise it
+// rejects with *QuotaError (tenant quota) or ErrQueueFull (global
+// capacity). On a scheduler without tenants configured the tenant and
+// lane are ignored and the legacy FIFO path runs.
+func (s *Scheduler) SubmitTenant(ctx context.Context, opts SubmitOpts, job JobCtx) (*Ticket, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	sub := &submission{jobCtx: job, ctx: ctx, ticket: &Ticket{done: make(chan struct{})}}
+	if s.fq != nil {
+		return s.fairEnqueue(sub, opts)
+	}
+	if opts.Wait {
+		return s.enqueueWait(sub)
+	}
+	return s.enqueue(sub)
+}
+
+// Tenants reports whether multi-tenant fair scheduling is active.
+func (s *Scheduler) Tenants() bool { return s.fq != nil }
+
+// TenantGrants returns the cumulative grant count per tenant (nil when
+// multi-tenant scheduling is off). Fairness harnesses compare these
+// against the configured weights.
+func (s *Scheduler) TenantGrants() map[string]int64 {
+	if s.fq == nil {
+		return nil
+	}
+	s.fq.mu.Lock()
+	defer s.fq.mu.Unlock()
+	m := make(map[string]int64, len(s.fq.tenants))
+	for name, ts := range s.fq.tenants {
+		m[name] = ts.grants
+	}
+	return m
+}
+
+// fairWorker is the worker loop when the fair queue is active: identical
+// accounting to the legacy loop, plus per-tenant gauges and in-flight
+// slot release.
+func (s *Scheduler) fairWorker() {
+	defer s.wg.Done()
+	for {
+		sub, ts := s.fq.dequeue()
+		if sub == nil {
+			return
+		}
+		s.queued.Add(-1)
+		s.queueDepth.Add(-1)
+		ts.gQueued.Add(-1)
+		wait := time.Since(sub.enqueued)
+		s.queueWait.Observe(int64(wait))
+		obs.LifecycleFrom(sub.ctx).Add(obs.StateQueueWait, wait)
+		if sub.ctx != nil {
+			if err := sub.ctx.Err(); err != nil {
+				sub.ticket.err = err
+				s.canceled.Inc()
+				close(sub.ticket.done)
+				s.fq.release(ts)
+				continue
+			}
+		}
+		s.inflight.Add(1)
+		ts.gInflight.Add(1)
+		sub.ticket.round.Store(s.rounds.Add(1))
+		endHost := obs.LifecycleFrom(sub.ctx).ExclusiveTimer(obs.StateHost)
+		s.run(sub)
+		endHost()
+		s.inflight.Add(-1)
+		ts.gInflight.Add(-1)
+		s.completed.Inc()
+		close(sub.ticket.done)
+		s.fq.release(ts)
+	}
+}

@@ -15,9 +15,11 @@
 //	/debug/vars  expvar JSON (when the DB has an observer)
 //
 // Backpressure is explicit: a full scheduler queue returns 503 with a
-// Retry-After header instead of queueing unboundedly. Drain puts the
-// server into a mode where new queries are rejected but in-flight ones
-// finish, for graceful shutdown.
+// Retry-After header instead of queueing unboundedly, and a tenant over
+// its own admission quota gets 429 (the X-Tenant header or ?tenant=
+// parameter names the tenant; ?lane= picks the priority lane). Drain
+// puts the server into a mode where new queries are rejected but
+// in-flight ones finish, for graceful shutdown.
 package server
 
 import (
@@ -197,6 +199,44 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
+// queryMeta carries a request's tenant identity, priority lane, and
+// result-cache key through the run path. A zero cacheKey means the
+// query bypasses the result cache (partial/cluster modes, or no cache
+// configured).
+type queryMeta struct {
+	tenant   string
+	lane     aquoman.Lane
+	cacheKey string
+}
+
+// tenantLabel is the metrics label for this request's tenant.
+func (m queryMeta) tenantLabel() string {
+	if m.tenant == "" {
+		return "default"
+	}
+	return m.tenant
+}
+
+// tenantOf extracts the requesting tenant: the X-Tenant header wins,
+// then the tenant query parameter. Empty means the default tenant.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return r.URL.Query().Get("tenant")
+}
+
+// laneOf resolves the request's priority lane from the lane query
+// parameter, defaulting per endpoint (point queries are interactive,
+// TPC-H scans are batch).
+func laneOf(r *http.Request, def aquoman.Lane) (aquoman.Lane, error) {
+	v := r.URL.Query().Get("lane")
+	if v == "" {
+		return def, nil
+	}
+	return aquoman.ParseLane(v)
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -214,6 +254,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			"/metrics",
 			"/debug/vars",
 			"/debug/pprof/",
+			"tenancy: X-Tenant header or ?tenant=; ?lane=interactive|batch",
 		},
 	})
 }
@@ -274,7 +315,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.runAndStream(w, r, p, req.SQL, time.Duration(req.TimeoutMS)*time.Millisecond)
+	lane, err := laneOf(r, aquoman.LaneInteractive)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	meta := queryMeta{tenant: tenantOf(r), lane: lane, cacheKey: aquoman.CanonicalSQL(req.SQL)}
+	s.runAndStream(w, r, p, req.SQL, time.Duration(req.TimeoutMS)*time.Millisecond, meta)
 }
 
 func (s *Server) handleTPCH(w http.ResponseWriter, r *http.Request) {
@@ -305,7 +352,13 @@ func (s *Server) handleTPCH(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.runAndStream(w, r, p, fmt.Sprintf("tpch q%d", q), timeout)
+	lane, err := laneOf(r, aquoman.LaneBatch)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	meta := queryMeta{tenant: tenantOf(r), lane: lane, cacheKey: fmt.Sprintf("tpch:q%d", q)}
+	s.runAndStream(w, r, p, fmt.Sprintf("tpch q%d", q), timeout, meta)
 }
 
 // runPartialAndStream is worker mode: derive this shard's partial plan
@@ -337,7 +390,11 @@ func (s *Server) runPartialAndStream(w http.ResponseWriter, r *http.Request, q i
 		writeError(w, http.StatusBadRequest, "partial plan: "+err.Error())
 		return
 	}
-	s.runAndStreamMode(w, r, part, fmt.Sprintf("tpch q%d partial", q), asked, strat.String())
+	// Worker-mode partials run on the batch lane and never touch the
+	// result cache: the coordinator merges raw shards, so serving a
+	// whole cached result here would corrupt the merge.
+	meta := queryMeta{tenant: tenantOf(r), lane: aquoman.LaneBatch}
+	s.runAndStreamMode(w, r, part, fmt.Sprintf("tpch q%d partial", q), asked, strat.String(), meta)
 }
 
 // runClusterAndStream is coordinator mode: the whole query scatters over
@@ -354,12 +411,14 @@ func (s *Server) runClusterAndStream(w http.ResponseWriter, r *http.Request, q i
 	ctx = obs.WithLifecycle(ctx, lc)
 	label := fmt.Sprintf("tpch q%d cluster", q)
 
+	meta := queryMeta{tenant: tenantOf(r)}
 	start := time.Now()
 	b, rep, err := s.cfg.Coordinator.RunTPCH(ctx, q)
 	defer func() {
 		lc.Finish()
 		if o := s.cfg.DB.Obs; o != nil {
 			lc.ObserveInto(o.Reg)
+			o.Reg.Histogram("query_latency_ns", "tenant", meta.tenantLabel()).Observe(int64(lc.Wall()))
 		}
 		s.logSlow(lc, label, err)
 	}()
@@ -405,14 +464,14 @@ func (s *Server) deadline(asked time.Duration) time.Duration {
 // it, emit time is attributed here, and the finished breakdown feeds
 // the query_latency_ns / query_state_ns histograms and the slow-query
 // log.
-func (s *Server) runAndStream(w http.ResponseWriter, r *http.Request, p aquoman.Plan, label string, asked time.Duration) {
-	s.runAndStreamMode(w, r, p, label, asked, "")
+func (s *Server) runAndStream(w http.ResponseWriter, r *http.Request, p aquoman.Plan, label string, asked time.Duration, meta queryMeta) {
+	s.runAndStreamMode(w, r, p, label, asked, "", meta)
 }
 
 // runAndStreamMode is runAndStream with an optional raw worker mode: a
 // non-empty rawStrategy streams the batch as unrendered int64s in the
 // cluster wire format instead of display values.
-func (s *Server) runAndStreamMode(w http.ResponseWriter, r *http.Request, p aquoman.Plan, label string, asked time.Duration, rawStrategy string) {
+func (s *Server) runAndStreamMode(w http.ResponseWriter, r *http.Request, p aquoman.Plan, label string, asked time.Duration, rawStrategy string, meta queryMeta) {
 	ctx := r.Context()
 	if d := s.deadline(asked); d > 0 {
 		var cancel context.CancelFunc
@@ -423,30 +482,50 @@ func (s *Server) runAndStreamMode(w http.ResponseWriter, r *http.Request, p aquo
 	ctx = obs.WithLifecycle(ctx, lc)
 
 	start := time.Now()
-	t, err := s.cfg.DB.SubmitCtx(ctx, p)
-	if err != nil {
-		// Admission rejects never ran: keep them out of the latency
-		// histograms (server_requests_total already counts them).
-		switch {
-		case errors.Is(err, aquoman.ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "scheduler queue full, retry later")
-		case errors.Is(err, aquoman.ErrSchedulerClosed):
-			writeError(w, http.StatusServiceUnavailable, "scheduler closed")
-		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
+	var (
+		res *aquoman.Result
+		hit bool
+		err error
+	)
+	if rawStrategy == "" && meta.cacheKey != "" && s.cfg.DB.ResultCacheHandle() != nil {
+		res, hit, err = s.cfg.DB.RunCachedCtx(ctx, meta.tenant, meta.lane, meta.cacheKey, p)
+	} else {
+		var t *aquoman.Ticket
+		t, err = s.cfg.DB.SubmitTenantCtx(ctx, meta.tenant, meta.lane, p)
+		if err == nil {
+			res, err = t.Wait()
 		}
+	}
+	// Admission rejects never ran: keep them out of the latency
+	// histograms (server_requests_total already counts them). A tenant
+	// over its own quota gets 429 so clients can tell "slow down" from
+	// "server overloaded" (503).
+	switch {
+	case errors.Is(err, aquoman.ErrTenantQuota):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, aquoman.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "scheduler queue full, retry later")
+		return
+	case errors.Is(err, aquoman.ErrSchedulerClosed):
+		writeError(w, http.StatusServiceUnavailable, "scheduler closed")
 		return
 	}
 	defer func() {
 		lc.Finish()
 		if o := s.cfg.DB.Obs; o != nil {
 			lc.ObserveInto(o.Reg)
+			o.Reg.Histogram("query_latency_ns", "tenant", meta.tenantLabel()).Observe(int64(lc.Wall()))
 		}
 		s.logSlow(lc, label, err)
 	}()
-	var res *aquoman.Result
-	res, err = t.Wait()
+	if hit {
+		// The whole wait was absorbed by the result cache; attribute it
+		// so coverage stays honest on cached queries.
+		lc.Add(obs.StateResultCacheHit, time.Since(start))
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):

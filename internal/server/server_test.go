@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -633,6 +634,153 @@ func TestMetricsQueryLatencyQuantiles(t *testing.T) {
 		"query_attributed_ns_total",
 	} {
 		if !strings.Contains(string(b), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestTenantQuota429 drives a tenant past its own admission quota and
+// asserts the shed is 429 + Retry-After (a per-tenant "slow down", not
+// the 503 that means the whole server is overloaded), while another
+// tenant is still admitted.
+func TestTenantQuota429(t *testing.T) {
+	db := aquoman.Open()
+	if err := db.LoadTPCH(0.005, 1); err != nil {
+		t.Fatal(err)
+	}
+	o := db.EnableObservability()
+	db.ConfigureScheduler(aquoman.SchedulerConfig{
+		MaxInFlight: 1, QueueDepth: 8,
+		Tenants: map[string]aquoman.TenantConfig{
+			"alpha": {Weight: 1, MaxQueued: 1},
+		},
+	})
+	defer db.Close()
+	db.Flash.SetReadLatency(500 * time.Microsecond)
+	_, ts := newTestServer(t, Config{DB: db})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p, err := aquoman.TPCHQuery(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the only slot (in-flight work does not count against the
+	// queued quota), then fill alpha's one queued slot.
+	tk1, err := db.SubmitTenantCtx(ctx, "alpha", aquoman.LaneBatch, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflight := o.Reg.Gauge("sched_inflight")
+	deadline := time.Now().Add(5 * time.Second)
+	for inflight.Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first query never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tk2, err := db.SubmitTenantCtx(ctx, "alpha", aquoman.LaneBatch, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/tpch?q=6", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", "alpha")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !strings.Contains(string(body), "quota") {
+		t.Fatalf("429 body should name the quota: %s", body)
+	}
+	if n := o.Reg.Counter("sched_tenant_rejected_total", "tenant", "alpha").Value(); n < 1 {
+		t.Fatalf("sched_tenant_rejected_total{tenant=alpha} = %d, want >= 1", n)
+	}
+
+	// A different tenant is not throttled by alpha's quota.
+	tk3, err := db.SubmitTenantCtx(ctx, "beta", aquoman.LaneInteractive, p)
+	if err != nil {
+		t.Fatalf("beta rejected alongside alpha's quota: %v", err)
+	}
+	cancel()
+	for _, tk := range []*aquoman.Ticket{tk1, tk2, tk3} {
+		_, _ = tk.Wait()
+	}
+}
+
+// TestResultCacheHitServesIdenticalRows runs the same statement three
+// times (verbatim, then a whitespace/case variant) against a server
+// with the result cache on: the streamed header and row lines must be
+// byte-identical across hit and miss, the cache must report the hits,
+// and the lifecycle attribution must surface the result_cache_hit state
+// on /metrics.
+func TestResultCacheHitServesIdenticalRows(t *testing.T) {
+	db := aquoman.Open()
+	if err := db.LoadTPCH(0.005, 1); err != nil {
+		t.Fatal(err)
+	}
+	db.EnableObservability()
+	db.ConfigureScheduler(aquoman.SchedulerConfig{
+		MaxInFlight: 2, QueueDepth: 8,
+		Tenants: map[string]aquoman.TenantConfig{},
+	})
+	db.EnableResultCache(1<<20, 0)
+	defer db.Close()
+	_, ts := newTestServer(t, Config{DB: db})
+
+	get := func(q string) []string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape(q) + "&tenant=beta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		// Drop the trailer: its elapsed_ms varies per request by design.
+		return lines[:len(lines)-1]
+	}
+	const q = "select count(*) as n from lineitem where l_quantity < 24"
+	first := get(q)
+	second := get(q)
+	variant := get("SELECT COUNT(*) AS n FROM lineitem WHERE  l_quantity<24")
+	if strings.Join(first, "\n") != strings.Join(second, "\n") {
+		t.Fatalf("cache hit not byte-identical:\n%v\nvs\n%v", first, second)
+	}
+	if strings.Join(first, "\n") != strings.Join(variant, "\n") {
+		t.Fatalf("canonicalized variant not byte-identical:\n%v\nvs\n%v", first, variant)
+	}
+	st := db.ResultCacheStats()
+	if st.Hits < 2 || st.Misses < 1 {
+		t.Fatalf("cache stats = %+v, want >=2 hits over 1 miss", st)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`state="result_cache_hit"`,
+		"sched_result_cache_hits_total",
+		`tenant="beta"`,
+	} {
+		if !strings.Contains(string(mb), want) {
 			t.Fatalf("metrics missing %q", want)
 		}
 	}

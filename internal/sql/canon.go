@@ -1,0 +1,177 @@
+package sql
+
+import (
+	"sort"
+	"strings"
+)
+
+// Canonicalize returns a canonical rendering of a SQL statement, used as
+// the result-cache key: statements that differ only in whitespace,
+// comments, keyword/identifier case, trailing semicolons, or the order
+// of the WHERE clause's top-level AND conjuncts all render identically,
+// while statements with different token content never collide (tokens
+// are re-rendered space-separated, so distinct token streams yield
+// distinct strings). Canonicalize is idempotent. A statement the lexer
+// rejects canonicalizes to its trimmed self — such statements fail to
+// compile anyway, so they only need a stable key.
+func Canonicalize(src string) string {
+	toks, err := lex(src)
+	if err != nil {
+		return strings.TrimSpace(src)
+	}
+	toks = toks[:len(toks)-1] // drop EOF
+	for len(toks) > 0 && toks[len(toks)-1].kind == tokSymbol && toks[len(toks)-1].text == ";" {
+		toks = toks[:len(toks)-1]
+	}
+	out := ""
+	if start, end, ok := whereSpan(toks); ok {
+		if conj, ok := splitConjuncts(toks[start:end]); ok && len(conj) > 1 {
+			parts := make([]string, len(conj))
+			for i, c := range conj {
+				parts[i] = renderTokens(c)
+			}
+			sort.Strings(parts)
+			out = renderTokens(toks[:start]) + " " + strings.Join(parts, " AND ")
+			if end < len(toks) {
+				out += " " + renderTokens(toks[end:])
+			}
+		}
+	}
+	if out == "" {
+		out = renderTokens(toks)
+	}
+	// The render must re-lex to itself or canonicalization is not a
+	// stable key (non-ASCII bytes can shift under the lexer's case
+	// folding). Fall back to exact-text keying, which never collides.
+	if !stableRender(out) {
+		return strings.TrimSpace(src)
+	}
+	return out
+}
+
+// stableRender reports whether rendering out's own token stream
+// reproduces out exactly.
+func stableRender(out string) bool {
+	toks, err := lex(out)
+	if err != nil {
+		return false
+	}
+	return renderTokens(toks[:len(toks)-1]) == out
+}
+
+// renderTokens renders a token slice space-separated, re-quoting string
+// literals so the output lexes back to the same token stream.
+func renderTokens(toks []token) string {
+	var sb strings.Builder
+	for i, t := range toks {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if t.kind == tokString {
+			sb.WriteByte('\'')
+			sb.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			sb.WriteByte('\'')
+			continue
+		}
+		sb.WriteString(t.text)
+	}
+	return sb.String()
+}
+
+// whereSpan locates the WHERE clause's predicate tokens: the half-open
+// range after the top-level WHERE keyword up to the next top-level
+// clause keyword (GROUP/HAVING/ORDER/LIMIT) or the end.
+func whereSpan(toks []token) (start, end int, ok bool) {
+	depth := 0
+	start = -1
+	for i, t := range toks {
+		switch {
+		case t.kind == tokSymbol && t.text == "(":
+			depth++
+		case t.kind == tokSymbol && t.text == ")":
+			depth--
+		case t.kind == tokKeyword && depth == 0:
+			if start < 0 {
+				if t.text == "WHERE" {
+					start = i + 1
+				}
+				continue
+			}
+			switch t.text {
+			case "GROUP", "HAVING", "ORDER", "LIMIT":
+				return start, i, start < i
+			}
+		}
+	}
+	if start < 0 {
+		return 0, 0, false
+	}
+	return start, len(toks), start < len(toks)
+}
+
+// splitConjuncts splits a predicate token stream on its top-level AND
+// boundaries, reporting ok=false when reordering would be unsafe: a
+// top-level OR makes AND non-commutative over the rendered conjuncts, so
+// the caller keeps source order. ANDs inside parentheses, BETWEEN ... AND
+// ..., and CASE ... END never split.
+func splitConjuncts(toks []token) ([][]token, bool) {
+	var out [][]token
+	paren, between, caseDepth := 0, 0, 0
+	begin := 0
+	for i, t := range toks {
+		switch t.kind {
+		case tokSymbol:
+			switch t.text {
+			case "(":
+				paren++
+			case ")":
+				paren--
+				if paren < 0 {
+					return nil, false // unbalanced: reordering is unstable
+				}
+			}
+		case tokKeyword:
+			if paren > 0 {
+				continue
+			}
+			switch t.text {
+			case "BETWEEN":
+				between++
+			case "CASE":
+				caseDepth++
+			case "END":
+				if caseDepth > 0 {
+					caseDepth--
+				}
+			case "OR":
+				if between == 0 && caseDepth == 0 {
+					return nil, false
+				}
+			case "AND":
+				if between > 0 {
+					between--
+					continue
+				}
+				if caseDepth > 0 {
+					continue
+				}
+				if i == begin {
+					return nil, false // malformed: empty conjunct
+				}
+				out = append(out, toks[begin:i])
+				begin = i + 1
+			}
+		}
+	}
+	if paren != 0 {
+		return nil, false // unbalanced: reordering is unstable
+	}
+	if begin >= len(toks) {
+		if begin == 0 {
+			return nil, true
+		}
+		return nil, false // trailing AND: keep source order
+	}
+	out = append(out, toks[begin:])
+	return out, true
+}

@@ -1,0 +1,176 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCanonicalizeVariantsCollide(t *testing.T) {
+	groups := [][]string{
+		{
+			"select sum(l_extendedprice) as rev from lineitem where l_discount > 5 and l_quantity < 24",
+			"SELECT SUM(l_extendedprice) AS rev FROM lineitem WHERE l_quantity < 24 AND l_discount > 5",
+			"select\tsum( l_extendedprice ) as rev\nfrom lineitem -- note\nwhere l_discount > 5 and l_quantity < 24;",
+		},
+		{
+			"select count(*) from t where a = 1 and b = 2 and c = 3",
+			"select count ( * ) from t where c=3 and a=1 and b=2",
+		},
+		{
+			// BETWEEN's AND must not split; the two conjuncts still commute.
+			"select x from t where a between 1 and 5 and b = 2",
+			"select x from t where b = 2 and a between 1 and 5",
+		},
+		{
+			"select case when a and b then 1 else 2 end from t where c = 1 and d = 2",
+			"select case when a and b then 1 else 2 end from t where d = 2 and c = 1",
+		},
+	}
+	for _, g := range groups {
+		want := Canonicalize(g[0])
+		for _, src := range g[1:] {
+			if got := Canonicalize(src); got != want {
+				t.Errorf("Canonicalize(%q) = %q, want %q (from %q)", src, got, want, g[0])
+			}
+		}
+	}
+}
+
+func TestCanonicalizeDistinctQueriesDiffer(t *testing.T) {
+	pairs := [][2]string{
+		{"select a from t where x = 1", "select a from t where x = 2"},
+		{"select a from t where x = 1 and y = 2", "select a from t where x = 2 and y = 1"},
+		{"select a from t where s = 'abc'", "select a from t where s = 'ABC'"},
+		{"select a from t where x = 1 or y = 2", "select a from t where y = 2 or x = 1"},
+		{"select a from t limit 1", "select a from t limit 10"},
+		{"select a from t where x between 1 and 5", "select a from t where x between 5 and 1"},
+	}
+	for _, p := range pairs {
+		if Canonicalize(p[0]) == Canonicalize(p[1]) {
+			t.Errorf("Canonicalize(%q) == Canonicalize(%q); semantically different queries must not collide", p[0], p[1])
+		}
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	srcs := []string{
+		"select sum(x) from t where a > 1 and b < 2 group by c order by d limit 3",
+		"not even sql $$$",
+		"",
+		"select x from t where a between 1 and 5 and b = 2",
+	}
+	for _, src := range srcs {
+		once := Canonicalize(src)
+		if twice := Canonicalize(once); twice != once {
+			t.Errorf("Canonicalize not idempotent on %q: %q -> %q", src, once, twice)
+		}
+	}
+}
+
+// renderVariant re-renders toks with randomized inter-token whitespace
+// (including comments) and randomized keyword/identifier casing — all
+// changes Canonicalize must erase.
+func renderVariant(toks []token, rng *rand.Rand) string {
+	gaps := []string{" ", "  ", "\t", "\n", " -- noise\n ", "\n\t "}
+	var sb strings.Builder
+	for i, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		if i > 0 {
+			sb.WriteString(gaps[rng.Intn(len(gaps))])
+		}
+		switch tk.kind {
+		case tokString:
+			sb.WriteByte('\'')
+			sb.WriteString(strings.ReplaceAll(tk.text, "'", "''"))
+			sb.WriteByte('\'')
+		case tokKeyword, tokIdent:
+			for _, r := range tk.text {
+				if rng.Intn(2) == 0 {
+					sb.WriteString(strings.ToUpper(string(r)))
+				} else {
+					sb.WriteString(strings.ToLower(string(r)))
+				}
+			}
+		default:
+			sb.WriteString(tk.text)
+		}
+	}
+	return sb.String()
+}
+
+// FuzzResultCacheKey fuzzes the canonicalization used as the result-cache
+// key: whitespace/case/comment variants and top-level AND-conjunct
+// permutations must collide; mutating a literal must not.
+func FuzzResultCacheKey(f *testing.F) {
+	f.Add("select sum(l_extendedprice * l_discount) as revenue from lineitem where l_shipdate >= date '1994-01-01' and l_discount between 5 and 7 and l_quantity < 24", uint64(1))
+	f.Add("select count(*) from t where a = 1 and b = 'x' and c = 3", uint64(2))
+	f.Add("select x from t where a = 1 or b = 2", uint64(3))
+	f.Add("select case when a and b then 1 else 2 end from t where c = 1 and d = 2 group by e limit 5", uint64(4))
+	f.Fuzz(func(t *testing.T, src string, seed uint64) {
+		canon := Canonicalize(src)
+		if again := Canonicalize(canon); again != canon {
+			t.Fatalf("not idempotent: %q -> %q -> %q", src, canon, again)
+		}
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		// The dialect is ASCII; non-ASCII bytes shift under the lexer's
+		// case folding, so Canonicalize falls back to exact-text keying
+		// there and the collision properties below don't apply.
+		for i := 0; i < len(src); i++ {
+			if src[i] >= 0x80 {
+				return
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(seed)))
+
+		// Whitespace/case/comment variants must collide.
+		variant := renderVariant(toks, rng)
+		if got := Canonicalize(variant); got != canon {
+			t.Fatalf("variant diverged:\n src    %q\n variant %q\n canon  %q\n got    %q", src, variant, canon, got)
+		}
+
+		// Top-level AND-conjunct permutations must collide.
+		body := toks[:len(toks)-1]
+		if start, end, ok := whereSpan(body); ok {
+			if conj, ok := splitConjuncts(body[start:end]); ok && len(conj) > 1 {
+				parts := make([]string, len(conj))
+				for i, c := range conj {
+					parts[i] = renderTokens(c)
+				}
+				rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+				shuffled := renderTokens(body[:start]) + " " + strings.Join(parts, " AND ")
+				if end < len(body) {
+					shuffled += " " + renderTokens(body[end:])
+				}
+				if got := Canonicalize(shuffled); got != canon {
+					t.Fatalf("shuffle diverged:\n src     %q\n shuffled %q\n canon   %q\n got     %q", src, shuffled, canon, got)
+				}
+			}
+		}
+
+		// Mutating one literal token must produce a different key: a
+		// changed number or string literal changes the answer, so a
+		// collision would serve a wrong cached result.
+		mut := make([]token, len(body))
+		copy(mut, body)
+		for i := range mut {
+			switch mut[i].kind {
+			case tokNumber:
+				mut[i].text += "0"
+			case tokString:
+				mut[i].text += "x"
+			default:
+				continue
+			}
+			if got := Canonicalize(renderTokens(mut)); got == canon {
+				t.Fatalf("literal mutation collided:\n src %q\n mut %q\n key %q", src, renderTokens(mut), canon)
+			}
+			break
+		}
+	})
+}
