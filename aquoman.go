@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 
+	"aquoman/internal/catalog"
 	"aquoman/internal/cluster"
 	"aquoman/internal/col"
 	"aquoman/internal/compiler"
@@ -225,11 +226,12 @@ type DB struct {
 	// metrics for every query this DB runs.
 	Obs *obs.Observer
 
-	// mu guards the lazily created scheduler and caches.
+	// mu guards the lazily created scheduler, caches, and catalog.
 	mu     sync.Mutex
 	sched  *sched.Scheduler
 	cache  *sched.PageCache
 	rcache *sched.ResultCache
+	cat    *catalog.Catalog
 }
 
 // Open creates an empty in-memory AQUOMAN-augmented SSD.
@@ -329,6 +331,11 @@ func (db *DB) SetRetryPolicy(p RetryPolicy) { db.Flash.SetRetryPolicy(p) }
 func (db *DB) ConfigureScheduler(cfg SchedulerConfig) {
 	db.mu.Lock()
 	old := db.sched
+	if cfg.AdmitHook == nil {
+		// Stamp every admitted query with the catalog epoch so its
+		// whole execution reads one MVCC snapshot (see DB.Exec).
+		cfg.AdmitHook = db.admitHook
+	}
 	db.sched = sched.NewScheduler(cfg)
 	if db.Obs != nil {
 		db.sched.Observe(db.Obs.Reg)
@@ -344,7 +351,7 @@ func (db *DB) scheduler() *sched.Scheduler {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.sched == nil {
-		db.sched = sched.NewScheduler(SchedulerConfig{})
+		db.sched = sched.NewScheduler(SchedulerConfig{AdmitHook: db.admitHook})
 		if db.Obs != nil {
 			db.sched.Observe(db.Obs.Reg)
 		}
@@ -744,6 +751,9 @@ func (db *DB) run(p Plan, cfg core.Config) (*Result, error) {
 	if err := plan.Bind(p, db.Store); err != nil {
 		return nil, err
 	}
+	if err := db.attachOverlays(p, &cfg); err != nil {
+		return nil, err
+	}
 	dev := core.New(db.Store, cfg)
 	b, rep, err := dev.RunQuery(p)
 	if err != nil {
@@ -881,17 +891,35 @@ func (db *DB) FlashStats() flash.Stats { return db.Flash.Stats() }
 func (db *DB) ResetFlashStats() { db.Flash.ResetStats() }
 
 // Save persists the store (catalog plus all column and heap files) to a
-// directory; OpenDir loads it back.
-func (db *DB) Save(dir string) error { return col.SaveStore(db.Store, dir) }
+// directory; OpenDir loads it back. A write-path catalog, if one exists,
+// saves its epoch sidecar alongside. Un-merged deltas are NOT persisted
+// — call Merge first to fold them into base pages.
+func (db *DB) Save(dir string) error {
+	if err := col.SaveStore(db.Store, dir); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	cat := db.cat
+	db.mu.Unlock()
+	if cat == nil {
+		return nil
+	}
+	return cat.SaveMeta(dir)
+}
 
-// OpenDir opens a store previously written by Save.
+// OpenDir opens a store previously written by Save, restoring the
+// write-path catalog's epoch from its sidecar when one is present.
 func OpenDir(dir string) (*DB, error) {
 	dev := flash.NewDevice()
 	store, err := col.LoadStore(dir, dev)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{Flash: dev, Store: store, DRAMBytes: mem.DefaultCapacity, HeapScale: 1}, nil
+	db := &DB{Flash: dev, Store: store, DRAMBytes: mem.DefaultCapacity, HeapScale: 1}
+	if err := db.Catalog().LoadMeta(dir); err != nil {
+		return nil, err
+	}
+	return db, nil
 }
 
 // NewTable starts building a custom table; see col.TableBuilder.

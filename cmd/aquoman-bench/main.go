@@ -13,6 +13,7 @@
 //	aquoman-bench -report profbench  # query-lifecycle state attribution (q1/q6, JSON)
 //	aquoman-bench -report scalebench # fused-path scaling past 16 streams (q1/q6, JSON)
 //	aquoman-bench -report tenantbench # mixed-tenant tail latency + result cache (JSON)
+//	aquoman-bench -report ingestbench # DML ingest + HTAP coherence (JSON)
 //	aquoman-bench -report all
 //
 // Data is generated at -sf (default 0.01) and traces are extrapolated to
@@ -32,6 +33,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -54,7 +57,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aquoman-bench: ")
 	var (
-		report  = flag.String("report", "all", "fig16a|fig16b|fig16c|tablev|fig17|offload|resources|obsbench|concbench|encbench|profbench|scalebench|tenantbench|all")
+		report  = flag.String("report", "all", "fig16a|fig16b|fig16c|tablev|fig17|offload|resources|obsbench|concbench|encbench|profbench|scalebench|tenantbench|ingestbench|all")
 		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor to generate")
 		target  = flag.Float64("target", 1000, "modeled deployment scale factor")
 		seed    = flag.Int64("seed", 42, "generator seed")
@@ -93,6 +96,10 @@ func main() {
 	}
 	if *report == "tenantbench" {
 		runTenantBench(*sf, *seed, *out, int64(*cacheMB)<<20, *pageLat)
+		return
+	}
+	if *report == "ingestbench" {
+		runIngestBench(*sf, *seed, *out)
 		return
 	}
 
@@ -1150,6 +1157,216 @@ func runTenantBench(sf float64, seed int64, out string, cacheBytes int64, pageLa
 	st := db.ResultCacheStats()
 	doc.RCacheHits, doc.RCacheMisses = st.Hits, st.Misses
 	log.Printf("oracle identical: %v; result cache %d hits / %d misses", oracleIdentical, st.Hits, st.Misses)
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = append(b, '\n')
+	if out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", out)
+}
+
+// sqlLiteral renders one stored cell as the DML literal that re-ingests
+// the same value: dates as DATE '...', decimals with two fractional
+// digits, dictionary codes and heap offsets resolved back to their
+// (quote-escaped) strings.
+func sqlLiteral(typ col.Type, ci *col.ColumnInfo, v int64) (string, error) {
+	switch typ {
+	case col.Date:
+		return "DATE '" + col.DateString(v) + "'", nil
+	case col.Decimal:
+		neg := ""
+		if v < 0 {
+			neg, v = "-", -v
+		}
+		return fmt.Sprintf("%s%d.%02d", neg, v/col.DecimalScale, v%col.DecimalScale), nil
+	case col.Dict, col.Text:
+		s, err := ci.Str(v, flash.Host)
+		if err != nil {
+			return "", err
+		}
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'", nil
+	default:
+		return strconv.FormatInt(v, 10), nil
+	}
+}
+
+// runIngestBench measures the write path end to end: INSERT throughput
+// through parse→catalog→delta-tail+WAL, analytic-query latency with the
+// un-merged overlay folded in (HTAP reads), UPDATE/DELETE round trips,
+// the merge itself, and post-merge query latency. Inserted rows clone
+// existing lineitem rows, so every FK and the composite partsupp join
+// index stay valid across the merge. benchcheck -mode ingest gates the
+// report: the pre-merge and post-merge q6 answers must be cell-exact
+// equal (coherence), the row accounting must balance, and insert
+// throughput must clear a floor.
+func runIngestBench(sf float64, seed int64, out string) {
+	db := aquoman.Open()
+	db.HeapScale = 1000 / sf
+	log.Printf("generating TPC-H SF %g...", sf)
+	if err := db.LoadTPCH(sf, seed); err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	const (
+		insertRows = 2000
+		batchRows  = 100
+		reps       = 3
+	)
+
+	q6 := func() (int64, int64) { // best-of-reps wall, revenue cell
+		var bestNs, revenue int64
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			res, err := db.RunTPCH(6)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ns := time.Since(start).Nanoseconds()
+			if bestNs == 0 || ns < bestNs {
+				bestNs = ns
+			}
+			revenue = res.Batch.Cols[0][0]
+		}
+		return bestNs, revenue
+	}
+
+	tab := db.Store.MustTable("lineitem")
+	baseRows := tab.NumRows
+	type colSrc struct {
+		name string
+		typ  col.Type
+		ci   *col.ColumnInfo
+		vals []int64
+	}
+	var srcs []colSrc
+	var names []string
+	for _, def := range tab.Cols {
+		if def.Typ == col.RowID {
+			continue
+		}
+		ci := tab.MustColumn(def.Name)
+		srcs = append(srcs, colSrc{def.Name, def.Typ, ci, ci.MustReadAll(flash.Host)})
+		names = append(names, def.Name)
+	}
+
+	cleanNs, _ := q6()
+	log.Printf("clean q6: %.2f ms", float64(cleanNs)/1e6)
+
+	// INSERT: clone base rows in batched multi-row statements. Cloned
+	// rows reuse live key columns, so FK validation at merge holds.
+	ctx := context.Background()
+	insertStart := time.Now()
+	for off := 0; off < insertRows; off += batchRows {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO lineitem (")
+		sb.WriteString(strings.Join(names, ", "))
+		sb.WriteString(") VALUES ")
+		for i := 0; i < batchRows; i++ {
+			r := (off + i) % baseRows
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteByte('(')
+			for ci, s := range srcs {
+				if ci > 0 {
+					sb.WriteString(", ")
+				}
+				lit, err := sqlLiteral(s.typ, s.ci, s.vals[r])
+				if err != nil {
+					log.Fatal(err)
+				}
+				sb.WriteString(lit)
+			}
+			sb.WriteByte(')')
+		}
+		if _, err := db.Exec(ctx, sb.String()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	insertNs := time.Since(insertStart).Nanoseconds()
+	log.Printf("ingest: %d rows in %.2f ms (%.0f rows/sec)", insertRows,
+		float64(insertNs)/1e6, float64(insertRows)/(float64(insertNs)/1e9))
+
+	// UPDATE and DELETE one order's line items each (victim selection
+	// runs a real WHERE scan at a snapshot, commit is a CAS).
+	okeys := srcs[0].vals // l_orderkey is the first lineitem column
+	updStart := time.Now()
+	updRes, err := db.Exec(ctx, fmt.Sprintf(
+		"UPDATE lineitem SET l_quantity = l_quantity + 1 WHERE l_orderkey = %d", okeys[0]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	updNs := time.Since(updStart).Nanoseconds()
+	delStart := time.Now()
+	delRes, err := db.Exec(ctx, fmt.Sprintf(
+		"DELETE FROM lineitem WHERE l_orderkey = %d", okeys[baseRows/2]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	delNs := time.Since(delStart).Nanoseconds()
+	log.Printf("update: %d rows in %.2f ms; delete: %d rows in %.2f ms",
+		updRes.Rows, float64(updNs)/1e6, delRes.Rows, float64(delNs)/1e6)
+
+	overlayNs, overlayRev := q6()
+	log.Printf("overlay q6 (HTAP read over %d tail rows): %.2f ms", insertRows,
+		float64(overlayNs)/1e6)
+
+	mergeStart := time.Now()
+	if err := db.Merge(); err != nil {
+		log.Fatal(err)
+	}
+	mergeNs := time.Since(mergeStart).Nanoseconds()
+	mergedNs, mergedRev := q6()
+	log.Printf("merge: %.2f ms; merged q6: %.2f ms", float64(mergeNs)/1e6,
+		float64(mergedNs)/1e6)
+
+	// Row accounting: deleted victims may include cloned tail rows, so
+	// recompute directly instead of assuming they all hit the base.
+	gotRows := db.Store.MustTable("lineitem").NumRows
+	wantRows := baseRows + insertRows - delRes.Rows
+
+	doc := struct {
+		SF                   float64 `json:"sf"`
+		RowsInserted         int     `json:"rows_inserted"`
+		InsertWallNs         int64   `json:"insert_wall_ns"`
+		InsertsPerSec        float64 `json:"inserts_per_sec"`
+		UpdateRows           int     `json:"update_rows"`
+		UpdateWallNs         int64   `json:"update_wall_ns"`
+		DeleteRows           int     `json:"delete_rows"`
+		DeleteWallNs         int64   `json:"delete_wall_ns"`
+		Q6CleanNs            int64   `json:"q6_clean_ns"`
+		Q6OverlayNs          int64   `json:"q6_overlay_ns"`
+		OverlaySlowdown      float64 `json:"overlay_slowdown"`
+		MergeNs              int64   `json:"merge_ns"`
+		Q6MergedNs           int64   `json:"q6_merged_ns"`
+		MergedMatchesOverlay bool    `json:"merged_matches_overlay"`
+		RowsOK               bool    `json:"rows_ok"`
+	}{
+		SF: sf, RowsInserted: insertRows, InsertWallNs: insertNs,
+		InsertsPerSec: float64(insertRows) / (float64(insertNs) / 1e9),
+		UpdateRows:    updRes.Rows, UpdateWallNs: updNs,
+		DeleteRows: delRes.Rows, DeleteWallNs: delNs,
+		Q6CleanNs: cleanNs, Q6OverlayNs: overlayNs,
+		OverlaySlowdown: float64(overlayNs) / float64(cleanNs),
+		MergeNs:         mergeNs, Q6MergedNs: mergedNs,
+		MergedMatchesOverlay: mergedRev == overlayRev,
+		RowsOK:               gotRows == wantRows,
+	}
+	if !doc.MergedMatchesOverlay {
+		log.Printf("WARNING: merged q6 revenue %d != overlay %d", mergedRev, overlayRev)
+	}
+	if !doc.RowsOK {
+		log.Printf("WARNING: lineitem rows %d after merge, want %d", gotRows, wantRows)
+	}
 
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

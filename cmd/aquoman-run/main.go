@@ -12,11 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"aquoman"
@@ -33,6 +35,8 @@ func main() {
 		host    = flag.Bool("host", false, "run on the host baseline instead of AQUOMAN")
 		rows    = flag.Int("rows", 20, "result rows to print")
 		data    = flag.String("data", "", "load a persisted store instead of generating")
+		exec    = flag.String("exec", "", "run this DML statement (INSERT/UPDATE/DELETE/CREATE TABLE) before the query; repeatable via ';' separators")
+		merge   = flag.Bool("merge", false, "after -exec statements, merge the delta store into base pages")
 		encSel  = flag.String("enc", "raw", "column encoding: auto|raw|dict|rle|for")
 		explain = flag.Bool("explain", false, "print the compiled Table-Task program and exit")
 
@@ -78,6 +82,24 @@ func main() {
 		if err := db.LoadTPCH(*sf, *seed); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *exec != "" {
+		for _, stmt := range strings.Split(*exec, ";") {
+			if stmt = strings.TrimSpace(stmt); stmt == "" {
+				continue
+			}
+			res, err := db.Exec(context.Background(), stmt)
+			if err != nil {
+				log.Fatalf("exec %q: %v", stmt, err)
+			}
+			fmt.Printf("exec %-6s %-10s %6d rows  (epoch %d)\n", res.Op, res.Table, res.Rows, res.Epoch)
+		}
+	}
+	if *merge {
+		if err := db.Merge(); err != nil {
+			log.Fatalf("merge: %v", err)
+		}
+		fmt.Printf("delta store merged (epoch %d)\n", db.Catalog().Epoch())
 	}
 	db.ResetFlashStats()
 

@@ -30,7 +30,11 @@
 // -hit-floor, and each dashboard p99 must stay under -tail-ratio of the
 // same run's scan-tenant p50 while at least -min-scan scans completed —
 // the tail-latency isolation the priority lanes and result cache exist
-// to provide.
+// to provide. -mode ingest gates the write-path report (-report
+// ingestbench): the pre-merge (overlay) and post-merge q6 answers must
+// be cell-exact equal, the row accounting must balance, INSERT
+// throughput must clear -min-ingest rows/sec, and the HTAP overlay
+// query slowdown must stay under -overlay-ceil times the clean query.
 //
 // Deterministic metrics get tight bands; wall-clock-derived ones are
 // warn-only (CI runners are noisy):
@@ -482,9 +486,99 @@ func checkTenant(baselinePath, freshPath string, hitFloor, tailRatio float64, mi
 	fmt.Println("benchcheck: all tenant-isolation metrics within tolerance")
 }
 
+type ingestReport struct {
+	SF                   float64 `json:"sf"`
+	RowsInserted         int     `json:"rows_inserted"`
+	InsertsPerSec        float64 `json:"inserts_per_sec"`
+	UpdateRows           int     `json:"update_rows"`
+	DeleteRows           int     `json:"delete_rows"`
+	Q6CleanNs            int64   `json:"q6_clean_ns"`
+	Q6OverlayNs          int64   `json:"q6_overlay_ns"`
+	OverlaySlowdown      float64 `json:"overlay_slowdown"`
+	MergeNs              int64   `json:"merge_ns"`
+	Q6MergedNs           int64   `json:"q6_merged_ns"`
+	MergedMatchesOverlay bool    `json:"merged_matches_overlay"`
+	RowsOK               bool    `json:"rows_ok"`
+}
+
+func loadIngest(path string) (*ingestReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ingestReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// checkIngest gates the write-path report. The hard gates are the
+// deterministic ones: coherence (merging the delta must not change any
+// query answer), row accounting, a write actually landing (update and
+// delete touched rows), and two self-normalizing ratios — insert
+// throughput against an intentionally loose absolute floor, and the
+// overlay-query slowdown, a ratio of two wall clocks from the same run.
+// Raw throughput vs the committed baseline is warn-only.
+func checkIngest(baselinePath, freshPath string, minIngest, overlayCeil float64) {
+	base, err := loadIngest(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	fresh, err := loadIngest(freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+
+	var regressed []string
+	fail := func(format string, args ...interface{}) {
+		regressed = append(regressed, fmt.Sprintf(format, args...))
+	}
+
+	if !fresh.MergedMatchesOverlay {
+		fail("merged_matches_overlay: false — merging the delta store changed a query answer")
+	}
+	if !fresh.RowsOK {
+		fail("rows_ok: false — post-merge row count does not balance inserts minus deletes")
+	}
+	if fresh.RowsInserted == 0 || fresh.UpdateRows == 0 || fresh.DeleteRows == 0 {
+		fail("write coverage: inserts=%d updates=%d deletes=%d — a DML path stopped touching rows",
+			fresh.RowsInserted, fresh.UpdateRows, fresh.DeleteRows)
+	}
+	if fresh.InsertsPerSec < minIngest {
+		fail("inserts_per_sec: %.0f < %.0f — ingest throughput collapsed", fresh.InsertsPerSec, minIngest)
+	}
+	if fresh.OverlaySlowdown > overlayCeil {
+		fail("overlay_slowdown: %.2fx > %.2fx — HTAP reads over the un-merged delta got pathologically slow",
+			fresh.OverlaySlowdown, overlayCeil)
+	}
+	note := ""
+	if base.InsertsPerSec > 0 && fresh.InsertsPerSec < base.InsertsPerSec*0.5 {
+		note = "  (WARN: less than half of baseline)"
+	}
+	fmt.Printf("coherence: merged_matches_overlay=%v rows_ok=%v\n",
+		fresh.MergedMatchesOverlay, fresh.RowsOK)
+	fmt.Printf("ingest: %.0f rows/sec (floor %.0f, baseline %.0f)%s\n",
+		fresh.InsertsPerSec, minIngest, base.InsertsPerSec, note)
+	fmt.Printf("overlay: %.2fx slowdown (ceil %.2fx, baseline %.2fx); merge %.2f ms (baseline %.2f)\n",
+		fresh.OverlaySlowdown, overlayCeil, base.OverlaySlowdown,
+		float64(fresh.MergeNs)/1e6, float64(base.MergeNs)/1e6)
+
+	if len(regressed) > 0 {
+		fmt.Println("\nREGRESSED METRICS:")
+		for _, r := range regressed {
+			fmt.Println("  -", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all ingest metrics within tolerance")
+}
+
 func main() {
 	var (
-		mode         = flag.String("mode", "conc", "report type: conc|enc|prof|scale|tenant")
+		mode         = flag.String("mode", "conc", "report type: conc|enc|prof|scale|tenant|ingest")
 		baselinePath = flag.String("baseline", "", "committed baseline report (default BENCH_conc.json or BENCH_enc.json by mode)")
 		freshPath    = flag.String("fresh", "", "freshly measured report (required)")
 		speedupRel   = flag.Float64("speedup-rel", 0.25, "allowed relative drop in speedup_4_vs_1")
@@ -500,6 +594,8 @@ func main() {
 		hitFloor     = flag.Float64("hit-floor", 0.8, "tenant: hard floor on each dashboard tenant's result-cache hit rate")
 		tailRatio    = flag.Float64("tail-ratio", 0.5, "tenant: each dashboard p99 must stay under this fraction of the same run's scan p50")
 		minScan      = flag.Int64("min-scan", 16, "tenant: minimum completed scan-tenant queries for the run to count as saturated")
+		minIngest    = flag.Float64("min-ingest", 1000, "ingest: hard floor on inserts_per_sec")
+		overlayCeil  = flag.Float64("overlay-ceil", 50, "ingest: ceiling on overlay_slowdown (overlay q6 / clean q6)")
 	)
 	flag.Parse()
 	if *freshPath == "" {
@@ -516,6 +612,8 @@ func main() {
 			*baselinePath = "BENCH_scale.json"
 		case "tenant":
 			*baselinePath = "BENCH_tenant.json"
+		case "ingest":
+			*baselinePath = "BENCH_ingest.json"
 		default:
 			*baselinePath = "BENCH_conc.json"
 		}
@@ -534,6 +632,10 @@ func main() {
 	}
 	if *mode == "tenant" {
 		checkTenant(*baselinePath, *freshPath, *hitFloor, *tailRatio, *minScan)
+		return
+	}
+	if *mode == "ingest" {
+		checkIngest(*baselinePath, *freshPath, *minIngest, *overlayCeil)
 		return
 	}
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 
+	"aquoman/internal/catalog"
 	"aquoman/internal/col"
 	"aquoman/internal/flash"
 	"aquoman/internal/tpch"
@@ -27,8 +28,17 @@ func main() {
 	if err := tpch.Gen(store, tpch.Config{SF: *sf, Seed: *seed}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("TPC-H SF %g generated (%.1f MB on flash)\n\n", *sf,
-		float64(dev.TotalBytes())/1e6)
+	// Adopt the generated tables into a write-path catalog so the store
+	// is DML-ready: the schema's FK graph comes straight from
+	// tpch.FKEdges (the same registry Gen materialized join indices
+	// from), and the composite partsupp index re-derives on merge.
+	cat := catalog.New(store)
+	for _, e := range tpch.FKEdges {
+		cat.RegisterFK(catalog.FKEdge{Fact: e.Fact, FKCol: e.FKCol, Dim: e.Dim, PKCol: e.PKCol})
+	}
+	cat.RegisterMergeHook(tpch.RefreshPartSuppIndex)
+	fmt.Printf("TPC-H SF %g generated (%.1f MB on flash), catalog epoch %d\n\n", *sf,
+		float64(dev.TotalBytes())/1e6, cat.Epoch())
 	fmt.Printf("%-10s %10s %8s %10s\n", "table", "rows", "cols", "MB")
 	for _, name := range store.Tables() {
 		t := store.MustTable(name)
@@ -37,6 +47,9 @@ func main() {
 	}
 	if *out != "" {
 		if err := col.SaveStore(store, *out); err != nil {
+			log.Fatal(err)
+		}
+		if err := cat.SaveMeta(*out); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nstore persisted to %s (load with aquoman-run -data %s)\n", *out, *out)

@@ -1,0 +1,672 @@
+// Package catalog is the write-path control plane over a column store:
+// a table registry with schemas and foreign-key edges, a monotonically
+// increasing commit epoch, per-table MVCC deltas (internal/delta), and
+// the background merge that compacts deltas back into encoded base
+// pages.
+//
+// Consistency model. Every committed mutation (INSERT, DELETE, UPDATE)
+// bumps the catalog epoch exactly once; a query captures the epoch at
+// scheduler admission and resolves, per scanned table, an immutable
+// overlay of the delta state visible at that epoch. Readers therefore
+// get snapshot isolation without any read locks: base pages are
+// immutable between merges, tail rows carry their commit epoch, and
+// delete marks carry theirs. Writers conflict optimistically — UPDATE
+// and DELETE compute their victim rowids at one epoch and commit with a
+// compare-and-swap on that epoch, so an intervening commit surfaces as
+// ErrConflict (HTTP 409 at the server) instead of a silent lost update.
+//
+// Durability story. Each mutation is journaled to a per-table
+// `<table>/delta.wal` append-only file on the same flash device as the
+// base pages. Appending bumps the file's generation, which is exactly
+// the seam the page cache and the result-cache fingerprints already
+// watch — a write invalidates every cached answer that could observe
+// it, with no new invalidation machinery.
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"aquoman/internal/col"
+	"aquoman/internal/delta"
+	"aquoman/internal/flash"
+	"aquoman/internal/obs"
+)
+
+// ErrConflict is returned when an UPDATE/DELETE's snapshot epoch is no
+// longer current at commit time (optimistic write-write conflict).
+var ErrConflict = errors.New("catalog: write conflict")
+
+// ErrStaleSnapshot is returned when a query's admission-epoch snapshot
+// predates a merge: the base pages it refers to no longer exist.
+var ErrStaleSnapshot = errors.New("catalog: snapshot predates a merge")
+
+// FKEdge declares a foreign-key relationship whose materialized RowID
+// companion column the merge must re-derive after compaction.
+type FKEdge struct {
+	Fact  string // fact table
+	FKCol string // FK column on the fact
+	Dim   string // referenced table
+	PKCol string // referenced key column
+}
+
+// MergeHook is invoked after a merge rebuilds base pages, with the set
+// of tables whose row set changed; composite join indexes that the
+// generic FKEdge machinery cannot express re-derive themselves here.
+type MergeHook func(store *col.Store, changed map[string]bool) error
+
+// metaName is the catalog's sidecar manifest in a persisted store
+// directory. (col's own manifest already claims "catalog.json".)
+const metaName = "writepath.json"
+
+// Catalog wraps a col.Store with write-path state.
+type Catalog struct {
+	mu     sync.Mutex
+	store  *col.Store
+	epoch  uint64
+	genNum uint64 // merge generation; snapshots older than a merge are stale
+	tables map[string]*tableState
+	fks    []FKEdge
+	hooks  []MergeHook
+	reg    *obs.Registry
+}
+
+type tableState struct {
+	tab   *col.Table
+	delta *delta.Table
+	wal   *flash.File
+}
+
+// New builds a catalog over the store, adopting every existing table at
+// the initial epoch (their rows are visible to all snapshots). The
+// epoch starts at 1 so that 0 can mean "no precondition" in the
+// Delete/Update compare-and-swap.
+func New(store *col.Store) *Catalog {
+	c := &Catalog{store: store, epoch: 1, tables: make(map[string]*tableState)}
+	for _, name := range store.Tables() {
+		c.adopt(store.MustTable(name))
+	}
+	return c
+}
+
+func (c *Catalog) adopt(tab *col.Table) {
+	c.tables[tab.Name] = &tableState{
+		tab:   tab,
+		delta: delta.NewTable(tab.Name, tab.NumRows, tab.ColumnNames()),
+	}
+}
+
+// Store returns the underlying column store.
+func (c *Catalog) Store() *col.Store { return c.store }
+
+// Observe registers the catalog's metrics on reg.
+func (c *Catalog) Observe(reg *obs.Registry) {
+	c.mu.Lock()
+	c.reg = reg
+	c.mu.Unlock()
+}
+
+// Epoch returns the current commit epoch.
+func (c *Catalog) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Dirty reports whether any table has delta state (rows or delete marks
+// not yet merged).
+func (c *Catalog) Dirty() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ts := range c.tables {
+		if ts.delta.Dirty() {
+			return true
+		}
+	}
+	return false
+}
+
+// RegisterFK records a foreign-key edge for merge-time companion
+// re-materialization (idempotent per edge).
+func (c *Catalog) RegisterFK(e FKEdge) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, x := range c.fks {
+		if x == e {
+			return
+		}
+	}
+	c.fks = append(c.fks, e)
+}
+
+// RegisterMergeHook adds a post-rebuild hook (composite join indexes).
+func (c *Catalog) RegisterMergeHook(h MergeHook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hooks = append(c.hooks, h)
+}
+
+// CreateTable registers a new, empty table with the given schema. The
+// schema may not declare RowID columns (companions are derived, not
+// stored by users) and Dict columns start with an empty dictionary, so
+// freshly created tables should prefer Text for string content.
+func (c *Catalog) CreateTable(schema col.Schema) (*col.Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if schema.Name == "" || len(schema.Cols) == 0 {
+		return nil, fmt.Errorf("catalog: create table needs a name and at least one column")
+	}
+	if _, ok := c.tables[schema.Name]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", schema.Name)
+	}
+	seen := make(map[string]bool, len(schema.Cols))
+	for _, def := range schema.Cols {
+		if def.Name == "" || seen[def.Name] {
+			return nil, fmt.Errorf("catalog: table %q has a duplicate or empty column name %q", schema.Name, def.Name)
+		}
+		if def.Typ == col.RowID {
+			return nil, fmt.Errorf("catalog: table %q: RowID columns are derived, not declared", schema.Name)
+		}
+		seen[def.Name] = true
+	}
+	tab, err := c.store.NewTable(schema).Finalize()
+	if err != nil {
+		return nil, err
+	}
+	c.adopt(tab)
+	c.epoch++
+	c.bumpEpochMetric()
+	return tab, nil
+}
+
+// Result reports what a DML commit did.
+type Result struct {
+	// Epoch is the commit epoch of the mutation.
+	Epoch uint64
+	// Rows is the number of rows inserted/deleted/updated.
+	Rows int
+	// RowIDs are the rowids assigned to inserted rows (INSERT/UPDATE).
+	RowIDs []int64
+}
+
+// Insert commits n new rows into table. ints carries the values of
+// every non-string column (Decimal values ×100, Date values as day
+// numbers), strs the content of every Dict and Text column; each slice
+// must have length n. Dict values must already exist in the column's
+// dictionary; Text content is appended to the column's heap at commit.
+func (c *Catalog) Insert(table string, n int, ints map[string][]col.Value, strs map[string][]string) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts, ok := c.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", table)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("catalog: insert of %d rows", n)
+	}
+	cols, walVals, err := c.buildRows(ts.tab, n, ints, strs)
+	if err != nil {
+		return nil, err
+	}
+	c.epoch++
+	rowids, err := ts.delta.Insert(c.epoch, cols)
+	if err != nil {
+		c.epoch-- // nothing committed
+		return nil, err
+	}
+	c.journal(ts, delta.Record{Op: delta.OpInsert, Epoch: c.epoch, Cols: len(cols), Vals: walVals})
+	c.noteDML("insert", n, ts)
+	return &Result{Epoch: c.epoch, Rows: n, RowIDs: rowids}, nil
+}
+
+// Delete marks the given rowids deleted. When expect is non-zero the
+// commit only proceeds if the catalog epoch still equals expect — the
+// optimistic-concurrency check for victims computed at that epoch.
+func (c *Catalog) Delete(table string, rowids []int64, expect uint64) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts, ok := c.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", table)
+	}
+	if expect != 0 && expect != c.epoch {
+		return nil, fmt.Errorf("%w: victims chosen at epoch %d, catalog now at %d", ErrConflict, expect, c.epoch)
+	}
+	if len(rowids) == 0 {
+		return &Result{Epoch: c.epoch}, nil
+	}
+	c.epoch++
+	n := ts.delta.Delete(c.epoch, rowids)
+	c.journal(ts, delta.Record{Op: delta.OpDelete, Epoch: c.epoch, Vals: rowids})
+	c.noteDML("delete", n, ts)
+	return &Result{Epoch: c.epoch, Rows: n}, nil
+}
+
+// Update atomically replaces the rows at rowids with n new rows (full
+// row images in ints/strs, as for Insert) under a single epoch bump, so
+// no snapshot ever observes the table with the old rows gone and the
+// new rows absent. The same expect CAS as Delete applies.
+func (c *Catalog) Update(table string, rowids []int64, n int, ints map[string][]col.Value, strs map[string][]string, expect uint64) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts, ok := c.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q", table)
+	}
+	if expect != 0 && expect != c.epoch {
+		return nil, fmt.Errorf("%w: victims chosen at epoch %d, catalog now at %d", ErrConflict, expect, c.epoch)
+	}
+	if len(rowids) == 0 {
+		return &Result{Epoch: c.epoch}, nil
+	}
+	if len(rowids) != n {
+		return nil, fmt.Errorf("catalog: update replaces %d rows with %d", len(rowids), n)
+	}
+	cols, walVals, err := c.buildRows(ts.tab, n, ints, strs)
+	if err != nil {
+		return nil, err
+	}
+	c.epoch++
+	deleted, inserted, err := ts.delta.Update(c.epoch, rowids, cols)
+	if err != nil {
+		c.epoch--
+		return nil, err
+	}
+	c.journal(ts, delta.Record{Op: delta.OpDelete, Epoch: c.epoch, Vals: rowids})
+	c.journal(ts, delta.Record{Op: delta.OpInsert, Epoch: c.epoch, Cols: len(cols), Vals: walVals})
+	c.noteDML("update", deleted, ts)
+	return &Result{Epoch: c.epoch, Rows: deleted, RowIDs: inserted}, nil
+}
+
+// buildRows validates user values against the table schema and returns
+// the stored column vectors in schema order (RowID companions filled
+// with placeholder zeros until merge re-derives them), plus the
+// row-major value stream for the WAL record. Caller holds c.mu.
+func (c *Catalog) buildRows(tab *col.Table, n int, ints map[string][]col.Value, strs map[string][]string) ([][]int64, []int64, error) {
+	for name := range ints {
+		if def, ok := tab.Col(name); !ok || def.Typ.IsString() || def.Typ == col.RowID {
+			return nil, nil, fmt.Errorf("catalog: %s has no integer column %q", tab.Name, name)
+		}
+	}
+	for name := range strs {
+		if def, ok := tab.Col(name); !ok || !def.Typ.IsString() {
+			return nil, nil, fmt.Errorf("catalog: %s has no string column %q", tab.Name, name)
+		}
+	}
+	cols := make([][]int64, len(tab.Cols))
+	// Two passes: resolve and validate everything first, append Text
+	// heaps last, so a rejected insert leaves no trace on flash.
+	var textCols []int // schema indexes of Text columns
+	for i, def := range tab.Cols {
+		switch {
+		case def.Typ == col.RowID:
+			cols[i] = make([]int64, n)
+		case def.Typ == col.Text:
+			vals, ok := strs[def.Name]
+			if !ok {
+				return nil, nil, fmt.Errorf("catalog: insert into %s is missing column %s", tab.Name, def.Name)
+			}
+			if len(vals) != n {
+				return nil, nil, fmt.Errorf("catalog: insert into %s.%s has %d values, want %d", tab.Name, def.Name, len(vals), n)
+			}
+			textCols = append(textCols, i)
+		case def.Typ == col.Dict:
+			vals, ok := strs[def.Name]
+			if !ok {
+				return nil, nil, fmt.Errorf("catalog: insert into %s is missing column %s", tab.Name, def.Name)
+			}
+			if len(vals) != n {
+				return nil, nil, fmt.Errorf("catalog: insert into %s.%s has %d values, want %d", tab.Name, def.Name, len(vals), n)
+			}
+			ci := tab.MustColumn(def.Name)
+			codes := make([]int64, n)
+			for j, s := range vals {
+				code, ok := ci.Code(s)
+				if !ok {
+					return nil, nil, fmt.Errorf("catalog: %s.%s: value %q is not in the dictionary (dictionaries are fixed between loads)", tab.Name, def.Name, s)
+				}
+				codes[j] = code
+			}
+			cols[i] = codes
+		default:
+			vals, ok := ints[def.Name]
+			if !ok {
+				return nil, nil, fmt.Errorf("catalog: insert into %s is missing column %s", tab.Name, def.Name)
+			}
+			if len(vals) != n {
+				return nil, nil, fmt.Errorf("catalog: insert into %s.%s has %d values, want %d", tab.Name, def.Name, len(vals), n)
+			}
+			for _, v := range vals {
+				if !col.ValueInRange(def.Typ, v) {
+					return nil, nil, fmt.Errorf("catalog: %s.%s: value %d out of range for %s", tab.Name, def.Name, v, def.Typ)
+				}
+			}
+			cols[i] = vals
+		}
+	}
+	for _, i := range textCols {
+		ci := tab.MustColumn(tab.Cols[i].Name)
+		offs, err := col.AppendHeapStrings(ci, strs[tab.Cols[i].Name])
+		if err != nil {
+			return nil, nil, err
+		}
+		cols[i] = offs
+	}
+	walVals := make([]int64, 0, n*len(cols))
+	for r := 0; r < n; r++ {
+		for _, cv := range cols {
+			walVals = append(walVals, cv[r])
+		}
+	}
+	return cols, walVals, nil
+}
+
+// journal appends a record to the table's WAL file, creating it on
+// first use. The append bumps the file generation — the page-cache and
+// result-cache invalidation seam. Caller holds c.mu.
+func (c *Catalog) journal(ts *tableState, rec delta.Record) {
+	if ts.wal == nil {
+		ts.wal = c.store.Dev.Create(walName(ts.tab.Name))
+	}
+	buf := delta.AppendRecord(nil, rec)
+	ts.wal.Append(buf, flash.Host)
+	if c.reg != nil {
+		c.reg.Counter("catalog_wal_bytes_total").Add(int64(len(buf)))
+	}
+}
+
+func walName(table string) string { return table + "/delta.wal" }
+
+func (c *Catalog) noteDML(op string, rows int, ts *tableState) {
+	if c.reg == nil {
+		return
+	}
+	c.reg.Counter("catalog_dml_total", "op", op).Inc()
+	c.reg.Counter("catalog_dml_rows_total", "op", op).Add(int64(rows))
+	c.bumpEpochMetric()
+	var tail, dead int
+	for _, t := range c.tables {
+		tail += t.delta.TailRows()
+		dead += t.delta.DeletedRows()
+	}
+	c.reg.Gauge("catalog_delta_rows").Set(int64(tail))
+	c.reg.Gauge("catalog_deleted_rows").Set(int64(dead))
+}
+
+func (c *Catalog) bumpEpochMetric() {
+	if c.reg != nil {
+		c.reg.Gauge("catalog_epoch").Set(int64(c.epoch))
+	}
+}
+
+// Snapshot captures the current epoch for a query. Overlay resolution
+// is lazy (per scanned table, at execution time): epoch visibility is
+// immutable, so later commits cannot change what this snapshot sees.
+func (c *Catalog) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{cat: c, Epoch: c.epoch, gen: c.genNum}
+}
+
+// Snapshot is a query's consistent view: everything committed at or
+// before Epoch, nothing after. The zero Snapshot sees base pages only.
+type Snapshot struct {
+	cat   *Catalog
+	Epoch uint64
+	gen   uint64
+}
+
+// Overlays resolves the delta overlays visible to the snapshot for the
+// given tables; tables without visible delta state are absent from the
+// result. A snapshot taken before a merge returns ErrStaleSnapshot —
+// the base pages it was scoped to no longer exist.
+func (s Snapshot) Overlays(tables []string) (map[string]*delta.Overlay, error) {
+	if s.cat == nil {
+		return nil, nil
+	}
+	s.cat.mu.Lock()
+	defer s.cat.mu.Unlock()
+	if s.gen != s.cat.genNum {
+		return nil, fmt.Errorf("%w: snapshot epoch %d", ErrStaleSnapshot, s.Epoch)
+	}
+	var out map[string]*delta.Overlay
+	for _, name := range tables {
+		ts, ok := s.cat.tables[name]
+		if !ok {
+			continue
+		}
+		if ov := ts.delta.OverlayAt(s.Epoch); ov != nil {
+			if out == nil {
+				out = make(map[string]*delta.Overlay)
+			}
+			out[name] = ov
+		}
+	}
+	return out, nil
+}
+
+// Merge compacts every table's visible delta into fresh base pages:
+// surviving base rows and tail rows are rewritten under each column's
+// existing codec (restoring zone-map pruning over the ingested data),
+// stale materialized RowID companions are dropped and re-derived from
+// key values, WAL files are truncated, and the merge generation is
+// bumped so pre-merge snapshots fail loudly instead of reading
+// recomposed pages. Foreign keys are validated before anything is
+// mutated; a dangling reference (a deleted dim row still referenced by
+// a surviving fact row) aborts the merge with no changes.
+func (c *Catalog) Merge() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	changed := make(map[string]bool)
+	overlays := make(map[string]*delta.Overlay)
+	for name, ts := range c.tables {
+		if !ts.delta.Dirty() {
+			continue
+		}
+		if ov := ts.delta.OverlayAt(c.epoch); ov != nil {
+			overlays[name] = ov
+			changed[name] = true
+		} else {
+			// Only tail rows that were deleted again: still compacts to
+			// a fresh (identical) base, so just reset the delta.
+			changed[name] = true
+		}
+	}
+	if len(changed) == 0 {
+		return nil
+	}
+
+	// Compute the post-merge column vectors for every changed table.
+	newVals := make(map[string]map[string][]col.Value)
+	newRows := make(map[string]int)
+	names := make([]string, 0, len(changed))
+	for name := range changed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ts := c.tables[name]
+		ov := overlays[name]
+		vals := make(map[string][]col.Value)
+		n := 0
+		for _, def := range ts.tab.Cols {
+			if def.Typ == col.RowID {
+				continue // dropped and re-derived below
+			}
+			base, err := ts.tab.MustColumn(def.Name).ReadAll(flash.Host)
+			if err != nil {
+				return fmt.Errorf("catalog: merge read %s.%s: %w", name, def.Name, err)
+			}
+			out := make([]col.Value, 0, len(base))
+			for r, v := range base {
+				if ov != nil && ov.BaseDeleted(r) {
+					continue
+				}
+				out = append(out, v)
+			}
+			if ov != nil {
+				out = append(out, ov.TailCols[def.Name]...)
+			}
+			vals[def.Name] = out
+			n = len(out)
+		}
+		newVals[name] = vals
+		newRows[name] = n
+	}
+
+	// Pre-flight referential-integrity check over the post-merge row
+	// sets, before any flash mutation.
+	post := func(table, column string) ([]col.Value, error) {
+		if v, ok := newVals[table]; ok {
+			return v[column], nil
+		}
+		tab, err := c.store.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		ci, err := tab.Column(column)
+		if err != nil {
+			return nil, err
+		}
+		return ci.ReadAll(flash.Host)
+	}
+	for _, e := range c.fks {
+		if !changed[e.Fact] && !changed[e.Dim] {
+			continue
+		}
+		pk, err := post(e.Dim, e.PKCol)
+		if err != nil {
+			return fmt.Errorf("catalog: merge FK check: %w", err)
+		}
+		keys := make(map[col.Value]bool, len(pk))
+		for _, v := range pk {
+			keys[v] = true
+		}
+		fk, err := post(e.Fact, e.FKCol)
+		if err != nil {
+			return fmt.Errorf("catalog: merge FK check: %w", err)
+		}
+		for _, v := range fk {
+			if !keys[v] {
+				return fmt.Errorf("catalog: merge aborted: %s.%s=%d has no match in %s.%s (delete the referencing rows first)",
+					e.Fact, e.FKCol, v, e.Dim, e.PKCol)
+			}
+		}
+	}
+
+	// Mutate: drop stale companions, rebuild changed tables, re-derive.
+	// A changed table sheds every RowID companion (its row set moved, so
+	// they are all stale — including hook-derived composites); an
+	// unchanged fact referencing a changed dim sheds just that edge's
+	// companion.
+	for _, name := range names {
+		for _, comp := range c.tables[name].tab.RowIDColumns() {
+			if err := c.tables[name].tab.DropColumn(comp); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range c.fks {
+		if changed[e.Fact] || !changed[e.Dim] {
+			continue
+		}
+		fact := c.tables[e.Fact].tab
+		comp := col.RowIDColumnName(e.FKCol)
+		if fact.HasColumn(comp) {
+			if err := fact.DropColumn(comp); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range names {
+		ts := c.tables[name]
+		if err := ts.tab.RebuildRows(newRows[name], newVals[name]); err != nil {
+			return fmt.Errorf("catalog: merge rebuild %s: %w", name, err)
+		}
+	}
+	for _, e := range c.fks {
+		if !changed[e.Fact] && !changed[e.Dim] {
+			continue
+		}
+		if err := col.MaterializeFK(c.tables[e.Fact].tab, e.FKCol, c.tables[e.Dim].tab, e.PKCol); err != nil {
+			return fmt.Errorf("catalog: merge rematerialize %s.%s: %w", e.Fact, e.FKCol, err)
+		}
+	}
+	for _, h := range c.hooks {
+		if err := h(c.store, changed); err != nil {
+			return fmt.Errorf("catalog: merge hook: %w", err)
+		}
+	}
+
+	// Reset deltas over the new bases and truncate WALs (the re-created
+	// empty file bumps the generation one final time).
+	var mergedRows int64
+	for _, name := range names {
+		ts := c.tables[name]
+		if ov := overlays[name]; ov != nil {
+			mergedRows += int64(ov.NumTail() + ov.NumDeleted())
+		}
+		ts.delta = delta.NewTable(name, ts.tab.NumRows, ts.tab.ColumnNames())
+		if ts.wal != nil {
+			ts.wal = c.store.Dev.Create(walName(name))
+		}
+	}
+	c.epoch++
+	c.genNum++
+	if c.reg != nil {
+		c.reg.Counter("catalog_merges_total").Inc()
+		c.reg.Counter("catalog_merge_rows_total").Add(mergedRows)
+		c.reg.Gauge("catalog_delta_rows").Set(0)
+		c.reg.Gauge("catalog_deleted_rows").Set(0)
+		c.bumpEpochMetric()
+	}
+	return nil
+}
+
+// catalogMeta is the persisted sidecar state.
+type catalogMeta struct {
+	Epoch  uint64 `json:"epoch"`
+	Merges uint64 `json:"merges"`
+}
+
+// SaveMeta writes the catalog's sidecar manifest into a persisted store
+// directory. Call after merging and saving the store itself.
+func (c *Catalog) SaveMeta(dir string) error {
+	c.mu.Lock()
+	m := catalogMeta{Epoch: c.epoch, Merges: c.genNum}
+	c.mu.Unlock()
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, metaName), append(buf, '\n'), 0o644)
+}
+
+// LoadMeta restores the epoch from a persisted store directory; a
+// missing manifest (pre-write-path store) leaves the catalog at epoch 0.
+func (c *Catalog) LoadMeta(dir string) error {
+	raw, err := os.ReadFile(filepath.Join(dir, metaName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var m catalogMeta
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("catalog: bad %s: %w", metaName, err)
+	}
+	c.mu.Lock()
+	if c.epoch = m.Epoch; c.epoch == 0 {
+		c.epoch = 1
+	}
+	c.genNum = m.Merges
+	c.mu.Unlock()
+	return nil
+}

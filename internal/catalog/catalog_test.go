@@ -1,0 +1,269 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"aquoman/internal/col"
+	"aquoman/internal/delta"
+	"aquoman/internal/flash"
+)
+
+// newStore builds a store with a dim table (3 rows) and a fact table
+// (4 rows) joined by a materialized FK companion, mirroring the TPC-H
+// layout the merge has to preserve.
+func newStore(t *testing.T) (*col.Store, *Catalog) {
+	t.Helper()
+	s := col.NewStore(flash.NewDevice())
+	db := s.NewTable(col.Schema{Name: "dim", Cols: []col.ColDef{
+		{Name: "d_key", Typ: col.Int32},
+		{Name: "d_name", Typ: col.Text},
+	}})
+	db.Append(10, "ten")
+	db.Append(20, "twenty")
+	db.Append(30, "thirty")
+	dim, err := db.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := s.NewTable(col.Schema{Name: "fact", Cols: []col.ColDef{
+		{Name: "f_key", Typ: col.Int32},
+		{Name: "f_val", Typ: col.Int64},
+	}})
+	fb.Append(20, int64(200))
+	fb.Append(10, int64(100))
+	fb.Append(30, int64(300))
+	fb.Append(10, int64(101))
+	fact, err := fb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.MaterializeFK(fact, "f_key", dim, "d_key"); err != nil {
+		t.Fatal(err)
+	}
+	c := New(s)
+	c.RegisterFK(FKEdge{Fact: "fact", FKCol: "f_key", Dim: "dim", PKCol: "d_key"})
+	return s, c
+}
+
+func TestInsertSnapshotMerge(t *testing.T) {
+	s, c := newStore(t)
+
+	before := c.Snapshot()
+	res, err := c.Insert("fact", 2,
+		map[string][]col.Value{"f_key": {20, 30}, "f_val": {201, 301}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 2 || res.Epoch == before.Epoch {
+		t.Fatalf("insert result = %+v (before epoch %d)", res, before.Epoch)
+	}
+	after := c.Snapshot()
+
+	// The pre-insert snapshot sees nothing; the post-insert one sees
+	// both tail rows.
+	ovs, err := before.Overlays([]string{"fact"})
+	if err != nil || ovs != nil {
+		t.Fatalf("pre-insert overlays = %v, %v", ovs, err)
+	}
+	ovs, err = after.Overlays([]string{"fact", "dim"})
+	if err != nil || len(ovs) != 1 || ovs["fact"].NumTail() != 2 {
+		t.Fatalf("post-insert overlays = %v, %v", ovs, err)
+	}
+	// Tail rows carry placeholder companions until merge.
+	if got := ovs["fact"].TailCols["f_key@rowid"]; len(got) != 2 || got[0] != 0 {
+		t.Fatalf("tail companion = %v", got)
+	}
+
+	// WAL is on the device and decodes back to the insert.
+	wal, err := s.Dev.Open("fact/delta.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, wal.Size())
+	if _, err := wal.ReadAt(buf, 0, flash.Host); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := delta.DecodeRecords(buf)
+	if err != nil || len(recs) != 1 || recs[0].Op != delta.OpInsert || recs[0].NumRows() != 2 {
+		t.Fatalf("wal records = %+v, %v", recs, err)
+	}
+
+	genBefore := s.Dev.Generation("fact/f_val.dat")
+	if err := c.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	fact := s.MustTable("fact")
+	if fact.NumRows != 6 {
+		t.Fatalf("post-merge fact rows = %d, want 6", fact.NumRows)
+	}
+	if s.Dev.Generation("fact/f_val.dat") == genBefore {
+		t.Fatal("merge did not bump the column file generation")
+	}
+	// Companions re-derived over the merged row set.
+	comp := fact.MustColumn("f_key@rowid").MustReadAll(flash.Host)
+	keys := fact.MustColumn("f_key").MustReadAll(flash.Host)
+	dkeys := s.MustTable("dim").MustColumn("d_key").MustReadAll(flash.Host)
+	for i, r := range comp {
+		if dkeys[r] != keys[i] {
+			t.Fatalf("row %d: companion points at d_key=%d, want %d", i, dkeys[r], keys[i])
+		}
+	}
+	// The pre-merge snapshot is now stale.
+	if _, err := after.Overlays([]string{"fact"}); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("pre-merge snapshot error = %v, want ErrStaleSnapshot", err)
+	}
+	// A fresh snapshot sees base pages only.
+	ovs, err = c.Snapshot().Overlays([]string{"fact"})
+	if err != nil || ovs != nil {
+		t.Fatalf("post-merge overlays = %v, %v", ovs, err)
+	}
+}
+
+func TestDeleteConflictAndMergeShift(t *testing.T) {
+	s, c := newStore(t)
+
+	// CAS: victims chosen at a stale epoch are rejected.
+	snap := c.Snapshot()
+	if _, err := c.Insert("fact", 1, map[string][]col.Value{"f_key": {10}, "f_val": {7}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete("fact", []int64{0}, snap.Epoch); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale delete error = %v, want ErrConflict", err)
+	}
+	// Current-epoch CAS succeeds.
+	cur := c.Snapshot()
+	res, err := c.Delete("fact", []int64{1}, cur.Epoch)
+	if err != nil || res.Rows != 1 {
+		t.Fatalf("delete = %+v, %v", res, err)
+	}
+
+	if err := c.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	fact := s.MustTable("fact")
+	// 4 base - 1 deleted + 1 inserted.
+	if fact.NumRows != 4 {
+		t.Fatalf("post-merge rows = %d, want 4", fact.NumRows)
+	}
+	vals := fact.MustColumn("f_val").MustReadAll(flash.Host)
+	for _, v := range vals {
+		if v == 100 {
+			t.Fatal("deleted row survived the merge")
+		}
+	}
+	// Companions valid after the rowid shift.
+	comp := fact.MustColumn("f_key@rowid").MustReadAll(flash.Host)
+	keys := fact.MustColumn("f_key").MustReadAll(flash.Host)
+	dkeys := s.MustTable("dim").MustColumn("d_key").MustReadAll(flash.Host)
+	for i, r := range comp {
+		if dkeys[r] != keys[i] {
+			t.Fatalf("row %d: companion broken after shift", i)
+		}
+	}
+}
+
+func TestMergeRejectsDanglingFK(t *testing.T) {
+	s, c := newStore(t)
+	// Delete dim row 0 (d_key=10) while fact rows still reference it.
+	if _, err := c.Delete("dim", []int64{0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Merge(); err == nil {
+		t.Fatal("merge accepted a dangling foreign key")
+	}
+	// Nothing was mutated: dim still has 3 rows on flash.
+	if s.MustTable("dim").NumRows != 3 {
+		t.Fatal("aborted merge mutated the store")
+	}
+}
+
+func TestUpdateAtomicity(t *testing.T) {
+	_, c := newStore(t)
+	pre := c.Snapshot()
+	res, err := c.Update("fact", []int64{2}, 1,
+		map[string][]col.Value{"f_key": {30}, "f_val": {999}}, nil, 0)
+	if err != nil || res.Rows != 1 {
+		t.Fatalf("update = %+v, %v", res, err)
+	}
+	// Pre-update snapshot: untouched. Post-update: old gone + new visible
+	// at ONE epoch.
+	if ovs, _ := pre.Overlays([]string{"fact"}); ovs != nil {
+		t.Fatalf("pre-update snapshot sees %v", ovs)
+	}
+	ovs, err := c.Snapshot().Overlays([]string{"fact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := ovs["fact"]
+	if !ov.BaseDeleted(2) || ov.NumTail() != 1 || ov.TailCols["f_val"][0] != 999 {
+		t.Fatalf("post-update overlay = %+v", ov)
+	}
+}
+
+func TestCreateTableAndInsert(t *testing.T) {
+	s := col.NewStore(flash.NewDevice())
+	c := New(s)
+	_, err := c.CreateTable(col.Schema{Name: "events", Cols: []col.ColDef{
+		{Name: "e_id", Typ: col.Int64},
+		{Name: "e_day", Typ: col.Date},
+		{Name: "e_msg", Typ: col.Text},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable(col.Schema{Name: "events"}); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	res, err := c.Insert("events", 2,
+		map[string][]col.Value{"e_id": {1, 2}, "e_day": {100, 200}},
+		map[string][]string{"e_msg": {"hello", "world"}})
+	if err != nil || res.Rows != 2 {
+		t.Fatalf("insert = %+v, %v", res, err)
+	}
+	// Text content is already on the heap: resolve a tail offset.
+	ovs, err := c.Snapshot().Overlays([]string{"events"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := ovs["events"].TailCols["e_msg"][1]
+	got, err := s.MustTable("events").MustColumn("e_msg").Str(off, flash.Host)
+	if err != nil || got != "world" {
+		t.Fatalf("heap string = %q, %v", got, err)
+	}
+	if err := c.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	tab := s.MustTable("events")
+	if tab.NumRows != 2 {
+		t.Fatalf("post-merge rows = %d", tab.NumRows)
+	}
+	got, err = tab.MustColumn("e_msg").Str(tab.MustColumn("e_msg").MustReadAll(flash.Host)[0], flash.Host)
+	if err != nil || got != "hello" {
+		t.Fatalf("post-merge heap string = %q, %v", got, err)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	_, c := newStore(t)
+	cases := []struct {
+		name string
+		n    int
+		ints map[string][]col.Value
+		strs map[string][]string
+	}{
+		{"missing column", 1, map[string][]col.Value{"f_key": {1}}, nil},
+		{"unknown column", 1, map[string][]col.Value{"f_key": {1}, "f_val": {1}, "bogus": {1}}, nil},
+		{"length mismatch", 2, map[string][]col.Value{"f_key": {1}, "f_val": {1, 2}}, nil},
+		{"int32 overflow", 1, map[string][]col.Value{"f_key": {1 << 40}, "f_val": {1}}, nil},
+	}
+	for _, tc := range cases {
+		if _, err := c.Insert("fact", tc.n, tc.ints, tc.strs); err == nil {
+			t.Errorf("%s: insert accepted", tc.name)
+		}
+	}
+	// Failed inserts must not have committed anything.
+	if c.Dirty() {
+		t.Fatal("rejected inserts left delta state")
+	}
+}

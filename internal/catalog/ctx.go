@@ -1,0 +1,22 @@
+package catalog
+
+import "context"
+
+type snapKey struct{}
+
+// WithSnapshot attaches a query's admission-epoch snapshot to its
+// context; the scheduler's admit hook calls this so every query scans
+// the world as of the moment it was admitted, however long it queues or
+// runs afterwards.
+func WithSnapshot(ctx context.Context, s Snapshot) context.Context {
+	return context.WithValue(ctx, snapKey{}, s)
+}
+
+// SnapshotFrom extracts the admission snapshot, if one was attached.
+func SnapshotFrom(ctx context.Context) (Snapshot, bool) {
+	if ctx == nil {
+		return Snapshot{}, false
+	}
+	s, ok := ctx.Value(snapKey{}).(Snapshot)
+	return s, ok
+}

@@ -100,14 +100,23 @@ func DateValue(year, month, day int) Value {
 	return t.Unix() / 86400
 }
 
+// ParseDate parses "YYYY-MM-DD" into a Value.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("col: bad date %q: %v", s, err)
+	}
+	return t.Unix() / 86400, nil
+}
+
 // MustParseDate parses "YYYY-MM-DD" into a Value, panicking on bad input
 // (used for literals in query definitions).
 func MustParseDate(s string) Value {
-	t, err := time.Parse("2006-01-02", s)
+	v, err := ParseDate(s)
 	if err != nil {
-		panic(fmt.Sprintf("col: bad date %q: %v", s, err))
+		panic(err.Error())
 	}
-	return t.Unix() / 86400
+	return v
 }
 
 // DateString renders a date Value as "YYYY-MM-DD".

@@ -14,9 +14,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 
+	"aquoman/internal/bitvec"
 	"aquoman/internal/col"
 	"aquoman/internal/compiler"
+	"aquoman/internal/delta"
 	"aquoman/internal/engine"
 	"aquoman/internal/faults"
 	"aquoman/internal/flash"
@@ -43,6 +47,15 @@ type Config struct {
 	// and registry deltas would misattribute the other queries' work, so
 	// Report.Flash/OffloadFraction/Metrics stay zero when set.
 	SharedDevice bool
+
+	// Overlays (optional) are the query's per-table MVCC snapshot deltas.
+	// Tables without an entry scan base pages untouched. A delete-only
+	// overlay on a single-table plan still offloads — the deleted rows
+	// become a Table-Task delete mask; any visible tail rows (or a
+	// multi-table plan over mutated tables) force host execution, because
+	// in-memory tail rows have no flash pages for the accelerator to scan
+	// and materialized RowID companions are only re-derived at merge.
+	Overlays map[string]*delta.Overlay
 
 	// Ctx (optional) cancels the query cooperatively: checkpoints at unit,
 	// stage, page-read and morsel boundaries stop the query — and its
@@ -147,6 +160,7 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 		host.Stats = rep.HostStats
 		host.SetObserver(o, hostSpan)
 		host.SetContext(d.cfg.Ctx)
+		host.SetOverlays(d.cfg.Overlays)
 		return host.Run(root)
 	}
 
@@ -163,6 +177,46 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 		}
 		finish()
 		return b, rep, nil
+	}
+
+	// MVCC visibility gate (see Config.Overlays): visible tail rows or a
+	// multi-table plan over mutated tables run on the host; a delete-only
+	// overlay on a single-table plan offloads behind a delete mask.
+	var deleteMasks map[string]*bitvec.Mask
+	if len(d.cfg.Overlays) > 0 {
+		tables := plan.BaseTables(n)
+		var dirty []string
+		offloadable := true
+		for _, name := range tables {
+			ov := d.cfg.Overlays[name]
+			if ov == nil {
+				continue
+			}
+			dirty = append(dirty, name)
+			if !ov.DeleteOnly() {
+				offloadable = false
+			}
+		}
+		sort.Strings(dirty)
+		if len(dirty) > 0 && (!offloadable || len(tables) > 1) {
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"mvcc overlay on %s: executing on host", strings.Join(dirty, ",")))
+			b, err := run("host-plan", n)
+			if err != nil {
+				qSpan.End()
+				return nil, nil, err
+			}
+			finish()
+			return b, rep, nil
+		}
+		if len(dirty) > 0 {
+			deleteMasks = make(map[string]*bitvec.Mask, len(dirty))
+			for _, name := range dirty {
+				deleteMasks[name] = d.cfg.Overlays[name].DeletedBase
+			}
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"mvcc delete mask on %s: offloading with masked scans", strings.Join(dirty, ",")))
+		}
 	}
 
 	cSpan := qSpan.Child("compile", obs.StageCompile)
@@ -182,6 +236,7 @@ func (d *Device) RunQuery(n plan.Node) (*engine.Batch, *Report, error) {
 	exec.Obs = o
 	exec.Ctx = d.cfg.Ctx
 	exec.DisableFusion = d.cfg.DisableFusion
+	exec.DeleteMasks = deleteMasks
 	var allObjects []string
 	for _, u := range res.Units {
 		uSpan := qSpan.Child("unit "+u.Label, obs.StageUnit)

@@ -1,0 +1,113 @@
+package delta
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WAL record codec. The catalog journals every committed mutation to a
+// per-table append-only flash file (<table>/delta.wal) so the write
+// path shares the device's generation-bump invalidation seam with the
+// base pages, and so a future recovery path can replay the tail. The
+// format is deliberately simple and self-delimiting:
+//
+//	op    byte   1 = insert, 2 = delete
+//	epoch uint64 commit epoch (little-endian)
+//	rows  uint32 number of rows in the record
+//	cols  uint32 number of columns (0 for delete records)
+//	payload      rows*cols int64 values (insert, row-major) or
+//	             rows int64 rowids (delete)
+//
+// Text column values are journaled as their heap offsets: the string
+// bytes themselves are appended to the column's heap file at commit
+// time, so the WAL never stores variable-length data.
+
+// Record ops.
+const (
+	OpInsert byte = 1
+	OpDelete byte = 2
+)
+
+// Record is one decoded WAL entry.
+type Record struct {
+	Op    byte
+	Epoch uint64
+	// Cols is the column count of an insert record's rows.
+	Cols int
+	// Vals holds rows*Cols values row-major (insert) or the deleted
+	// rowids (delete).
+	Vals []int64
+}
+
+// NumRows returns the number of rows the record covers.
+func (r Record) NumRows() int {
+	if r.Op == OpInsert {
+		if r.Cols == 0 {
+			return 0
+		}
+		return len(r.Vals) / r.Cols
+	}
+	return len(r.Vals)
+}
+
+// maxWALRecordVals bounds a single record's payload so a corrupt or
+// adversarial length prefix cannot drive a huge allocation.
+const maxWALRecordVals = 1 << 28
+
+// AppendRecord serializes r onto buf and returns the extended buffer.
+func AppendRecord(buf []byte, r Record) []byte {
+	var hdr [17]byte
+	hdr[0] = r.Op
+	binary.LittleEndian.PutUint64(hdr[1:], r.Epoch)
+	rows := r.NumRows()
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(rows))
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(r.Cols))
+	buf = append(buf, hdr[:]...)
+	var v [8]byte
+	for _, x := range r.Vals {
+		binary.LittleEndian.PutUint64(v[:], uint64(x))
+		buf = append(buf, v[:]...)
+	}
+	return buf
+}
+
+// DecodeRecords parses a WAL byte stream back into records. It fails on
+// truncated or malformed input rather than guessing.
+func DecodeRecords(buf []byte) ([]Record, error) {
+	var out []Record
+	off := 0
+	for off < len(buf) {
+		if len(buf)-off < 17 {
+			return nil, fmt.Errorf("delta: truncated WAL header at offset %d", off)
+		}
+		r := Record{Op: buf[off], Epoch: binary.LittleEndian.Uint64(buf[off+1:])}
+		rows := int(binary.LittleEndian.Uint32(buf[off+9:]))
+		r.Cols = int(binary.LittleEndian.Uint32(buf[off+13:]))
+		off += 17
+		var nvals int
+		switch r.Op {
+		case OpInsert:
+			if r.Cols <= 0 || rows < 0 || rows > maxWALRecordVals/r.Cols {
+				return nil, fmt.Errorf("delta: bad insert record %dx%d at offset %d", rows, r.Cols, off-17)
+			}
+			nvals = rows * r.Cols
+		case OpDelete:
+			if r.Cols != 0 || rows < 0 || rows > maxWALRecordVals {
+				return nil, fmt.Errorf("delta: bad delete record %dx%d at offset %d", rows, r.Cols, off-17)
+			}
+			nvals = rows
+		default:
+			return nil, fmt.Errorf("delta: unknown WAL op %d at offset %d", r.Op, off-17)
+		}
+		if len(buf)-off < nvals*8 {
+			return nil, fmt.Errorf("delta: truncated WAL payload at offset %d", off)
+		}
+		r.Vals = make([]int64, nvals)
+		for i := range r.Vals {
+			r.Vals[i] = int64(binary.LittleEndian.Uint64(buf[off+i*8:]))
+		}
+		off += nvals * 8
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"aquoman/internal/col"
+	"aquoman/internal/delta"
 	"aquoman/internal/flash"
 	"aquoman/internal/obs"
 	"aquoman/internal/plan"
@@ -96,6 +97,10 @@ type Engine struct {
 	// threads is the intra-query parallelism (see SetParallelism).
 	threads int
 
+	// overlays (optional, see SetOverlays) are per-table MVCC deltas
+	// applied at scan time.
+	overlays map[string]*delta.Overlay
+
 	// ctx (optional, see SetContext) cancels execution cooperatively: it
 	// is checked before every operator, at scan page-chunk boundaries, and
 	// at morsel boundaries of parallel sections.
@@ -123,6 +128,12 @@ func (e *Engine) SetObserver(o *obs.Observer, parent *obs.Span) {
 // between operators and within scans at page-chunk granularity, ending
 // its flash traffic promptly. A nil ctx (the default) never cancels.
 func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// SetOverlays attaches MVCC delta overlays: every scan of a listed
+// table drops the overlay's deleted base rows and appends its visible
+// tail rows, so the whole plan sees the table as of the overlay's
+// snapshot epoch. Tables without an entry scan base pages untouched.
+func (e *Engine) SetOverlays(ovs map[string]*delta.Overlay) { e.overlays = ovs }
 
 // ctxErr returns the engine context's error, if any.
 func (e *Engine) ctxErr() error {
@@ -251,9 +262,62 @@ func (e *Engine) execScan(t *plan.Scan) (*Batch, error) {
 		}
 		b.Cols[i] = vals
 	}
+	if ov := e.overlays[t.Table]; ov != nil {
+		if err := applyOverlay(t, b, ov); err != nil {
+			return nil, err
+		}
+	}
 	e.Stats.work("scan", int64(t.Tab.NumRows)*int64(len(t.Cols)))
 	e.Stats.alloc(b)
 	return b, nil
+}
+
+// applyOverlay rewrites a freshly scanned batch to the overlay's view:
+// deleted base rows are dropped and visible tail rows appended. Tail
+// values were validated on ingest, so they splice in as ordinary column
+// values; the @rowid pseudo-column keeps base ids for surviving rows
+// and carries the tail rows' stable ids after them.
+func applyOverlay(t *plan.Scan, b *Batch, ov *delta.Overlay) error {
+	if ov.BaseRows != t.Tab.NumRows {
+		return fmt.Errorf("engine: overlay for %s is against %d base rows, table has %d",
+			t.Table, ov.BaseRows, t.Tab.NumRows)
+	}
+	var keep []int
+	if ov.NumDeleted() > 0 {
+		keep = make([]int, 0, ov.BaseRows-ov.NumDeleted())
+		for r := 0; r < ov.BaseRows; r++ {
+			if !ov.BaseDeleted(r) {
+				keep = append(keep, r)
+			}
+		}
+	}
+	for i, name := range t.Cols {
+		var tail []int64
+		if name == plan.RowIDCol {
+			tail = ov.TailRowIDs
+		} else if len(ov.TailRowIDs) > 0 {
+			var ok bool
+			if tail, ok = ov.TailCols[name]; !ok {
+				return fmt.Errorf("engine: overlay for %s has no column %q", t.Table, name)
+			}
+		}
+		base := b.Cols[i]
+		if keep == nil && len(tail) == 0 {
+			continue
+		}
+		var out []int64
+		if keep != nil {
+			out = make([]int64, 0, len(keep)+len(tail))
+			for _, r := range keep {
+				out = append(out, base[r])
+			}
+		} else {
+			out = make([]int64, 0, len(base)+len(tail))
+			out = append(out, base...)
+		}
+		b.Cols[i] = append(out, tail...)
+	}
+	return nil
 }
 
 func (e *Engine) execFilter(t *plan.Filter) (*Batch, error) {

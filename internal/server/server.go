@@ -9,6 +9,7 @@
 //
 //	/            index (JSON listing of the mounted endpoints)
 //	/query       GET ?q=<sql> or POST {"sql": ..., "timeout_ms": ...}
+//	/dml         POST {"sql": ...} — INSERT/UPDATE/DELETE/CREATE TABLE
 //	/tpch        GET ?q=1..22 — the Table-Task offload path
 //	/healthz     liveness (503 while draining)
 //	/metrics     Prometheus text (when the DB has an observer)
@@ -92,6 +93,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/query", s.instrument("query", true, s.handleQuery))
+	s.mux.HandleFunc("/dml", s.instrument("dml", true, s.handleDML))
 	s.mux.HandleFunc("/tpch", s.instrument("tpch", true, s.handleTPCH))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", false, s.handleHealthz))
 	if obs := cfg.DB.Obs; obs != nil && obs.Reg != nil {
@@ -248,6 +250,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"version": aquoman.Version,
 		"endpoints": []string{
 			"/query?q=<sql> (GET) or POST {\"sql\": ..., \"timeout_ms\": ...}",
+			"/dml (POST {\"sql\": ...}, optional ?ifepoch=)",
 			"/tpch?q=1..22",
 			"/tpch?q=1..22&partial=1 (cluster worker: raw per-shard partials)",
 			"/healthz",
@@ -322,6 +325,82 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	meta := queryMeta{tenant: tenantOf(r), lane: lane, cacheKey: aquoman.CanonicalSQL(req.SQL)}
 	s.runAndStream(w, r, p, req.SQL, time.Duration(req.TimeoutMS)*time.Millisecond, meta)
+}
+
+// dmlRequest is the POST /dml body.
+type dmlRequest struct {
+	SQL string `json:"sql"`
+	// IfEpoch, when non-zero, is an optimistic precondition: the write
+	// only runs if the catalog epoch still equals it (409 otherwise).
+	IfEpoch uint64 `json:"if_epoch"`
+}
+
+// dmlResponse is the POST /dml success body.
+type dmlResponse struct {
+	Op           string `json:"op"`
+	Table        string `json:"table"`
+	RowsAffected int    `json:"rows_affected"`
+	Epoch        uint64 `json:"epoch"`
+}
+
+// handleDML executes one write statement (INSERT, UPDATE, DELETE,
+// CREATE TABLE) against the DB's write path. Compile failures are the
+// client's fault (400); an optimistic conflict that survives the DB's
+// internal retries — or a failed ?ifepoch= precondition — is 409 with
+// the current epoch, so the client can re-read and retry.
+func (s *Server) handleDML(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, "use POST {\"sql\": ...}")
+		return
+	}
+	var req dmlRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if v := r.URL.Query().Get("ifepoch"); v != "" {
+		e, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid ifepoch")
+			return
+		}
+		req.IfEpoch = e
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "missing \"sql\" field")
+		return
+	}
+	cat := s.cfg.DB.Catalog()
+	if req.IfEpoch != 0 {
+		if cur := cat.Epoch(); cur != req.IfEpoch {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(map[string]interface{}{
+				"error": "epoch precondition failed", "epoch": cur})
+			return
+		}
+	}
+	res, err := s.cfg.DB.Exec(r.Context(), req.SQL)
+	if err != nil {
+		var ce *sql.CompileError
+		switch {
+		case errors.As(err, &ce):
+			writeError(w, http.StatusBadRequest, "compile: "+ce.Error())
+		case errors.Is(err, aquoman.ErrConflict):
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(map[string]interface{}{
+				"error": err.Error(), "epoch": cat.Epoch()})
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(dmlResponse{
+		Op: res.Op, Table: res.Table, RowsAffected: res.Rows, Epoch: res.Epoch,
+	})
 }
 
 func (s *Server) handleTPCH(w http.ResponseWriter, r *http.Request) {

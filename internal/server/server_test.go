@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -783,5 +784,72 @@ func TestResultCacheHitServesIdenticalRows(t *testing.T) {
 		if !strings.Contains(string(mb), want) {
 			t.Fatalf("metrics missing %q", want)
 		}
+	}
+}
+
+// TestDMLEndpoint drives the full HTAP loop over HTTP: CREATE TABLE,
+// INSERT, SELECT of the un-merged tail, UPDATE, and the error surface
+// (compile 400, epoch precondition 409, method 405).
+func TestDMLEndpoint(t *testing.T) {
+	db := aquoman.Open()
+	defer db.Close()
+	_, ts := newTestServer(t, Config{DB: db})
+
+	post := func(body, query string) (int, map[string]interface{}) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/dml"+query, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]interface{}
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("bad /dml response: %v", err)
+		}
+		return resp.StatusCode, m
+	}
+
+	if code, m := post(`{"sql": "CREATE TABLE kv (k int, v int64)"}`, ""); code != 200 || m["op"] != "create" {
+		t.Fatalf("create: %d %v", code, m)
+	}
+	code, m := post(`{"sql": "INSERT INTO kv (k, v) VALUES (1, 10), (2, 20)"}`, "")
+	if code != 200 || m["rows_affected"].(float64) != 2 {
+		t.Fatalf("insert: %d %v", code, m)
+	}
+	epoch := uint64(m["epoch"].(float64))
+
+	// The tail rows are visible to queries before any merge.
+	resp, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape("select sum(v) as s from kv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := ndjson(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("query after insert: %d %v", resp.StatusCode, lines)
+	}
+	if got := lines[1]["_row"].([]interface{})[0].(float64); got != 30 {
+		t.Fatalf("sum(v) = %v, want 30", got)
+	}
+
+	// Epoch precondition: stale → 409 carrying the current epoch.
+	if code, m := post(`{"sql": "DELETE FROM kv"}`, "?ifepoch=999999"); code != http.StatusConflict || uint64(m["epoch"].(float64)) != epoch {
+		t.Fatalf("stale ifepoch: %d %v (want 409 @ epoch %d)", code, m, epoch)
+	}
+	// Matching precondition succeeds.
+	if code, m := post(`{"sql": "UPDATE kv SET v = v + 1 WHERE k = 1"}`, fmt.Sprintf("?ifepoch=%d", epoch)); code != 200 || m["rows_affected"].(float64) != 1 {
+		t.Fatalf("update: %d %v", code, m)
+	}
+
+	if code, m := post(`{"sql": "INSERT INTO nosuch VALUES (1)"}`, ""); code != http.StatusBadRequest {
+		t.Fatalf("bad table: %d %v", code, m)
+	}
+	resp, err = http.Get(ts.URL + "/dml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /dml = %d, want 405", resp.StatusCode)
 	}
 }

@@ -50,6 +50,8 @@ var keywords = map[string]bool{
 	"SUM": true, "AVG": true, "MIN": true, "MAX": true, "COUNT": true,
 	"DISTINCT": true, "ASC": true, "DESC": true, "DATE": true,
 	"EXTRACT": true, "YEAR": true, "SUBSTRING": true, "INTERVAL": true,
+	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
 }
 
 type lexer struct {

@@ -495,7 +495,11 @@ func (p *parser) parsePrimary() (astExpr, error) {
 			return nil, p.errf("expected date string")
 		}
 		s := p.next().text
-		return aDate{days: col.MustParseDate(s)}, nil
+		days, err := col.ParseDate(s)
+		if err != nil {
+			return nil, p.errf("bad date literal %q", s)
+		}
+		return aDate{days: days}, nil
 	case p.accept(tokKeyword, "CASE"):
 		if err := p.expect(tokKeyword, "WHEN"); err != nil {
 			return nil, err

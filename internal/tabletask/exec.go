@@ -105,6 +105,13 @@ type Executor struct {
 	// harness uses it as the oracle switch.
 	DisableFusion bool
 
+	// DeleteMasks (optional) marks MVCC-deleted base rows per table.
+	// A task scanning a listed table ANDs the complement into its row
+	// mask, so offloaded scans honor a delete-only snapshot overlay
+	// without rewriting base pages. Tasks over masked tables never take
+	// the fused path (its eligibility demands a full-table scan).
+	DeleteMasks map[string]*bitvec.Mask
+
 	cached map[string]bool // DRAM-cached gather columns
 }
 
@@ -216,6 +223,23 @@ func (e *Executor) Run(t *Task) (*Result, error) {
 			}
 			mask = mask.Clone()
 			mask.And(m)
+		}
+	}
+
+	// 1b. MVCC delete mask: narrow the scan to rows alive at the
+	// query's snapshot before any selection work runs.
+	if del := e.DeleteMasks[t.Table]; del != nil {
+		if del.Len() != tab.NumRows {
+			return nil, fmt.Errorf("tabletask %q: delete mask covers %d rows, table has %d",
+				t.Name, del.Len(), tab.NumRows)
+		}
+		vis := del.Clone()
+		vis.Not()
+		if mask == nil {
+			mask = vis
+		} else {
+			mask = mask.Clone()
+			mask.And(vis)
 		}
 	}
 

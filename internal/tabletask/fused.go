@@ -46,6 +46,9 @@ func (e *Executor) fusedEligible(t *Task) bool {
 	if t.MaskSrc.Kind != MaskFull || len(t.MaskAnd) > 0 {
 		return false
 	}
+	if e.DeleteMasks[t.Table] != nil {
+		return false
+	}
 	if len(t.Gathers) > 0 || len(t.RegexFilters) > 0 {
 		return false
 	}

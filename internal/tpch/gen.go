@@ -438,32 +438,70 @@ func (g *gen) genOrdersAndLineitem() error {
 	return err
 }
 
+// FKEdge names one foreign-key edge of the TPC-H schema by table and
+// column names.
+type FKEdge struct {
+	Fact, FKCol, Dim, PKCol string
+}
+
+// FKEdges is the TPC-H foreign-key graph — the single source of truth
+// shared by generation-time companion materialization (below) and the
+// write-path catalog, whose merge re-derives companions and enforces
+// referential integrity along exactly these edges.
+var FKEdges = []FKEdge{
+	{Fact: "nation", FKCol: "n_regionkey", Dim: "region", PKCol: "r_regionkey"},
+	{Fact: "supplier", FKCol: "s_nationkey", Dim: "nation", PKCol: "n_nationkey"},
+	{Fact: "customer", FKCol: "c_nationkey", Dim: "nation", PKCol: "n_nationkey"},
+	{Fact: "partsupp", FKCol: "ps_partkey", Dim: "part", PKCol: "p_partkey"},
+	{Fact: "partsupp", FKCol: "ps_suppkey", Dim: "supplier", PKCol: "s_suppkey"},
+	{Fact: "orders", FKCol: "o_custkey", Dim: "customer", PKCol: "c_custkey"},
+	{Fact: "lineitem", FKCol: "l_orderkey", Dim: "orders", PKCol: "o_orderkey"},
+	{Fact: "lineitem", FKCol: "l_partkey", Dim: "part", PKCol: "p_partkey"},
+	{Fact: "lineitem", FKCol: "l_suppkey", Dim: "supplier", PKCol: "s_suppkey"},
+}
+
 // materialize builds the MonetDB-style FK RowID companion columns.
 func (g *gen) materialize() error {
-	type fk struct {
-		fact  *col.Table
-		col   string
-		dim   *col.Table
-		pkCol string
-	}
-	fks := []fk{
-		{g.nation, "n_regionkey", g.region, "r_regionkey"},
-		{g.supplier, "s_nationkey", g.nation, "n_nationkey"},
-		{g.customer, "c_nationkey", g.nation, "n_nationkey"},
-		{g.partsupp, "ps_partkey", g.part, "p_partkey"},
-		{g.partsupp, "ps_suppkey", g.supplier, "s_suppkey"},
-		{g.orders, "o_custkey", g.customer, "c_custkey"},
-		{g.lineitem, "l_orderkey", g.orders, "o_orderkey"},
-		{g.lineitem, "l_partkey", g.part, "p_partkey"},
-		{g.lineitem, "l_suppkey", g.supplier, "s_suppkey"},
-	}
-	for _, f := range fks {
-		if err := col.MaterializeFK(f.fact, f.col, f.dim, f.pkCol); err != nil {
+	for _, e := range FKEdges {
+		fact, err := g.store.Table(e.Fact)
+		if err != nil {
+			return err
+		}
+		dim, err := g.store.Table(e.Dim)
+		if err != nil {
+			return err
+		}
+		if err := col.MaterializeFK(fact, e.FKCol, dim, e.PKCol); err != nil {
 			return err
 		}
 	}
 	// Composite FK lineitem(partkey, suppkey) -> partsupp for q9.
 	return MaterializePartSuppIndex(g.lineitem, g.partsupp)
+}
+
+// RefreshPartSuppIndex is the catalog merge hook for TPC-H stores: a
+// merge drops every materialized RowID companion on changed tables and
+// re-derives the FK-edge companions itself, but the composite
+// lineitem(partkey,suppkey)->partsupp index is schema-specific, so this
+// hook rebuilds it whenever either side changed.
+func RefreshPartSuppIndex(s *col.Store, changed map[string]bool) error {
+	if !changed["lineitem"] && !changed["partsupp"] {
+		return nil
+	}
+	lineitem, err := s.Table("lineitem")
+	if err != nil {
+		return nil // partial store (e.g. a partition without lineitem)
+	}
+	partsupp, err := s.Table("partsupp")
+	if err != nil {
+		return nil
+	}
+	if lineitem.HasColumn(PartSuppRowIDCol) {
+		if err := lineitem.DropColumn(PartSuppRowIDCol); err != nil {
+			return err
+		}
+	}
+	return MaterializePartSuppIndex(lineitem, partsupp)
 }
 
 // PartSuppRowIDCol is the composite join-index column name on lineitem.

@@ -17,7 +17,10 @@
 #      shed with 429 + Retry-After (not the global-overload 503), another
 #      tenant keeps getting served through the result cache, and the
 #      per-tenant scheduler/latency series show up on /metrics,
-#   6. SIGTERM drains and exits cleanly.
+#   6. the write path over HTTP: POST /dml INSERT is visible to the
+#      next query (HTAP read through the un-merged delta), compile
+#      errors are 400 and stale ?ifepoch= preconditions 409,
+#   7. SIGTERM drains and exits cleanly.
 set -euo pipefail
 
 ADDR="127.0.0.1:${SMOKE_PORT:-18080}"
@@ -144,7 +147,24 @@ echo "per-tenant scheduler and latency series present"
 # only about the server, not our own stragglers.
 wait "$ALPHA1" "$ALPHA2" 2>/dev/null || true
 
-echo "== SIGTERM drains and exits cleanly"
+echo "== DML over HTTP: INSERT is visible to the next query"
+BEFORE=$(curl -fsS "$URL/query?q=select+count(*)+as+n+from+region" | sed -n 's/^\[\([0-9]*\)\]$/\1/p')
+DML=$(curl -fsS -X POST -d '{"sql": "INSERT INTO region (r_regionkey, r_name, r_comment) VALUES (9, '\''ASIA'\'', '\''smoke row'\'')"}' "$URL/dml")
+echo "$DML"
+echo "$DML" | grep -q '"op":"insert"' || { echo "bad /dml response"; exit 1; }
+echo "$DML" | grep -q '"rows_affected":1' || { echo "insert did not affect 1 row"; exit 1; }
+AFTER=$(curl -fsS "$URL/query?q=select+count(*)+as+n+from+region" | sed -n 's/^\[\([0-9]*\)\]$/\1/p')
+[ "$AFTER" = "$((BEFORE + 1))" ] || { echo "count went $BEFORE -> $AFTER, want +1 (stale snapshot?)"; exit 1; }
+echo "region count $BEFORE -> $AFTER through the un-merged delta"
+
+echo "== DML compile error is a 400, stale epoch precondition a 409"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"sql": "INSERT INTO nosuch VALUES (1)"}' "$URL/dml")
+[ "$CODE" = 400 ] || { echo "bad DML returned $CODE, want 400"; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"sql": "DELETE FROM region"}' "$URL/dml?ifepoch=999999")
+[ "$CODE" = 409 ] || { echo "stale ifepoch returned $CODE, want 409"; exit 1; }
+echo "error surface ok (400 compile, 409 stale epoch)"
+
+echo "== SIGTERM drains and exits cleanly (with the fresh write still queryable)"
 kill -TERM "$SERVER_PID"
 for i in $(seq 1 100); do
     if ! kill -0 "$SERVER_PID" 2>/dev/null; then break; fi
